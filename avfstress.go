@@ -1,0 +1,140 @@
+// Package avfstress reproduces "AVF Stressmark: Towards an Automated
+// Methodology for Bounding the Worst-Case Vulnerability to Soft Errors"
+// (Nair, John, Eeckhout; MICRO 2010) as a Go library.
+//
+// The package is a facade over the implementation packages:
+//
+//   - internal/core     — the paper's methodology: GA ⇄ code generator ⇄
+//     AVF simulator (Figure 2)
+//   - internal/codegen  — the knob-driven, 100%-ACE stressmark generator
+//   - internal/ga       — the genetic algorithm (SNAP substitute)
+//   - internal/pipe     — the out-of-order Alpha-21264-like core model
+//     with ACE/AVF accounting (SimAlpha/SimSoda substitute)
+//   - internal/cache    — caches + DTLB with lifetime ACE analysis
+//   - internal/workloads— SPEC CPU2006 / MiBench proxy suite
+//   - internal/experiments — regeneration of every paper table and figure
+//
+// Quick start:
+//
+//	cfg := avfstress.Scaled(avfstress.Baseline(), 32)
+//	res, err := avfstress.Search(avfstress.SearchSpec{Config: cfg})
+//	// res.Knobs is the Figure-5a-style knob table,
+//	// res.Result holds per-structure AVFs,
+//	// res.Result.SER(cfg, avfstress.UniformRates(1), avfstress.ClassQSRF)
+//	// is the core SER in units/bit.
+//
+// See examples/ for runnable programs and DESIGN.md for the system
+// inventory and experiment index.
+package avfstress
+
+import (
+	"avfstress/internal/avf"
+	"avfstress/internal/codegen"
+	"avfstress/internal/core"
+	"avfstress/internal/experiments"
+	"avfstress/internal/pipe"
+	"avfstress/internal/prog"
+	"avfstress/internal/uarch"
+	"avfstress/internal/workloads"
+)
+
+// Configuration and fault-rate types.
+type (
+	// Config is a complete processor configuration (core + memory).
+	Config = uarch.Config
+	// FaultRates gives per-structure circuit-level fault rates.
+	FaultRates = uarch.FaultRates
+	// Structure identifies an SER-tracked hardware structure.
+	Structure = uarch.Structure
+)
+
+// Microarchitecture configurations (paper Tables I and II).
+var (
+	// Baseline returns the paper's Table I Alpha-21264-like machine.
+	Baseline = uarch.Baseline
+	// ConfigA returns the paper's Table II scaled-up machine.
+	ConfigA = uarch.ConfigA
+	// Scaled shrinks the storage arrays by a factor, keeping the core
+	// paper-exact (see DESIGN.md §4 on laptop-scale runs).
+	Scaled = uarch.Scaled
+)
+
+// Fault-rate sets (paper Figure 8a).
+var (
+	// UniformRates gives every structure the same rate (paper default 1).
+	UniformRates = uarch.UniformRates
+	// RHCRates models radiation-hardened ROB/LQ/SQ circuitry.
+	RHCRates = uarch.RHCRates
+	// EDRRates models error detection and recovery on ROB/LQ/SQ.
+	EDRRates = uarch.EDRRates
+)
+
+// Simulation types.
+type (
+	// Program is a synthetic program runnable on the simulator.
+	Program = prog.Program
+	// RunConfig budgets one simulation.
+	RunConfig = pipe.RunConfig
+	// Result carries per-structure AVFs and diagnostics of one run.
+	Result = avf.Result
+	// Class is a presentation/normalisation group of structures.
+	Class = avf.Class
+)
+
+// SER presentation classes (paper Figures 3-4).
+const (
+	ClassQS      = avf.ClassQS
+	ClassQSRF    = avf.ClassQSRF
+	ClassDL1DTLB = avf.ClassDL1DTLB
+	ClassL2      = avf.ClassL2
+)
+
+// Simulate runs one program on one configuration and returns its AVF
+// result (the paper's "AVF simulator" box).
+func Simulate(cfg Config, p *Program, rc RunConfig) (*Result, error) {
+	return pipe.Simulate(cfg, p, rc)
+}
+
+// Stressmark-methodology types (the paper's primary contribution).
+type (
+	// Knobs are the code-generator parameters (paper §IV-B).
+	Knobs = codegen.Knobs
+	// SearchSpec parameterises a stressmark search.
+	SearchSpec = core.SearchSpec
+	// SearchResult is the outcome of a search.
+	SearchResult = core.SearchResult
+)
+
+// Search runs the automated methodology of the paper's Figure 2: a GA
+// search over the code-generator knob space against the AVF simulator.
+func Search(spec SearchSpec) (*SearchResult, error) { return core.Search(spec) }
+
+// Generate builds a stressmark program from explicit knob settings.
+func Generate(cfg Config, k Knobs, iterations int64) (*Program, Knobs, error) {
+	return codegen.Generate(cfg, k, iterations)
+}
+
+// Workload-suite types.
+type (
+	// WorkloadProfile describes one benchmark proxy.
+	WorkloadProfile = workloads.Profile
+)
+
+// Workloads returns the 33 SPEC CPU2006 / MiBench proxy profiles.
+func Workloads() []WorkloadProfile { return workloads.Profiles() }
+
+// Experiment harness.
+type (
+	// ExperimentOptions scopes an experiment run.
+	ExperimentOptions = experiments.Options
+	// Experiments caches shared work across experiment runners.
+	Experiments = experiments.Context
+)
+
+// NewExperiments prepares the table/figure regeneration harness.
+func NewExperiments(opts ExperimentOptions) *Experiments {
+	return experiments.NewContext(opts)
+}
+
+// ExperimentNames lists the runnable experiments in paper order.
+func ExperimentNames() []string { return experiments.Names() }

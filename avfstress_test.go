@@ -1,0 +1,73 @@
+package avfstress_test
+
+import (
+	"testing"
+
+	"avfstress"
+	"avfstress/internal/pipe"
+)
+
+// TestFacadeEndToEnd exercises the public API surface the README
+// advertises: configurations, knob-driven generation, simulation and the
+// workload list.
+func TestFacadeEndToEnd(t *testing.T) {
+	cfg := avfstress.Scaled(avfstress.Baseline(), 32)
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	k := avfstress.Knobs{
+		LoopSize: 60, NumLoads: 20, NumStores: 20, MissDependent: 5,
+		AvgChainLength: 2, DepDistance: 4, FracLongLatency: 0.5,
+		FracRegReg: 0.8, Seed: 7,
+	}
+	p, eff, err := avfstress.Generate(cfg, k, 1<<40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eff.LoopSize != 60 {
+		t.Errorf("effective loop size %d", eff.LoopSize)
+	}
+	res, err := avfstress.Simulate(cfg, p, avfstress.RunConfig{
+		MaxInstructions: 60_000, WarmupInstructions: 20_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates := avfstress.UniformRates(1)
+	core := res.SER(cfg, rates, avfstress.ClassQSRF)
+	if core <= 0 || core > 1 {
+		t.Errorf("core SER %f out of range", core)
+	}
+	if n := len(avfstress.Workloads()); n != 33 {
+		t.Errorf("workload count %d", n)
+	}
+	if n := len(avfstress.ExperimentNames()); n != 13 {
+		t.Errorf("experiment count %d", n)
+	}
+}
+
+// TestFacadeConfigA checks the second published configuration through
+// the facade.
+func TestFacadeConfigA(t *testing.T) {
+	a := avfstress.ConfigA()
+	if a.Core.ROBEntries != 96 {
+		t.Errorf("ConfigA ROB %d", a.Core.ROBEntries)
+	}
+	if avfstress.RHCRates()[0] != 1 { // IQ stays at 1 under RHC
+		t.Error("RHC rates wrong through facade")
+	}
+}
+
+// TestFacadeExperiments runs the cheapest experiment through the facade
+// harness type.
+func TestFacadeExperiments(t *testing.T) {
+	ctx := avfstress.NewExperiments(avfstress.ExperimentOptions{
+		Scale: 32, UseReferenceKnobs: true,
+	})
+	out, err := ctx.Run("table1")
+	if err != nil || out == "" {
+		t.Fatalf("table1: %v", err)
+	}
+	// One small simulation through the facade's pipe re-export.
+	var _ = pipe.RunConfig{}
+}

@@ -1,0 +1,64 @@
+// Command avfbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	avfbench [-run name[,name...]] [-scale N] [-seed N] [-pop N] [-gens N]
+//	         [-ref] [-list] [-quiet]
+//
+// With no -run flag the complete suite (Tables I-III, Figures 3-9 and the
+// §VI worst-case analysis) is produced, which is what EXPERIMENTS.md
+// records. -ref skips the GA searches and evaluates the paper's published
+// knob settings directly. -scale 1 uses the paper-exact cache geometry
+// (needs much larger budgets; see DESIGN.md §4).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"avfstress/internal/experiments"
+)
+
+func main() {
+	var (
+		run   = flag.String("run", "", "comma-separated experiments to run (default: all)")
+		scale = flag.Int("scale", 32, "cache scale-down factor (1 = paper-exact geometry)")
+		seed  = flag.Int64("seed", 1, "random seed")
+		pop   = flag.Int("pop", 14, "GA population size")
+		gens  = flag.Int("gens", 12, "GA generations")
+		ref   = flag.Bool("ref", false, "use the paper's published knobs instead of searching")
+		list  = flag.Bool("list", false, "list experiment names and exit")
+		quiet = flag.Bool("quiet", false, "suppress progress logging")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(experiments.Names(), "\n"))
+		return
+	}
+	opts := experiments.Options{
+		Scale: *scale, Seed: *seed, GAPop: *pop, GAGens: *gens,
+		UseReferenceKnobs: *ref,
+	}
+	if !*quiet {
+		opts.Logf = func(f string, args ...interface{}) {
+			fmt.Fprintf(os.Stderr, "# "+f+"\n", args...)
+		}
+	}
+	ctx := experiments.NewContext(opts)
+
+	names := experiments.Names()
+	if *run != "" {
+		names = strings.Split(*run, ",")
+	}
+	for _, n := range names {
+		out, err := ctx.Run(strings.TrimSpace(n))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "avfbench: %s: %v\n", n, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s\n%s\n", strings.Repeat("=", 72), out)
+	}
+}

@@ -1,0 +1,99 @@
+// Command avfgen turns code-generator knob settings into a stressmark
+// listing (the reproduction's analogue of the paper's generated "C with
+// embedded Alpha assembly").
+//
+// Usage:
+//
+//	avfgen [-config baseline|configA] [-scale N] [-ref key | knob flags]
+//
+// Example:
+//
+//	avfgen -ref baseline            # the paper's Figure 5a stressmark
+//	avfgen -loop 60 -loads 12 -stores 12 -l2hit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"avfstress/internal/codegen"
+	"avfstress/internal/experiments"
+	"avfstress/internal/uarch"
+)
+
+func main() {
+	var (
+		config = flag.String("config", "baseline", "target configuration: baseline or configA")
+		scale  = flag.Int("scale", 1, "cache scale-down factor")
+		ref    = flag.String("ref", "", "use reference knobs: baseline, rhc, edr or configA")
+
+		loop    = flag.Int("loop", 81, "loop size (instructions)")
+		loads   = flag.Int("loads", 29, "number of loads (incl. chase)")
+		stores  = flag.Int("stores", 28, "number of stores")
+		indep   = flag.Int("indep", 5, "independent arithmetic instructions")
+		missdep = flag.Int("missdep", 7, "instructions dependent on the L2 miss")
+		chain   = flag.Float64("chain", 2.14, "average dependence chain length")
+		depdist = flag.Int("depdist", 6, "dependency distance")
+		longlat = flag.Float64("longlat", 0.8, "fraction of long-latency arithmetic")
+		regreg  = flag.Float64("regreg", 0.93, "fraction of reg-reg arithmetic")
+		seed    = flag.Int64("seed", 42, "placement seed")
+		l2hit   = flag.Bool("l2hit", false, "use the L2-hit generator variant")
+	)
+	flag.Parse()
+
+	cfg := uarch.Baseline()
+	if *config == "configA" {
+		cfg = uarch.ConfigA()
+	} else if *config != "baseline" {
+		fmt.Fprintf(os.Stderr, "avfgen: unknown config %q\n", *config)
+		os.Exit(1)
+	}
+	cfg = uarch.Scaled(cfg, *scale)
+
+	k := codegen.Knobs{
+		LoopSize: *loop, NumLoads: *loads, NumStores: *stores,
+		NumIndepArith: *indep, MissDependent: *missdep,
+		AvgChainLength: *chain, DepDistance: *depdist,
+		FracLongLatency: *longlat, FracRegReg: *regreg,
+		Seed: *seed, L2Hit: *l2hit,
+	}
+	if *ref != "" {
+		var err error
+		k, err = experiments.ReferenceKnobs(*ref)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "avfgen:", err)
+			os.Exit(1)
+		}
+	}
+	p, eff, err := codegen.Generate(cfg, k, 1<<20)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "avfgen:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("; effective knobs (after normalisation for %s):\n", cfg.Name)
+	for _, line := range splitLines(eff.String()) {
+		fmt.Printf(";   %s\n", line)
+	}
+	fmt.Println(p.Listing())
+	if err := codegen.CheckACEClosure(p); err != nil {
+		fmt.Fprintln(os.Stderr, "avfgen: ACE closure check failed:", err)
+		os.Exit(1)
+	}
+	fmt.Println("; ACE closure check: every value reaches program output ✓")
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}

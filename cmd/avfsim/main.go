@@ -1,0 +1,111 @@
+// Command avfsim simulates a single program — a named workload proxy or
+// a stressmark from knobs — and prints the per-structure AVF report and
+// class-normalised SERs.
+//
+// Usage:
+//
+//	avfsim -workload 403.gcc [-config baseline] [-scale 32]
+//	avfsim -stressmark baseline [-rates rhc]
+//	avfsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"avfstress/internal/avf"
+	"avfstress/internal/codegen"
+	"avfstress/internal/experiments"
+	"avfstress/internal/persist"
+	"avfstress/internal/pipe"
+	"avfstress/internal/prog"
+	"avfstress/internal/uarch"
+	"avfstress/internal/workloads"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "", "workload proxy name (see -list)")
+		stress   = flag.String("stressmark", "", "reference stressmark: baseline, rhc, edr or configA")
+		knobFile = flag.String("knobs", "", "JSON stressmark file written by avfstress -save")
+		config   = flag.String("config", "baseline", "configuration: baseline or configA")
+		scale    = flag.Int("scale", 32, "cache scale-down factor")
+		rates    = flag.String("rates", "uniform", "fault rates: uniform, rhc or edr")
+		instrs   = flag.Int64("instrs", 200_000, "committed-instruction budget")
+		warmup   = flag.Int64("warmup", 80_000, "warmup instructions")
+		seed     = flag.Int64("seed", 1, "workload synthesis seed")
+		list     = flag.Bool("list", false, "list workload proxies and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, pf := range workloads.Profiles() {
+			fmt.Printf("%-16s (%s)\n", pf.Name, pf.Suite)
+		}
+		return
+	}
+	cfg := uarch.Baseline()
+	if *config == "configA" {
+		cfg = uarch.ConfigA()
+	}
+	cfg = uarch.Scaled(cfg, *scale)
+
+	var fr uarch.FaultRates
+	switch *rates {
+	case "uniform":
+		fr = uarch.UniformRates(1)
+	case "rhc":
+		fr = uarch.RHCRates()
+	case "edr":
+		fr = uarch.EDRRates()
+	default:
+		fmt.Fprintf(os.Stderr, "avfsim: unknown rates %q\n", *rates)
+		os.Exit(1)
+	}
+
+	var p *prog.Program
+	switch {
+	case *knobFile != "":
+		saved, err := persist.LoadStressmark(*knobFile)
+		fatal(err)
+		p, _, err = codegen.Generate(cfg, saved.Knobs, 1<<40)
+		fatal(err)
+	case *workload != "":
+		pf, err := workloads.ByName(*workload)
+		fatal(err)
+		p, err = pf.Build(cfg, *seed)
+		fatal(err)
+	case *stress != "":
+		k, err := experiments.ReferenceKnobs(*stress)
+		fatal(err)
+		p, _, err = codegen.Generate(cfg, k, 1<<40)
+		fatal(err)
+	default:
+		fmt.Fprintln(os.Stderr, "avfsim: need -workload, -stressmark or -knobs (or -list)")
+		os.Exit(2)
+	}
+
+	res, err := pipe.Simulate(cfg, p, pipe.RunConfig{
+		MaxInstructions: *instrs, WarmupInstructions: *warmup,
+	})
+	fatal(err)
+
+	fmt.Print(res)
+	fmt.Printf("\nIPC %.3f  mispredict %.3f  DL1 miss %.3f  L2 miss %.3f  DTLB miss %.4f\n",
+		res.IPC, res.MispredictRate, res.DL1MissRate, res.L2MissRate, res.DTLBMissRate)
+	fmt.Printf("occupancy: ROB %.2f IQ %.2f LQ %.2f SQ %.2f  wrong-path %.3f  ACE instrs %.3f\n",
+		res.OccupancyROB, res.OccupancyIQ, res.OccupancyLQ, res.OccupancySQ,
+		res.WrongPathFrac, res.ACEInstrFrac)
+	fmt.Printf("\nSER (units/bit, %s rates):\n", *rates)
+	for _, cl := range avf.AllClasses() {
+		fmt.Printf("  %-10s %.3f\n", cl, res.SER(cfg, fr, cl))
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "avfsim:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,97 @@
+// Command avfstress runs the full automated methodology of the paper's
+// Figure 2: a genetic-algorithm search over the code-generator knob space
+// that produces an AVF stressmark for a microarchitecture and fault-rate
+// set, then reports the final knobs, convergence history, per-structure
+// AVFs and class SERs.
+//
+// Usage:
+//
+//	avfstress [-config baseline|configA] [-rates uniform|rhc|edr]
+//	          [-scale 32] [-pop 20] [-gens 16] [-seed 1] [-listing]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"avfstress/internal/avf"
+	"avfstress/internal/core"
+	"avfstress/internal/ga"
+	"avfstress/internal/persist"
+	"avfstress/internal/report"
+	"avfstress/internal/uarch"
+)
+
+func main() {
+	var (
+		config  = flag.String("config", "baseline", "configuration: baseline or configA")
+		rates   = flag.String("rates", "uniform", "fault rates: uniform, rhc or edr")
+		scale   = flag.Int("scale", 32, "cache scale-down factor (1 = paper-exact)")
+		pop     = flag.Int("pop", 20, "GA population size (paper: 50)")
+		gens    = flag.Int("gens", 16, "GA generations (paper: 50)")
+		seed    = flag.Int64("seed", 1, "GA seed")
+		listing = flag.Bool("listing", false, "print the generated stressmark listing")
+		save    = flag.String("save", "", "write the final knobs and result to a JSON file")
+	)
+	flag.Parse()
+
+	cfg := uarch.Baseline()
+	if *config == "configA" {
+		cfg = uarch.ConfigA()
+	}
+	cfg = uarch.Scaled(cfg, *scale)
+
+	var fr uarch.FaultRates
+	switch *rates {
+	case "uniform":
+		fr = uarch.UniformRates(1)
+	case "rhc":
+		fr = uarch.RHCRates()
+	case "edr":
+		fr = uarch.EDRRates()
+	default:
+		fmt.Fprintf(os.Stderr, "avfstress: unknown rates %q\n", *rates)
+		os.Exit(1)
+	}
+
+	fmt.Fprintf(os.Stderr, "# searching %s / %s rates, %d generations × %d individuals\n",
+		cfg.Name, *rates, *gens, *pop)
+	res, err := core.Search(core.SearchSpec{
+		Config: cfg,
+		Rates:  fr,
+		GA:     ga.Config{PopSize: *pop, Generations: *gens, Seed: *seed},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "avfstress:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("final GA solution (%d evaluations, %d cataclysms, %d failed candidates):\n\n%s\n",
+		res.Evaluations, res.Cataclysms, res.FailedEvals, res.Knobs)
+	avgs := make([]float64, len(res.History))
+	for i, h := range res.History {
+		avgs[i] = h.Avg
+	}
+	fmt.Printf("convergence (avg fitness/gen): %s\n\n", report.Sparkline(avgs))
+	fmt.Print(res.Result)
+	fmt.Printf("\nSER (units/bit, %s rates):\n", *rates)
+	for _, cl := range avf.AllClasses() {
+		fmt.Printf("  %-10s %.3f\n", cl, res.Result.SER(cfg, fr, cl))
+	}
+	fmt.Printf("fitness: %.4f\n", res.Fitness)
+	if *listing {
+		fmt.Printf("\n%s\n", res.Program.Listing())
+	}
+	if *save != "" {
+		err := persist.SaveStressmark(*save, persist.SavedStressmark{
+			Config: cfg.Name, Rates: *rates, Knobs: res.Knobs,
+			Fitness: res.Fitness, Result: res.Result,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "avfstress:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "# saved to %s\n", *save)
+	}
+}

@@ -1,0 +1,74 @@
+// Workload-suite SER coverage (the paper's Figure 1 discussion and §VII
+// "Utilizing the Stressmark Methodology"): run the 33 SPEC CPU2006 /
+// MiBench proxies, establish the worst case with the stressmark, and
+// report how much safety margin a designer relying on the suite alone
+// would have needed — the paper's argument for why a stressmark is
+// required to validate margins.
+//
+// Run with: go run ./examples/coverage
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"avfstress"
+	"avfstress/internal/analysis"
+	"avfstress/internal/experiments"
+	"avfstress/internal/pipe"
+	"avfstress/internal/uarch"
+)
+
+func main() {
+	ctx := experiments.NewContext(experiments.Options{
+		Scale: 32, Seed: 1, UseReferenceKnobs: true,
+	})
+	cfg := ctx.Baseline
+	rates := uarch.UniformRates(1)
+
+	fmt.Printf("simulating the 33-proxy workload suite on %s...\n", cfg.Name)
+	results, err := ctx.Workloads(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sm, err := ctx.Stressmark("baseline", cfg, rates)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nSER coverage per class (arrows of Figure 1):")
+	for _, cl := range []avfstress.Class{
+		avfstress.ClassQS, avfstress.ClassQSRF,
+		avfstress.ClassDL1DTLB, avfstress.ClassL2,
+	} {
+		cov := analysis.SuiteCoverage(results, cfg, rates, cl,
+			sm.Result.SER(cfg, rates, cl))
+		fmt.Print(cov)
+	}
+
+	// The paper's two design objectives: design for the highest
+	// workload-induced SER, or for the average (§I, Figure 1).
+	cov := analysis.SuiteCoverage(results, cfg, rates, avfstress.ClassQSRF,
+		sm.Result.SER(cfg, rates, avfstress.ClassQSRF))
+	fmt.Printf("\ndesign-point analysis (core, QS+RF):\n")
+	fmt.Printf("  designing for the max workload (%.3f) needs a %+.0f%% margin to cover the worst case\n",
+		cov.Max, cov.Gap()*100)
+	fmt.Printf("  designing for the average (%.3f) needs a %+.0f%% margin\n",
+		cov.Mean, (cov.WorstCase/cov.Mean-1)*100)
+	fmt.Println("  without the stressmark, neither margin can be validated.")
+
+	// Re-checking a single suspect program is one Simulate call:
+	pf := avfstress.Workloads()[2] // 403.gcc
+	p, err := pf.Build(cfg, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r, err := avfstress.Simulate(cfg, p, pipe.RunConfig{
+		MaxInstructions: 200_000, WarmupInstructions: 80_000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nspot check %s: core SER %.3f, IPC %.2f, mispredict %.1f%%\n",
+		pf.Name, r.SER(cfg, rates, avfstress.ClassQSRF), r.IPC, r.MispredictRate*100)
+}

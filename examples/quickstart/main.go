@@ -1,0 +1,55 @@
+// Quickstart: generate an AVF stressmark for the paper's baseline
+// Alpha-21264-like configuration with a small GA search, then print the
+// final knob settings (paper Figure 5a), the convergence trace (Figure
+// 5b) and the induced per-class SER (Figure 3's stressmark bars).
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"avfstress"
+	"avfstress/internal/ga"
+)
+
+func main() {
+	// Scale the storage arrays down 32× so the run finishes in seconds;
+	// the core is exactly the paper's Table I (see DESIGN.md §4).
+	cfg := avfstress.Scaled(avfstress.Baseline(), 32)
+	rates := avfstress.UniformRates(1) // 1 unit/bit everywhere, as in the paper
+
+	fmt.Println("searching for an AVF stressmark on", cfg.Name, "...")
+	res, err := avfstress.Search(avfstress.SearchSpec{
+		Config: cfg,
+		Rates:  rates,
+		GA:     ga.Config{PopSize: 10, Generations: 8, Seed: 1},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nfinal GA solution after %d evaluations (%d cataclysms):\n\n%s\n",
+		res.Evaluations, res.Cataclysms, res.Knobs)
+
+	fmt.Println("convergence (avg fitness per generation):")
+	for _, h := range res.History {
+		ev := ""
+		if h.Cataclysm {
+			ev = "  ← cataclysm"
+		}
+		fmt.Printf("  gen %2d  avg %.3f  best %.3f%s\n", h.Generation, h.Avg, h.Best, ev)
+	}
+
+	fmt.Println("\nstressmark-induced SER (units/bit, normalised per class):")
+	for _, cl := range []avfstress.Class{
+		avfstress.ClassQS, avfstress.ClassQSRF,
+		avfstress.ClassDL1DTLB, avfstress.ClassL2,
+	} {
+		fmt.Printf("  %-10s %.3f\n", cl, res.Result.SER(cfg, rates, cl))
+	}
+	fmt.Printf("\nIPC %.2f, ROB occupancy %.0f%%, L2 miss rate %.0f%% — the L2-miss-shadow\n",
+		res.Result.IPC, res.Result.OccupancyROB*100, res.Result.L2MissRate*100)
+	fmt.Println("mechanism of §IV at work. Run with -h? See cmd/avfstress for the full CLI.")
+}

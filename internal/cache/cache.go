@@ -1,0 +1,418 @@
+// Package cache models the memory hierarchy of the simulated processor
+// (L1 instruction and data caches, unified L2, data TLB) and computes
+// cache AVF using the lifetime analysis of Biswas et al. (ISCA'05), as
+// used by the paper's SimSoda-based AVF simulator.
+//
+// Lifetime rules, applied per byte of a writeback cache:
+//
+//	fill→read, read→read, write→read   ACE
+//	write→evict (dirty writeback)      ACE
+//	fill→write, read→write, x→evict    un-ACE (x = fill or read)
+//
+// At the end of a simulation, dirty bytes are closed as ACE (their
+// writeback is still architecturally required); clean bytes are closed
+// un-ACE. The tag array is approximated per line as ACE from fill to the
+// end of the line's last ACE byte interval.
+package cache
+
+import "fmt"
+
+// Byte lifetime states.
+const (
+	stInvalid uint8 = iota
+	stFill          // filled, not yet accessed
+	stRead          // last access was a read
+	stWrite         // last access was a write (dirty)
+)
+
+// Config describes one cache.
+type Config struct {
+	Name       string
+	SizeBytes  int
+	LineBytes  int // at most 64 (dirty masks are 64-bit)
+	Ways       int // 1 = direct mapped
+	HitLatency int // cycles
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.SizeBytes <= 0:
+		return fmt.Errorf("cache %s: non-positive size %d", c.Name, c.SizeBytes)
+	case c.LineBytes <= 0 || c.LineBytes > 64:
+		return fmt.Errorf("cache %s: line size %d out of range (1..64)", c.Name, c.LineBytes)
+	case c.LineBytes&(c.LineBytes-1) != 0:
+		return fmt.Errorf("cache %s: line size %d not a power of two", c.Name, c.LineBytes)
+	case c.Ways <= 0:
+		return fmt.Errorf("cache %s: non-positive associativity %d", c.Name, c.Ways)
+	case c.SizeBytes%(c.LineBytes*c.Ways) != 0:
+		return fmt.Errorf("cache %s: size %d not divisible by line*ways", c.Name, c.SizeBytes)
+	}
+	sets := c.SizeBytes / (c.LineBytes * c.Ways)
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache %s: set count %d not a power of two", c.Name, sets)
+	}
+	return nil
+}
+
+// NumSets returns the set count of this geometry.
+func (c Config) NumSets() int { return c.SizeBytes / (c.LineBytes * c.Ways) }
+
+// NumLines returns the line count of this geometry.
+func (c Config) NumLines() int { return c.SizeBytes / c.LineBytes }
+
+// DataBits returns the data-array size in bits.
+func (c Config) DataBits() uint64 { return uint64(c.SizeBytes) * 8 }
+
+// TagBitsPerLine returns the width of one tag entry (tag + valid + dirty)
+// assuming 44-bit physical addresses.
+func (c Config) TagBitsPerLine() uint64 {
+	idx := log2(c.NumSets())
+	off := log2(c.LineBytes)
+	const physBits = 44
+	tag := physBits - idx - off
+	if tag < 1 {
+		tag = 1
+	}
+	return uint64(tag) + 2
+}
+
+// TagBits returns the tag-array size in bits.
+func (c Config) TagBits() uint64 { return c.TagBitsPerLine() * uint64(c.NumLines()) }
+
+// Bits returns data + tag bits for this geometry.
+func (c Config) Bits() uint64 { return c.DataBits() + c.TagBits() }
+
+// Writeback describes a dirty line leaving a cache.
+type Writeback struct {
+	Addr      uint64 // line-aligned address
+	DirtyMask uint64 // bit i set = byte i of the line is dirty
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	lru   int64 // last-use time
+
+	fillTime   int64
+	lastAceEnd int64
+
+	byteState []uint8
+	byteTime  []int64
+}
+
+// Cache is a set-associative writeback cache with LRU replacement and
+// per-byte lifetime ACE accounting. Not safe for concurrent use.
+type Cache struct {
+	cfg      Config
+	sets     int
+	lineBits uint
+	setMask  uint64
+	lines    []line // sets*ways, way-major within a set
+
+	aceByteCycles uint64 // data-array ACE, in byte-cycles
+	tagAceCycles  uint64 // tag-array ACE, in line-cycles
+	windowStart   int64
+
+	// Stats since the last ResetStats.
+	Accesses   uint64
+	Misses     uint64
+	Writebacks uint64
+}
+
+// New builds a cache; the configuration must validate.
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sets := cfg.SizeBytes / (cfg.LineBytes * cfg.Ways)
+	c := &Cache{
+		cfg:     cfg,
+		sets:    sets,
+		setMask: uint64(sets - 1),
+		lines:   make([]line, sets*cfg.Ways),
+	}
+	for b := cfg.LineBytes; b > 1; b >>= 1 {
+		c.lineBits++
+	}
+	// One backing allocation for all per-byte arrays.
+	states := make([]uint8, sets*cfg.Ways*cfg.LineBytes)
+	times := make([]int64, sets*cfg.Ways*cfg.LineBytes)
+	for i := range c.lines {
+		c.lines[i].byteState = states[i*cfg.LineBytes : (i+1)*cfg.LineBytes]
+		c.lines[i].byteTime = times[i*cfg.LineBytes : (i+1)*cfg.LineBytes]
+	}
+	return c, nil
+}
+
+// MustNew is New for known-good configurations.
+func MustNew(cfg Config) *Cache {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Config returns the cache configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Lines returns the total number of lines.
+func (c *Cache) Lines() int { return c.sets * c.cfg.Ways }
+
+// DataBits returns the size of the data array in bits.
+func (c *Cache) DataBits() uint64 { return c.cfg.DataBits() }
+
+// TagBits returns the size of the whole tag array in bits.
+func (c *Cache) TagBits() uint64 { return c.cfg.TagBits() }
+
+func (c *Cache) index(addr uint64) (set int, tag uint64) {
+	l := addr >> c.lineBits
+	return int(l & c.setMask), l >> uint(log2(c.sets))
+}
+
+// LineAddr returns the line-aligned address containing addr.
+func (c *Cache) LineAddr(addr uint64) uint64 {
+	return addr &^ uint64(c.cfg.LineBytes-1)
+}
+
+// Probe reports whether addr currently hits, without touching any state.
+func (c *Cache) Probe(addr uint64) bool {
+	set, tag := c.index(addr)
+	for w := 0; w < c.cfg.Ways; w++ {
+		ln := &c.lines[set*c.cfg.Ways+w]
+		if ln.valid && ln.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Cache) find(addr uint64) *line {
+	set, tag := c.index(addr)
+	for w := 0; w < c.cfg.Ways; w++ {
+		ln := &c.lines[set*c.cfg.Ways+w]
+		if ln.valid && ln.tag == tag {
+			return ln
+		}
+	}
+	return nil
+}
+
+// Touch applies a read or write of size bytes at addr to a resident
+// line, updating LRU state and byte lifetimes. The access must not cross
+// a line boundary and the line must be resident (callers Probe/Fill
+// first); violations return an error so the pipeline's invariant tests
+// can catch them.
+func (c *Cache) Touch(now int64, addr uint64, size int, write bool) error {
+	ln := c.find(addr)
+	if ln == nil {
+		return fmt.Errorf("cache %s: touch of non-resident address %#x", c.cfg.Name, addr)
+	}
+	off := int(addr & uint64(c.cfg.LineBytes-1))
+	if off+size > c.cfg.LineBytes {
+		return fmt.Errorf("cache %s: access %#x size %d crosses line boundary", c.cfg.Name, addr, size)
+	}
+	ln.lru = now
+	c.Accesses++
+	for b := off; b < off+size; b++ {
+		c.closeByte(ln, b, now, write)
+	}
+	return nil
+}
+
+// TouchMask applies a write to the bytes selected by mask (bit i = byte i
+// of the line containing addr). Used to apply writeback dirty masks from
+// an upper-level cache.
+func (c *Cache) TouchMask(now int64, addr uint64, mask uint64) error {
+	ln := c.find(addr)
+	if ln == nil {
+		return fmt.Errorf("cache %s: masked touch of non-resident address %#x", c.cfg.Name, addr)
+	}
+	ln.lru = now
+	c.Accesses++
+	for b := 0; b < c.cfg.LineBytes; b++ {
+		if mask&(1<<uint(b)) != 0 {
+			c.closeByte(ln, b, now, true)
+		}
+	}
+	return nil
+}
+
+// closeByte ends the byte's current lifetime interval at time now and
+// begins the next one (read or write).
+func (c *Cache) closeByte(ln *line, b int, now int64, write bool) {
+	st := ln.byteState[b]
+	t0 := ln.byteTime[b]
+	if st != stInvalid && !write {
+		// fill→read, read→read, write→read are all ACE.
+		c.addAce(ln, t0, now)
+	}
+	// Any transition into a write is un-ACE for the closed interval.
+	if write {
+		ln.byteState[b] = stWrite
+	} else {
+		ln.byteState[b] = stRead
+	}
+	ln.byteTime[b] = now
+}
+
+func (c *Cache) addAce(ln *line, t0, t1 int64) {
+	if t0 < c.windowStart {
+		t0 = c.windowStart
+	}
+	if t1 > t0 {
+		c.aceByteCycles += uint64(t1 - t0)
+		if t1 > ln.lastAceEnd {
+			ln.lastAceEnd = t1
+		}
+	}
+}
+
+// Fill allocates the line containing addr (whole-line fill at time now),
+// evicting the LRU way if necessary. It returns the writeback for a
+// dirty victim. Filling an already-resident line is an error.
+func (c *Cache) Fill(now int64, addr uint64) (wb Writeback, dirty bool, err error) {
+	if c.find(addr) != nil {
+		return Writeback{}, false, fmt.Errorf("cache %s: double fill of %#x", c.cfg.Name, addr)
+	}
+	set, tag := c.index(addr)
+	victim := &c.lines[set*c.cfg.Ways]
+	for w := 1; w < c.cfg.Ways; w++ {
+		ln := &c.lines[set*c.cfg.Ways+w]
+		if !ln.valid {
+			victim = ln
+			break
+		}
+		if victim.valid && ln.lru < victim.lru {
+			victim = ln
+		}
+	}
+	if victim.valid {
+		wb, dirty = c.evictLine(victim, now, set)
+	}
+	c.Misses++
+	victim.valid = true
+	victim.tag = tag
+	victim.lru = now
+	victim.fillTime = now
+	victim.lastAceEnd = now
+	for b := 0; b < c.cfg.LineBytes; b++ {
+		victim.byteState[b] = stFill
+		victim.byteTime[b] = now
+	}
+	return wb, dirty, nil
+}
+
+// evictLine closes all byte lifetimes and the tag lifetime of ln.
+func (c *Cache) evictLine(ln *line, now int64, set int) (wb Writeback, dirty bool) {
+	var mask uint64
+	for b := 0; b < c.cfg.LineBytes; b++ {
+		if ln.byteState[b] == stWrite {
+			// write→evict: writeback data is ACE.
+			c.addAce(ln, ln.byteTime[b], now)
+			mask |= 1 << uint(b)
+		}
+		ln.byteState[b] = stInvalid
+	}
+	// Tag approximation: ACE from fill to last ACE byte-interval end.
+	t0 := ln.fillTime
+	if t0 < c.windowStart {
+		t0 = c.windowStart
+	}
+	if ln.lastAceEnd > t0 {
+		c.tagAceCycles += uint64(ln.lastAceEnd - t0)
+	}
+	ln.valid = false
+	if mask != 0 {
+		c.Writebacks++
+		lineAddr := (ln.tag<<uint(log2(c.sets)) | uint64(set)) << c.lineBits
+		return Writeback{Addr: lineAddr, DirtyMask: mask}, true
+	}
+	return Writeback{}, false
+}
+
+// Finalize closes every resident line at time now, as if evicted: dirty
+// bytes end ACE (their writeback remains architecturally required), clean
+// bytes end un-ACE. Call exactly once, at the end of a measurement.
+func (c *Cache) Finalize(now int64) {
+	for set := 0; set < c.sets; set++ {
+		for w := 0; w < c.cfg.Ways; w++ {
+			ln := &c.lines[set*c.cfg.Ways+w]
+			if ln.valid {
+				c.evictLine(ln, now, set)
+			}
+		}
+	}
+}
+
+// ResetACE restarts ACE measurement at time now without disturbing cache
+// contents: used at the end of a warmup window. Open byte intervals are
+// clipped at now.
+func (c *Cache) ResetACE(now int64) {
+	c.aceByteCycles, c.tagAceCycles = 0, 0
+	c.windowStart = now
+	for i := range c.lines {
+		ln := &c.lines[i]
+		if !ln.valid {
+			continue
+		}
+		if ln.fillTime < now {
+			ln.fillTime = now
+		}
+		if ln.lastAceEnd < now {
+			ln.lastAceEnd = now
+		}
+		// Byte interval starts are left alone deliberately: an interval
+		// spanning the boundary is clipped in addAce via windowStart.
+	}
+}
+
+// ResetStats clears hit/miss counters.
+func (c *Cache) ResetStats() { c.Accesses, c.Misses, c.Writebacks = 0, 0, 0 }
+
+// DataAVF returns the data-array AVF over a window of cycles cycles.
+func (c *Cache) DataAVF(cycles int64) float64 {
+	if cycles <= 0 {
+		return 0
+	}
+	return float64(c.aceByteCycles) / (float64(c.cfg.SizeBytes) * float64(cycles))
+}
+
+// TagAVF returns the (approximated) tag-array AVF.
+func (c *Cache) TagAVF(cycles int64) float64 {
+	if cycles <= 0 {
+		return 0
+	}
+	return float64(c.tagAceCycles) / (float64(c.Lines()) * float64(cycles))
+}
+
+// AVF returns the bit-weighted AVF over data and tag arrays.
+func (c *Cache) AVF(cycles int64) float64 {
+	db, tb := float64(c.DataBits()), float64(c.TagBits())
+	return (c.DataAVF(cycles)*db + c.TagAVF(cycles)*tb) / (db + tb)
+}
+
+// TotalBits returns data + tag bits.
+func (c *Cache) TotalBits() uint64 { return c.DataBits() + c.TagBits() }
+
+// MissRate returns misses/accesses. Fills count as misses; Touch calls
+// count as accesses.
+func (c *Cache) MissRate() float64 {
+	if c.Accesses == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(c.Accesses)
+}
+
+func log2(n int) int {
+	b := 0
+	for n > 1 {
+		n >>= 1
+		b++
+	}
+	return b
+}

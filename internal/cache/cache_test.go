@@ -1,0 +1,329 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func tiny() *Cache {
+	// 4 sets × 2 ways × 64B lines = 512B.
+	return MustNew(Config{Name: "t", SizeBytes: 512, LineBytes: 64, Ways: 2, HitLatency: 1})
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Name: "a", SizeBytes: 0, LineBytes: 64, Ways: 1},
+		{Name: "b", SizeBytes: 1024, LineBytes: 0, Ways: 1},
+		{Name: "c", SizeBytes: 1024, LineBytes: 48, Ways: 1},  // not pow2
+		{Name: "d", SizeBytes: 1024, LineBytes: 128, Ways: 1}, // > 64
+		{Name: "e", SizeBytes: 1024, LineBytes: 64, Ways: 0},
+		{Name: "f", SizeBytes: 1000, LineBytes: 64, Ways: 2},   // not divisible
+		{Name: "g", SizeBytes: 64 * 3, LineBytes: 64, Ways: 1}, // sets not pow2
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %+v accepted", c)
+		}
+		if _, err := New(c); err == nil {
+			t.Errorf("New accepted %+v", c)
+		}
+	}
+}
+
+func TestGeometry(t *testing.T) {
+	c := Config{Name: "dl1", SizeBytes: 64 << 10, LineBytes: 64, Ways: 2, HitLatency: 3}
+	if c.NumSets() != 512 {
+		t.Errorf("sets = %d, want 512", c.NumSets())
+	}
+	if c.NumLines() != 1024 {
+		t.Errorf("lines = %d, want 1024", c.NumLines())
+	}
+	if c.DataBits() != 64*1024*8 {
+		t.Errorf("data bits = %d", c.DataBits())
+	}
+	// 44-bit physical, 9 index bits, 6 offset bits → 29-bit tag + 2.
+	if c.TagBitsPerLine() != 31 {
+		t.Errorf("tag bits/line = %d, want 31", c.TagBitsPerLine())
+	}
+	if c.Bits() != c.DataBits()+c.TagBits() {
+		t.Error("Bits() is not data+tag")
+	}
+}
+
+func TestHitMissAndLRU(t *testing.T) {
+	c := tiny()
+	// Three lines mapping to the same set (stride = sets*line = 256).
+	a0, a1, a2 := uint64(0), uint64(256), uint64(512)
+	for _, a := range []uint64{a0, a1} {
+		if c.Probe(a) {
+			t.Fatalf("cold probe of %#x hit", a)
+		}
+		if _, _, err := c.Fill(0, a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !c.Probe(a0) || !c.Probe(a1) {
+		t.Fatal("filled lines must hit")
+	}
+	// Touch a0 so a1 is LRU, then fill a2: a1 must be evicted.
+	if err := c.Touch(1, a0, 8, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Fill(2, a2); err != nil {
+		t.Fatal(err)
+	}
+	if c.Probe(a1) {
+		t.Error("LRU line a1 survived eviction")
+	}
+	if !c.Probe(a0) || !c.Probe(a2) {
+		t.Error("MRU line or new line missing")
+	}
+}
+
+func TestDoubleFillRejected(t *testing.T) {
+	c := tiny()
+	if _, _, err := c.Fill(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Fill(1, 0); err == nil {
+		t.Error("double fill accepted")
+	}
+}
+
+func TestTouchNonResidentRejected(t *testing.T) {
+	c := tiny()
+	if err := c.Touch(0, 0x40, 8, false); err == nil {
+		t.Error("touch of non-resident line accepted")
+	}
+	if err := c.TouchMask(0, 0x40, 1); err == nil {
+		t.Error("masked touch of non-resident line accepted")
+	}
+}
+
+func TestLineCrossingRejected(t *testing.T) {
+	c := tiny()
+	if _, _, err := c.Fill(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Touch(0, 60, 8, false); err == nil {
+		t.Error("line-crossing access accepted")
+	}
+}
+
+// Lifetime rules, byte-granular. Each sub-test drives one transition and
+// checks the ACE contribution in data byte-cycles.
+func TestLifetimeRules(t *testing.T) {
+	ace := func(ops func(c *Cache)) uint64 {
+		c := tiny()
+		ops(c)
+		return c.aceByteCycles
+	}
+	fill := func(c *Cache, at int64) {
+		if _, _, err := c.Fill(at, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Run("fill→read is ACE", func(t *testing.T) {
+		got := ace(func(c *Cache) {
+			fill(c, 0)
+			c.Touch(10, 0, 8, false)
+		})
+		if got != 8*10 {
+			t.Errorf("ACE byte-cycles = %d, want 80", got)
+		}
+	})
+	t.Run("read→read is ACE", func(t *testing.T) {
+		got := ace(func(c *Cache) {
+			fill(c, 0)
+			c.Touch(10, 0, 8, false)
+			c.Touch(30, 0, 8, false)
+		})
+		if got != 8*10+8*20 {
+			t.Errorf("ACE byte-cycles = %d, want 240", got)
+		}
+	})
+	t.Run("fill→write is un-ACE", func(t *testing.T) {
+		got := ace(func(c *Cache) {
+			fill(c, 0)
+			c.Touch(10, 0, 8, true)
+		})
+		if got != 0 {
+			t.Errorf("ACE byte-cycles = %d, want 0", got)
+		}
+	})
+	t.Run("write→read is ACE", func(t *testing.T) {
+		got := ace(func(c *Cache) {
+			fill(c, 0)
+			c.Touch(10, 0, 8, true)
+			c.Touch(25, 0, 8, false)
+		})
+		if got != 8*15 {
+			t.Errorf("ACE byte-cycles = %d, want 120", got)
+		}
+	})
+	t.Run("read→write is un-ACE for the gap", func(t *testing.T) {
+		got := ace(func(c *Cache) {
+			fill(c, 0)
+			c.Touch(10, 0, 8, false) // fill→read ACE: 80
+			c.Touch(30, 0, 8, true)  // read→write: gap un-ACE
+		})
+		if got != 80 {
+			t.Errorf("ACE byte-cycles = %d, want 80", got)
+		}
+	})
+	t.Run("write→evict is ACE (writeback)", func(t *testing.T) {
+		got := ace(func(c *Cache) {
+			fill(c, 0)
+			c.Touch(10, 0, 8, true)
+			c.Finalize(50) // dirty close = evict
+		})
+		if got != 8*40 {
+			t.Errorf("ACE byte-cycles = %d, want 320", got)
+		}
+	})
+	t.Run("read→evict is un-ACE", func(t *testing.T) {
+		got := ace(func(c *Cache) {
+			fill(c, 0)
+			c.Touch(10, 0, 8, false)
+			c.Finalize(50)
+		})
+		if got != 80 {
+			t.Errorf("ACE byte-cycles = %d, want 80 (only fill→read)", got)
+		}
+	})
+	t.Run("fill→evict is un-ACE", func(t *testing.T) {
+		got := ace(func(c *Cache) {
+			fill(c, 0)
+			c.Finalize(50)
+		})
+		if got != 0 {
+			t.Errorf("ACE byte-cycles = %d, want 0", got)
+		}
+	})
+	t.Run("untouched bytes of a read line are un-ACE", func(t *testing.T) {
+		got := ace(func(c *Cache) {
+			fill(c, 0)
+			c.Touch(10, 0, 4, false) // only 4 of 64 bytes read
+		})
+		if got != 4*10 {
+			t.Errorf("ACE byte-cycles = %d, want 40", got)
+		}
+	})
+}
+
+func TestWritebackMask(t *testing.T) {
+	c := tiny()
+	if _, _, err := c.Fill(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	c.Touch(1, 8, 8, true)  // dirty bytes 8..15
+	c.Touch(2, 32, 8, true) // dirty bytes 32..39
+	// Force eviction: fill two more lines in set 0.
+	c.Fill(3, 256)
+	wb, dirty, err := c.Fill(4, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dirty {
+		t.Fatal("dirty line evicted without writeback")
+	}
+	if wb.Addr != 0 {
+		t.Errorf("writeback address %#x, want 0", wb.Addr)
+	}
+	wantMask := uint64(0xff)<<8 | uint64(0xff)<<32
+	if wb.DirtyMask != wantMask {
+		t.Errorf("dirty mask %#x, want %#x", wb.DirtyMask, wantMask)
+	}
+	if c.Writebacks != 1 {
+		t.Errorf("writeback count %d", c.Writebacks)
+	}
+}
+
+func TestResetACEClipsOpenIntervals(t *testing.T) {
+	c := tiny()
+	c.Fill(0, 0)
+	c.Touch(10, 0, 8, false) // ACE 80 before the reset
+	c.ResetACE(100)
+	if c.aceByteCycles != 0 {
+		t.Fatal("counters survived reset")
+	}
+	c.Touch(150, 0, 8, false) // read→read spanning the reset: clipped at 100
+	if c.aceByteCycles != 8*50 {
+		t.Errorf("clipped interval contributed %d byte-cycles, want 400", c.aceByteCycles)
+	}
+}
+
+func TestAVFBounds(t *testing.T) {
+	c := tiny()
+	c.Fill(0, 0)
+	for i := int64(1); i <= 100; i++ {
+		c.Touch(i, 0, 64, false)
+	}
+	c.Finalize(100)
+	if avf := c.DataAVF(100); avf < 0 || avf > 1 {
+		t.Errorf("data AVF %f out of bounds", avf)
+	}
+	if avf := c.AVF(100); avf < 0 || avf > 1 {
+		t.Errorf("combined AVF %f out of bounds", avf)
+	}
+	if c.DataAVF(0) != 0 {
+		t.Error("zero-cycle AVF should be 0")
+	}
+}
+
+func TestMissRate(t *testing.T) {
+	c := tiny()
+	c.Fill(0, 0)
+	c.Touch(0, 0, 8, false)
+	c.Touch(1, 0, 8, false)
+	if got := c.MissRate(); got != 0.5 {
+		t.Errorf("miss rate %f, want 0.5 (1 fill / 2 touches)", got)
+	}
+	c.ResetStats()
+	if c.MissRate() != 0 {
+		t.Error("stats not reset")
+	}
+}
+
+// Property: for arbitrary access sequences, ACE byte-cycles never exceed
+// bytes × elapsed time, and replaying the sequence is deterministic.
+func TestQuickLifetimeInvariants(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		run := func() (*Cache, int64) {
+			c := tiny()
+			rng := rand.New(rand.NewSource(seed))
+			now := int64(0)
+			for i := 0; i < int(n)+1; i++ {
+				now += int64(rng.Intn(10) + 1)
+				addr := uint64(rng.Intn(16)) * 64
+				off := uint64(rng.Intn(8)) * 8
+				if !c.Probe(addr) {
+					if _, _, err := c.Fill(now, addr); err != nil {
+						return nil, 0
+					}
+				}
+				if err := c.Touch(now, addr+off, 8, rng.Intn(2) == 0); err != nil {
+					return nil, 0
+				}
+			}
+			c.Finalize(now + 1)
+			return c, now + 1
+		}
+		c1, end := run()
+		c2, _ := run()
+		if c1 == nil || c2 == nil {
+			return false
+		}
+		if c1.aceByteCycles != c2.aceByteCycles || c1.tagAceCycles != c2.tagAceCycles {
+			return false // non-deterministic
+		}
+		if c1.aceByteCycles > uint64(c1.cfg.SizeBytes)*uint64(end) {
+			return false // more ACE than physically possible
+		}
+		return c1.DataAVF(end) <= 1 && c1.TagAVF(end) <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,178 @@
+package cache
+
+import "fmt"
+
+// HierarchyConfig assembles the full memory system.
+type HierarchyConfig struct {
+	IL1, DL1, L2 Config
+	DTLB         TLBConfig
+	// MemLatency is the L2-miss penalty to main memory, in cycles.
+	MemLatency int
+}
+
+// Validate reports the first configuration error.
+func (c HierarchyConfig) Validate() error {
+	for _, cc := range []Config{c.IL1, c.DL1, c.L2} {
+		if err := cc.Validate(); err != nil {
+			return err
+		}
+	}
+	if err := c.DTLB.Validate(); err != nil {
+		return err
+	}
+	if c.MemLatency <= 0 {
+		return fmt.Errorf("hierarchy: non-positive memory latency %d", c.MemLatency)
+	}
+	if c.DL1.LineBytes != c.L2.LineBytes || c.IL1.LineBytes != c.L2.LineBytes {
+		return fmt.Errorf("hierarchy: L1/L2 line sizes must match (IL1=%d DL1=%d L2=%d)",
+			c.IL1.LineBytes, c.DL1.LineBytes, c.L2.LineBytes)
+	}
+	return nil
+}
+
+// Hierarchy composes IL1, DL1, a unified writeback L2 and the DTLB, and
+// routes accesses through them with cumulative latency accounting.
+// Bandwidth between levels is not modelled (accesses are independent);
+// the stressmark's pointer chase serialises its L2 misses through the
+// register dependence instead, exactly as in the paper.
+type Hierarchy struct {
+	IL1  *Cache
+	DL1  *Cache
+	L2   *Cache
+	DTLB *TLB
+	cfg  HierarchyConfig
+}
+
+// NewHierarchy builds the memory system.
+func NewHierarchy(cfg HierarchyConfig) (*Hierarchy, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Hierarchy{
+		IL1:  MustNew(cfg.IL1),
+		DL1:  MustNew(cfg.DL1),
+		L2:   MustNew(cfg.L2),
+		DTLB: MustNewTLB(cfg.DTLB),
+		cfg:  cfg,
+	}, nil
+}
+
+// Config returns the hierarchy configuration.
+func (h *Hierarchy) Config() HierarchyConfig { return h.cfg }
+
+// Data performs a data access of size bytes at addr issued at time now
+// and returns the total latency in cycles (including the DL1 hit
+// latency) and whether the access missed DL1 and L2.
+func (h *Hierarchy) Data(now int64, addr uint64, size int, write bool) (latency int, dl1Miss, l2Miss bool) {
+	t := now
+	t += int64(h.DTLB.Access(t, addr))
+
+	if h.DL1.Probe(addr) {
+		t += int64(h.cfg.DL1.HitLatency)
+		h.mustTouch(h.DL1, t, addr, size, write)
+		return int(t - now), false, false
+	}
+	dl1Miss = true
+	la := h.DL1.LineAddr(addr)
+	// DL1 miss: consult L2.
+	if h.L2.Probe(la) {
+		t += int64(h.cfg.L2.HitLatency)
+	} else {
+		l2Miss = true
+		t += int64(h.cfg.MemLatency)
+		h.fillL2(t, la)
+	}
+	// The DL1-miss read of the L2 line happens when the fill data moves
+	// up (fill→read or read→read in L2 is ACE).
+	h.mustTouch(h.L2, t, la, h.cfg.DL1.LineBytes, false)
+	// Fill DL1, pushing any dirty victim down into L2.
+	wb, dirty, err := h.DL1.Fill(t, addr)
+	if err != nil {
+		panic(err)
+	}
+	if dirty {
+		h.writebackToL2(t, wb)
+	}
+	t += int64(h.cfg.DL1.HitLatency)
+	h.mustTouch(h.DL1, t, addr, size, write)
+	return int(t - now), dl1Miss, l2Miss
+}
+
+// Fetch performs an instruction fetch of one line-resident access at pc
+// issued at time now and returns the added latency beyond the IL1 hit
+// path (0 on an IL1 hit).
+func (h *Hierarchy) Fetch(now int64, pc uint64) (extraLatency int) {
+	if h.IL1.Probe(pc) {
+		h.mustTouch(h.IL1, now, pc, 4, false)
+		return 0
+	}
+	t := now
+	la := h.IL1.LineAddr(pc)
+	if h.L2.Probe(la) {
+		t += int64(h.cfg.L2.HitLatency)
+	} else {
+		t += int64(h.cfg.MemLatency)
+		h.fillL2(t, la)
+	}
+	h.mustTouch(h.L2, t, la, h.cfg.IL1.LineBytes, false)
+	wb, dirty, err := h.IL1.Fill(t, pc)
+	if err != nil {
+		panic(err)
+	}
+	if dirty {
+		// Instruction lines are never dirty in this model; defensive.
+		h.writebackToL2(t, wb)
+	}
+	h.mustTouch(h.IL1, t, pc, 4, false)
+	return int(t - now)
+}
+
+func (h *Hierarchy) fillL2(t int64, addr uint64) {
+	wb, dirty, err := h.L2.Fill(t, addr)
+	if err != nil {
+		panic(err)
+	}
+	_ = wb
+	_ = dirty // dirty L2 victims drain to memory; nothing to track there.
+}
+
+// writebackToL2 applies a dirty DL1 victim to the L2 (write-allocate,
+// off the critical path).
+func (h *Hierarchy) writebackToL2(t int64, wb Writeback) {
+	if !h.L2.Probe(wb.Addr) {
+		h.fillL2(t, wb.Addr)
+	}
+	if err := h.L2.TouchMask(t, wb.Addr, wb.DirtyMask); err != nil {
+		panic(err)
+	}
+}
+
+func (h *Hierarchy) mustTouch(c *Cache, t int64, addr uint64, size int, write bool) {
+	if err := c.Touch(t, addr, size, write); err != nil {
+		panic(err)
+	}
+}
+
+// Finalize closes all lifetime intervals at time now.
+func (h *Hierarchy) Finalize(now int64) {
+	h.IL1.Finalize(now)
+	h.DL1.Finalize(now)
+	h.L2.Finalize(now)
+	h.DTLB.Finalize(now)
+}
+
+// ResetACE restarts ACE measurement in all levels at time now.
+func (h *Hierarchy) ResetACE(now int64) {
+	h.IL1.ResetACE(now)
+	h.DL1.ResetACE(now)
+	h.L2.ResetACE(now)
+	h.DTLB.ResetACE(now)
+}
+
+// ResetStats clears hit/miss counters in all levels.
+func (h *Hierarchy) ResetStats() {
+	h.IL1.ResetStats()
+	h.DL1.ResetStats()
+	h.L2.ResetStats()
+	h.DTLB.ResetStats()
+}

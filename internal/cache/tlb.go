@@ -1,0 +1,269 @@
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// TLBConfig describes a fully associative data TLB.
+type TLBConfig struct {
+	Name      string
+	Entries   int
+	PageBytes int
+	// EntryBits is the SER-relevant width of one entry (VPN tag + PPN +
+	// permission bits). The baseline uses 80.
+	EntryBits int
+	// WalkLatency is the page-walk penalty on a miss, in cycles.
+	WalkLatency int
+	// HammingCAM enables the Biswas et al. refinement for CAM tag bits:
+	// an entry's tag is only vulnerable while some other resident entry
+	// sits at Hamming distance one from it.
+	HammingCAM bool
+}
+
+// Validate reports configuration errors.
+func (c TLBConfig) Validate() error {
+	switch {
+	case c.Entries <= 0:
+		return fmt.Errorf("tlb %s: non-positive entry count %d", c.Name, c.Entries)
+	case c.PageBytes <= 0 || c.PageBytes&(c.PageBytes-1) != 0:
+		return fmt.Errorf("tlb %s: page size %d not a positive power of two", c.Name, c.PageBytes)
+	case c.EntryBits <= 0:
+		return fmt.Errorf("tlb %s: non-positive entry width %d", c.Name, c.EntryBits)
+	}
+	return nil
+}
+
+type tlbEntry struct {
+	vpn      uint64
+	valid    bool
+	fillTime int64
+	lastRead int64
+	lru      int64
+	// hd1Cycles accumulates cycles during which this entry had at least
+	// one Hamming-distance-1 neighbour (only maintained with HammingCAM).
+	hd1Cycles uint64
+	hd1Since  int64
+	hd1Count  int
+}
+
+// TLB is a fully associative, LRU translation buffer with lifetime ACE
+// accounting: an entry is ACE from fill to its last read (read→evict is
+// un-ACE, per the paper).
+type TLB struct {
+	cfg      TLBConfig
+	entries  []tlbEntry
+	pageBits uint
+
+	aceEntryCycles uint64 // entry-cycles (fill→last-read spans)
+	hd1EntryCycles uint64
+	windowStart    int64
+
+	Accesses uint64
+	Misses   uint64
+}
+
+// NewTLB builds a TLB; the configuration must validate.
+func NewTLB(cfg TLBConfig) (*TLB, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	t := &TLB{cfg: cfg, entries: make([]tlbEntry, cfg.Entries)}
+	for p := cfg.PageBytes; p > 1; p >>= 1 {
+		t.pageBits++
+	}
+	return t, nil
+}
+
+// MustNewTLB is NewTLB for known-good configurations.
+func MustNewTLB(cfg TLBConfig) *TLB {
+	t, err := NewTLB(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Config returns the TLB configuration.
+func (t *TLB) Config() TLBConfig { return t.cfg }
+
+// VPN returns the virtual page number of addr.
+func (t *TLB) VPN(addr uint64) uint64 { return addr >> t.pageBits }
+
+// Probe reports whether addr's page is resident, without state changes.
+func (t *TLB) Probe(addr uint64) bool {
+	vpn := t.VPN(addr)
+	for i := range t.entries {
+		if t.entries[i].valid && t.entries[i].vpn == vpn {
+			return true
+		}
+	}
+	return false
+}
+
+// Access translates addr at time now, returning the added latency (0 on
+// a hit, WalkLatency on a miss, which also fills the entry).
+func (t *TLB) Access(now int64, addr uint64) (latency int) {
+	vpn := t.VPN(addr)
+	t.Accesses++
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.valid && e.vpn == vpn {
+			e.lastRead = now
+			e.lru = now
+			return 0
+		}
+	}
+	t.Misses++
+	// Evict LRU (or take an invalid slot).
+	victim := &t.entries[0]
+	for i := 1; i < len(t.entries); i++ {
+		e := &t.entries[i]
+		if !e.valid {
+			victim = e
+			break
+		}
+		if victim.valid && e.lru < victim.lru {
+			victim = e
+		}
+	}
+	if victim.valid {
+		t.closeEntry(victim, now)
+	}
+	victim.valid = true
+	victim.vpn = vpn
+	victim.fillTime = now
+	victim.lastRead = now // the filling access reads the translation
+	victim.lru = now
+	if t.cfg.HammingCAM {
+		t.recomputeHD1(now)
+	}
+	return t.cfg.WalkLatency
+}
+
+func (t *TLB) closeEntry(e *tlbEntry, now int64) {
+	t0 := e.fillTime
+	if t0 < t.windowStart {
+		t0 = t.windowStart
+	}
+	end := e.lastRead
+	if end > t0 {
+		t.aceEntryCycles += uint64(end - t0)
+	}
+	if t.cfg.HammingCAM {
+		t.closeHD1(e, now)
+	}
+	e.valid = false
+}
+
+// closeHD1 folds the entry's open HD-1 exposure interval into its
+// counter and then into the TLB-wide total.
+func (t *TLB) closeHD1(e *tlbEntry, now int64) {
+	if e.hd1Count > 0 && now > e.hd1Since {
+		e.hd1Cycles += uint64(now - e.hd1Since)
+	}
+	t.hd1EntryCycles += e.hd1Cycles
+	e.hd1Cycles = 0
+	e.hd1Count = 0
+}
+
+// recomputeHD1 refreshes, after a fill, which entries have a resident
+// Hamming-distance-1 neighbour. TLB fills are rare enough that the
+// O(entries²) pass is negligible.
+func (t *TLB) recomputeHD1(now int64) {
+	for i := range t.entries {
+		e := &t.entries[i]
+		if !e.valid {
+			continue
+		}
+		n := 0
+		for j := range t.entries {
+			if i == j || !t.entries[j].valid {
+				continue
+			}
+			if bits.OnesCount64(e.vpn^t.entries[j].vpn) == 1 {
+				n++
+			}
+		}
+		if n > 0 && e.hd1Count == 0 {
+			e.hd1Since = now
+		}
+		if n == 0 && e.hd1Count > 0 && now > e.hd1Since {
+			e.hd1Cycles += uint64(now - e.hd1Since)
+		}
+		e.hd1Count = n
+	}
+}
+
+// Finalize closes all resident entries at time now. Call once at the end
+// of a measurement.
+func (t *TLB) Finalize(now int64) {
+	for i := range t.entries {
+		if t.entries[i].valid {
+			t.closeEntry(&t.entries[i], now)
+		}
+	}
+}
+
+// ResetACE restarts ACE measurement at now, keeping contents.
+func (t *TLB) ResetACE(now int64) {
+	t.aceEntryCycles, t.hd1EntryCycles = 0, 0
+	t.windowStart = now
+	for i := range t.entries {
+		e := &t.entries[i]
+		if !e.valid {
+			continue
+		}
+		if e.fillTime < now {
+			e.fillTime = now
+		}
+		if e.lastRead < now {
+			e.lastRead = now
+		}
+		e.hd1Cycles = 0
+		if e.hd1Count > 0 {
+			e.hd1Since = now
+		}
+	}
+}
+
+// ResetStats clears access counters.
+func (t *TLB) ResetStats() { t.Accesses, t.Misses = 0, 0 }
+
+// AVF returns the TLB AVF over a window of cycles cycles. With
+// HammingCAM enabled, the tag share of each entry is scaled by its HD-1
+// exposure.
+func (t *TLB) AVF(cycles int64) float64 {
+	if cycles <= 0 {
+		return 0
+	}
+	denom := float64(t.cfg.Entries) * float64(cycles)
+	plain := float64(t.aceEntryCycles) / denom
+	if !t.cfg.HammingCAM {
+		return plain
+	}
+	// Split the entry into tag (VPN) and payload bits; payload uses the
+	// lifetime result, tag additionally requires HD-1 exposure.
+	tagBits := float64(52) // 64 - 13 (8kB pages) + asn bits, rounded
+	entry := float64(t.cfg.EntryBits)
+	if tagBits > entry {
+		tagBits = entry / 2
+	}
+	payload := entry - tagBits
+	hd1 := float64(t.hd1EntryCycles) / denom
+	if hd1 > plain {
+		hd1 = plain
+	}
+	return (plain*payload + hd1*tagBits) / entry
+}
+
+// Bits returns the total SER-relevant bit count.
+func (t *TLB) Bits() uint64 { return uint64(t.cfg.Entries) * uint64(t.cfg.EntryBits) }
+
+// MissRate returns misses/accesses.
+func (t *TLB) MissRate() float64 {
+	if t.Accesses == 0 {
+		return 0
+	}
+	return float64(t.Misses) / float64(t.Accesses)
+}

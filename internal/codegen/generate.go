@@ -1,0 +1,444 @@
+package codegen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"avfstress/internal/isa"
+	"avfstress/internal/prog"
+	"avfstress/internal/uarch"
+)
+
+// Fixed register roles.
+const (
+	regChase     isa.Reg = 1 // rP: the self-dependent chase pointer
+	regInduction isa.Reg = 2 // rI: the loop induction variable
+)
+
+// chain op kinds.
+const (
+	cLoad uint8 = iota
+	cFoldLoad
+	cArith
+	cStore
+)
+
+type chainOp struct{ kind uint8 }
+
+// laneState is the scheduler's per-lane cursor into a chain.
+type laneState struct {
+	ch      *chain
+	pos     int
+	cur     isa.Reg // register holding the chain's running value
+	fold    isa.Reg // pending fold-load register
+	hasFold bool
+}
+
+// chain is one dependence chain: an optional root load, fold-load pairs,
+// arithmetic, and a terminal store.
+type chain struct {
+	root isa.Reg // regChase, regInduction, or 0 when rooted at a load
+	ops  []chainOp
+}
+
+// Generate builds the stressmark program for the given configuration and
+// knobs. The knobs are normalised first; the effective (normalised) set
+// is returned alongside the program. iterations bounds the loop trip
+// count (use a large value and let the simulator's instruction budget cut
+// the run).
+func Generate(cfg uarch.Config, k Knobs, iterations int64) (*prog.Program, Knobs, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, k, err
+	}
+	if iterations <= 0 {
+		return nil, k, fmt.Errorf("codegen: non-positive iterations %d", iterations)
+	}
+	k = k.Normalize(cfg)
+	g := &generator{cfg: cfg, k: k, rng: rand.New(rand.NewSource(k.Seed))}
+	p, err := g.build(iterations)
+	if err != nil {
+		return nil, k, err
+	}
+	if err := p.Validate(); err != nil {
+		return nil, k, fmt.Errorf("codegen: generated program invalid: %w", err)
+	}
+	if len(p.Body) != k.LoopSize {
+		return nil, k, fmt.Errorf("codegen: body has %d instructions, want %d", len(p.Body), k.LoopSize)
+	}
+	return p, k, nil
+}
+
+type generator struct {
+	cfg uarch.Config
+	k   Knobs
+	rng *rand.Rand
+
+	freeRegs  []isa.Reg
+	loadSlot  int
+	storeSlot int
+	gens      []prog.AddrGen
+	genBySlot map[int]int
+
+	// persistent registers are written once in the init block and only
+	// read in the loop: every reg-reg read keeps their architected values
+	// ACE for the whole run, which is how the paper's register-usage knob
+	// "determines the number of register values that are ACE".
+	persistent []isa.Reg
+	persistIdx int
+
+	base   uint64
+	region uint64
+	stride uint64
+}
+
+func (g *generator) build(iterations int64) (*prog.Program, error) {
+	k := g.k
+	mem := g.cfg.Mem
+
+	g.stride = uint64(mem.L2.LineBytes)
+	g.base = 0x4000_0000
+	if k.L2Hit {
+		// Fit comfortably in L2 but overflow DL1: the chase misses DL1
+		// and hits L2, the paper's "L2 miss-free" generator.
+		r := uint64(mem.L2.SizeBytes) / 2
+		if min := uint64(2 * mem.DL1.SizeBytes); r < min {
+			r = min
+		}
+		g.region = r
+	} else {
+		// Cover every DTLB entry (page_size × entries, per Figure 2) and
+		// at least twice the L2 so the chase always misses.
+		r := uint64(mem.DTLB.Entries) * uint64(mem.DTLB.PageBytes)
+		if min := uint64(2 * mem.L2.SizeBytes); r < min {
+			r = min
+		}
+		g.region = r
+	}
+	g.region -= g.region % g.stride
+
+	// Split the general registers (r0, r3..r30) into a rotating value
+	// pool for the chains — two live values per scheduler lane plus
+	// slack — and a persistent set whose init-written values stay ACE
+	// through reg-reg reads.
+	all := []isa.Reg{0}
+	for r := isa.Reg(3); r < isa.NumArchRegs-1; r++ {
+		all = append(all, r)
+	}
+	poolSize := 2*k.DepDistance + 4
+	if poolSize > len(all) {
+		poolSize = len(all)
+	}
+	g.freeRegs = append(g.freeRegs, all[:poolSize]...)
+	g.persistent = all[poolSize:]
+	g.genBySlot = map[int]int{}
+	// Generator 0 is always the chase.
+	g.gens = append(g.gens, prog.PointerChase{Base: g.base, Stride: g.stride, Region: g.region})
+
+	chains := g.buildChains()
+	body, err := g.schedule(chains, iterations)
+	if err != nil {
+		return nil, err
+	}
+	p := &prog.Program{
+		Name:           g.name(),
+		Init:           g.initBlock(),
+		Body:           body,
+		AddrGens:       g.gens,
+		BrGens:         []prog.BranchGen{prog.LoopBranch{Iterations: iterations}},
+		Iterations:     iterations,
+		FootprintBytes: g.region,
+	}
+	return p, nil
+}
+
+func (g *generator) name() string {
+	mode := "l2miss"
+	if g.k.L2Hit {
+		mode = "l2hit"
+	}
+	return fmt.Sprintf("stressmark-%s-loop%d-seed%d", mode, g.k.LoopSize, g.k.Seed)
+}
+
+// initBlock defines every architected register so no value is read
+// before being written.
+func (g *generator) initBlock() []isa.Instr {
+	var ins []isa.Instr
+	for r := isa.Reg(0); r < isa.NumArchRegs-1; r++ {
+		ins = append(ins, isa.Instr{
+			Op: isa.OpAdd, Dest: r, Src1: isa.RZero, Imm: int16(r),
+			Label: "init",
+		})
+	}
+	return ins
+}
+
+// buildChains lays out the dependence chains: the rP chain (miss-
+// dependent instructions closing into a dedicated store), the optional
+// independent-arithmetic chain, and the load-rooted chains carrying the
+// remaining arithmetic.
+func (g *generator) buildChains() []chain {
+	k := g.k
+	var chains []chain
+
+	// rP chain: MissDependent arithmetic ops rooted at the chase
+	// register, closed by a store. With zero ops the store consumes rP
+	// directly, keeping the chase value ACE.
+	rp := chain{root: regChase}
+	for i := 0; i < k.MissDependent; i++ {
+		rp.ops = append(rp.ops, chainOp{kind: cArith})
+	}
+	rp.ops = append(rp.ops, chainOp{kind: cStore})
+	chains = append(chains, rp)
+
+	if k.NumIndepArith > 0 {
+		ind := chain{root: regInduction}
+		for i := 0; i < k.NumIndepArith; i++ {
+			ind.ops = append(ind.ops, chainOp{kind: cArith})
+		}
+		ind.ops = append(ind.ops, chainOp{kind: cStore})
+		chains = append(chains, ind)
+	}
+
+	lc := k.loadChains()
+	sweep := k.NumLoads - 1
+	folds := k.foldsNeeded()
+	arith := k.ChainArith() - folds
+	if lc == 0 {
+		return chains
+	}
+	// Distribute chain arithmetic: aim at AvgChainLength per chain, then
+	// spread the remainder round-robin.
+	lengths := make([]int, lc)
+	target := int(k.AvgChainLength + 0.5)
+	left := arith
+	for i := range lengths {
+		n := target
+		if n > left {
+			n = left
+		}
+		lengths[i] = n
+		left -= n
+	}
+	for i := 0; left > 0; i = (i + 1) % lc {
+		lengths[i]++
+		left--
+	}
+	// Distribute loads: one root per chain while they last, extras fold.
+	rootLoads := sweep
+	if rootLoads > lc {
+		rootLoads = lc
+	}
+	extraPer := make([]int, lc)
+	for i := 0; i < folds; i++ {
+		extraPer[i%lc]++
+	}
+	for c := 0; c < lc; c++ {
+		ch := chain{}
+		if c < rootLoads {
+			ch.ops = append(ch.ops, chainOp{kind: cLoad})
+		} else {
+			ch.root = regInduction
+		}
+		for i := 0; i < extraPer[c]; i++ {
+			ch.ops = append(ch.ops, chainOp{kind: cFoldLoad}, chainOp{kind: cArith})
+		}
+		for i := 0; i < lengths[c]; i++ {
+			ch.ops = append(ch.ops, chainOp{kind: cArith})
+		}
+		ch.ops = append(ch.ops, chainOp{kind: cStore})
+		chains = append(chains, ch)
+	}
+	return chains
+}
+
+// schedule interleaves the chains across DepDistance lanes in round-robin
+// order (so consecutive ops of one chain sit ~DepDistance instructions
+// apart), with seeded lane shuffling for placement exploration.
+func (g *generator) schedule(chains []chain, iterations int64) ([]isa.Instr, error) {
+	k := g.k
+	body := make([]isa.Instr, 0, k.LoopSize)
+	// Slot 0: the chase load (generator 0); slot 1: induction.
+	body = append(body, isa.Instr{
+		Op: isa.OpLoad, Dest: regChase, Src1: regChase, AddrGen: 0, Label: "chase",
+	})
+	body = append(body, isa.Instr{
+		Op: isa.OpAdd, Dest: regInduction, Src1: regInduction,
+		Imm: int16(g.stride), Label: "induction",
+	})
+
+	lanes := k.DepDistance
+	if lanes > len(chains) {
+		lanes = len(chains)
+	}
+	if lanes < 1 {
+		lanes = 1
+	}
+	states := make([]*laneState, lanes)
+	next := 0
+	takeChain := func(ls *laneState) bool {
+		if next >= len(chains) {
+			ls.ch = nil
+			return false
+		}
+		ls.ch = &chains[next]
+		next++
+		ls.pos = 0
+		ls.cur = ls.ch.root
+		ls.hasFold = false
+		return true
+	}
+	for i := range states {
+		states[i] = &laneState{}
+		takeChain(states[i])
+	}
+
+	order := make([]int, lanes)
+	for i := range order {
+		order[i] = i
+	}
+	for len(body) < k.LoopSize-1 {
+		emitted := false
+		if k.Seed != 0 {
+			g.rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		}
+		for _, li := range order {
+			ls := states[li]
+			if ls.ch == nil || ls.pos >= len(ls.ch.ops) {
+				if !takeChain(ls) {
+					continue
+				}
+			}
+			if len(body) >= k.LoopSize-1 {
+				break
+			}
+			op := ls.ch.ops[ls.pos]
+			ls.pos++
+			switch op.kind {
+			case cLoad:
+				r := g.alloc()
+				ls.cur = r
+				body = append(body, g.sweepLoad(r))
+			case cFoldLoad:
+				r := g.alloc()
+				ls.fold = r
+				ls.hasFold = true
+				body = append(body, g.sweepLoad(r))
+			case cArith:
+				body = append(body, g.arith(ls))
+			case cStore:
+				body = append(body, g.sweepStore(ls.cur))
+				g.release(ls.cur)
+				ls.cur = 0
+			}
+			emitted = true
+		}
+		if !emitted {
+			return nil, fmt.Errorf("codegen: scheduler stalled at %d/%d instructions", len(body), k.LoopSize)
+		}
+	}
+	body = append(body, isa.Instr{
+		Op: isa.OpBranch, Dest: isa.RZero, Src1: regInduction, BrGen: 0, Label: "backedge",
+	})
+	return body, nil
+}
+
+// arith emits one chain-arithmetic instruction for the lane, consuming a
+// pending fold load if present.
+func (g *generator) arith(ls *laneState) isa.Instr {
+	k := g.k
+	op := isa.OpAdd
+	if g.rng.Float64() < k.FracLongLatency {
+		op = isa.OpMul
+	}
+	src1 := ls.cur
+	in := isa.Instr{Op: op, Src1: src1}
+	switch {
+	case ls.hasFold:
+		in.RegReg = true
+		in.Src2 = ls.fold
+		g.release(ls.fold)
+		ls.hasFold = false
+	case g.rng.Float64() < k.FracRegReg:
+		in.RegReg = true
+		in.Src2 = g.nextSecondSource()
+	default:
+		in.Imm = int16(g.rng.Intn(255) + 1)
+	}
+	// Consume the running value and produce the next one.
+	g.release(src1)
+	dest := g.alloc()
+	in.Dest = dest
+	ls.cur = dest
+	return in
+}
+
+// sweepLoad reads the next 8-byte slot of the previously chased line.
+func (g *generator) sweepLoad(dest isa.Reg) isa.Instr {
+	slot := g.loadSlot % (g.cfg.Mem.DL1.LineBytes / 8)
+	g.loadSlot++
+	return isa.Instr{
+		Op: isa.OpLoad, Dest: dest, Src1: regInduction,
+		AddrGen: g.slotGen(slot), Label: "sweep",
+	}
+}
+
+// sweepStore writes the next 8-byte slot of the previously chased line.
+func (g *generator) sweepStore(data isa.Reg) isa.Instr {
+	slot := g.storeSlot % (g.cfg.Mem.DL1.LineBytes / 8)
+	g.storeSlot++
+	return isa.Instr{
+		Op: isa.OpStore, Dest: isa.RZero, Src1: regInduction, Src2: data,
+		AddrGen: g.slotGen(slot), Label: "sweep",
+	}
+}
+
+// slotGen returns (creating on demand) the address generator for one
+// 8-byte slot of the lag-1 sweep.
+func (g *generator) slotGen(slot int) int {
+	if idx, ok := g.genBySlot[slot]; ok {
+		return idx
+	}
+	idx := len(g.gens)
+	g.gens = append(g.gens, prog.LineSweep{
+		Base: g.base, Stride: g.stride, Region: g.region,
+		Offset: uint64(slot * 8), Lag: 1,
+	})
+	g.genBySlot[slot] = idx
+	return idx
+}
+
+// alloc takes a value register from the pool.
+func (g *generator) alloc() isa.Reg {
+	if len(g.freeRegs) == 0 {
+		// Cannot happen with MaxDepDistance lanes ≤ 12 and ≤2 live values
+		// per lane against a 29-register pool; defensive.
+		panic("codegen: register pool exhausted")
+	}
+	r := g.freeRegs[0]
+	g.freeRegs = g.freeRegs[1:]
+	return r
+}
+
+// release returns a register to the pool. The reserved chase/induction
+// registers are never pooled.
+func (g *generator) release(r isa.Reg) {
+	if r == regChase || r == regInduction {
+		return
+	}
+	g.freeRegs = append(g.freeRegs, r)
+}
+
+// nextSecondSource picks a second source for reg-reg arithmetic: the
+// persistent registers round-robin, so each reg-reg instruction keeps one
+// more init-written architected value ACE (the paper: the generated code
+// "utilizes every architected register ... by utilizing the appropriate
+// number of reg-reg instructions"). Falls back to the induction register
+// when no persistent registers exist.
+func (g *generator) nextSecondSource() isa.Reg {
+	if len(g.persistent) == 0 {
+		return regInduction
+	}
+	r := g.persistent[g.persistIdx%len(g.persistent)]
+	g.persistIdx++
+	return r
+}

@@ -1,0 +1,294 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Figures 3-9, Tables I-III, and the §VI instantaneous
+// worst-case analysis). Each experiment is a method on Context, which
+// caches workload simulations and stressmark searches so the full suite
+// shares work, and returns a typed result whose String method renders the
+// paper-style table or ASCII chart.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"avfstress/internal/avf"
+	"avfstress/internal/codegen"
+	"avfstress/internal/core"
+	"avfstress/internal/ga"
+	"avfstress/internal/pipe"
+	"avfstress/internal/prog"
+	"avfstress/internal/uarch"
+	"avfstress/internal/workloads"
+)
+
+// Options scopes an experiment run.
+type Options struct {
+	// Scale divides all cache/TLB capacities (uarch.Scaled); the core
+	// stays paper-exact. 1 reproduces the full Table I geometry and
+	// needs paper-scale instruction budgets; the default 32 reaches
+	// lifetime steady state within a few hundred thousand instructions.
+	Scale int
+	// Seed drives every stochastic component.
+	Seed int64
+	// GAPop and GAGens size the stressmark searches (paper: 50×50).
+	GAPop, GAGens int
+	// UseReferenceKnobs skips the GA searches and evaluates the paper's
+	// published final knob settings directly (fast path for benchmarks).
+	UseReferenceKnobs bool
+	// WorkloadInstr/WorkloadWarmup budget each workload simulation;
+	// zero derives them from the scaled configuration.
+	WorkloadInstr, WorkloadWarmup int64
+	// Parallelism bounds concurrent simulations (0 = GOMAXPROCS).
+	Parallelism int
+	// Logf, when set, receives progress lines.
+	Logf func(format string, args ...interface{})
+}
+
+func (o Options) withDefaults() Options {
+	if o.Scale <= 0 {
+		o.Scale = 32
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.GAPop <= 0 {
+		o.GAPop = 14
+	}
+	if o.GAGens <= 0 {
+		o.GAGens = 12
+	}
+	return o
+}
+
+// Context caches shared work across experiments.
+type Context struct {
+	Opts     Options
+	Baseline uarch.Config
+	ConfigA  uarch.Config
+
+	mu sync.Mutex
+	wl map[string][]*avf.Result
+	sm map[string]*core.SearchResult
+}
+
+// NewContext prepares a context for the given options.
+func NewContext(opts Options) *Context {
+	opts = opts.withDefaults()
+	return &Context{
+		Opts:     opts,
+		Baseline: uarch.Scaled(uarch.Baseline(), opts.Scale),
+		ConfigA:  uarch.Scaled(uarch.ConfigA(), opts.Scale),
+		wl:       map[string][]*avf.Result{},
+		sm:       map[string]*core.SearchResult{},
+	}
+}
+
+func (c *Context) logf(format string, args ...interface{}) {
+	if c.Opts.Logf != nil {
+		c.Opts.Logf(format, args...)
+	}
+}
+
+// workloadBudget sizes proxy simulations: warmup past the cold start,
+// then roughly two L2 traversals' worth of instructions.
+func (c *Context) workloadBudget() pipe.RunConfig {
+	rc := pipe.RunConfig{
+		MaxInstructions:    c.Opts.WorkloadInstr,
+		WarmupInstructions: c.Opts.WorkloadWarmup,
+	}
+	if rc.MaxInstructions == 0 {
+		rc.MaxInstructions = 160_000
+		rc.WarmupInstructions = 60_000
+	}
+	return rc
+}
+
+// Workloads simulates (once, cached) the 33-proxy suite on cfg.
+func (c *Context) Workloads(cfg uarch.Config) ([]*avf.Result, error) {
+	c.mu.Lock()
+	if rs, ok := c.wl[cfg.Name]; ok {
+		c.mu.Unlock()
+		return rs, nil
+	}
+	c.mu.Unlock()
+
+	profiles := workloads.Profiles()
+	results := make([]*avf.Result, len(profiles))
+	errs := make([]error, len(profiles))
+	par := c.Opts.Parallelism
+	if par <= 0 {
+		par = 4
+	}
+	sem := make(chan struct{}, par)
+	var wg sync.WaitGroup
+	rc := c.workloadBudget()
+	for i, pf := range profiles {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, pf workloads.Profile) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			p, err := pf.Build(cfg, c.Opts.Seed)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			results[i], errs[i] = pipe.Simulate(cfg, p, rc)
+		}(i, pf)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("experiments: workload %s: %w", profiles[i].Name, err)
+		}
+	}
+	c.logf("simulated %d workload proxies on %s", len(results), cfg.Name)
+	c.mu.Lock()
+	c.wl[cfg.Name] = results
+	c.mu.Unlock()
+	return results, nil
+}
+
+// WorkloadsBySuite splits cached baseline results by suite.
+func (c *Context) WorkloadsBySuite(cfg uarch.Config, s workloads.Suite) ([]*avf.Result, error) {
+	all, err := c.Workloads(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var out []*avf.Result
+	for i, pf := range workloads.Profiles() {
+		if pf.Suite == s {
+			out = append(out, all[i])
+		}
+	}
+	return out, nil
+}
+
+// ReferenceKnobs returns the paper's published final GA knob settings for
+// the named search (Figures 5a, 8c, 8d and 9b), used as the no-GA fast
+// path and as regression anchors in tests.
+func ReferenceKnobs(key string) (codegen.Knobs, error) {
+	switch key {
+	case "baseline":
+		return codegen.Knobs{LoopSize: 81, NumLoads: 29, NumStores: 28,
+			NumIndepArith: 5, MissDependent: 7, AvgChainLength: 2.14,
+			DepDistance: 6, FracLongLatency: 0.8, FracRegReg: 0.93, Seed: 42}, nil
+	case "rhc":
+		return codegen.Knobs{LoopSize: 74, NumLoads: 20, NumStores: 20,
+			NumIndepArith: 11, MissDependent: 4, AvgChainLength: 2.7,
+			DepDistance: 1, FracLongLatency: 0.7, FracRegReg: 0.52, Seed: 42}, nil
+	case "edr":
+		return codegen.Knobs{LoopSize: 54, NumLoads: 2, NumStores: 6,
+			NumIndepArith: 5, MissDependent: 15, AvgChainLength: 6.5,
+			DepDistance: 1, FracLongLatency: 0.9, FracRegReg: 0.4, Seed: 42,
+			L2Hit: true}, nil
+	case "configA":
+		return codegen.Knobs{LoopSize: 91, NumLoads: 29, NumStores: 29,
+			NumIndepArith: 5, MissDependent: 14, AvgChainLength: 2.14,
+			DepDistance: 1, FracLongLatency: 0.6, FracRegReg: 0.96, Seed: 42}, nil
+	}
+	return codegen.Knobs{}, fmt.Errorf("experiments: no reference knobs for %q", key)
+}
+
+// Stressmark runs (once, cached) the stressmark search for (key, cfg,
+// rates). With UseReferenceKnobs it evaluates the paper's published knobs
+// instead of searching.
+func (c *Context) Stressmark(key string, cfg uarch.Config, rates uarch.FaultRates) (*core.SearchResult, error) {
+	c.mu.Lock()
+	if r, ok := c.sm[key]; ok {
+		c.mu.Unlock()
+		return r, nil
+	}
+	c.mu.Unlock()
+
+	var (
+		res *core.SearchResult
+		err error
+	)
+	if c.Opts.UseReferenceKnobs {
+		res, err = c.evaluateReference(key, cfg, rates)
+	} else {
+		c.logf("GA search %q on %s (%d×%d)...", key, cfg.Name, c.Opts.GAGens, c.Opts.GAPop)
+		res, err = core.Search(core.SearchSpec{
+			Config:  cfg,
+			Rates:   rates,
+			Weights: searchWeights(key),
+			GA: ga.Config{
+				PopSize:     c.Opts.GAPop,
+				Generations: c.Opts.GAGens,
+				Seed:        c.Opts.Seed,
+				Parallelism: c.Opts.Parallelism,
+			},
+		})
+	}
+	if err != nil {
+		return nil, fmt.Errorf("experiments: stressmark %q: %w", key, err)
+	}
+	c.logf("stressmark %q: fitness %.3f, knobs: loop=%d loads=%d stores=%d l2hit=%v",
+		key, res.Fitness, res.Knobs.LoopSize, res.Knobs.NumLoads, res.Knobs.NumStores, res.Knobs.L2Hit)
+	c.mu.Lock()
+	c.sm[key] = res
+	c.mu.Unlock()
+	return res, nil
+}
+
+// searchWeights selects the fitness weighting per study. The RHC/EDR
+// protection studies are evaluated on core SER in the paper (Figure 7
+// presents QS and QS+RF only, and the published EDR knobs carry just two
+// loads — clearly not optimised for cache coverage), so those searches
+// use a core-only fitness; with it, the EDR search flips to the L2-hit
+// generator exactly as §VI-A reports. The baseline and Configuration A
+// searches use the balanced default.
+func searchWeights(key string) avf.Weights {
+	if key == "rhc" || key == "edr" {
+		return avf.Weights{Core: 1}
+	}
+	return avf.DefaultWeights()
+}
+
+// evaluateReference builds a SearchResult from published knobs without a
+// search.
+func (c *Context) evaluateReference(key string, cfg uarch.Config, rates uarch.FaultRates) (*core.SearchResult, error) {
+	k, err := ReferenceKnobs(key)
+	if err != nil {
+		return nil, err
+	}
+	p, k, err := codegen.Generate(cfg, k, 1<<40)
+	if err != nil {
+		return nil, err
+	}
+	rc := core.DefaultEvalBudget(cfg)
+	rc.MaxInstructions *= 2
+	res, err := pipe.Simulate(cfg, p, rc)
+	if err != nil {
+		return nil, err
+	}
+	f := res.Fitness(cfg, rates, avf.DefaultWeights())
+	return &core.SearchResult{
+		Knobs: k, Program: p, Result: res, Fitness: f,
+		History: []ga.GenStats{{Generation: 0, Best: f, Avg: f, Worst: f}},
+	}, nil
+}
+
+// StressmarkProgram is a convenience for examples/tools: the generated
+// best program for a key.
+func (c *Context) StressmarkProgram(key string, cfg uarch.Config, rates uarch.FaultRates) (*prog.Program, error) {
+	r, err := c.Stressmark(key, cfg, rates)
+	if err != nil {
+		return nil, err
+	}
+	return r.Program, nil
+}
+
+// sortedByClass returns indices of results ordered by descending class
+// SER (presentation order for charts).
+func sortedByClass(results []*avf.Result, cfg uarch.Config, rates uarch.FaultRates, cl avf.Class) []int {
+	idx := make([]int, len(results))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return results[idx[a]].SER(cfg, rates, cl) > results[idx[b]].SER(cfg, rates, cl)
+	})
+	return idx
+}

@@ -1,0 +1,341 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"avfstress/internal/avf"
+	"avfstress/internal/codegen"
+	"avfstress/internal/uarch"
+)
+
+// fastCtx shares one reference-knob context across the integration tests
+// (workload simulations and stressmark evaluations are cached inside).
+var fastCtx = NewContext(Options{
+	Scale: 32, Seed: 1, UseReferenceKnobs: true,
+	WorkloadInstr: 120_000, WorkloadWarmup: 50_000,
+})
+
+func TestReferenceKnobsKeys(t *testing.T) {
+	for _, key := range []string{"baseline", "rhc", "edr", "configA"} {
+		k, err := ReferenceKnobs(key)
+		if err != nil {
+			t.Fatalf("%s: %v", key, err)
+		}
+		if err := k.Normalize(uarch.Baseline()).Validate(uarch.Baseline()); err != nil && key != "configA" {
+			t.Errorf("%s: knobs do not normalise cleanly: %v", key, err)
+		}
+	}
+	if _, err := ReferenceKnobs("nope"); err == nil {
+		t.Error("unknown key accepted")
+	}
+	// The EDR reference uses the L2-hit generator, as the paper reports.
+	edr, _ := ReferenceKnobs("edr")
+	if !edr.L2Hit {
+		t.Error("EDR reference knobs must select the L2-hit generator")
+	}
+}
+
+func TestConfigTables(t *testing.T) {
+	s := ConfigTable(uarch.Baseline())
+	for _, want := range []string{"80 entries, 76 bits/entry", "20 entries, 32 bits/entry",
+		"64kB, 2-way", "256 entry", "1024kB"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Table I missing %q:\n%s", want, s)
+		}
+	}
+	s2 := ConfigTable(uarch.ConfigA())
+	if !strings.Contains(s2, "96 entries") || !strings.Contains(s2, "2048kB") {
+		t.Errorf("Table II wrong:\n%s", s2)
+	}
+}
+
+func TestNamesAndUnknown(t *testing.T) {
+	if len(Names()) != 13 {
+		t.Errorf("experiment count %d, want 13", len(Names()))
+	}
+	if _, err := fastCtx.Run("bogus"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	// table1/table2 need no simulation.
+	for _, n := range []string{"table1", "table2"} {
+		out, err := fastCtx.Run(n)
+		if err != nil || out == "" {
+			t.Errorf("%s: %v", n, err)
+		}
+	}
+}
+
+func TestFig3StressmarkWinsEveryClass(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation suite in -short mode")
+	}
+	f, err := fastCtx.Fig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Workloads) != 21 {
+		t.Fatalf("Fig3 compares %d workloads, want 21 SPEC proxies", len(f.Workloads))
+	}
+	// The headline reproduction target: the stressmark induces the
+	// highest SER in every class (paper: 1.4×/2.5×/1.5×).
+	for _, cl := range avf.AllClasses() {
+		if adv := f.Advantage(cl); adv <= 1.0 {
+			t.Errorf("stressmark does not win class %v: advantage %.2fx over %s",
+				cl, adv, f.BestWorkload(cl).Name)
+		}
+	}
+	if adv := f.Advantage(avf.ClassQSRF); adv < 1.2 || adv > 1.8 {
+		t.Errorf("core advantage %.2fx outside the paper-like band [1.2, 1.8]", adv)
+	}
+	if adv := f.Advantage(avf.ClassDL1DTLB); adv < 1.8 {
+		t.Errorf("DL1+DTLB advantage %.2fx, paper reports ~2.5x", adv)
+	}
+	s := f.String()
+	if !strings.Contains(s, "stressmark") || !strings.Contains(s, "QS+RF") {
+		t.Error("rendering incomplete")
+	}
+}
+
+func TestFig4MiBench(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation suite in -short mode")
+	}
+	f, err := fastCtx.Fig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Workloads) != 12 {
+		t.Fatalf("Fig4 compares %d workloads, want 12 MiBench proxies", len(f.Workloads))
+	}
+	for _, cl := range avf.AllClasses() {
+		if adv := f.Advantage(cl); adv <= 1.0 {
+			t.Errorf("stressmark does not win class %v (%.2fx)", cl, adv)
+		}
+	}
+	// The paper calls MiBench-induced SER "low": L2 advantage is large.
+	if adv := f.Advantage(avf.ClassL2); adv < 1.5 {
+		t.Errorf("L2 advantage over MiBench %.2fx, want ≥ 1.5", adv)
+	}
+}
+
+func TestFig6Structure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation suite in -short mode")
+	}
+	f, err := fastCtx.Fig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Suites) != 3 || len(f.Rows[0]) != 11 || len(f.Rows[1]) != 10 || len(f.Rows[2]) != 12 {
+		t.Fatalf("Fig6 shape wrong: %d suites, rows %d/%d/%d",
+			len(f.Suites), len(f.Rows[0]), len(f.Rows[1]), len(f.Rows[2]))
+	}
+	// Stressmark dominates DL1 and L2 AVF for every workload ("much
+	// higher AVF on all structures, with the exception of FUs and in some
+	// cases RF" — paper; per-structure DTLB can be matched by dense
+	// big-footprint proxies on the scaled TLB, while the DL1+DTLB *class*
+	// win is asserted in the Fig3/Fig4 tests).
+	for i := range f.Rows {
+		for _, r := range f.Rows[i] {
+			for _, s := range []uarch.Structure{uarch.DL1, uarch.L2} {
+				if r.AVF[s] > f.Stressmark.AVF[s] {
+					t.Errorf("%s beats the stressmark on %v: %.3f > %.3f",
+						r.Name, s, r.AVF[s], f.Stressmark.AVF[s])
+				}
+			}
+		}
+	}
+	if !strings.Contains(f.String(), "Figure 6(a)") {
+		t.Error("rendering incomplete")
+	}
+}
+
+func TestWorstCaseBoundExceedsSustained(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation suite in -short mode")
+	}
+	w, err := fastCtx.WorstCase()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The unsustainable single-cycle bound must exceed the sustained
+	// stressmark SER, and the stressmark should approach it (paper: 89%).
+	if w.Stressmark >= w.Breakdown.Value() {
+		t.Errorf("sustained %.3f not below the instantaneous bound %.3f",
+			w.Stressmark, w.Breakdown.Value())
+	}
+	if ratio := w.Stressmark / w.Breakdown.Value(); ratio < 0.6 {
+		t.Errorf("stressmark reaches only %.0f%% of the bound; paper ~89%%", ratio*100)
+	}
+	if len(w.Coverage) != int(avf.NumClasses) {
+		t.Errorf("coverage for %d classes", len(w.Coverage))
+	}
+}
+
+func TestTable3ReferenceMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation suite in -short mode")
+	}
+	tb, err := fastCtx.Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 3 {
+		t.Fatalf("Table III rows = %d", len(tb.Rows))
+	}
+	base := tb.Rows[0]
+	if base.Config != "Baseline" {
+		t.Errorf("row order wrong: %s", base.Config)
+	}
+	// Baseline: stressmark above every estimator except raw rates (paper:
+	// 0.63 vs 0.46 best program vs 0.58 per-structure vs 1.0 raw).
+	if base.Stressmark <= base.BestProgramSER {
+		t.Errorf("baseline stressmark %.3f does not beat best program %.3f",
+			base.Stressmark, base.BestProgramSER)
+	}
+	if base.SumRawRates <= base.Stressmark {
+		t.Error("raw-rate estimate must be the pessimistic upper bound")
+	}
+	if base.BestProgram == "" {
+		t.Error("best program unnamed")
+	}
+	if !strings.Contains(tb.String(), "Table III") {
+		t.Error("rendering incomplete")
+	}
+}
+
+func TestFig8KnobsDiffer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation suite in -short mode")
+	}
+	f, err := fastCtx.Fig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Marks) != 3 {
+		t.Fatalf("Fig8 has %d stressmarks", len(f.Marks))
+	}
+	if f.KnobsRHC == f.KnobsEDR {
+		t.Error("RHC and EDR stressmarks should differ")
+	}
+	if !f.KnobsEDR.L2Hit {
+		t.Error("EDR stressmark must use the L2-hit generator (paper §VI-A)")
+	}
+	if !strings.Contains(f.String(), "Figure 8(a)") {
+		t.Error("rendering incomplete")
+	}
+}
+
+func TestFig9ConfigAAdaptation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation suite in -short mode")
+	}
+	f, err := fastCtx.Fig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Marks) != 2 {
+		t.Fatalf("Fig9 has %d marks", len(f.Marks))
+	}
+	// Config A reference knobs: larger loop (91 ≤ 1.2×96) and more
+	// miss-dependent instructions, as the paper reports.
+	if f.Knobs.LoopSize <= 81 {
+		t.Errorf("Config A loop %d should exceed the baseline's 81", f.Knobs.LoopSize)
+	}
+	if f.Knobs.MissDependent <= 7 {
+		t.Errorf("Config A miss-dependent %d should exceed the baseline's 7", f.Knobs.MissDependent)
+	}
+}
+
+func TestEvaluateReferenceProducesACEStressmark(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation suite in -short mode")
+	}
+	sm, err := fastCtx.Stressmark("baseline", fastCtx.Baseline, uarch.UniformRates(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sm.Result.ACEInstrFrac < 0.999 {
+		t.Errorf("stressmark ACE fraction %.4f", sm.Result.ACEInstrFrac)
+	}
+	if err := codegen.CheckACEClosure(sm.Program); err != nil {
+		t.Error(err)
+	}
+	// Cached: a second call returns the same object.
+	sm2, err := fastCtx.Stressmark("baseline", fastCtx.Baseline, uarch.UniformRates(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sm != sm2 {
+		t.Error("stressmark cache miss")
+	}
+}
+
+func TestPowerContrastReproducesSectionIVB(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation suite in -short mode")
+	}
+	p, err := fastCtx.PowerContrast()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Rows) != 35 { // stressmark + power virus + 33 proxies
+		t.Fatalf("power study has %d rows", len(p.Rows))
+	}
+	pk, ak := p.PowerKing(), p.AVFKing()
+	// The paper's §IV-B claim: the maximum-power program is not the
+	// maximum-AVF program, and vice versa.
+	if pk.Name == ak.Name {
+		t.Errorf("power king and AVF king coincide: %s", pk.Name)
+	}
+	if ak.Name != "stressmark" {
+		t.Errorf("AVF king is %s, want the stressmark", ak.Name)
+	}
+	// The stressmark sits in the lower half of the power ranking (long
+	// stalls gate the clock), while the power king's core SER is well
+	// below the stressmark's.
+	if pk.SER >= ak.SER {
+		t.Errorf("power king core SER %.3f not below stressmark %.3f", pk.SER, ak.SER)
+	}
+	if ak.Power >= pk.Power/2 {
+		t.Errorf("stressmark power %.2f not well below the power king's %.2f", ak.Power, pk.Power)
+	}
+	if !strings.Contains(p.String(), "power viruses") {
+		t.Error("rendering incomplete")
+	}
+}
+
+func TestHVFStudyBoundsHoldSuiteWide(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation suite in -short mode")
+	}
+	h, err := fastCtx.HVFStudy()
+	if err != nil {
+		t.Fatal(err) // HVFStudy itself fails on any AVF > HVF violation
+	}
+	if len(h.Rows) != 34 {
+		t.Fatalf("HVF study has %d rows", len(h.Rows))
+	}
+	// The masking gap is strictly positive for proxies with un-ACE work.
+	gaps := 0
+	for _, r := range h.Rows[1:] {
+		if r.HVF.Value[uarch.ROB]-r.AVF[uarch.ROB] > 0.02 {
+			gaps++
+		}
+	}
+	if gaps < 20 {
+		t.Errorf("only %d/33 proxies show a visible ROB masking gap", gaps)
+	}
+}
+
+func TestRunAllNamesIncludeExtras(t *testing.T) {
+	names := Names()
+	has := map[string]bool{}
+	for _, n := range names {
+		has[n] = true
+	}
+	if !has["powercontrast"] || !has["hvf"] {
+		t.Errorf("extras missing from experiment list: %v", names)
+	}
+}

@@ -1,0 +1,207 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"avfstress/internal/analysis"
+	"avfstress/internal/avf"
+	"avfstress/internal/isa"
+	"avfstress/internal/pipe"
+	"avfstress/internal/power"
+	"avfstress/internal/prog"
+	"avfstress/internal/report"
+	"avfstress/internal/uarch"
+)
+
+// PowerRow pairs a program's proxy power with its core SER.
+type PowerRow struct {
+	Name  string
+	Power float64 // arbitrary energy/cycle units
+	SER   float64 // core (QS+RF), units/bit
+	IPC   float64
+}
+
+// PowerContrastResult reproduces the paper's §IV-B argument that power
+// viruses and AVF stressmarks optimise opposite corners: the
+// maximum-power program is a full-bandwidth arithmetic loop with low
+// queue occupancy, while the AVF stressmark stalls the machine full of
+// ACE state at low activity.
+type PowerContrastResult struct {
+	Rows []PowerRow // sorted by power, descending
+}
+
+// PowerKing returns the highest-power row; AVFKing the highest-SER row.
+func (p *PowerContrastResult) PowerKing() PowerRow {
+	return p.maxBy(func(r PowerRow) float64 { return r.Power })
+}
+
+// AVFKing returns the highest-core-SER row.
+func (p *PowerContrastResult) AVFKing() PowerRow {
+	return p.maxBy(func(r PowerRow) float64 { return r.SER })
+}
+
+func (p *PowerContrastResult) maxBy(f func(PowerRow) float64) PowerRow {
+	best := p.Rows[0]
+	for _, r := range p.Rows {
+		if f(r) > f(best) {
+			best = r
+		}
+	}
+	return best
+}
+
+func (p *PowerContrastResult) String() string {
+	var b strings.Builder
+	b.WriteString("§IV-B analysis — power viruses are not AVF stressmarks\n\n")
+	t := &report.Table{Headers: []string{"program", "power (energy/cycle)", "core SER (units/bit)", "IPC"}}
+	for _, r := range p.Rows {
+		t.AddRow(r.Name, r.Power, r.SER, fmt.Sprintf("%.2f", r.IPC))
+	}
+	b.WriteString(t.String())
+	pk, ak := p.PowerKing(), p.AVFKing()
+	fmt.Fprintf(&b, "\nmax power:   %-22s (%.2f units, core SER %.3f)\n", pk.Name, pk.Power, pk.SER)
+	fmt.Fprintf(&b, "max core SER: %-22s (%.2f units, core SER %.3f)\n", ak.Name, ak.Power, ak.SER)
+	b.WriteString("long-latency stalls raise AVF but let clock gating cut power;\n")
+	b.WriteString("full-bandwidth arithmetic maximises power but drains the queues.\n")
+	return b.String()
+}
+
+// powerVirus builds a SYMPO-style maximum-activity loop: independent
+// ALU/MUL streams at full issue bandwidth with DL1-resident memory
+// traffic, no stalls.
+func powerVirus(cfg uarch.Config) (*prog.Program, error) {
+	var body []isa.Instr
+	gens := []prog.AddrGen{prog.StridedBlock{
+		Base: 0x4000_0000, Stride: 8, Region: uint64(cfg.Mem.DL1.SizeBytes / 2),
+	}}
+	// Four independent ALU chains + one mul stream + paired load/store:
+	// everything issues at full width every cycle.
+	for i := 0; i < 4; i++ {
+		for lane := 0; lane < 4; lane++ {
+			body = append(body, isa.Instr{
+				Op: isa.OpAdd, Dest: isa.Reg(3 + lane), Src1: isa.Reg(3 + lane), Imm: 1,
+			})
+		}
+		body = append(body, isa.Instr{Op: isa.OpMul, Dest: isa.Reg(8 + i), Src1: 2, Imm: 3})
+		body = append(body,
+			isa.Instr{Op: isa.OpLoad, Dest: isa.Reg(12 + i), Src1: 2, AddrGen: 0},
+			isa.Instr{Op: isa.OpStore, Dest: isa.RZero, Src1: 2, Src2: isa.Reg(12 + i), AddrGen: 0},
+		)
+	}
+	body = append(body, isa.Instr{Op: isa.OpBranch, Dest: isa.RZero, Src1: 2, BrGen: 0})
+	var init []isa.Instr
+	for r := isa.Reg(0); r < isa.NumArchRegs-1; r++ {
+		init = append(init, isa.Instr{Op: isa.OpAdd, Dest: r, Src1: isa.RZero, Imm: int16(r)})
+	}
+	p := &prog.Program{
+		Name: "power-virus", Init: init, Body: body,
+		AddrGens:   gens,
+		BrGens:     []prog.BranchGen{prog.LoopBranch{Iterations: 1 << 40}},
+		Iterations: 1 << 40,
+	}
+	return p, p.Validate()
+}
+
+// PowerContrast evaluates the stressmark, a synthetic power virus and
+// the workload suite under the power proxy.
+func (c *Context) PowerContrast() (*PowerContrastResult, error) {
+	cfg := c.Baseline
+	rates := uarch.UniformRates(1)
+	out := &PowerContrastResult{}
+	add := func(name string, r *avf.Result) {
+		out.Rows = append(out.Rows, PowerRow{
+			Name:  name,
+			Power: power.Of(r),
+			SER:   r.SER(cfg, rates, avf.ClassQSRF),
+			IPC:   r.IPC,
+		})
+	}
+	sm, err := c.Stressmark("baseline", cfg, rates)
+	if err != nil {
+		return nil, err
+	}
+	add("stressmark", sm.Result)
+	pv, err := powerVirus(cfg)
+	if err != nil {
+		return nil, err
+	}
+	pr, err := pipe.Simulate(cfg, pv, c.workloadBudget())
+	if err != nil {
+		return nil, err
+	}
+	add("power-virus", pr)
+	wl, err := c.Workloads(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range wl {
+		add(r.Workload, r)
+	}
+	sort.SliceStable(out.Rows, func(i, j int) bool { return out.Rows[i].Power > out.Rows[j].Power })
+	return out, nil
+}
+
+// HVFRow pairs per-structure AVF with its HVF (occupancy) bound.
+type HVFRow struct {
+	Name string
+	AVF  [uarch.NumStructures]float64
+	HVF  analysis.HVF
+}
+
+// HVFResult reproduces the paper's §VIII discussion of Hardware
+// Vulnerability Factors: HVF bounds AVF per structure, but the bound is
+// workload-dependent, so it cannot establish the worst case — only the
+// stressmark methodology can.
+type HVFResult struct {
+	Rows []HVFRow
+}
+
+func (h *HVFResult) String() string {
+	var b strings.Builder
+	b.WriteString("§VIII analysis — HVF (occupancy) bounds vs measured AVF, ROB\n\n")
+	t := &report.Table{Headers: []string{"program", "ROB HVF", "ROB AVF", "masking gap"}}
+	for _, r := range h.Rows {
+		t.AddRow(r.Name, r.HVF.Value[uarch.ROB], r.AVF[uarch.ROB],
+			r.HVF.Value[uarch.ROB]-r.AVF[uarch.ROB])
+	}
+	b.WriteString(t.String())
+	b.WriteString("\nAVF ≤ HVF everywhere; the gap is program-side masking (un-ACE,\n")
+	b.WriteString("wrong path) that hardware-only analysis cannot see (paper §VIII).\n")
+	return b.String()
+}
+
+// HVFStudy computes the HVF bound for the stressmark and the suite and
+// verifies AVF ≤ HVF throughout.
+func (c *Context) HVFStudy() (*HVFResult, error) {
+	cfg := c.Baseline
+	sm, err := c.Stressmark("baseline", cfg, uarch.UniformRates(1))
+	if err != nil {
+		return nil, err
+	}
+	wl, err := c.Workloads(cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := &HVFResult{}
+	addChecked := func(name string, r *avf.Result) error {
+		h := analysis.HVFOf(r)
+		if err := h.Check(r, 0.02); err != nil {
+			return err
+		}
+		row := HVFRow{Name: name, HVF: h}
+		copy(row.AVF[:], r.AVF[:])
+		out.Rows = append(out.Rows, row)
+		return nil
+	}
+	if err := addChecked("stressmark", sm.Result); err != nil {
+		return nil, err
+	}
+	for _, r := range wl {
+		if err := addChecked(r.Workload, r); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,416 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"avfstress/internal/avf"
+	"avfstress/internal/codegen"
+	"avfstress/internal/ga"
+	"avfstress/internal/report"
+	"avfstress/internal/uarch"
+	"avfstress/internal/workloads"
+)
+
+// SERRow is one program's class-normalised SER vector.
+type SERRow struct {
+	Name string
+	SER  [avf.NumClasses]float64
+}
+
+func serRow(name string, r *avf.Result, cfg uarch.Config, rates uarch.FaultRates) SERRow {
+	row := SERRow{Name: name}
+	for _, cl := range avf.AllClasses() {
+		row.SER[cl] = r.SER(cfg, rates, cl)
+	}
+	return row
+}
+
+// SERComparison is the shared shape of Figures 3 and 4: the stressmark's
+// class-normalised SER against a workload population's.
+type SERComparison struct {
+	Figure     string
+	Config     string
+	Stressmark SERRow
+	Workloads  []SERRow
+}
+
+// BestWorkload returns the highest workload SER in a class.
+func (f *SERComparison) BestWorkload(cl avf.Class) SERRow {
+	best := f.Workloads[0]
+	for _, w := range f.Workloads {
+		if w.SER[cl] > best.SER[cl] {
+			best = w
+		}
+	}
+	return best
+}
+
+// Advantage returns stressmark/best-workload for a class (the paper's
+// 1.4×/2.5×/1.5× headline ratios).
+func (f *SERComparison) Advantage(cl avf.Class) float64 {
+	b := f.BestWorkload(cl).SER[cl]
+	if b == 0 {
+		return 0
+	}
+	return f.Stressmark.SER[cl] / b
+}
+
+func (f *SERComparison) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — overall SER (units/bit, normalised per class) on %s\n\n", f.Figure, f.Config)
+	t := &report.Table{Headers: []string{"program", "QS", "QS+RF", "DL1+DTLB", "L2"}}
+	t.AddRow(f.Stressmark.Name, f.Stressmark.SER[avf.ClassQS], f.Stressmark.SER[avf.ClassQSRF],
+		f.Stressmark.SER[avf.ClassDL1DTLB], f.Stressmark.SER[avf.ClassL2])
+	for _, w := range f.Workloads {
+		t.AddRow(w.Name, w.SER[avf.ClassQS], w.SER[avf.ClassQSRF], w.SER[avf.ClassDL1DTLB], w.SER[avf.ClassL2])
+	}
+	b.WriteString(t.String())
+	for _, cl := range avf.AllClasses() {
+		ch := &report.BarChart{Title: fmt.Sprintf("\n%s (stressmark advantage %.2fx)", cl, f.Advantage(cl)), Max: 1}
+		ch.Add(f.Stressmark.Name, f.Stressmark.SER[cl])
+		best := f.BestWorkload(cl)
+		ch.Add("best: "+best.Name, best.SER[cl])
+		b.WriteString(ch.String())
+	}
+	return b.String()
+}
+
+// Fig3 compares the stressmark with the SPEC CPU2006 proxies on the
+// baseline configuration (paper Figure 3).
+func (c *Context) Fig3() (*SERComparison, error) {
+	return c.serComparison("Figure 3", []workloads.Suite{workloads.SPECInt, workloads.SPECFP})
+}
+
+// Fig4 compares the stressmark with the MiBench proxies (paper Figure 4).
+func (c *Context) Fig4() (*SERComparison, error) {
+	return c.serComparison("Figure 4", []workloads.Suite{workloads.MiBench})
+}
+
+func (c *Context) serComparison(fig string, suites []workloads.Suite) (*SERComparison, error) {
+	cfg := c.Baseline
+	rates := uarch.UniformRates(1)
+	sm, err := c.Stressmark("baseline", cfg, rates)
+	if err != nil {
+		return nil, err
+	}
+	out := &SERComparison{Figure: fig, Config: cfg.Name,
+		Stressmark: serRow("stressmark", sm.Result, cfg, rates)}
+	for _, s := range suites {
+		rs, err := c.WorkloadsBySuite(cfg, s)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range rs {
+			out.Workloads = append(out.Workloads, serRow(r.Workload, r, cfg, rates))
+		}
+	}
+	return out, nil
+}
+
+// Fig5Result is the paper's Figure 5: the GA's final knob settings (a)
+// and its convergence trace (b).
+type Fig5Result struct {
+	Config  string
+	Knobs   codegen.Knobs
+	History []ga.GenStats
+	// Evaluations and Cataclysms summarise the search.
+	Evaluations int64
+	Cataclysms  int
+	Fitness     float64
+}
+
+func (f *Fig5Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 5(a) — knob settings of the final GA solution (%s)\n\n%s\n", f.Config, f.Knobs)
+	fmt.Fprintf(&b, "Figure 5(b) — convergence of the GA (%d evaluations, %d cataclysm(s), final fitness %.3f)\n\n",
+		f.Evaluations, f.Cataclysms, f.Fitness)
+	avgs := make([]float64, len(f.History))
+	t := &report.Table{Headers: []string{"generation", "avg fitness", "best fitness", "event"}}
+	for i, h := range f.History {
+		avgs[i] = h.Avg
+		ev := ""
+		if h.Cataclysm {
+			ev = "cataclysm"
+		}
+		t.AddRow(h.Generation, h.Avg, h.Best, ev)
+	}
+	fmt.Fprintf(&b, "  avg fitness/generation: %s\n\n", report.Sparkline(avgs))
+	b.WriteString(t.String())
+	return b.String()
+}
+
+// Fig5 runs the baseline GA search and reports knobs and convergence.
+func (c *Context) Fig5() (*Fig5Result, error) {
+	cfg := c.Baseline
+	sm, err := c.Stressmark("baseline", cfg, uarch.UniformRates(1))
+	if err != nil {
+		return nil, err
+	}
+	return &Fig5Result{
+		Config: cfg.Name, Knobs: sm.Knobs, History: sm.History,
+		Evaluations: sm.Evaluations, Cataclysms: sm.Cataclysms, Fitness: sm.Fitness,
+	}, nil
+}
+
+// AVFRow is one program's per-structure AVF vector (percent).
+type AVFRow struct {
+	Name string
+	AVF  [uarch.NumStructures]float64
+}
+
+// Fig6Result is the paper's Figure 6: per-structure AVF of every
+// workload, by suite, against the stressmark.
+type Fig6Result struct {
+	Config     string
+	Stressmark AVFRow
+	Suites     []string
+	Rows       [][]AVFRow // parallel to Suites
+}
+
+var fig6Structs = []uarch.Structure{
+	uarch.IQ, uarch.ROB, uarch.FU, uarch.RF,
+	uarch.LQTag, uarch.LQData, uarch.SQTag, uarch.SQData,
+	uarch.DL1, uarch.DTLB, uarch.L2,
+}
+
+func (f *Fig6Result) String() string {
+	var b strings.Builder
+	headers := []string{"program"}
+	for _, s := range fig6Structs {
+		headers = append(headers, s.String())
+	}
+	for i, suite := range f.Suites {
+		fmt.Fprintf(&b, "Figure 6(%c) — AVF (%%) on %s: %s\n\n", 'a'+i, f.Config, suite)
+		t := &report.Table{Headers: headers}
+		addRow := func(r AVFRow) {
+			cells := []interface{}{r.Name}
+			for _, s := range fig6Structs {
+				cells = append(cells, fmt.Sprintf("%.1f", r.AVF[s]*100))
+			}
+			t.AddRow(cells...)
+		}
+		addRow(f.Stressmark)
+		for _, r := range f.Rows[i] {
+			addRow(r)
+		}
+		b.WriteString(t.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Fig6 reports per-structure AVFs for all three suites plus the
+// stressmark (paper Figure 6a/b/c).
+func (c *Context) Fig6() (*Fig6Result, error) {
+	cfg := c.Baseline
+	sm, err := c.Stressmark("baseline", cfg, uarch.UniformRates(1))
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig6Result{Config: cfg.Name, Stressmark: avfRow("stressmark", sm.Result)}
+	for _, s := range []workloads.Suite{workloads.SPECInt, workloads.SPECFP, workloads.MiBench} {
+		rs, err := c.WorkloadsBySuite(cfg, s)
+		if err != nil {
+			return nil, err
+		}
+		var rows []AVFRow
+		for _, r := range rs {
+			rows = append(rows, avfRow(r.Workload, r))
+		}
+		out.Suites = append(out.Suites, s.String())
+		out.Rows = append(out.Rows, rows)
+	}
+	return out, nil
+}
+
+func avfRow(name string, r *avf.Result) AVFRow {
+	row := AVFRow{Name: name}
+	copy(row.AVF[:], r.AVF[:])
+	return row
+}
+
+// Fig7Result is the paper's Figure 7: core SER of the workloads under
+// the RHC (a) and EDR (b) fault-rate sets, against the stressmark
+// generated for each set.
+type Fig7Result struct {
+	Config string
+	Parts  []Fig7Part
+}
+
+// Fig7Part is one sub-figure.
+type Fig7Part struct {
+	Rates      string
+	Stressmark SERRow
+	Workloads  []SERRow
+}
+
+func (f *Fig7Result) String() string {
+	var b strings.Builder
+	for i, p := range f.Parts {
+		fmt.Fprintf(&b, "Figure 7(%c) — core SER (units/bit) under %s rates on %s\n\n", 'a'+i, p.Rates, f.Config)
+		t := &report.Table{Headers: []string{"program", "QS", "QS+RF"}}
+		t.AddRow(p.Stressmark.Name, p.Stressmark.SER[avf.ClassQS], p.Stressmark.SER[avf.ClassQSRF])
+		best := SERRow{}
+		for _, w := range p.Workloads {
+			t.AddRow(w.Name, w.SER[avf.ClassQS], w.SER[avf.ClassQSRF])
+			if w.SER[avf.ClassQSRF] > best.SER[avf.ClassQSRF] {
+				best = w
+			}
+		}
+		b.WriteString(t.String())
+		ch := &report.BarChart{Title: fmt.Sprintf("\nQS+RF under %s", p.Rates)}
+		ch.Add(p.Stressmark.Name, p.Stressmark.SER[avf.ClassQSRF])
+		ch.Add("best: "+best.Name, best.SER[avf.ClassQSRF])
+		b.WriteString(ch.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Fig7 evaluates all workloads and per-rate-set stressmarks under the
+// RHC and EDR fault rates.
+func (c *Context) Fig7() (*Fig7Result, error) {
+	cfg := c.Baseline
+	all, err := c.Workloads(cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig7Result{Config: cfg.Name}
+	for _, rs := range []struct {
+		key   string
+		rates uarch.FaultRates
+	}{
+		{"rhc", uarch.RHCRates()},
+		{"edr", uarch.EDRRates()},
+	} {
+		sm, err := c.Stressmark(rs.key, cfg, rs.rates)
+		if err != nil {
+			return nil, err
+		}
+		part := Fig7Part{Rates: strings.ToUpper(rs.key),
+			Stressmark: serRow("stressmark:"+strings.ToUpper(rs.key), sm.Result, cfg, rs.rates)}
+		for _, r := range all {
+			part.Workloads = append(part.Workloads, serRow(r.Workload, r, cfg, rs.rates))
+		}
+		out.Parts = append(out.Parts, part)
+	}
+	return out, nil
+}
+
+// Fig8Result is the paper's Figure 8: the fault-rate table (a), the
+// queueing-structure AVFs of the stressmarks generated for the Baseline,
+// RHC and EDR rate sets (b), and the final knobs for RHC (c) and EDR (d).
+type Fig8Result struct {
+	Config             string
+	Rates              map[string]uarch.FaultRates
+	Marks              []AVFRow // stressmark:Baseline, stressmark:RHC, stressmark:EDR
+	KnobsRHC, KnobsEDR codegen.Knobs
+}
+
+func (f *Fig8Result) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 8(a) — circuit-level fault rates (units/bit)\n\n")
+	t := &report.Table{Headers: []string{"structure", "RHC", "EDR"}}
+	rhc, edr := f.Rates["RHC"], f.Rates["EDR"]
+	for _, s := range []uarch.Structure{uarch.ROB, uarch.IQ, uarch.FU, uarch.RF,
+		uarch.LQTag, uarch.LQData, uarch.SQTag, uarch.SQData} {
+		t.AddRow(s.String(), rhc[s], edr[s])
+	}
+	b.WriteString(t.String())
+
+	b.WriteString("\nFigure 8(b) — AVF (%) of queueing structures, per-rate-set stressmarks\n\n")
+	qs := []uarch.Structure{uarch.IQ, uarch.ROB, uarch.FU, uarch.RF,
+		uarch.LQTag, uarch.LQData, uarch.SQTag, uarch.SQData}
+	headers := []string{"stressmark"}
+	for _, s := range qs {
+		headers = append(headers, s.String())
+	}
+	t2 := &report.Table{Headers: headers}
+	for _, m := range f.Marks {
+		cells := []interface{}{m.Name}
+		for _, s := range qs {
+			cells = append(cells, fmt.Sprintf("%.1f", m.AVF[s]*100))
+		}
+		t2.AddRow(cells...)
+	}
+	b.WriteString(t2.String())
+	fmt.Fprintf(&b, "\nFigure 8(c) — knobs for Config RHC\n\n%s", f.KnobsRHC)
+	fmt.Fprintf(&b, "\nFigure 8(d) — knobs for Config EDR\n\n%s", f.KnobsEDR)
+	return b.String()
+}
+
+// Fig8 runs the three rate-set searches and assembles Figure 8.
+func (c *Context) Fig8() (*Fig8Result, error) {
+	cfg := c.Baseline
+	base, err := c.Stressmark("baseline", cfg, uarch.UniformRates(1))
+	if err != nil {
+		return nil, err
+	}
+	rhc, err := c.Stressmark("rhc", cfg, uarch.RHCRates())
+	if err != nil {
+		return nil, err
+	}
+	edr, err := c.Stressmark("edr", cfg, uarch.EDRRates())
+	if err != nil {
+		return nil, err
+	}
+	return &Fig8Result{
+		Config: cfg.Name,
+		Rates:  map[string]uarch.FaultRates{"RHC": uarch.RHCRates(), "EDR": uarch.EDRRates()},
+		Marks: []AVFRow{
+			avfRow("stressmark:Baseline", base.Result),
+			avfRow("stressmark:RHC", rhc.Result),
+			avfRow("stressmark:EDR", edr.Result),
+		},
+		KnobsRHC: rhc.Knobs,
+		KnobsEDR: edr.Knobs,
+	}, nil
+}
+
+// Fig9Result is the paper's Figure 9: the stressmark re-generated for
+// Configuration A, compared per structure with the baseline stressmark.
+type Fig9Result struct {
+	Marks []AVFRow // stressmark:Baseline, stressmark:ConfigA
+	Knobs codegen.Knobs
+}
+
+func (f *Fig9Result) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 9(a) — AVF (%) of queueing and storage structures\n\n")
+	headers := []string{"stressmark"}
+	for _, s := range fig6Structs {
+		headers = append(headers, s.String())
+	}
+	t := &report.Table{Headers: headers}
+	for _, m := range f.Marks {
+		cells := []interface{}{m.Name}
+		for _, s := range fig6Structs {
+			cells = append(cells, fmt.Sprintf("%.1f", m.AVF[s]*100))
+		}
+		t.AddRow(cells...)
+	}
+	b.WriteString(t.String())
+	fmt.Fprintf(&b, "\nFigure 9(b) — knobs for the final GA solution (Configuration A)\n\n%s", f.Knobs)
+	return b.String()
+}
+
+// Fig9 searches on Configuration A and compares with the baseline
+// stressmark.
+func (c *Context) Fig9() (*Fig9Result, error) {
+	base, err := c.Stressmark("baseline", c.Baseline, uarch.UniformRates(1))
+	if err != nil {
+		return nil, err
+	}
+	ca, err := c.Stressmark("configA", c.ConfigA, uarch.UniformRates(1))
+	if err != nil {
+		return nil, err
+	}
+	return &Fig9Result{
+		Marks: []AVFRow{
+			avfRow("stressmark:Baseline", base.Result),
+			avfRow("stressmark:ConfigA", ca.Result),
+		},
+		Knobs: ca.Knobs,
+	}, nil
+}

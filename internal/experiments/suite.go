@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Names lists the runnable experiments in paper order.
+func Names() []string {
+	return []string{"table1", "table2", "fig3", "fig4", "fig5", "fig6",
+		"fig7", "fig8", "fig9", "table3", "worstcase", "powercontrast", "hvf"}
+}
+
+// Run executes one named experiment and returns its rendered report.
+func (c *Context) Run(name string) (string, error) {
+	switch name {
+	case "table1":
+		return "Table I — " + ConfigTable(c.Baseline), nil
+	case "table2":
+		return "Table II — " + ConfigTable(c.ConfigA), nil
+	case "fig3":
+		r, err := c.Fig3()
+		return render(r, err)
+	case "fig4":
+		r, err := c.Fig4()
+		return render(r, err)
+	case "fig5":
+		r, err := c.Fig5()
+		return render(r, err)
+	case "fig6":
+		r, err := c.Fig6()
+		return render(r, err)
+	case "fig7":
+		r, err := c.Fig7()
+		return render(r, err)
+	case "fig8":
+		r, err := c.Fig8()
+		return render(r, err)
+	case "fig9":
+		r, err := c.Fig9()
+		return render(r, err)
+	case "table3":
+		r, err := c.Table3()
+		return render(r, err)
+	case "worstcase":
+		r, err := c.WorstCase()
+		return render(r, err)
+	case "powercontrast":
+		r, err := c.PowerContrast()
+		return render(r, err)
+	case "hvf":
+		r, err := c.HVFStudy()
+		return render(r, err)
+	}
+	return "", fmt.Errorf("experiments: unknown experiment %q (have %s)",
+		name, strings.Join(Names(), ", "))
+}
+
+func render(r fmt.Stringer, err error) (string, error) {
+	if err != nil {
+		return "", err
+	}
+	return r.String(), nil
+}
+
+// RunAll executes every experiment in order and returns the combined
+// report.
+func (c *Context) RunAll() (string, error) {
+	var b strings.Builder
+	for _, n := range Names() {
+		s, err := c.Run(n)
+		if err != nil {
+			return b.String(), fmt.Errorf("%s: %w", n, err)
+		}
+		fmt.Fprintf(&b, "%s\n%s\n%s\n\n", strings.Repeat("=", 72), s, strings.Repeat("=", 72))
+	}
+	return b.String(), nil
+}

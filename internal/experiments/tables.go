@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"avfstress/internal/analysis"
+	"avfstress/internal/avf"
+	"avfstress/internal/report"
+	"avfstress/internal/uarch"
+)
+
+// ConfigTable renders Table I (Baseline) or Table II (Configuration A).
+func ConfigTable(cfg uarch.Config) string {
+	t := &report.Table{Title: fmt.Sprintf("Configuration %s", cfg.Name),
+		Headers: []string{"parameter", "value"}}
+	c := cfg.Core
+	t.AddRow("Integer ALUs", fmt.Sprintf("%d, %d cycle latency, %d bit wide", c.NumALUs, c.ALULatency, c.RegBits))
+	t.AddRow("Integer Multiplier", fmt.Sprintf("%d, %d cycle latency", c.NumMuls, c.MulLatency))
+	t.AddRow("Fetch/slot/map/issue/commit", fmt.Sprintf("%d/%d/%d/%d/%d per cycle",
+		c.FetchWidth, c.MapWidth, c.MapWidth, c.IssueWidth, c.CommitWidth))
+	t.AddRow("Memory issues per cycle", c.MemIssuePerCycle)
+	t.AddRow("Integer Issue Queue", fmt.Sprintf("%d entries, %d bits/entry", c.IQEntries, c.IQEntryBits))
+	t.AddRow("ROB", fmt.Sprintf("%d entries, %d bits/entry", c.ROBEntries, c.ROBEntryBits))
+	t.AddRow("Integer rename register file", fmt.Sprintf("%d, %d bits/register", c.PhysRegs, c.RegBits))
+	t.AddRow("LQ/SQ", fmt.Sprintf("%d/%d entries, %d bits/entry", c.LQEntries, c.SQEntries, c.LSQEntryBits))
+	t.AddRow("Branch Misprediction Penalty", fmt.Sprintf("%d cycles", c.MispredictPenalty))
+	m := cfg.Mem
+	t.AddRow("L1 I-cache", fmt.Sprintf("%dkB, %d-way, %dB line, %d cycle",
+		m.IL1.SizeBytes>>10, m.IL1.Ways, m.IL1.LineBytes, m.IL1.HitLatency))
+	t.AddRow("L1 D-cache", fmt.Sprintf("%dkB, %d-way, %dB line, %d cycle",
+		m.DL1.SizeBytes>>10, m.DL1.Ways, m.DL1.LineBytes, m.DL1.HitLatency))
+	t.AddRow("DTLB", fmt.Sprintf("%d entry, fully associative, %dkB page",
+		m.DTLB.Entries, m.DTLB.PageBytes>>10))
+	t.AddRow("L2 cache", fmt.Sprintf("%dkB, %d-way, %d cycle latency",
+		m.L2.SizeBytes>>10, m.L2.Ways, m.L2.HitLatency))
+	t.AddRow("Memory latency", fmt.Sprintf("%d cycles", m.MemLatency))
+	return t.String()
+}
+
+// Table3Row is one row of the paper's Table III.
+type Table3Row struct {
+	Config          string
+	Stressmark      float64
+	BestProgram     string
+	BestProgramSER  float64
+	SumPerStructure float64
+	SumRawRates     float64
+}
+
+// Table3Result compares the worst-case-SER estimation methodologies in
+// the core (QS+RF) under the three fault-rate sets.
+type Table3Result struct {
+	Rows []Table3Row
+}
+
+func (t *Table3Result) String() string {
+	tb := &report.Table{
+		Title:   "Table III — worst-case core SER estimation methodologies (units/bit)",
+		Headers: []string{"configuration", "stressmark", "best individual program", "sum of highest per-structure", "sum of raw rates"},
+	}
+	for _, r := range t.Rows {
+		tb.AddRow(r.Config, r.Stressmark,
+			fmt.Sprintf("%.3f (%s)", r.BestProgramSER, r.BestProgram),
+			r.SumPerStructure, r.SumRawRates)
+	}
+	var b strings.Builder
+	b.WriteString(tb.String())
+	b.WriteString("\nper-structure-max composes states no one program realises; raw rates ignore masking entirely.\n")
+	return b.String()
+}
+
+// Table3 reproduces Table III for the Baseline, RHC and EDR rate sets.
+func (c *Context) Table3() (*Table3Result, error) {
+	cfg := c.Baseline
+	all, err := c.Workloads(cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := &Table3Result{}
+	for _, rs := range []struct {
+		name, key string
+		rates     uarch.FaultRates
+	}{
+		{"Baseline", "baseline", uarch.UniformRates(1)},
+		{"RHC", "rhc", uarch.RHCRates()},
+		{"EDR", "edr", uarch.EDRRates()},
+	} {
+		sm, err := c.Stressmark(rs.key, cfg, rs.rates)
+		if err != nil {
+			return nil, err
+		}
+		best, bestSER := analysis.Best(all, cfg, rs.rates, avf.ClassQSRF)
+		out.Rows = append(out.Rows, Table3Row{
+			Config:          rs.name,
+			Stressmark:      sm.Result.SER(cfg, rs.rates, avf.ClassQSRF),
+			BestProgram:     best.Workload,
+			BestProgramSER:  bestSER,
+			SumPerStructure: analysis.SumOfHighestPerStructure(all, cfg, rs.rates, avf.ClassQSRF),
+			SumRawRates:     analysis.SumOfRawRates(cfg, rs.rates, avf.ClassQSRF),
+		})
+	}
+	return out, nil
+}
+
+// WorstCaseResult is the §VI analysis: the instantaneous occupancy bound
+// against the stressmark's sustained SER (0.899 vs 0.797 in the paper).
+type WorstCaseResult struct {
+	Breakdown  analysis.WorstCaseBreakdown
+	Stressmark float64 // sustained QS SER of the stressmark
+	Coverage   []analysis.Coverage
+}
+
+func (w *WorstCaseResult) String() string {
+	var b strings.Builder
+	b.WriteString("§VI analysis — instantaneous bound vs sustained stressmark (QS)\n\n")
+	fmt.Fprintf(&b, "  %s\n", w.Breakdown)
+	fmt.Fprintf(&b, "  stressmark sustained QS SER: %.3f units/bit (%.0f%% of the unsustainable bound)\n\n",
+		w.Stressmark, 100*w.Stressmark/w.Breakdown.Value())
+	b.WriteString("workload-suite SER coverage (Figure 1 discussion):\n")
+	for _, cov := range w.Coverage {
+		b.WriteString("  " + cov.String())
+	}
+	return b.String()
+}
+
+// WorstCase reproduces the §VI back-of-the-envelope check and the
+// coverage analysis of the workload suite.
+func (c *Context) WorstCase() (*WorstCaseResult, error) {
+	cfg := c.Baseline
+	rates := uarch.UniformRates(1)
+	sm, err := c.Stressmark("baseline", cfg, rates)
+	if err != nil {
+		return nil, err
+	}
+	all, err := c.Workloads(cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := &WorstCaseResult{
+		Breakdown:  analysis.InstantaneousWorstCase(cfg),
+		Stressmark: sm.Result.SER(cfg, rates, avf.ClassQS),
+	}
+	for _, cl := range avf.AllClasses() {
+		out.Coverage = append(out.Coverage,
+			analysis.SuiteCoverage(all, cfg, rates, cl, sm.Result.SER(cfg, rates, cl)))
+	}
+	return out, nil
+}

@@ -1,0 +1,455 @@
+// Package ga is a generational genetic-algorithm framework standing in
+// for the IBM SNAP tool the paper obtained under NDA. It provides the
+// observable behaviour the paper relies on: tournament selection,
+// crossover at rate ~0.73 and per-gene mutation at rate ~0.05 (the
+// Grefenstette / Srinivas-Patnaik recommended ranges the paper cites),
+// elitism, parallel fitness evaluation (the paper ran six simulations in
+// parallel), and a convergence-triggered cataclysm that moves the best
+// known solution into a fresh random population — the abrupt
+// average-fitness drop visible in the paper's Figure 5(b).
+package ga
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+)
+
+// Gene describes one genome dimension.
+type Gene struct {
+	Name    string
+	Min     float64 // inclusive
+	Max     float64 // inclusive
+	Integer bool    // values are rounded to integers
+}
+
+// quantise snaps v into the gene's domain.
+func (g Gene) quantise(v float64) float64 {
+	if v < g.Min {
+		v = g.Min
+	}
+	if v > g.Max {
+		v = g.Max
+	}
+	if g.Integer {
+		v = math.Round(v)
+	}
+	return v
+}
+
+// Genome is one candidate solution (one value per gene).
+type Genome []float64
+
+// Clone returns a copy of the genome.
+func (g Genome) Clone() Genome { return append(Genome(nil), g...) }
+
+// Fitness evaluates a genome; larger is better. It must be a pure
+// function of the genome for the GA to be deterministic under a seed.
+type Fitness func(Genome) (float64, error)
+
+// Config parameterises a run.
+type Config struct {
+	Genes       []Gene
+	PopSize     int
+	Generations int
+
+	// CrossoverRate is the probability a selected pair recombines
+	// (default 0.73, the value the paper uses).
+	CrossoverRate float64
+	// MutationRate is the per-gene mutation probability (default 0.05).
+	MutationRate float64
+	// Elites are the top individuals copied unchanged (default 2).
+	Elites int
+	// TournamentK is the selection tournament size (default 2).
+	TournamentK int
+
+	// CataclysmSpread triggers a cataclysm when the population's relative
+	// fitness spread (stddev/mean) stays below this for CataclysmPatience
+	// generations (defaults 0.02 and 3).
+	CataclysmSpread   float64
+	CataclysmPatience int
+
+	// Islands splits the population into that many sub-populations that
+	// evolve independently; every MigrationEvery generations each
+	// island's best individual migrates to the next island in a ring
+	// (SNAP's migration operator: "changing the population of the
+	// solution"). 0 or 1 disables the island model. MigrationEvery
+	// defaults to 3.
+	Islands        int
+	MigrationEvery int
+
+	// Parallelism bounds concurrent fitness evaluations (default
+	// GOMAXPROCS).
+	Parallelism int
+
+	// InitialPopulation seeds the first generation with known genomes
+	// (clipped to PopSize); the remainder is random. Useful for resuming
+	// a search or biasing it with a known-good solution.
+	InitialPopulation []Genome
+
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.PopSize <= 0 {
+		c.PopSize = 50
+	}
+	if c.Generations <= 0 {
+		c.Generations = 50
+	}
+	if c.CrossoverRate <= 0 {
+		c.CrossoverRate = 0.73
+	}
+	if c.MutationRate <= 0 {
+		c.MutationRate = 0.05
+	}
+	if c.Elites <= 0 {
+		c.Elites = 2
+	}
+	if c.Elites >= c.PopSize {
+		c.Elites = c.PopSize - 1
+	}
+	if c.TournamentK <= 0 {
+		c.TournamentK = 2
+	}
+	if c.CataclysmSpread <= 0 {
+		c.CataclysmSpread = 0.02
+	}
+	if c.CataclysmPatience <= 0 {
+		c.CataclysmPatience = 3
+	}
+	if c.Islands <= 1 {
+		c.Islands = 1
+	}
+	if c.Islands > c.PopSize/2 {
+		c.Islands = c.PopSize / 2
+	}
+	if c.Islands < 1 {
+		c.Islands = 1
+	}
+	if c.MigrationEvery <= 0 {
+		c.MigrationEvery = 3
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if len(c.Genes) == 0 {
+		return errors.New("ga: no genes")
+	}
+	for i, g := range c.Genes {
+		if g.Max < g.Min {
+			return fmt.Errorf("ga: gene %d (%s): max %v < min %v", i, g.Name, g.Max, g.Min)
+		}
+	}
+	return nil
+}
+
+// GenStats summarises one generation.
+type GenStats struct {
+	Generation int
+	Best       float64
+	Avg        float64
+	Worst      float64
+	// Cataclysm marks that a cataclysm was applied after this generation.
+	Cataclysm bool
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	// Best is the best genome ever evaluated (cataclysms cannot lose it).
+	Best        Genome
+	BestFitness float64
+	History     []GenStats
+	Evaluations int
+	Cataclysms  int
+}
+
+// Run executes the GA and returns the best solution found.
+func Run(cfg Config, fit Fitness) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if fit == nil {
+		return nil, errors.New("ga: nil fitness")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	pop := make([]Genome, cfg.PopSize)
+	for i := range pop {
+		if i < len(cfg.InitialPopulation) && len(cfg.InitialPopulation[i]) == len(cfg.Genes) {
+			pop[i] = cfg.InitialPopulation[i].Clone()
+			for j, gene := range cfg.Genes {
+				pop[i][j] = gene.quantise(pop[i][j])
+			}
+			continue
+		}
+		pop[i] = randomGenome(cfg.Genes, rng)
+	}
+
+	res := &Result{BestFitness: math.Inf(-1)}
+	scores := make([]float64, cfg.PopSize)
+	stale := 0
+	for gen := 0; gen < cfg.Generations; gen++ {
+		if err := evaluate(pop, scores, fit, cfg.Parallelism); err != nil {
+			return nil, fmt.Errorf("ga: generation %d: %w", gen, err)
+		}
+		res.Evaluations += len(pop)
+
+		st := summarise(gen, scores)
+		bi := bestIndex(scores)
+		if scores[bi] > res.BestFitness {
+			res.BestFitness = scores[bi]
+			res.Best = pop[bi].Clone()
+		}
+
+		// Convergence check → cataclysm (skip on the final generation).
+		if st.relSpread() < cfg.CataclysmSpread {
+			stale++
+		} else {
+			stale = 0
+		}
+		if stale >= cfg.CataclysmPatience && gen < cfg.Generations-1 {
+			st.Cataclysm = true
+			res.Cataclysms++
+			stale = 0
+			seed := res.Best.Clone()
+			for i := range pop {
+				pop[i] = randomGenome(cfg.Genes, rng)
+			}
+			pop[0] = seed
+			res.History = append(res.History, st)
+			continue
+		}
+		res.History = append(res.History, st)
+		if gen == cfg.Generations-1 {
+			break
+		}
+		if cfg.Islands > 1 {
+			pop = nextGenerationIslands(cfg, pop, scores, rng)
+			if (gen+1)%cfg.MigrationEvery == 0 {
+				migrate(cfg, pop, scores)
+			}
+		} else {
+			pop = nextGeneration(cfg, pop, scores, rng)
+		}
+	}
+	return res, nil
+}
+
+// islandBounds returns the [start, end) slice of island i.
+func islandBounds(cfg Config, i int) (int, int) {
+	per := cfg.PopSize / cfg.Islands
+	start := i * per
+	end := start + per
+	if i == cfg.Islands-1 {
+		end = cfg.PopSize
+	}
+	return start, end
+}
+
+// nextGenerationIslands evolves each island independently (selection and
+// crossover never cross island boundaries).
+func nextGenerationIslands(cfg Config, pop []Genome, scores []float64, rng *rand.Rand) []Genome {
+	next := make([]Genome, 0, len(pop))
+	for i := 0; i < cfg.Islands; i++ {
+		s, e := islandBounds(cfg, i)
+		sub := cfg
+		sub.PopSize = e - s
+		sub.Elites = 1
+		next = append(next, nextGeneration(sub, pop[s:e], scores[s:e], rng)...)
+	}
+	return next
+}
+
+// migrate copies each island's best individual over the worst individual
+// of the next island in the ring — SNAP's migration operator.
+func migrate(cfg Config, pop []Genome, scores []float64) {
+	type be struct{ best, worst int }
+	idx := make([]be, cfg.Islands)
+	for i := 0; i < cfg.Islands; i++ {
+		s, e := islandBounds(cfg, i)
+		b, w := s, s
+		for j := s; j < e; j++ {
+			if scores[j] > scores[b] {
+				b = j
+			}
+			if scores[j] < scores[w] {
+				w = j
+			}
+		}
+		idx[i] = be{b, w}
+	}
+	// Snapshot the migrants first so a chain of migrations is stable.
+	migrants := make([]Genome, cfg.Islands)
+	for i := range migrants {
+		migrants[i] = pop[idx[i].best].Clone()
+	}
+	for i := 0; i < cfg.Islands; i++ {
+		dst := (i + 1) % cfg.Islands
+		pop[idx[dst].worst] = migrants[i]
+	}
+}
+
+// relSpread is the population's stddev/|mean| (0 when mean is 0).
+func (s GenStats) relSpread() float64 {
+	if s.Avg == 0 {
+		return 0
+	}
+	// Approximate spread from the recorded range; cheap and monotone with
+	// the true stddev for the purposes of convergence detection.
+	return (s.Best - s.Worst) / math.Abs(s.Avg)
+}
+
+func summarise(gen int, scores []float64) GenStats {
+	st := GenStats{Generation: gen, Best: math.Inf(-1), Worst: math.Inf(1)}
+	sum := 0.0
+	for _, s := range scores {
+		sum += s
+		if s > st.Best {
+			st.Best = s
+		}
+		if s < st.Worst {
+			st.Worst = s
+		}
+	}
+	st.Avg = sum / float64(len(scores))
+	return st
+}
+
+func bestIndex(scores []float64) int {
+	bi := 0
+	for i, s := range scores {
+		if s > scores[bi] {
+			bi = i
+		}
+	}
+	return bi
+}
+
+func evaluate(pop []Genome, scores []float64, fit Fitness, parallelism int) error {
+	sem := make(chan struct{}, parallelism)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for i := range pop {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			s, err := fit(pop[i])
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("individual %d: %w", i, err)
+				}
+				mu.Unlock()
+				return
+			}
+			scores[i] = s
+		}(i)
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// nextGeneration applies elitism, tournament selection, two-point
+// crossover and per-gene mutation.
+func nextGeneration(cfg Config, pop []Genome, scores []float64, rng *rand.Rand) []Genome {
+	n := len(pop)
+	next := make([]Genome, 0, n)
+
+	// Elites, best first.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	for i := 0; i < cfg.Elites; i++ {
+		bi := i
+		for j := i + 1; j < n; j++ {
+			if scores[order[j]] > scores[order[bi]] {
+				bi = j
+			}
+		}
+		order[i], order[bi] = order[bi], order[i]
+		next = append(next, pop[order[i]].Clone())
+	}
+
+	sel := func() Genome {
+		best := rng.Intn(n)
+		for k := 1; k < cfg.TournamentK; k++ {
+			c := rng.Intn(n)
+			if scores[c] > scores[best] {
+				best = c
+			}
+		}
+		return pop[best]
+	}
+	for len(next) < n {
+		a, b := sel().Clone(), sel().Clone()
+		if rng.Float64() < cfg.CrossoverRate {
+			crossover(a, b, rng)
+		}
+		mutate(cfg.Genes, a, cfg.MutationRate, rng)
+		next = append(next, a)
+		if len(next) < n {
+			mutate(cfg.Genes, b, cfg.MutationRate, rng)
+			next = append(next, b)
+		}
+	}
+	return next
+}
+
+// crossover performs two-point crossover in place (single-point for
+// short genomes).
+func crossover(a, b Genome, rng *rand.Rand) {
+	n := len(a)
+	if n < 2 {
+		return
+	}
+	i := rng.Intn(n)
+	j := rng.Intn(n)
+	if i > j {
+		i, j = j, i
+	}
+	for k := i; k <= j; k++ {
+		a[k], b[k] = b[k], a[k]
+	}
+}
+
+// mutate resets each gene with probability rate to a fresh uniform value
+// (SNAP-style random reset) or, half the time, perturbs it by a tenth of
+// its range.
+func mutate(genes []Gene, g Genome, rate float64, rng *rand.Rand) {
+	for i, gene := range genes {
+		if rng.Float64() >= rate {
+			continue
+		}
+		if rng.Float64() < 0.5 {
+			g[i] = sample(gene, rng)
+		} else {
+			span := gene.Max - gene.Min
+			g[i] = gene.quantise(g[i] + rng.NormFloat64()*span/10)
+		}
+	}
+}
+
+func randomGenome(genes []Gene, rng *rand.Rand) Genome {
+	g := make(Genome, len(genes))
+	for i, gene := range genes {
+		g[i] = sample(gene, rng)
+	}
+	return g
+}
+
+func sample(g Gene, rng *rand.Rand) float64 {
+	return g.quantise(g.Min + rng.Float64()*(g.Max-g.Min))
+}

@@ -1,0 +1,312 @@
+package ga
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func genes(n int) []Gene {
+	gs := make([]Gene, n)
+	for i := range gs {
+		gs[i] = Gene{Name: "g", Min: 0, Max: 1}
+	}
+	return gs
+}
+
+// sphere is a smooth test objective maximised at the centre (0.5, ...).
+func sphere(g Genome) (float64, error) {
+	s := 0.0
+	for _, v := range g {
+		d := v - 0.5
+		s += d * d
+	}
+	return -s, nil
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Run(Config{}, sphere); err == nil {
+		t.Error("empty gene list accepted")
+	}
+	if _, err := Run(Config{Genes: []Gene{{Min: 2, Max: 1}}}, sphere); err == nil {
+		t.Error("inverted gene range accepted")
+	}
+	if _, err := Run(Config{Genes: genes(2)}, nil); err == nil {
+		t.Error("nil fitness accepted")
+	}
+}
+
+func TestSphereConverges(t *testing.T) {
+	res, err := Run(Config{
+		Genes: genes(6), PopSize: 40, Generations: 40, Seed: 7,
+	}, sphere)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestFitness < -0.02 {
+		t.Errorf("best fitness %f, want ≥ -0.02 (near the optimum)", res.BestFitness)
+	}
+	for _, v := range res.Best {
+		if math.Abs(v-0.5) > 0.15 {
+			t.Errorf("gene %f far from optimum 0.5", v)
+		}
+	}
+	if res.Evaluations != 40*40 {
+		t.Errorf("evaluations = %d, want 1600", res.Evaluations)
+	}
+}
+
+func TestOneMaxWithIntegerGenes(t *testing.T) {
+	gs := make([]Gene, 10)
+	for i := range gs {
+		gs[i] = Gene{Min: 0, Max: 1, Integer: true}
+	}
+	onemax := func(g Genome) (float64, error) {
+		s := 0.0
+		for _, v := range g {
+			s += v
+		}
+		return s, nil
+	}
+	res, err := Run(Config{Genes: gs, PopSize: 30, Generations: 30, Seed: 3}, onemax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestFitness < 9.5 {
+		t.Errorf("onemax best %f, want 10", res.BestFitness)
+	}
+}
+
+func TestBestSoFarIsMonotone(t *testing.T) {
+	res, err := Run(Config{Genes: genes(4), PopSize: 20, Generations: 25, Seed: 11}, sphere)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := math.Inf(-1)
+	for _, h := range res.History {
+		if h.Best < best-1e-9 && !h.Cataclysm {
+			// Elitism carries the best individual, so the per-generation
+			// best never regresses except right after a cataclysm (when
+			// the population is re-randomised around the saved best).
+			t.Errorf("generation %d best %f regressed below %f", h.Generation, h.Best, best)
+		}
+		if h.Best > best {
+			best = h.Best
+		}
+	}
+	if res.BestFitness < best-1e-9 {
+		t.Error("result best is below the history best")
+	}
+}
+
+func TestDeterministicUnderSeed(t *testing.T) {
+	run := func() *Result {
+		r, err := Run(Config{Genes: genes(5), PopSize: 16, Generations: 12, Seed: 99, Parallelism: 4}, sphere)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a, b := run(), run()
+	if a.BestFitness != b.BestFitness {
+		t.Errorf("same seed, different best: %f vs %f", a.BestFitness, b.BestFitness)
+	}
+	for i := range a.Best {
+		if a.Best[i] != b.Best[i] {
+			t.Fatal("same seed, different genome")
+		}
+	}
+	c, err := Run(Config{Genes: genes(5), PopSize: 16, Generations: 12, Seed: 100}, sphere)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Best {
+		if a.Best[i] != c.Best[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical genomes (suspicious)")
+	}
+}
+
+func TestCataclysmTriggersOnConvergence(t *testing.T) {
+	// A constant fitness landscape converges immediately: the spread is 0
+	// from generation 0, so a cataclysm must fire after the patience
+	// window.
+	flat := func(Genome) (float64, error) { return 1, nil }
+	res, err := Run(Config{
+		Genes: genes(3), PopSize: 10, Generations: 20, Seed: 5,
+		CataclysmPatience: 3,
+	}, flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cataclysms == 0 {
+		t.Error("no cataclysm on a fully converged population")
+	}
+	marked := 0
+	for _, h := range res.History {
+		if h.Cataclysm {
+			marked++
+		}
+	}
+	if marked != res.Cataclysms {
+		t.Errorf("history marks %d cataclysms, result says %d", marked, res.Cataclysms)
+	}
+}
+
+func TestCataclysmKeepsBest(t *testing.T) {
+	// Even across cataclysms, the returned best must be the best ever.
+	calls := 0
+	tricky := func(g Genome) (float64, error) {
+		calls++
+		if calls == 5 {
+			return 100, nil // one early lucky individual
+		}
+		return g[0], nil
+	}
+	res, err := Run(Config{Genes: genes(2), PopSize: 8, Generations: 10, Seed: 2,
+		CataclysmPatience: 2}, tricky)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestFitness != 100 {
+		t.Errorf("best-ever lost: %f", res.BestFitness)
+	}
+}
+
+func TestInitialPopulationSeeding(t *testing.T) {
+	seeded := Genome{0.5, 0.5, 0.5}
+	res, err := Run(Config{
+		Genes: genes(3), PopSize: 6, Generations: 1, Seed: 1,
+		InitialPopulation: []Genome{seeded},
+	}, sphere)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The seeded genome is the sphere optimum: generation 0 must find it.
+	if res.BestFitness != 0 {
+		t.Errorf("seeded optimum not evaluated: best %f", res.BestFitness)
+	}
+}
+
+func TestFitnessErrorPropagates(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := Run(Config{Genes: genes(2), PopSize: 4, Generations: 2, Seed: 1},
+		func(Genome) (float64, error) { return 0, boom })
+	if err == nil || !errors.Is(err, boom) {
+		t.Errorf("fitness error lost: %v", err)
+	}
+}
+
+// Property: mutation and crossover never move genes outside their ranges.
+func TestQuickOperatorsRespectBounds(t *testing.T) {
+	gs := []Gene{
+		{Min: -3, Max: 7, Integer: false},
+		{Min: 0, Max: 5, Integer: true},
+		{Min: 1, Max: 1, Integer: true}, // degenerate range
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := randomGenome(gs, rng), randomGenome(gs, rng)
+		crossover(a, b, rng)
+		mutate(gs, a, 0.8, rng)
+		mutate(gs, b, 0.8, rng)
+		for _, g := range []Genome{a, b} {
+			for i, gene := range gs {
+				if g[i] < gene.Min || g[i] > gene.Max {
+					return false
+				}
+				if gene.Integer && g[i] != math.Round(g[i]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestElitesSurviveUnchanged(t *testing.T) {
+	cfg := Config{Genes: genes(3), PopSize: 10, Elites: 2, TournamentK: 2}.withDefaults()
+	rng := rand.New(rand.NewSource(4))
+	pop := make([]Genome, cfg.PopSize)
+	scores := make([]float64, cfg.PopSize)
+	for i := range pop {
+		pop[i] = randomGenome(cfg.Genes, rng)
+		scores[i], _ = sphere(pop[i])
+	}
+	bi := bestIndex(scores)
+	next := nextGeneration(cfg, pop, scores, rng)
+	found := false
+	for _, g := range next[:cfg.Elites] {
+		same := true
+		for i := range g {
+			if g[i] != pop[bi][i] {
+				same = false
+			}
+		}
+		if same {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("best individual not carried into the next generation")
+	}
+	if len(next) != cfg.PopSize {
+		t.Errorf("next generation has %d individuals", len(next))
+	}
+}
+
+func TestIslandModelConvergesAndMigrates(t *testing.T) {
+	res, err := Run(Config{
+		Genes: genes(5), PopSize: 24, Generations: 30, Seed: 13,
+		Islands: 4, MigrationEvery: 2,
+	}, sphere)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestFitness < -0.05 {
+		t.Errorf("island GA best %f, want near 0", res.BestFitness)
+	}
+}
+
+func TestIslandBoundsPartition(t *testing.T) {
+	cfg := Config{PopSize: 25, Islands: 4}.withDefaults()
+	covered := 0
+	for i := 0; i < cfg.Islands; i++ {
+		s, e := islandBounds(cfg, i)
+		if e <= s {
+			t.Fatalf("island %d empty [%d,%d)", i, s, e)
+		}
+		covered += e - s
+	}
+	if covered != cfg.PopSize {
+		t.Errorf("islands cover %d of %d individuals", covered, cfg.PopSize)
+	}
+}
+
+func TestMigrationMovesBestGenome(t *testing.T) {
+	cfg := Config{Genes: genes(1), PopSize: 8, Islands: 2}.withDefaults()
+	pop := make([]Genome, 8)
+	scores := make([]float64, 8)
+	for i := range pop {
+		pop[i] = Genome{float64(i) / 10}
+		scores[i] = float64(i) // island 0 best = 3, island 1 best = 7
+	}
+	migrate(cfg, pop, scores)
+	// Island 1's worst (index 4) receives island 0's best (genome 0.3);
+	// island 0's worst (index 0) receives island 1's best (genome 0.7).
+	if pop[4][0] != 0.3 {
+		t.Errorf("island 1 worst = %v, want 0.3", pop[4][0])
+	}
+	if pop[0][0] != 0.7 {
+		t.Errorf("island 0 worst = %v, want 0.7", pop[0][0])
+	}
+}

@@ -1,0 +1,246 @@
+package pipe
+
+import (
+	"avfstress/internal/avf"
+	"avfstress/internal/isa"
+	"avfstress/internal/prog"
+	"avfstress/internal/uarch"
+)
+
+// accounting accumulates ACE residency per structure, in entry-cycles
+// (FU in stage-cycles, RF in register-cycles). Intervals are clipped at
+// the measurement-window start so warmup contributes nothing.
+type accounting struct {
+	measuring   bool
+	windowStart int64
+	warmupLeft  int64
+	warmupDone  int64
+
+	committed    int64
+	aceCommitted int64
+	loads        int64
+	stores       int64
+	branches     int64
+	longArith    int64
+
+	fetched          int64
+	wrongPathFetched int64
+	branchesFetched  int64
+	mispredicts      int64
+	flushed          int64
+
+	// Activity counters for the power proxy (issue-stage events,
+	// including wrong-path work: squashed instructions burn energy even
+	// though they are un-ACE — the §IV-B asymmetry between power viruses
+	// and AVF stressmarks).
+	issuedALU int64
+	issuedMul int64
+	issuedMem int64
+	issuedBr  int64
+
+	iqAce     int64
+	robAce    int64
+	lqTagAce  int64
+	lqDataAce int64
+	sqTagAce  int64
+	sqDataAce int64
+	fuStage   int64
+	rfRegCyc  int64
+
+	occROB, occIQ, occLQ, occSQ int64
+}
+
+// iv returns the measured length of [start, end), clipped at the window
+// start.
+func (a *accounting) iv(start, end int64) int64 {
+	if start < a.windowStart {
+		start = a.windowStart
+	}
+	if end <= start {
+		return 0
+	}
+	return end - start
+}
+
+// tickN accumulates occupancy diagnostics for n cycles of unchanged
+// state (n > 1 when the run loop fast-forwards through a stall).
+func (a *accounting) tickN(pl *Pipeline, n int64) {
+	a.occROB += n * int64(pl.robCount())
+	a.occIQ += n * int64(pl.iqUsed)
+	a.occLQ += n * int64(pl.lqUsed)
+	a.occSQ += n * int64(pl.sqUsed)
+}
+
+// onCommit folds a retiring instruction's ACE intervals into the
+// accumulators.
+func (a *accounting) onCommit(pl *Pipeline, u *uop) {
+	if !a.measuring || !u.ace {
+		return
+	}
+	now := pl.now
+	a.robAce += a.iv(u.dispatchCycle, now)
+	op := u.op()
+	if op != isa.OpNop {
+		a.iqAce += a.iv(u.dispatchCycle, u.issueCycle)
+	}
+	switch op {
+	case isa.OpLoad:
+		a.lqTagAce += a.iv(u.issueCycle, now)
+		a.lqDataAce += a.iv(u.dataReady, now)
+	case isa.OpStore:
+		a.sqTagAce += a.iv(u.doneCycle, now)
+		a.sqDataAce += a.iv(u.doneCycle, now)
+	case isa.OpAdd, isa.OpMul:
+		a.fuStage += a.iv(u.issueCycle, u.issueCycle+u.execLatency)
+	}
+}
+
+// closeReg folds a physical register's production→last-consumption
+// interval into the RF accumulator.
+func (a *accounting) closeReg(pl *Pipeline, r *physReg) {
+	if !a.measuring || !r.written || !r.aceValue {
+		return
+	}
+	a.rfRegCyc += a.iv(r.writeTime, r.lastRead)
+}
+
+// startMeasurement ends warmup: all ACE and statistics counters restart
+// at the current cycle while microarchitectural state is preserved.
+func (pl *Pipeline) startMeasurement() {
+	pl.acct.measuring = true
+	pl.acct.windowStart = pl.now
+	pl.acct.fetched = 0
+	pl.acct.wrongPathFetched = 0
+	pl.acct.branchesFetched = 0
+	pl.acct.mispredicts = 0
+	pl.acct.flushed = 0
+	pl.mem.ResetACE(pl.now)
+	pl.mem.ResetStats()
+	pl.bp.ResetStats()
+}
+
+// finalize closes every open interval and assembles the Result.
+func (pl *Pipeline) finalize() *avf.Result {
+	a := &pl.acct
+	now := pl.now
+
+	// In-flight instructions contribute their partial intervals.
+	for seq := pl.head; seq < pl.tail; seq++ {
+		u := pl.at(seq)
+		if !u.ace {
+			continue
+		}
+		a.robAce += a.iv(u.dispatchCycle, now)
+		op := u.op()
+		if op != isa.OpNop {
+			if u.state == sWaiting {
+				a.iqAce += a.iv(u.dispatchCycle, now)
+			} else {
+				a.iqAce += a.iv(u.dispatchCycle, u.issueCycle)
+			}
+		}
+		switch op {
+		case isa.OpLoad:
+			if u.state != sWaiting {
+				a.lqTagAce += a.iv(u.issueCycle, now)
+				if u.dataReady <= now {
+					a.lqDataAce += a.iv(u.dataReady, now)
+				}
+			}
+		case isa.OpStore:
+			if u.state == sDone {
+				a.sqTagAce += a.iv(u.doneCycle, now)
+				a.sqDataAce += a.iv(u.doneCycle, now)
+			}
+		case isa.OpAdd, isa.OpMul:
+			if u.state != sWaiting {
+				end := u.issueCycle + u.execLatency
+				if end > now {
+					end = now
+				}
+				a.fuStage += a.iv(u.issueCycle, end)
+			}
+		}
+	}
+	// Live register values.
+	for i := range pl.regs {
+		a.closeReg(pl, &pl.regs[i])
+	}
+	pl.mem.Finalize(now)
+
+	cycles := now - a.windowStart
+	if cycles <= 0 {
+		cycles = 1
+	}
+	core := pl.core
+	fc := float64(cycles)
+	res := &avf.Result{
+		Config:       pl.cfg.Name,
+		Workload:     pl.p.Name,
+		Cycles:       cycles,
+		Instructions: a.committed,
+		IPC:          float64(a.committed) / fc,
+	}
+	res.AVF[uarch.IQ] = clamp01(float64(a.iqAce) / (float64(core.IQEntries) * fc))
+	res.AVF[uarch.ROB] = clamp01(float64(a.robAce) / (float64(core.ROBEntries) * fc))
+	res.AVF[uarch.LQTag] = clamp01(float64(a.lqTagAce) / (float64(core.LQEntries) * fc))
+	res.AVF[uarch.LQData] = clamp01(float64(a.lqDataAce) / (float64(core.LQEntries) * fc))
+	res.AVF[uarch.SQTag] = clamp01(float64(a.sqTagAce) / (float64(core.SQEntries) * fc))
+	res.AVF[uarch.SQData] = clamp01(float64(a.sqDataAce) / (float64(core.SQEntries) * fc))
+	totalStages := float64(core.NumALUs*core.ALULatency + core.NumMuls*core.MulLatency)
+	res.AVF[uarch.FU] = clamp01(float64(a.fuStage) / (totalStages * fc))
+	res.AVF[uarch.RF] = clamp01(float64(a.rfRegCyc) / (float64(core.PhysRegs) * fc))
+	res.AVF[uarch.DL1] = clamp01(pl.mem.DL1.AVF(cycles))
+	res.AVF[uarch.DTLB] = clamp01(pl.mem.DTLB.AVF(cycles))
+	res.AVF[uarch.L2] = clamp01(pl.mem.L2.AVF(cycles))
+
+	res.MispredictRate = pl.bp.MispredictRate()
+	res.DL1MissRate = pl.mem.DL1.MissRate()
+	res.L2MissRate = pl.mem.L2.MissRate()
+	res.DTLBMissRate = pl.mem.DTLB.MissRate()
+	res.OccupancyROB = float64(a.occROB) / (float64(core.ROBEntries) * fc)
+	res.OccupancyIQ = float64(a.occIQ) / (float64(core.IQEntries) * fc)
+	res.OccupancyLQ = float64(a.occLQ) / (float64(core.LQEntries) * fc)
+	res.OccupancySQ = float64(a.occSQ) / (float64(core.SQEntries) * fc)
+	if a.fetched > 0 {
+		res.WrongPathFrac = float64(a.wrongPathFetched) / float64(a.fetched)
+	}
+	res.Activity = avf.ActivityCounts{
+		Fetched:     a.fetched,
+		IssuedALU:   a.issuedALU,
+		IssuedMul:   a.issuedMul,
+		IssuedMem:   a.issuedMem,
+		IssuedBr:    a.issuedBr,
+		DL1Accesses: int64(pl.mem.DL1.Accesses),
+		L2Accesses:  int64(pl.mem.L2.Accesses),
+		Mispredicts: a.mispredicts,
+	}
+	if a.committed > 0 {
+		res.LoadFrac = float64(a.loads) / float64(a.committed)
+		res.StoreFrac = float64(a.stores) / float64(a.committed)
+		res.BranchFrac = float64(a.branches) / float64(a.committed)
+		res.LongArithFrac = float64(a.longArith) / float64(a.committed)
+		res.ACEInstrFrac = float64(a.aceCommitted) / float64(a.committed)
+	}
+	return res
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// Simulate is the package's one-call entry point: build a pipeline for
+// (cfg, p), run it under rc, and return the AVF result.
+func Simulate(cfg uarch.Config, p *prog.Program, rc RunConfig) (*avf.Result, error) {
+	pl, err := New(cfg, p)
+	if err != nil {
+		return nil, err
+	}
+	return pl.Run(rc)
+}

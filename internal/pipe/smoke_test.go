@@ -1,0 +1,72 @@
+package pipe_test
+
+import (
+	"testing"
+
+	"avfstress/internal/avf"
+	"avfstress/internal/codegen"
+	"avfstress/internal/pipe"
+	"avfstress/internal/uarch"
+)
+
+// paperBaselineKnobs are the final GA knob settings the paper reports for
+// the Baseline configuration (Figure 5a).
+func paperBaselineKnobs() codegen.Knobs {
+	return codegen.Knobs{
+		LoopSize: 81, NumLoads: 29, NumStores: 28,
+		NumIndepArith: 5, MissDependent: 7,
+		AvgChainLength: 2.14, DepDistance: 6,
+		FracLongLatency: 0.8, FracRegReg: 0.93,
+		Seed: 42,
+	}
+}
+
+// TestSmokeStressmark runs the paper's reported baseline knobs through
+// the generator and simulator on a scaled configuration, checking that
+// the headline mechanisms appear: high ROB/LQ/SQ occupancy in the miss
+// shadow, near-total DL1/DTLB liveness, and a mostly-ACE L2.
+func TestSmokeStressmark(t *testing.T) {
+	cfg := uarch.Scaled(uarch.Baseline(), 32)
+	p, k, err := codegen.Generate(cfg, paperBaselineKnobs(), 1<<40)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	if k.LoopSize != 81 {
+		t.Fatalf("normalisation changed loop size: %d", k.LoopSize)
+	}
+	if err := codegen.CheckACEClosure(p); err != nil {
+		t.Fatalf("ACE closure: %v", err)
+	}
+	res, err := pipe.Simulate(cfg, p, pipe.RunConfig{
+		MaxInstructions:    220_000,
+		WarmupInstructions: 100_000,
+	})
+	if err != nil {
+		t.Fatalf("simulate: %v", err)
+	}
+	t.Logf("\n%s", res)
+	t.Logf("IPC=%.3f occROB=%.2f occIQ=%.2f occLQ=%.2f occSQ=%.2f dl1miss=%.3f l2miss=%.3f wrongpath=%.3f",
+		res.IPC, res.OccupancyROB, res.OccupancyIQ, res.OccupancyLQ, res.OccupancySQ,
+		res.DL1MissRate, res.L2MissRate, res.WrongPathFrac)
+	t.Logf("SER QS=%.3f QS+RF=%.3f DL1+DTLB=%.3f L2=%.3f",
+		res.SER(cfg, uarch.UniformRates(1), avf.ClassQS),
+		res.SER(cfg, uarch.UniformRates(1), avf.ClassQSRF),
+		res.SER(cfg, uarch.UniformRates(1), avf.ClassDL1DTLB),
+		res.SER(cfg, uarch.UniformRates(1), avf.ClassL2))
+
+	if res.ACEInstrFrac < 0.999 {
+		t.Errorf("stressmark must be 100%% ACE, got %.4f", res.ACEInstrFrac)
+	}
+	if res.AVF[uarch.ROB] < 0.5 {
+		t.Errorf("ROB AVF %.3f too low for a miss-shadow stressmark", res.AVF[uarch.ROB])
+	}
+	if res.AVF[uarch.DL1] < 0.5 {
+		t.Errorf("DL1 AVF %.3f too low for full line coverage", res.AVF[uarch.DL1])
+	}
+	if res.AVF[uarch.DTLB] < 0.5 {
+		t.Errorf("DTLB AVF %.3f too low for full TLB coverage", res.AVF[uarch.DTLB])
+	}
+	if res.AVF[uarch.L2] < 0.4 {
+		t.Errorf("L2 AVF %.3f too low for dirty-resident lines", res.AVF[uarch.L2])
+	}
+}

@@ -1,0 +1,422 @@
+package pipe
+
+import (
+	"avfstress/internal/isa"
+	"avfstress/internal/prog"
+)
+
+// commit retires up to CommitWidth completed instructions in order,
+// releasing resources and folding their ACE intervals into the
+// accumulators. Returns the number committed.
+func (pl *Pipeline) commit() int {
+	n := 0
+	for n < pl.core.CommitWidth && pl.head < pl.tail {
+		u := pl.at(pl.head)
+		if u.state != sDone {
+			break
+		}
+		if u.wrongPath {
+			// Wrong-path uops never reach the ROB head: they are always
+			// flushed when their branch resolves first. Defensive check.
+			panic("pipe: wrong-path uop at commit")
+		}
+		if u.op() == isa.OpStore {
+			// The architectural write happens at retire.
+			pl.mem.Data(pl.now, u.dyn.Addr, 8, true)
+		}
+		if u.oldPhys != noReg {
+			pl.releaseReg(u.oldPhys)
+		}
+		pl.acct.onCommit(pl, u)
+		if u.inLQ {
+			pl.lqUsed--
+		}
+		if u.inSQ {
+			pl.sqUsed--
+		}
+		if u.inIQ {
+			// Completed instructions have always left the IQ.
+			panic("pipe: committed uop still in IQ")
+		}
+		pl.head++
+		n++
+		pl.countCommit(u)
+	}
+	return n
+}
+
+// countCommit advances the committed-instruction counters and flips the
+// pipeline into measurement mode at the end of warmup.
+func (pl *Pipeline) countCommit(u *uop) {
+	if !pl.acct.measuring {
+		pl.acct.warmupDone++
+		if pl.acct.warmupDone >= pl.acct.warmupLeft {
+			pl.startMeasurement()
+		}
+		return
+	}
+	pl.acct.committed++
+	switch u.op() {
+	case isa.OpLoad:
+		pl.acct.loads++
+	case isa.OpStore:
+		pl.acct.stores++
+	case isa.OpBranch:
+		pl.acct.branches++
+	case isa.OpMul:
+		pl.acct.longArith++
+	}
+	if u.ace {
+		pl.acct.aceCommitted++
+	}
+}
+
+// complete moves finished executions to done and handles branch
+// resolution (misprediction flush). Returns the number of completions.
+func (pl *Pipeline) complete() int {
+	n := 0
+	for seq := pl.head; seq < pl.tail; seq++ {
+		u := pl.at(seq)
+		if u.state != sIssued || u.doneCycle > pl.now {
+			continue
+		}
+		u.state = sDone
+		n++
+		if u.op() == isa.OpBranch && u.mispred && !u.wrongPath {
+			pl.flushAfter(seq)
+			pl.fetchStallUntil = pl.now + int64(pl.core.MispredictPenalty)
+			pl.wrongPathMode = false
+			return n // tail changed; nothing younger is left to scan
+		}
+	}
+	return n
+}
+
+// flushAfter squashes every uop younger than seq, restoring the rename
+// map from the branch's checkpoint and returning physical registers.
+func (pl *Pipeline) flushAfter(seq int64) {
+	copy(pl.archMap, pl.ckpt[seq%pl.robCap])
+	for s := pl.tail - 1; s > seq; s-- {
+		u := pl.at(s)
+		if u.destPhys != noReg {
+			// The squashed value is un-ACE; reset and return the register.
+			pl.regs[u.destPhys] = physReg{readyCycle: farAway}
+			pl.freeList = append(pl.freeList, u.destPhys)
+		}
+		if u.inIQ {
+			pl.iqUsed--
+		}
+		if u.inLQ {
+			pl.lqUsed--
+		}
+		if u.inSQ {
+			pl.sqUsed--
+		}
+		pl.acct.flushed++
+	}
+	pl.tail = seq + 1
+	pl.pending = nil
+}
+
+// issue wakes up and issues ready instructions, oldest first, bounded by
+// the issue width, the memory-issue limit and functional-unit counts.
+// Returns the number issued.
+func (pl *Pipeline) issue() int {
+	issued, memIssued, aluIssued, mulIssued := 0, 0, 0, 0
+	for seq := pl.head; seq < pl.tail && issued < pl.core.IssueWidth; seq++ {
+		u := pl.at(seq)
+		if u.state != sWaiting {
+			continue
+		}
+		if !pl.ready(u.src[0]) || !pl.ready(u.src[1]) {
+			continue
+		}
+		op := u.op()
+		switch op {
+		case isa.OpAdd:
+			if aluIssued >= pl.core.NumALUs {
+				continue
+			}
+		case isa.OpMul:
+			if mulIssued >= pl.core.NumMuls {
+				continue
+			}
+		case isa.OpLoad, isa.OpStore:
+			if memIssued >= pl.core.MemIssuePerCycle {
+				continue
+			}
+		}
+		if op == isa.OpLoad {
+			blocked, fwd := pl.loadMemCheck(seq, u)
+			if blocked {
+				continue
+			}
+			u.forwarded = fwd
+		}
+		// Issue.
+		u.state = sIssued
+		u.issueCycle = pl.now
+		if u.inIQ {
+			u.inIQ = false
+			pl.iqUsed--
+		}
+		issued++
+		if pl.acct.measuring {
+			switch op {
+			case isa.OpAdd:
+				pl.acct.issuedALU++
+			case isa.OpMul:
+				pl.acct.issuedMul++
+			case isa.OpLoad, isa.OpStore:
+				pl.acct.issuedMem++
+			case isa.OpBranch:
+				pl.acct.issuedBr++
+			}
+		}
+		switch op {
+		case isa.OpAdd:
+			aluIssued++
+			u.execLatency = int64(pl.core.ALULatency)
+			u.doneCycle = pl.now + u.execLatency
+		case isa.OpMul:
+			mulIssued++
+			u.execLatency = int64(pl.core.MulLatency)
+			u.doneCycle = pl.now + u.execLatency
+		case isa.OpBranch:
+			u.execLatency = 1
+			u.doneCycle = pl.now + 1
+		case isa.OpLoad:
+			memIssued++
+			switch {
+			case u.wrongPath:
+				u.doneCycle = pl.now + int64(pl.cfg.Mem.DL1.HitLatency)
+			case u.forwarded:
+				u.doneCycle = pl.now + 1
+			default:
+				lat, _, _ := pl.mem.Data(pl.now, u.dyn.Addr, 8, false)
+				u.doneCycle = pl.now + int64(lat)
+			}
+			u.dataReady = u.doneCycle
+		case isa.OpStore:
+			memIssued++
+			u.execLatency = 1
+			u.doneCycle = pl.now + 1
+		}
+		// Operand reads extend the producers' ACE intervals.
+		if u.ace {
+			for _, s := range u.src {
+				if s != noReg && pl.regs[s].lastRead < pl.now {
+					pl.regs[s].lastRead = pl.now
+				}
+			}
+		}
+		// Result broadcast.
+		if u.destPhys != noReg {
+			r := &pl.regs[u.destPhys]
+			r.readyCycle = u.doneCycle
+			r.written = true
+			r.aceValue = u.ace
+			r.writeTime = u.doneCycle
+			r.lastRead = u.doneCycle
+		}
+	}
+	return issued
+}
+
+func (pl *Pipeline) ready(r int16) bool {
+	return r == noReg || pl.regs[r].readyCycle <= pl.now
+}
+
+// loadMemCheck applies perfect memory disambiguation against older
+// in-flight stores: a load is blocked while an older overlapping store
+// has not yet captured its data, and forwards from the youngest older
+// completed overlapping store.
+func (pl *Pipeline) loadMemCheck(seq int64, u *uop) (blocked, forwarded bool) {
+	if u.wrongPath {
+		return false, false
+	}
+	dw := u.dyn.Addr >> 3
+	for s := seq - 1; s >= pl.head; s-- {
+		st := pl.at(s)
+		if !st.inSQ || st.wrongPath {
+			continue
+		}
+		if st.dyn.Addr>>3 != dw {
+			continue
+		}
+		if st.state != sDone {
+			return true, false
+		}
+		return false, true
+	}
+	return false, false
+}
+
+// dispatch fetches, renames and inserts up to MapWidth instructions.
+// Returns the number dispatched.
+func (pl *Pipeline) dispatch() int {
+	for n := 0; n < pl.core.MapWidth; n++ {
+		if pl.now < pl.fetchStallUntil {
+			return n
+		}
+		it := pl.nextFetch()
+		if it == nil {
+			return n
+		}
+		u0 := it.dyn
+		op := u0.Static.Op
+		// Structural checks; on failure push the instruction back.
+		if pl.robCount() >= int(pl.robCap) ||
+			(op != isa.OpNop && pl.iqUsed >= pl.core.IQEntries) ||
+			(op == isa.OpLoad && pl.lqUsed >= pl.core.LQEntries) ||
+			(op == isa.OpStore && pl.sqUsed >= pl.core.SQEntries) ||
+			(pl.needsDest(u0.Static) && len(pl.freeList) == 0) {
+			pl.pending = it
+			return n
+		}
+		if !it.wrongPath {
+			// Instruction fetch from the IL1 (wrong-path fetch does not
+			// pollute the caches in this model).
+			if extra := pl.mem.Fetch(pl.now, u0.PC); extra > 0 {
+				pl.fetchStallUntil = pl.now + int64(extra)
+				pl.pending = it
+				return n
+			}
+		}
+		seq := pl.tail
+		pl.tail++
+		u := pl.at(seq)
+		*u = uop{
+			dyn:           it.dyn,
+			wrongPath:     it.wrongPath,
+			ace:           !it.wrongPath && !u0.Static.UnACE && op != isa.OpNop,
+			state:         sWaiting,
+			destPhys:      noReg,
+			oldPhys:       noReg,
+			src:           [2]int16{noReg, noReg},
+			dispatchCycle: pl.now,
+			doneCycle:     farAway,
+		}
+		pl.rename(u)
+		switch op {
+		case isa.OpNop:
+			u.state = sDone
+			u.doneCycle = pl.now
+		case isa.OpLoad:
+			u.inIQ = true
+			pl.iqUsed++
+			u.inLQ = true
+			pl.lqUsed++
+		case isa.OpStore:
+			u.inIQ = true
+			pl.iqUsed++
+			u.inSQ = true
+			pl.sqUsed++
+		default:
+			u.inIQ = true
+			pl.iqUsed++
+		}
+		if op == isa.OpBranch && !it.wrongPath {
+			pred := pl.bp.Predict(u0.PC)
+			correct := pl.bp.Update(u0.PC, u0.Taken)
+			u.predTaken = pred
+			u.mispred = !correct
+			copy(pl.ckpt[seq%pl.robCap], pl.archMap)
+			if u.mispred {
+				pl.wrongPathMode = true
+				pl.wpIdx = pl.wpIndexAfter(u0)
+				pl.acct.mispredicts++
+			}
+			pl.acct.branchesFetched++
+		}
+		if it.wrongPath {
+			pl.acct.wrongPathFetched++
+		}
+		pl.acct.fetched++
+	}
+	return pl.core.MapWidth
+}
+
+// needsDest reports whether the instruction allocates a physical
+// destination register.
+func (pl *Pipeline) needsDest(in *isa.Instr) bool { return in.Writes() }
+
+// rename maps source registers and allocates a destination register.
+func (pl *Pipeline) rename(u *uop) {
+	in := u.dyn.Static
+	var srcs [2]isa.Reg
+	ns := 0
+	switch in.Op {
+	case isa.OpAdd, isa.OpMul:
+		srcs[ns] = in.Src1
+		ns++
+		if in.RegReg {
+			srcs[ns] = in.Src2
+			ns++
+		}
+	case isa.OpLoad, isa.OpBranch:
+		srcs[ns] = in.Src1
+		ns++
+	case isa.OpStore:
+		srcs[0], srcs[1] = in.Src1, in.Src2
+		ns = 2
+	}
+	for i := 0; i < ns; i++ {
+		if srcs[i] != isa.RZero {
+			u.src[i] = pl.archMap[srcs[i]]
+		}
+	}
+	if pl.needsDest(in) {
+		p := pl.freeList[len(pl.freeList)-1]
+		pl.freeList = pl.freeList[:len(pl.freeList)-1]
+		u.oldPhys = pl.archMap[in.Dest]
+		u.destPhys = p
+		pl.archMap[in.Dest] = p
+		pl.regs[p] = physReg{readyCycle: farAway}
+	}
+}
+
+// nextFetch returns the next instruction to dispatch: the pushed-back
+// one, a synthetic wrong-path instruction, or the next real-stream one.
+func (pl *Pipeline) nextFetch() *fetchItem {
+	if pl.pending != nil {
+		it := pl.pending
+		pl.pending = nil
+		return it
+	}
+	if pl.wrongPathMode {
+		body := pl.p.Body
+		in := &body[pl.wpIdx]
+		d := prog.Dyn{Static: in, Seq: -1, Iter: -1, PC: prog.PCOf(pl.wpIdx)}
+		pl.wpIdx = (pl.wpIdx + 1) % len(body)
+		return &fetchItem{dyn: d, wrongPath: true}
+	}
+	if pl.streamDone {
+		return nil
+	}
+	d, ok := pl.stream.Next()
+	if !ok {
+		pl.streamDone = true
+		return nil
+	}
+	return &fetchItem{dyn: d}
+}
+
+// wpIndexAfter picks where wrong-path fetch starts: the body instruction
+// following the mispredicted branch (the not-taken path of a taken
+// backedge, or the fall-through clone for a reconvergent branch).
+func (pl *Pipeline) wpIndexAfter(d prog.Dyn) int {
+	idx := int((d.PC - prog.BodyBase) / isa.InstrBytes)
+	if idx < 0 || idx >= len(pl.p.Body) {
+		return 0
+	}
+	return (idx + 1) % len(pl.p.Body)
+}
+
+// releaseReg frees a physical register at commit of the overwriting
+// instruction, folding its ACE interval into the RF accumulator.
+func (pl *Pipeline) releaseReg(p int16) {
+	pl.acct.closeReg(pl, &pl.regs[p])
+	pl.regs[p] = physReg{readyCycle: farAway}
+	pl.freeList = append(pl.freeList, p)
+}

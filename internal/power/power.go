@@ -1,0 +1,101 @@
+// Package power is a deliberately simple activity-based dynamic-power
+// proxy for the simulated core, used to reproduce the paper's §IV-B
+// argument that power viruses and AVF stressmarks are different animals:
+//
+//	"There is no correlation between power and state resident in the
+//	core. For example, long latency stalls increase AVF, but provide
+//	opportunities to reduce core power using clock and/or power gating.
+//	Power dissipation is typically maximized when the processor is able
+//	to issue multiple arithmetic instructions at full bandwidth, but
+//	this typically implies that the occupancy of other queues are less
+//	than 100%. Furthermore, un-ACE instructions consume power but do
+//	not contribute to AVF."
+//
+// The proxy charges per-event energies (fetch, issue by unit class,
+// cache access, misprediction recovery) plus a leakage/clock floor, and
+// reports average energy per cycle in arbitrary units — only relative
+// magnitudes matter, exactly as with the paper's SER units.
+package power
+
+import "avfstress/internal/avf"
+
+// Weights are per-event energy charges in arbitrary units. The defaults
+// order units by typical CMOS activity cost (multiplier > ALU > cache
+// access > fetch); their precise values only shift the proxy's scale.
+type Weights struct {
+	Fetch      float64 // per fetched instruction (wrong path included)
+	ALU        float64 // per ALU issue
+	Mul        float64 // per multiplier issue
+	Mem        float64 // per load/store issue (AGU + LSQ CAM)
+	Branch     float64 // per branch issue
+	DL1Access  float64
+	L2Access   float64
+	Mispredict float64 // recovery energy
+	Idle       float64 // per-cycle clock/leakage floor
+}
+
+// DefaultWeights returns the documented default charges.
+func DefaultWeights() Weights {
+	return Weights{
+		Fetch:      0.5,
+		ALU:        1.0,
+		Mul:        3.0,
+		Mem:        1.5,
+		Branch:     0.8,
+		DL1Access:  1.2,
+		L2Access:   4.0,
+		Mispredict: 6.0,
+		Idle:       1.0,
+	}
+}
+
+// Activity is the event record the pipeline exports for the proxy.
+type Activity struct {
+	Cycles      int64
+	Fetched     int64
+	IssuedALU   int64
+	IssuedMul   int64
+	IssuedMem   int64
+	IssuedBr    int64
+	DL1Accesses int64
+	L2Accesses  int64
+	Mispredicts int64
+}
+
+// EnergyPerCycle evaluates the proxy: average energy per cycle in
+// arbitrary units.
+func EnergyPerCycle(a Activity, w Weights) float64 {
+	if a.Cycles <= 0 {
+		return 0
+	}
+	e := w.Fetch*float64(a.Fetched) +
+		w.ALU*float64(a.IssuedALU) +
+		w.Mul*float64(a.IssuedMul) +
+		w.Mem*float64(a.IssuedMem) +
+		w.Branch*float64(a.IssuedBr) +
+		w.DL1Access*float64(a.DL1Accesses) +
+		w.L2Access*float64(a.L2Accesses) +
+		w.Mispredict*float64(a.Mispredicts)
+	return e/float64(a.Cycles) + w.Idle
+}
+
+// FromResult derives the proxy input from a simulation result.
+func FromResult(r *avf.Result) Activity {
+	return Activity{
+		Cycles:      r.Cycles,
+		Fetched:     r.Activity.Fetched,
+		IssuedALU:   r.Activity.IssuedALU,
+		IssuedMul:   r.Activity.IssuedMul,
+		IssuedMem:   r.Activity.IssuedMem,
+		IssuedBr:    r.Activity.IssuedBr,
+		DL1Accesses: r.Activity.DL1Accesses,
+		L2Accesses:  r.Activity.L2Accesses,
+		Mispredicts: r.Activity.Mispredicts,
+	}
+}
+
+// Of is the one-call convenience: proxy power of a result under the
+// default weights.
+func Of(r *avf.Result) float64 {
+	return EnergyPerCycle(FromResult(r), DefaultWeights())
+}

@@ -1,0 +1,73 @@
+package power
+
+import (
+	"testing"
+
+	"avfstress/internal/avf"
+)
+
+func TestEnergyPerCycleMath(t *testing.T) {
+	w := Weights{Fetch: 1, ALU: 2, Mul: 3, Mem: 4, Branch: 5,
+		DL1Access: 6, L2Access: 7, Mispredict: 8, Idle: 9}
+	a := Activity{
+		Cycles: 10, Fetched: 10, IssuedALU: 5, IssuedMul: 2, IssuedMem: 3,
+		IssuedBr: 1, DL1Accesses: 3, L2Accesses: 1, Mispredicts: 1,
+	}
+	// (10 + 10 + 6 + 12 + 5 + 18 + 7 + 8)/10 + 9 = 76/10 + 9
+	want := 7.6 + 9
+	if got := EnergyPerCycle(a, w); got != want {
+		t.Errorf("energy/cycle = %f, want %f", got, want)
+	}
+}
+
+func TestZeroCycles(t *testing.T) {
+	if EnergyPerCycle(Activity{}, DefaultWeights()) != 0 {
+		t.Error("zero-cycle activity should cost nothing")
+	}
+}
+
+func TestIdleFloor(t *testing.T) {
+	a := Activity{Cycles: 100}
+	if got := EnergyPerCycle(a, DefaultWeights()); got != DefaultWeights().Idle {
+		t.Errorf("idle machine burns %f, want the idle floor %f", got, DefaultWeights().Idle)
+	}
+}
+
+func TestHigherActivityCostsMore(t *testing.T) {
+	lo := Activity{Cycles: 100, IssuedALU: 50}
+	hi := Activity{Cycles: 100, IssuedALU: 400, IssuedMul: 100, DL1Accesses: 200}
+	w := DefaultWeights()
+	if EnergyPerCycle(hi, w) <= EnergyPerCycle(lo, w) {
+		t.Error("more activity must cost more energy per cycle")
+	}
+}
+
+func TestFromResult(t *testing.T) {
+	r := &avf.Result{Cycles: 42}
+	r.Activity = avf.ActivityCounts{
+		Fetched: 1, IssuedALU: 2, IssuedMul: 3, IssuedMem: 4, IssuedBr: 5,
+		DL1Accesses: 6, L2Accesses: 7, Mispredicts: 8,
+	}
+	a := FromResult(r)
+	if a.Cycles != 42 || a.Fetched != 1 || a.IssuedALU != 2 || a.IssuedMul != 3 ||
+		a.IssuedMem != 4 || a.IssuedBr != 5 || a.DL1Accesses != 6 ||
+		a.L2Accesses != 7 || a.Mispredicts != 8 {
+		t.Errorf("activity lost in translation: %+v", a)
+	}
+	if Of(r) <= 0 {
+		t.Error("Of() must be positive for non-trivial activity")
+	}
+}
+
+// TestMultiplierDominatesALU: the weight ordering encodes that a
+// multiplier issue costs more than an ALU issue, the physical basis of
+// the §IV-B argument.
+func TestMultiplierDominatesALU(t *testing.T) {
+	w := DefaultWeights()
+	if w.Mul <= w.ALU {
+		t.Error("multiplier must out-cost the ALU")
+	}
+	if w.L2Access <= w.DL1Access {
+		t.Error("L2 access must out-cost DL1")
+	}
+}

@@ -1,0 +1,194 @@
+package prog
+
+import "fmt"
+
+// AddrGen produces the effective address of a memory instruction as a
+// pure function of the loop iteration. Purity (no internal state) is what
+// keeps wrong-path fetch and replay consistent.
+type AddrGen interface {
+	// Addr returns the effective address for the given iteration.
+	// Init-block instructions pass iter == -1.
+	Addr(iter int64) uint64
+	fmt.Stringer
+}
+
+// BranchGen produces branch outcomes as a pure function of the iteration.
+type BranchGen interface {
+	Taken(iter int64) bool
+	fmt.Stringer
+}
+
+// PointerChase walks a region with a fixed stride, wrapping at the region
+// boundary. With Stride = line size and Region larger than the L2 it
+// reproduces the paper's self-dependent strided load that misses in L2
+// with no memory-level parallelism (the dependence itself is expressed
+// through the chase register in the generated code).
+type PointerChase struct {
+	Base   uint64
+	Stride uint64
+	Region uint64 // bytes; must be a multiple of Stride
+}
+
+// Addr implements AddrGen.
+func (g PointerChase) Addr(iter int64) uint64 {
+	if iter < 0 {
+		return g.Base
+	}
+	off := (uint64(iter) * g.Stride) % g.Region
+	return g.Base + off
+}
+
+func (g PointerChase) String() string {
+	return fmt.Sprintf("chase base=%#x stride=%d region=%d", g.Base, g.Stride, g.Region)
+}
+
+// LineSweep addresses a word inside the line touched Lag iterations ago
+// by a companion PointerChase. The paper's generator uses this for the
+// "load and store operations (hits) to cover every location in the
+// previous cache line", which is what drives every byte of DL1 and the
+// DTLB to 100% ACE.
+type LineSweep struct {
+	Base   uint64
+	Stride uint64
+	Region uint64
+	Offset uint64 // byte offset within the line
+	Lag    int64  // how many iterations behind the chase
+}
+
+// Addr implements AddrGen.
+func (g LineSweep) Addr(iter int64) uint64 {
+	i := iter - g.Lag
+	if i < 0 {
+		i = 0
+	}
+	off := (uint64(i) * g.Stride) % g.Region
+	return g.Base + off + g.Offset
+}
+
+func (g LineSweep) String() string {
+	return fmt.Sprintf("sweep base=%#x stride=%d region=%d off=%d lag=%d",
+		g.Base, g.Stride, g.Region, g.Offset, g.Lag)
+}
+
+// Fixed always returns the same address (scratch/spill slots).
+type Fixed struct{ Address uint64 }
+
+// Addr implements AddrGen.
+func (g Fixed) Addr(int64) uint64 { return g.Address }
+
+func (g Fixed) String() string { return fmt.Sprintf("fixed %#x", g.Address) }
+
+// RandomWalk produces pseudo-random word-aligned addresses within a
+// region. The workload synthesiser uses it to model irregular pointer
+// traffic (mcf, omnetpp, ...). Deterministic in (Seed, iter).
+type RandomWalk struct {
+	Base   uint64
+	Region uint64
+	Seed   uint64
+	Align  uint64 // alignment in bytes; 0 means 8
+}
+
+// Addr implements AddrGen.
+func (g RandomWalk) Addr(iter int64) uint64 {
+	align := g.Align
+	if align == 0 {
+		align = 8
+	}
+	h := mix(g.Seed, uint64(iter)+1)
+	off := (h % (g.Region / align)) * align
+	return g.Base + off
+}
+
+func (g RandomWalk) String() string {
+	return fmt.Sprintf("rand base=%#x region=%d seed=%d", g.Base, g.Region, g.Seed)
+}
+
+// StridedBlock walks a region with a stride like PointerChase but offset
+// by a per-generator phase, so several independent streams can coexist
+// (array codes in the FP proxies).
+type StridedBlock struct {
+	Base   uint64
+	Stride uint64
+	Region uint64
+	Phase  uint64
+}
+
+// Addr implements AddrGen.
+func (g StridedBlock) Addr(iter int64) uint64 {
+	if iter < 0 {
+		iter = 0
+	}
+	off := (g.Phase + uint64(iter)*g.Stride) % g.Region
+	return g.Base + off
+}
+
+func (g StridedBlock) String() string {
+	return fmt.Sprintf("stride base=%#x stride=%d region=%d phase=%d",
+		g.Base, g.Stride, g.Region, g.Phase)
+}
+
+// LoopBranch is the loop backedge: taken on every iteration except the
+// last, which exits the loop.
+type LoopBranch struct{ Iterations int64 }
+
+// Taken implements BranchGen.
+func (g LoopBranch) Taken(iter int64) bool { return iter < g.Iterations-1 }
+
+func (g LoopBranch) String() string { return fmt.Sprintf("loop n=%d", g.Iterations) }
+
+// Bernoulli is a data-dependent branch taken with probability P,
+// deterministic in (Seed, iter). Both paths of such a branch reconverge
+// immediately in the synthetic programs, so mispredictions cost a flush
+// and redirect without changing the committed instruction sequence —
+// exactly the AVF-reducing effect the paper describes for front-end
+// misses.
+type Bernoulli struct {
+	Seed uint64
+	P    float64
+}
+
+// Taken implements BranchGen.
+func (g Bernoulli) Taken(iter int64) bool {
+	h := mix(g.Seed, uint64(iter)+0x9e37)
+	return float64(h%1_000_000) < g.P*1_000_000
+}
+
+func (g Bernoulli) String() string { return fmt.Sprintf("bernoulli p=%.3f seed=%d", g.P, g.Seed) }
+
+// Periodic is a branch taken on iterations where (iter+Phase)%Period <
+// Duty. It is highly predictable by the local-history predictor,
+// modelling well-structured inner loops. Branches sharing one (Period,
+// Duty) pattern at different phases alias constructively in a
+// history-indexed second-level table, as their history windows come from
+// the same cyclic sequence.
+type Periodic struct {
+	Period int64
+	Duty   int64
+	Phase  int64
+}
+
+// Taken implements BranchGen.
+func (g Periodic) Taken(iter int64) bool {
+	if g.Period <= 0 {
+		return true
+	}
+	m := (iter + g.Phase) % g.Period
+	if m < 0 {
+		m += g.Period
+	}
+	return m < g.Duty
+}
+
+func (g Periodic) String() string {
+	return fmt.Sprintf("periodic %d/%d+%d", g.Duty, g.Period, g.Phase)
+}
+
+// mix is a 64-bit stateless hash (splitmix64 finaliser) used by the pure
+// pseudo-random generators.
+func mix(a, b uint64) uint64 {
+	z := a ^ (b * 0x9e3779b97f4a7c15)
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

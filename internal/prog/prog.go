@@ -1,0 +1,212 @@
+// Package prog represents the synthetic loop programs executed by the
+// pipeline model: a one-time initialisation block followed by a loop body
+// that repeats for a configurable number of iterations.
+//
+// Programs are static; all per-iteration dynamic information (effective
+// addresses, branch outcomes) is produced by pure generator functions of
+// the iteration number. This keeps runs of tens of millions of dynamic
+// instructions trace-free and bit-reproducible, and makes wrong-path
+// re-fetch trivially consistent.
+package prog
+
+import (
+	"fmt"
+	"strings"
+
+	"avfstress/internal/isa"
+)
+
+// Program is a static synthetic program.
+type Program struct {
+	Name string
+
+	// Init executes once before the loop. It exists to define every
+	// architected register before use (the paper's generator initialises
+	// its memory region and pointer-chase state here).
+	Init []isa.Instr
+
+	// Body is the loop kernel. By convention the final instruction is the
+	// loop backedge branch.
+	Body []isa.Instr
+
+	// AddrGens produce effective addresses for memory instructions; a
+	// memory instruction's AddrGen field indexes this table.
+	AddrGens []AddrGen
+
+	// BrGens produce branch outcomes; a branch's BrGen field indexes this
+	// table.
+	BrGens []BranchGen
+
+	// Iterations is the nominal loop trip count. Runs may be cut short by
+	// the simulator's instruction budget.
+	Iterations int64
+
+	// FootprintBytes documents the data-memory region the program
+	// touches (used in reports only).
+	FootprintBytes uint64
+}
+
+// Base program-counter values. Instructions are isa.InstrBytes wide.
+const (
+	InitBase uint64 = 0x0000_1000
+	BodyBase uint64 = 0x0001_0000
+)
+
+// PCOf returns the program counter of body instruction idx.
+func PCOf(idx int) uint64 { return BodyBase + uint64(idx)*isa.InstrBytes }
+
+// Validate checks structural integrity: instruction validity, generator
+// references, and loop shape. It is exercised heavily by the codegen and
+// failure-injection tests.
+func (p *Program) Validate() error {
+	if len(p.Body) == 0 {
+		return fmt.Errorf("prog %q: empty body", p.Name)
+	}
+	if p.Iterations <= 0 {
+		return fmt.Errorf("prog %q: non-positive iteration count %d", p.Name, p.Iterations)
+	}
+	check := func(where string, ins []isa.Instr) error {
+		for i, in := range ins {
+			if err := in.Validate(); err != nil {
+				return fmt.Errorf("prog %q: %s[%d]: %w", p.Name, where, i, err)
+			}
+			if in.Op.IsMem() {
+				if in.AddrGen < 0 || in.AddrGen >= len(p.AddrGens) {
+					return fmt.Errorf("prog %q: %s[%d]: address generator %d out of range (have %d)",
+						p.Name, where, i, in.AddrGen, len(p.AddrGens))
+				}
+			}
+			if in.Op == isa.OpBranch {
+				if in.BrGen < 0 || in.BrGen >= len(p.BrGens) {
+					return fmt.Errorf("prog %q: %s[%d]: branch generator %d out of range (have %d)",
+						p.Name, where, i, in.BrGen, len(p.BrGens))
+				}
+			}
+		}
+		return nil
+	}
+	if err := check("init", p.Init); err != nil {
+		return err
+	}
+	return check("body", p.Body)
+}
+
+// Listing renders the program as annotated assembly, in the spirit of the
+// paper's generated "C with embedded Alpha assembly".
+func (p *Program) Listing() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "; program %s\n", p.Name)
+	fmt.Fprintf(&b, "; iterations=%d footprint=%d bytes\n", p.Iterations, p.FootprintBytes)
+	for i, g := range p.AddrGens {
+		fmt.Fprintf(&b, "; ag%-2d %s\n", i, g)
+	}
+	for i, g := range p.BrGens {
+		fmt.Fprintf(&b, "; bg%-2d %s\n", i, g)
+	}
+	b.WriteString("init:\n")
+	for i, in := range p.Init {
+		fmt.Fprintf(&b, "  %04x  %-32s", InitBase+uint64(i)*isa.InstrBytes, in.String())
+		if in.Label != "" {
+			fmt.Fprintf(&b, " ; %s", in.Label)
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("loop:\n")
+	for i, in := range p.Body {
+		fmt.Fprintf(&b, "  %04x  %-32s", PCOf(i), in.String())
+		if in.Label != "" {
+			fmt.Fprintf(&b, " ; %s", in.Label)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// StaticLen returns the total static instruction count.
+func (p *Program) StaticLen() int { return len(p.Init) + len(p.Body) }
+
+// Dyn is one dynamic instruction instance handed to the pipeline.
+type Dyn struct {
+	// Static points at the static instruction. It is never nil for
+	// instructions produced by a Stream.
+	Static *isa.Instr
+	// Seq is the global dynamic sequence number, starting at 0.
+	Seq int64
+	// Iter is the loop iteration (-1 for init instructions).
+	Iter int64
+	// PC is the program counter of the instance.
+	PC uint64
+	// Addr is the effective address for memory ops (0 otherwise).
+	Addr uint64
+	// Taken is the actual branch outcome for OpBranch.
+	Taken bool
+}
+
+// Stream lazily produces the dynamic instruction sequence of a program.
+// The zero value is not usable; construct with NewStream.
+type Stream struct {
+	p       *Program
+	inInit  bool
+	idx     int
+	iter    int64
+	seq     int64
+	scratch []isa.Reg
+}
+
+// NewStream returns a stream positioned at the first instruction.
+func NewStream(p *Program) *Stream {
+	return &Stream{p: p, inInit: len(p.Init) > 0}
+}
+
+// Reset rewinds the stream to the first instruction.
+func (s *Stream) Reset() {
+	s.inInit = len(s.p.Init) > 0
+	s.idx, s.iter, s.seq = 0, 0, 0
+}
+
+// Program returns the underlying program.
+func (s *Stream) Program() *Program { return s.p }
+
+// Next returns the next dynamic instruction. ok is false once the
+// program's iteration count is exhausted.
+func (s *Stream) Next() (d Dyn, ok bool) {
+	p := s.p
+	if s.inInit {
+		in := &p.Init[s.idx]
+		d = s.materialise(in, -1)
+		s.idx++
+		if s.idx == len(p.Init) {
+			s.inInit = false
+			s.idx = 0
+		}
+		return d, true
+	}
+	if s.iter >= p.Iterations {
+		return Dyn{}, false
+	}
+	in := &p.Body[s.idx]
+	d = s.materialise(in, s.iter)
+	s.idx++
+	if s.idx == len(p.Body) {
+		s.idx = 0
+		s.iter++
+	}
+	return d, true
+}
+
+func (s *Stream) materialise(in *isa.Instr, iter int64) Dyn {
+	d := Dyn{Static: in, Seq: s.seq, Iter: iter}
+	if iter < 0 {
+		d.PC = InitBase + uint64(s.idx)*isa.InstrBytes
+	} else {
+		d.PC = PCOf(s.idx)
+	}
+	if in.Op.IsMem() {
+		d.Addr = s.p.AddrGens[in.AddrGen].Addr(iter)
+	}
+	if in.Op == isa.OpBranch {
+		d.Taken = s.p.BrGens[in.BrGen].Taken(iter)
+	}
+	s.seq++
+	return d
+}

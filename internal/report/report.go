@@ -1,0 +1,182 @@
+// Package report renders experiment results as text tables, ASCII bar
+// charts (standing in for the paper's figures) and CSV.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a simple left-aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row, stringifying each cell with %v (floats get %.3f).
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		case float32:
+			row[i] = fmt.Sprintf("%.3f", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(esc(c))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// Bar is one bar of a chart.
+type Bar struct {
+	Label string
+	Value float64
+}
+
+// BarChart renders horizontal ASCII bars, the reproduction's rendering of
+// the paper's bar figures. Max sets the full-scale value (0 = max bar).
+type BarChart struct {
+	Title string
+	Max   float64
+	Width int // characters at full scale (default 50)
+	Bars  []Bar
+}
+
+// Add appends one bar.
+func (c *BarChart) Add(label string, value float64) {
+	c.Bars = append(c.Bars, Bar{Label: label, Value: value})
+}
+
+// String renders the chart.
+func (c *BarChart) String() string {
+	width := c.Width
+	if width <= 0 {
+		width = 50
+	}
+	max := c.Max
+	if max <= 0 {
+		for _, b := range c.Bars {
+			if b.Value > max {
+				max = b.Value
+			}
+		}
+	}
+	if max == 0 {
+		max = 1
+	}
+	lw := 0
+	for _, b := range c.Bars {
+		if len(b.Label) > lw {
+			lw = len(b.Label)
+		}
+	}
+	var sb strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&sb, "%s\n", c.Title)
+	}
+	for _, b := range c.Bars {
+		n := int(b.Value / max * float64(width))
+		if n < 0 {
+			n = 0
+		}
+		if n > width {
+			n = width
+		}
+		fmt.Fprintf(&sb, "  %-*s %6.3f |%s\n", lw, b.Label, b.Value, strings.Repeat("█", n))
+	}
+	return sb.String()
+}
+
+// Sparkline renders a sequence of values as a one-line unicode spark
+// chart, used for the GA convergence trace (Figure 5b).
+func Sparkline(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	ticks := []rune("▁▂▃▄▅▆▇█")
+	lo, hi := values[0], values[0]
+	for _, v := range values {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	span := hi - lo
+	var b strings.Builder
+	for _, v := range values {
+		i := 0
+		if span > 0 {
+			i = int((v - lo) / span * float64(len(ticks)-1))
+		}
+		b.WriteRune(ticks[i])
+	}
+	return b.String()
+}

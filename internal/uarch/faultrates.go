@@ -1,0 +1,108 @@
+package uarch
+
+import "fmt"
+
+// Structure identifies an SER-tracked hardware structure. The LQ and SQ
+// are split into tag (address) and data halves because the paper's RHC
+// and EDR studies assign them separate circuit-level fault rates.
+type Structure int
+
+// SER-tracked structures.
+const (
+	IQ Structure = iota
+	ROB
+	FU
+	RF
+	LQTag
+	LQData
+	SQTag
+	SQData
+	DL1
+	DTLB
+	L2
+	NumStructures
+)
+
+var structureNames = [NumStructures]string{
+	"IQ", "ROB", "FU", "RF", "LQ.tag", "LQ.data", "SQ.tag", "SQ.data",
+	"DL1", "DTLB", "L2",
+}
+
+func (s Structure) String() string {
+	if s >= 0 && s < NumStructures {
+		return structureNames[s]
+	}
+	return fmt.Sprintf("structure(%d)", int(s))
+}
+
+// CoreStructures lists the queueing structures plus the register file.
+var CoreStructures = []Structure{IQ, ROB, FU, RF, LQTag, LQData, SQTag, SQData}
+
+// QueueStructures lists the paper's "Queuing Structures (QS)" class.
+var QueueStructures = []Structure{IQ, ROB, FU, LQTag, LQData, SQTag, SQData}
+
+// FaultRates gives the raw circuit-level fault rate of every structure in
+// the paper's arbitrary "units per bit".
+type FaultRates [NumStructures]float64
+
+// UniformRates returns rate u for every structure (the paper's default is
+// 1 unit/bit everywhere).
+func UniformRates(u float64) FaultRates {
+	var r FaultRates
+	for i := range r {
+		r[i] = u
+	}
+	return r
+}
+
+// RHCRates returns the Figure 8a rates for the configuration whose ROB,
+// LQ and SQ are built from Radiation-Hardened Circuitry. Cache rates are
+// unchanged (the paper assumes unchanged fault rates in DL1, DTLB, L2).
+func RHCRates() FaultRates {
+	r := UniformRates(1)
+	r[ROB] = 0.25
+	r[LQTag] = 0.4
+	r[LQData] = 0.4
+	r[SQTag] = 0.35
+	r[SQData] = 0.35
+	return r
+}
+
+// EDRRates returns the Figure 8a rates for the configuration whose ROB,
+// LQ and SQ are protected by Error Detection and Recovery (observable
+// rate zero).
+func EDRRates() FaultRates {
+	r := UniformRates(1)
+	r[ROB] = 0
+	r[LQTag] = 0
+	r[LQData] = 0
+	r[SQTag] = 0
+	r[SQData] = 0
+	return r
+}
+
+// Bits returns the SER-relevant bit count of structure s under config c.
+func Bits(c Config, s Structure) uint64 {
+	core := c.Core
+	switch s {
+	case IQ:
+		return uint64(core.IQEntries) * uint64(core.IQEntryBits)
+	case ROB:
+		return uint64(core.ROBEntries) * uint64(core.ROBEntryBits)
+	case FU:
+		return core.FUBits()
+	case RF:
+		return uint64(core.PhysRegs) * uint64(core.RegBits)
+	case LQTag, LQData:
+		return uint64(core.LQEntries) * uint64(core.LSQEntryBits) / 2
+	case SQTag, SQData:
+		return uint64(core.SQEntries) * uint64(core.LSQEntryBits) / 2
+	case DL1:
+		return c.Mem.DL1.Bits()
+	case L2:
+		return c.Mem.L2.Bits()
+	case DTLB:
+		return uint64(c.Mem.DTLB.Entries) * uint64(c.Mem.DTLB.EntryBits)
+	}
+	return 0
+}

@@ -1,0 +1,191 @@
+// Package uarch holds the microarchitecture configurations evaluated in
+// the paper: the Baseline Alpha-21264-like core (Table I), the scaled-up
+// Configuration A (Table II), and the circuit-level fault-rate sets for
+// the RHC and EDR protection studies (Figure 8a).
+package uarch
+
+import (
+	"fmt"
+
+	"avfstress/internal/bpred"
+	"avfstress/internal/cache"
+)
+
+// CoreConfig sizes the out-of-order core.
+type CoreConfig struct {
+	FetchWidth  int
+	MapWidth    int // slot/map (dispatch) width
+	IssueWidth  int
+	CommitWidth int
+	// MemIssuePerCycle caps load+store issues per cycle (2 on the 21264,
+	// which the paper calls out as a limiter on LQ/SQ fill rate).
+	MemIssuePerCycle int
+
+	IQEntries    int
+	IQEntryBits  int
+	ROBEntries   int
+	ROBEntryBits int
+	LQEntries    int
+	SQEntries    int
+	// LSQEntryBits is the SER-relevant width of one LQ/SQ entry,
+	// split evenly between the address/tag part and the data part.
+	LSQEntryBits int
+	PhysRegs     int
+	RegBits      int
+
+	NumALUs    int
+	ALULatency int
+	NumMuls    int
+	MulLatency int
+
+	MispredictPenalty int
+
+	Bpred bpred.Config
+}
+
+// Validate reports the first sizing error.
+func (c CoreConfig) Validate() error {
+	pos := func(name string, v int) error {
+		if v <= 0 {
+			return fmt.Errorf("uarch: %s must be positive, got %d", name, v)
+		}
+		return nil
+	}
+	checks := []struct {
+		name string
+		v    int
+	}{
+		{"FetchWidth", c.FetchWidth}, {"MapWidth", c.MapWidth},
+		{"IssueWidth", c.IssueWidth}, {"CommitWidth", c.CommitWidth},
+		{"MemIssuePerCycle", c.MemIssuePerCycle},
+		{"IQEntries", c.IQEntries}, {"IQEntryBits", c.IQEntryBits},
+		{"ROBEntries", c.ROBEntries}, {"ROBEntryBits", c.ROBEntryBits},
+		{"LQEntries", c.LQEntries}, {"SQEntries", c.SQEntries},
+		{"LSQEntryBits", c.LSQEntryBits},
+		{"PhysRegs", c.PhysRegs}, {"RegBits", c.RegBits},
+		{"NumALUs", c.NumALUs}, {"ALULatency", c.ALULatency},
+		{"NumMuls", c.NumMuls}, {"MulLatency", c.MulLatency},
+		{"MispredictPenalty", c.MispredictPenalty},
+	}
+	for _, ch := range checks {
+		if err := pos(ch.name, ch.v); err != nil {
+			return err
+		}
+	}
+	if c.PhysRegs < 34 {
+		return fmt.Errorf("uarch: PhysRegs %d too small: need 31 architected + headroom", c.PhysRegs)
+	}
+	if c.LSQEntryBits%2 != 0 {
+		return fmt.Errorf("uarch: LSQEntryBits %d must be even (addr/data split)", c.LSQEntryBits)
+	}
+	return nil
+}
+
+// FUBits returns the SER-relevant bit count of the functional units: each
+// ALU contributes width×latency (pipeline-stage) bits, as does each
+// multiplier.
+func (c CoreConfig) FUBits() uint64 {
+	return uint64(c.NumALUs*c.ALULatency+c.NumMuls*c.MulLatency) * uint64(c.RegBits)
+}
+
+// Config is a complete processor configuration.
+type Config struct {
+	Name string
+	Core CoreConfig
+	Mem  cache.HierarchyConfig
+}
+
+// Validate reports the first configuration error.
+func (c Config) Validate() error {
+	if err := c.Core.Validate(); err != nil {
+		return fmt.Errorf("%s: %w", c.Name, err)
+	}
+	if err := c.Mem.Validate(); err != nil {
+		return fmt.Errorf("%s: %w", c.Name, err)
+	}
+	return nil
+}
+
+// Baseline returns the paper's Table I configuration (Alpha 21264-like).
+// Main-memory latency is not given in the table; 200 cycles is used,
+// which is in line with SimAlpha's DRAM model.
+func Baseline() Config {
+	return Config{
+		Name: "Baseline",
+		Core: CoreConfig{
+			FetchWidth: 4, MapWidth: 4, IssueWidth: 4, CommitWidth: 4,
+			MemIssuePerCycle: 2,
+			IQEntries:        20, IQEntryBits: 32,
+			ROBEntries: 80, ROBEntryBits: 76,
+			LQEntries: 32, SQEntries: 32, LSQEntryBits: 128,
+			PhysRegs: 80, RegBits: 64,
+			NumALUs: 4, ALULatency: 1,
+			NumMuls: 1, MulLatency: 7,
+			MispredictPenalty: 7,
+			Bpred:             bpred.DefaultConfig(),
+		},
+		Mem: cache.HierarchyConfig{
+			IL1: cache.Config{Name: "IL1", SizeBytes: 64 << 10, LineBytes: 64, Ways: 2, HitLatency: 1},
+			DL1: cache.Config{Name: "DL1", SizeBytes: 64 << 10, LineBytes: 64, Ways: 2, HitLatency: 3},
+			L2:  cache.Config{Name: "L2", SizeBytes: 1 << 20, LineBytes: 64, Ways: 1, HitLatency: 7},
+			DTLB: cache.TLBConfig{
+				Name: "DTLB", Entries: 256, PageBytes: 8 << 10,
+				EntryBits: 80, WalkLatency: 30,
+			},
+			MemLatency: 200,
+		},
+	}
+}
+
+// Scaled returns cfg with every cache and the DTLB shrunk by factor
+// (which must be a positive power of two), leaving the core — the
+// subject of the paper's Table I/II — untouched. The paper simulates
+// 100M-instruction SimPoints on full-size memories; scaling the storage
+// arrays preserves every AVF mechanism (miss-shadow occupancy, lifetime
+// coverage, eviction behaviour) while letting runs of a few hundred
+// thousand instructions traverse the arrays several times, which is what
+// the lifetime analysis needs to reach steady state. DESIGN.md §4
+// documents this substitution; pass factor 1 for the paper-exact
+// geometry.
+func Scaled(cfg Config, factor int) Config {
+	// Round down to a power of two so the scaled geometries stay valid.
+	f := 1
+	for f*2 <= factor {
+		f *= 2
+	}
+	factor = f
+	if factor <= 1 {
+		return cfg
+	}
+	cfg.Name = fmt.Sprintf("%s/s%d", cfg.Name, factor)
+	shrink := func(c *cache.Config) {
+		c.SizeBytes /= factor
+		if min := c.LineBytes * c.Ways; c.SizeBytes < min {
+			c.SizeBytes = min
+		}
+	}
+	shrink(&cfg.Mem.IL1)
+	shrink(&cfg.Mem.DL1)
+	shrink(&cfg.Mem.L2)
+	cfg.Mem.DTLB.Entries /= factor
+	if cfg.Mem.DTLB.Entries < 4 {
+		cfg.Mem.DTLB.Entries = 4
+	}
+	return cfg
+}
+
+// ConfigA returns the paper's Table II configuration: same pipeline
+// widths, larger IQ/ROB/rename file, four multipliers, a 4-way DL1, a
+// 512-entry DTLB and a 2MB 8-way L2 with 12-cycle latency.
+func ConfigA() Config {
+	c := Baseline()
+	c.Name = "ConfigA"
+	c.Core.IQEntries = 32
+	c.Core.ROBEntries = 96
+	c.Core.PhysRegs = 96
+	c.Core.NumMuls = 4
+	c.Mem.DL1.Ways = 4
+	c.Mem.DTLB.Entries = 512
+	c.Mem.L2 = cache.Config{Name: "L2", SizeBytes: 2 << 20, LineBytes: 64, Ways: 8, HitLatency: 12}
+	return c
+}

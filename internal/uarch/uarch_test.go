@@ -1,0 +1,187 @@
+package uarch
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBaselineMatchesTableI(t *testing.T) {
+	c := Baseline()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	core := c.Core
+	checks := []struct {
+		name string
+		got  int
+		want int
+	}{
+		{"ALUs", core.NumALUs, 4},
+		{"ALU latency", core.ALULatency, 1},
+		{"multipliers", core.NumMuls, 1},
+		{"multiplier latency", core.MulLatency, 7},
+		{"issue width", core.IssueWidth, 4},
+		{"IQ entries", core.IQEntries, 20},
+		{"IQ entry bits", core.IQEntryBits, 32},
+		{"ROB entries", core.ROBEntries, 80},
+		{"ROB entry bits", core.ROBEntryBits, 76},
+		{"physical registers", core.PhysRegs, 80},
+		{"register bits", core.RegBits, 64},
+		{"LQ entries", core.LQEntries, 32},
+		{"SQ entries", core.SQEntries, 32},
+		{"LSQ entry bits", core.LSQEntryBits, 128},
+		{"mispredict penalty", core.MispredictPenalty, 7},
+		{"memory issues/cycle", core.MemIssuePerCycle, 2},
+		{"DL1 size", c.Mem.DL1.SizeBytes, 64 << 10},
+		{"DL1 ways", c.Mem.DL1.Ways, 2},
+		{"DL1 latency", c.Mem.DL1.HitLatency, 3},
+		{"L2 size", c.Mem.L2.SizeBytes, 1 << 20},
+		{"L2 ways", c.Mem.L2.Ways, 1},
+		{"L2 latency", c.Mem.L2.HitLatency, 7},
+		{"DTLB entries", c.Mem.DTLB.Entries, 256},
+		{"DTLB page", c.Mem.DTLB.PageBytes, 8 << 10},
+	}
+	for _, ch := range checks {
+		if ch.got != ch.want {
+			t.Errorf("%s = %d, want %d", ch.name, ch.got, ch.want)
+		}
+	}
+}
+
+func TestConfigAMatchesTableII(t *testing.T) {
+	c := ConfigA()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Core.IQEntries != 32 || c.Core.ROBEntries != 96 || c.Core.PhysRegs != 96 {
+		t.Errorf("core sizes: IQ %d ROB %d RF %d", c.Core.IQEntries, c.Core.ROBEntries, c.Core.PhysRegs)
+	}
+	if c.Core.NumMuls != 4 {
+		t.Errorf("multipliers = %d, want 4", c.Core.NumMuls)
+	}
+	if c.Mem.DL1.Ways != 4 || c.Mem.DTLB.Entries != 512 {
+		t.Errorf("DL1 ways %d, DTLB %d", c.Mem.DL1.Ways, c.Mem.DTLB.Entries)
+	}
+	if c.Mem.L2.SizeBytes != 2<<20 || c.Mem.L2.Ways != 8 || c.Mem.L2.HitLatency != 12 {
+		t.Errorf("L2 %d/%d-way/%d-cycle", c.Mem.L2.SizeBytes, c.Mem.L2.Ways, c.Mem.L2.HitLatency)
+	}
+}
+
+func TestStructureBits(t *testing.T) {
+	c := Baseline()
+	cases := []struct {
+		s    Structure
+		want uint64
+	}{
+		{IQ, 20 * 32},
+		{ROB, 80 * 76},
+		{RF, 80 * 64},
+		{LQTag, 32 * 64},
+		{LQData, 32 * 64},
+		{SQTag, 32 * 64},
+		{SQData, 32 * 64},
+		{FU, (4*1 + 1*7) * 64},
+		{DTLB, 256 * 80},
+	}
+	for _, cs := range cases {
+		if got := Bits(c, cs.s); got != cs.want {
+			t.Errorf("Bits(%v) = %d, want %d", cs.s, got, cs.want)
+		}
+	}
+	if Bits(c, DL1) <= c.Mem.DL1.DataBits() {
+		t.Error("DL1 bits must include tags")
+	}
+	if Bits(c, L2) <= c.Mem.L2.DataBits() {
+		t.Error("L2 bits must include tags")
+	}
+}
+
+func TestFaultRateSets(t *testing.T) {
+	u := UniformRates(1)
+	for s := Structure(0); s < NumStructures; s++ {
+		if u[s] != 1 {
+			t.Errorf("uniform rate for %v = %f", s, u[s])
+		}
+	}
+	r := RHCRates()
+	if r[ROB] != 0.25 || r[LQTag] != 0.4 || r[LQData] != 0.4 || r[SQTag] != 0.35 || r[SQData] != 0.35 {
+		t.Errorf("RHC rates wrong: %+v", r)
+	}
+	if r[IQ] != 1 || r[FU] != 1 || r[RF] != 1 || r[DL1] != 1 {
+		t.Error("RHC must leave IQ/FU/RF/caches at 1")
+	}
+	e := EDRRates()
+	for _, s := range []Structure{ROB, LQTag, LQData, SQTag, SQData} {
+		if e[s] != 0 {
+			t.Errorf("EDR rate for %v = %f, want 0", s, e[s])
+		}
+	}
+}
+
+func TestScaled(t *testing.T) {
+	c := Scaled(Baseline(), 32)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Core != Baseline().Core {
+		t.Error("scaling must not touch the core")
+	}
+	if c.Mem.L2.SizeBytes != (1<<20)/32 {
+		t.Errorf("scaled L2 = %d", c.Mem.L2.SizeBytes)
+	}
+	if c.Mem.DTLB.Entries != 8 {
+		t.Errorf("scaled DTLB = %d", c.Mem.DTLB.Entries)
+	}
+	if Scaled(Baseline(), 1).Name != "Baseline" {
+		t.Error("factor 1 must be the identity")
+	}
+	// Extreme factors clamp rather than producing invalid configs.
+	huge := Scaled(Baseline(), 1<<20)
+	if err := huge.Validate(); err != nil {
+		t.Errorf("extreme scaling produced invalid config: %v", err)
+	}
+}
+
+// Property: any scaling factor yields a valid configuration with the
+// core untouched.
+func TestQuickScaledAlwaysValid(t *testing.T) {
+	f := func(factor uint8) bool {
+		c := Scaled(Baseline(), int(factor))
+		return c.Validate() == nil && c.Core == Baseline().Core
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCoreValidation(t *testing.T) {
+	c := Baseline()
+	c.Core.IQEntries = 0
+	if err := c.Validate(); err == nil {
+		t.Error("zero IQ accepted")
+	}
+	c = Baseline()
+	c.Core.PhysRegs = 20 // fewer than architected registers
+	if err := c.Validate(); err == nil {
+		t.Error("too-small register file accepted")
+	}
+	c = Baseline()
+	c.Core.LSQEntryBits = 127 // odd: can't split addr/data
+	if err := c.Validate(); err == nil {
+		t.Error("odd LSQ entry width accepted")
+	}
+}
+
+func TestStructureNames(t *testing.T) {
+	seen := map[string]bool{}
+	for s := Structure(0); s < NumStructures; s++ {
+		n := s.String()
+		if n == "" || seen[n] {
+			t.Errorf("structure %d has empty or duplicate name %q", s, n)
+		}
+		seen[n] = true
+	}
+	if len(QueueStructures) != 7 || len(CoreStructures) != 8 {
+		t.Errorf("class sizes: QS %d core %d", len(QueueStructures), len(CoreStructures))
+	}
+}

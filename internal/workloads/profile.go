@@ -1,0 +1,360 @@
+// Package workloads synthesises the 33-program reference suite standing
+// in for the paper's SPEC CPU2006 (11 integer + 10 FP) and MiBench (12)
+// workloads, which are licensed suites compiled for Alpha that we cannot
+// ship or run. Each proxy is a parameterised loop whose first-order
+// characteristics — instruction mix, attainable ILP, branch behaviour and
+// predictability, working-set size relative to the cache hierarchy,
+// pointer-chase (dependent-miss) fraction, and un-ACE instruction
+// fraction (NOPs plus the 3–16% dynamically dead instructions of
+// Butts & Sohi) — are set per benchmark from published characterisations.
+//
+// The paper uses the suites only as an SER-coverage reference: the claim
+// under reproduction is that the generated stressmark induces higher SER
+// than the *best* of a broad, realistically masked workload population.
+// The proxies are run on the same simulator as the stressmark, so all
+// masking mechanisms (mispredict flushes, dead code, partial cache
+// coverage, TLB thrash) act on them identically. DESIGN.md §4 documents
+// this substitution.
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+
+	"avfstress/internal/isa"
+	"avfstress/internal/prog"
+	"avfstress/internal/uarch"
+)
+
+// Suite labels the origin suite of a proxy.
+type Suite int
+
+// Suites.
+const (
+	SPECInt Suite = iota
+	SPECFP
+	MiBench
+)
+
+func (s Suite) String() string {
+	switch s {
+	case SPECInt:
+		return "SPECint2006"
+	case SPECFP:
+		return "SPECfp2006"
+	case MiBench:
+		return "MiBench"
+	}
+	return fmt.Sprintf("suite(%d)", int(s))
+}
+
+// Profile captures the first-order, microarchitecture-independent
+// characteristics of one benchmark.
+type Profile struct {
+	Name  string
+	Suite Suite
+
+	// Instruction mix (fractions of the loop body; the remainder is
+	// arithmetic).
+	LoadFrac   float64
+	StoreFrac  float64
+	BranchFrac float64
+
+	// HardBranchFrac is the fraction of branches that are data-dependent
+	// (Bernoulli with probability MispredP of the rare direction); the
+	// rest follow a predictable periodic pattern.
+	HardBranchFrac float64
+	// MispredP sets the rare-direction probability of hard branches; a
+	// trained tournament predictor mispredicts them at roughly this rate.
+	MispredP float64
+
+	// LongArithFrac is the multiplier share of arithmetic (proxy for FP
+	// and long-latency work).
+	LongArithFrac float64
+	// Lanes is the number of independent dependence chains interleaved
+	// (attainable ILP); ChainLen is the arithmetic chain length between a
+	// value's creation and its store.
+	Lanes    int
+	ChainLen int
+
+	// WorkingSetL2x sizes the data footprint as a multiple of the L2
+	// capacity (so proxies scale with uarch.Scaled configurations).
+	WorkingSetL2x float64
+	// ChaseFrac is the fraction of loads forming serialised dependent
+	// chases (mcf-style); RandomFrac the fraction with random addresses;
+	// the rest are strided streams.
+	ChaseFrac  float64
+	RandomFrac float64
+
+	// UnACEFrac is the fraction of instructions that are un-ACE
+	// (one third emitted as NOPs, the rest marked dynamically dead).
+	UnACEFrac float64
+
+	// BodySize is the static loop length in instructions.
+	BodySize int
+}
+
+// Validate reports profile errors.
+func (pf Profile) Validate() error {
+	sum := pf.LoadFrac + pf.StoreFrac + pf.BranchFrac
+	if sum > 0.95 {
+		return fmt.Errorf("workload %s: mix fractions sum to %.2f", pf.Name, sum)
+	}
+	for _, f := range []float64{pf.LoadFrac, pf.StoreFrac, pf.BranchFrac,
+		pf.HardBranchFrac, pf.MispredP, pf.LongArithFrac, pf.ChaseFrac,
+		pf.RandomFrac, pf.UnACEFrac} {
+		if f < 0 || f > 1 {
+			return fmt.Errorf("workload %s: fraction %v out of [0,1]", pf.Name, f)
+		}
+	}
+	if pf.BodySize < 8 {
+		return fmt.Errorf("workload %s: body size %d too small", pf.Name, pf.BodySize)
+	}
+	if pf.WorkingSetL2x <= 0 {
+		return fmt.Errorf("workload %s: non-positive working set", pf.Name)
+	}
+	if pf.Lanes < 1 || pf.ChainLen < 0 {
+		return fmt.Errorf("workload %s: bad ILP shape lanes=%d chain=%d", pf.Name, pf.Lanes, pf.ChainLen)
+	}
+	return nil
+}
+
+// Build synthesises the proxy program for a configuration. Deterministic
+// in (profile, cfg, seed).
+func (pf Profile) Build(cfg uarch.Config, seed int64) (*prog.Program, error) {
+	if err := pf.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	b := &builder{pf: pf, cfg: cfg, rng: rand.New(rand.NewSource(seed ^ int64(len(pf.Name))))}
+	return b.build()
+}
+
+type builder struct {
+	pf  Profile
+	cfg uarch.Config
+	rng *rand.Rand
+
+	gens      []prog.AddrGen
+	brs       []prog.BranchGen
+	ws        uint64
+	base      uint64
+	chaseRegs []isa.Reg
+}
+
+const regBase isa.Reg = 2 // induction-like base register
+
+func (b *builder) build() (*prog.Program, error) {
+	pf := b.pf
+	line := uint64(b.cfg.Mem.L2.LineBytes)
+	b.ws = uint64(pf.WorkingSetL2x * float64(b.cfg.Mem.L2.SizeBytes))
+	if min := 2 * line; b.ws < min {
+		b.ws = min
+	}
+	b.ws -= b.ws % line
+	b.base = 0x4000_0000
+
+	n := pf.BodySize
+	nLoad := int(pf.LoadFrac * float64(n))
+	nStore := int(pf.StoreFrac * float64(n))
+	nBranch := int(pf.BranchFrac * float64(n))
+	nUnACE := int(pf.UnACEFrac * float64(n))
+	nNop := nUnACE / 3
+	nDead := nUnACE - nNop
+	nChase := int(pf.ChaseFrac * float64(nLoad))
+	if nChase > 4 {
+		nChase = 4 // up to four serialised chase streams (bounded MLP)
+	}
+
+	// Reserve registers: r2 base; r1, r28..r30 chase streams; pool rest.
+	var pool []isa.Reg
+	pool = append(pool, 0)
+	chaseCandidates := []isa.Reg{1, 28, 29, 30}
+	b.chaseRegs = chaseCandidates[:nChase]
+	for r := isa.Reg(3); r < isa.NumArchRegs-1; r++ {
+		if int(r) >= 28 && containsReg(b.chaseRegs, r) {
+			continue
+		}
+		pool = append(pool, r)
+	}
+
+	// Remaining op budget is arithmetic.
+	nArith := n - nLoad - nStore - nBranch - nNop - 1 // -1 induction
+	if nArith < 0 {
+		return nil, fmt.Errorf("workload %s: mix overflows body (%d loads %d stores %d branches %d nops > %d)",
+			pf.Name, nLoad, nStore, nBranch, nNop, n)
+	}
+
+	// Multiset of ops to place.
+	kinds := make([]isa.Op, 0, n)
+	for i := 0; i < nLoad; i++ {
+		kinds = append(kinds, isa.OpLoad)
+	}
+	for i := 0; i < nStore; i++ {
+		kinds = append(kinds, isa.OpStore)
+	}
+	for i := 0; i < nBranch; i++ {
+		kinds = append(kinds, isa.OpBranch)
+	}
+	for i := 0; i < nNop; i++ {
+		kinds = append(kinds, isa.OpNop)
+	}
+	for i := 0; i < nArith; i++ {
+		kinds = append(kinds, isa.OpAdd) // latency decided at emission
+	}
+	b.rng.Shuffle(len(kinds), func(i, j int) { kinds[i], kinds[j] = kinds[j], kinds[i] })
+
+	// Lane state: each lane carries a chain value register.
+	lanes := pf.Lanes
+	if lanes > 10 {
+		lanes = 10
+	}
+	if lanes > len(pool)/2 {
+		lanes = len(pool) / 2
+	}
+	cur := make([]isa.Reg, lanes)
+	age := make([]int, lanes) // ops since the lane last stored
+	for i := range cur {
+		cur[i] = pool[0]
+		pool = pool[1:]
+	}
+
+	deadLeft := nDead
+	chaseIdx := 0
+	body := make([]isa.Instr, 0, n)
+	body = append(body, isa.Instr{
+		Op: isa.OpAdd, Dest: regBase, Src1: regBase, Imm: int16(line), Label: "induction",
+	})
+	li := 0
+	for _, k := range kinds {
+		lane := li % lanes
+		li++
+		var in isa.Instr
+		switch k {
+		case isa.OpLoad:
+			if chaseIdx < len(b.chaseRegs) && b.rng.Float64() < 0.5 {
+				r := b.chaseRegs[chaseIdx]
+				chaseIdx++
+				in = isa.Instr{Op: isa.OpLoad, Dest: r, Src1: r,
+					AddrGen: b.chaseGen(), Label: "chase"}
+			} else {
+				in = isa.Instr{Op: isa.OpLoad, Dest: cur[lane], Src1: regBase,
+					AddrGen: b.loadGen(), Label: "load"}
+				age[lane] = 0
+			}
+		case isa.OpStore:
+			in = isa.Instr{Op: isa.OpStore, Dest: isa.RZero, Src1: regBase,
+				Src2: cur[lane], AddrGen: b.storeGen(), Label: "store"}
+			age[lane] = 0
+		case isa.OpBranch:
+			in = isa.Instr{Op: isa.OpBranch, Dest: isa.RZero, Src1: cur[lane],
+				BrGen: b.branchGen(), Label: "branch"}
+		case isa.OpNop:
+			in = isa.Instr{Op: isa.OpNop, Dest: isa.RZero, Src1: isa.RZero, Src2: isa.RZero}
+		default: // arithmetic
+			op := isa.OpAdd
+			if b.rng.Float64() < pf.LongArithFrac {
+				op = isa.OpMul
+			}
+			in = isa.Instr{Op: op, Src1: cur[lane], Dest: cur[lane]}
+			if age[lane] >= pf.ChainLen && lanes > 1 {
+				// Start a fresh chain: break the dependence.
+				in.Src1 = regBase
+				age[lane] = 0
+			}
+			if b.rng.Float64() < 0.4 {
+				in.RegReg = true
+				in.Src2 = cur[(lane+1)%lanes]
+			} else {
+				in.Imm = int16(b.rng.Intn(255) + 1)
+			}
+			if deadLeft > 0 && b.rng.Float64() < pf.UnACEFrac {
+				in.UnACE = true
+				deadLeft--
+			}
+			age[lane]++
+		}
+		body = append(body, in)
+	}
+	body = append(body, isa.Instr{
+		Op: isa.OpBranch, Dest: isa.RZero, Src1: regBase,
+		BrGen: b.backedge(), Label: "backedge",
+	})
+
+	// Init: define every architected register.
+	var init []isa.Instr
+	for r := isa.Reg(0); r < isa.NumArchRegs-1; r++ {
+		init = append(init, isa.Instr{Op: isa.OpAdd, Dest: r, Src1: isa.RZero, Imm: int16(r), Label: "init"})
+	}
+	p := &prog.Program{
+		Name:           pf.Name,
+		Init:           init,
+		Body:           body,
+		AddrGens:       b.gens,
+		BrGens:         b.brs,
+		Iterations:     1 << 40,
+		FootprintBytes: b.ws,
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("workload %s: %w", pf.Name, err)
+	}
+	return p, nil
+}
+
+func containsReg(rs []isa.Reg, r isa.Reg) bool {
+	for _, x := range rs {
+		if x == r {
+			return true
+		}
+	}
+	return false
+}
+
+func (b *builder) addGen(g prog.AddrGen) int {
+	b.gens = append(b.gens, g)
+	return len(b.gens) - 1
+}
+
+// chaseGen: a serialised dependent-miss stream across the working set.
+func (b *builder) chaseGen() int {
+	line := uint64(b.cfg.Mem.L2.LineBytes)
+	return b.addGen(prog.PointerChase{
+		Base:   b.base,
+		Stride: line * uint64(1+b.rng.Intn(4)),
+		Region: b.ws,
+	})
+}
+
+// loadGen: random or strided stream per the profile.
+func (b *builder) loadGen() int {
+	if b.rng.Float64() < b.pf.RandomFrac {
+		return b.addGen(prog.RandomWalk{
+			Base: b.base, Region: b.ws, Seed: uint64(b.rng.Int63()),
+		})
+	}
+	line := uint64(b.cfg.Mem.L2.LineBytes)
+	return b.addGen(prog.StridedBlock{
+		Base: b.base, Stride: 8, Region: b.ws,
+		Phase: (uint64(b.rng.Intn(1<<16)) * line) % b.ws,
+	})
+}
+
+func (b *builder) storeGen() int { return b.loadGen() }
+
+func (b *builder) branchGen() int {
+	if b.rng.Float64() < b.pf.HardBranchFrac {
+		b.brs = append(b.brs, prog.Bernoulli{Seed: uint64(b.rng.Int63()), P: b.pf.MispredP})
+	} else {
+		// One shared 8/4 pattern with per-branch phase: fully learnable
+		// by a 10-bit local history and alias-safe across branches.
+		b.brs = append(b.brs, prog.Periodic{Period: 8, Duty: 4, Phase: int64(b.rng.Intn(8))})
+	}
+	return len(b.brs) - 1
+}
+
+func (b *builder) backedge() int {
+	b.brs = append(b.brs, prog.LoopBranch{Iterations: 1 << 40})
+	return len(b.brs) - 1
+}
