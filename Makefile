@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: all build vet test check bench bench-compare bench-smoke
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+check: vet build test
+
+# bench runs the whole benchmark suite once and records a machine-readable
+# snapshot, so the perf trajectory can be tracked across PRs (see
+# DESIGN.md §5).
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x . | $(GO) run ./cmd/benchjson > BENCH_latest.json
+	@echo wrote BENCH_latest.json
+
+# bench-smoke is the CI variant: one iteration of every benchmark, output
+# discarded — it only proves the experiment drivers still run end-to-end.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x .
+
+# bench-compare produces the 5-run samples of the two headline benchmarks
+# used for before/after comparisons (feed the two files to benchstat).
+bench-compare:
+	$(GO) test -run '^$$' -bench 'BenchmarkTableI_BaselineSim|BenchmarkFig5_GASearchBaseline' -benchmem -count 5 .

@@ -1,0 +1,3 @@
+module avfstress
+
+go 1.24

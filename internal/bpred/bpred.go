@@ -175,6 +175,26 @@ func (p *Predictor) MispredictRate() float64 {
 // trained state (used when a warmup window ends).
 func (p *Predictor) ResetStats() { p.Lookups, p.Mispredicts = 0, 0 }
 
+// Reset discards all trained state and statistics, returning the
+// predictor to the weakly-taken power-on state New produces. Used when a
+// pooled pipeline is re-armed for a new program.
+func (p *Predictor) Reset() {
+	for i := range p.global {
+		p.global[i] = 2
+	}
+	for i := range p.choice {
+		p.choice[i] = 2
+	}
+	for i := range p.localC {
+		p.localC[i] = 4
+	}
+	for i := range p.localH {
+		p.localH[i] = 0
+	}
+	p.ghist = 0
+	p.ResetStats()
+}
+
 func (p *Predictor) globalIndex() uint64 {
 	return p.ghist & uint64(p.cfg.GlobalEntries-1)
 }

@@ -208,20 +208,31 @@ func (c *Cache) find(addr uint64) *line {
 // first); violations return an error so the pipeline's invariant tests
 // can catch them.
 func (c *Cache) Touch(now int64, addr uint64, size int, write bool) error {
+	hit, err := c.TouchHit(now, addr, size, write)
+	if err == nil && !hit {
+		return fmt.Errorf("cache %s: touch of non-resident address %#x", c.cfg.Name, addr)
+	}
+	return err
+}
+
+// TouchHit applies a read or write of size bytes at addr when the line
+// is resident and reports whether it was; on a miss no state changes.
+// It folds the hierarchy's Probe+Touch hit-path pair into one lookup.
+func (c *Cache) TouchHit(now int64, addr uint64, size int, write bool) (bool, error) {
 	ln := c.find(addr)
 	if ln == nil {
-		return fmt.Errorf("cache %s: touch of non-resident address %#x", c.cfg.Name, addr)
+		return false, nil
 	}
 	off := int(addr & uint64(c.cfg.LineBytes-1))
 	if off+size > c.cfg.LineBytes {
-		return fmt.Errorf("cache %s: access %#x size %d crosses line boundary", c.cfg.Name, addr, size)
+		return false, fmt.Errorf("cache %s: access %#x size %d crosses line boundary", c.cfg.Name, addr, size)
 	}
 	ln.lru = now
 	c.Accesses++
 	for b := off; b < off+size; b++ {
 		c.closeByte(ln, b, now, write)
 	}
-	return nil
+	return true, nil
 }
 
 // TouchMask applies a write to the bytes selected by mask (bit i = byte i
@@ -373,6 +384,19 @@ func (c *Cache) ResetACE(now int64) {
 
 // ResetStats clears hit/miss counters.
 func (c *Cache) ResetStats() { c.Accesses, c.Misses, c.Writebacks = 0, 0, 0 }
+
+// Reset returns the cache to its power-on state — all lines invalid, ACE
+// accumulators and statistics zeroed — without reallocating the line or
+// per-byte arrays. A Reset cache behaves identically to a fresh New one
+// (Fill rewrites every per-byte field before it is read).
+func (c *Cache) Reset() {
+	for i := range c.lines {
+		c.lines[i].valid = false
+	}
+	c.aceByteCycles, c.tagAceCycles = 0, 0
+	c.windowStart = 0
+	c.ResetStats()
+}
 
 // DataAVF returns the data-array AVF over a window of cycles cycles.
 func (c *Cache) DataAVF(cycles int64) float64 {

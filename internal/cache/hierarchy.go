@@ -67,10 +67,10 @@ func (h *Hierarchy) Data(now int64, addr uint64, size int, write bool) (latency 
 	t := now
 	t += int64(h.DTLB.Access(t, addr))
 
-	if h.DL1.Probe(addr) {
-		t += int64(h.cfg.DL1.HitLatency)
-		h.mustTouch(h.DL1, t, addr, size, write)
-		return int(t - now), false, false
+	if hit, err := h.DL1.TouchHit(t+int64(h.cfg.DL1.HitLatency), addr, size, write); err != nil {
+		panic(err)
+	} else if hit {
+		return int(t + int64(h.cfg.DL1.HitLatency) - now), false, false
 	}
 	dl1Miss = true
 	la := h.DL1.LineAddr(addr)
@@ -102,8 +102,9 @@ func (h *Hierarchy) Data(now int64, addr uint64, size int, write bool) (latency 
 // issued at time now and returns the added latency beyond the IL1 hit
 // path (0 on an IL1 hit).
 func (h *Hierarchy) Fetch(now int64, pc uint64) (extraLatency int) {
-	if h.IL1.Probe(pc) {
-		h.mustTouch(h.IL1, now, pc, 4, false)
+	if hit, err := h.IL1.TouchHit(now, pc, 4, false); err != nil {
+		panic(err)
+	} else if hit {
 		return 0
 	}
 	t := now
@@ -167,6 +168,16 @@ func (h *Hierarchy) ResetACE(now int64) {
 	h.DL1.ResetACE(now)
 	h.L2.ResetACE(now)
 	h.DTLB.ResetACE(now)
+}
+
+// Reset returns every level to its power-on state without reallocating,
+// so one Hierarchy can be reused across simulations of the same
+// configuration (see pipe.Pipeline.Reset).
+func (h *Hierarchy) Reset() {
+	h.IL1.Reset()
+	h.DL1.Reset()
+	h.L2.Reset()
+	h.DTLB.Reset()
 }
 
 // ResetStats clears hit/miss counters in all levels.

@@ -230,6 +230,17 @@ func (t *TLB) ResetACE(now int64) {
 // ResetStats clears access counters.
 func (t *TLB) ResetStats() { t.Accesses, t.Misses = 0, 0 }
 
+// Reset returns the TLB to its power-on state (all entries invalid, all
+// accumulators zeroed) without reallocating the entry array.
+func (t *TLB) Reset() {
+	for i := range t.entries {
+		t.entries[i] = tlbEntry{}
+	}
+	t.aceEntryCycles, t.hd1EntryCycles = 0, 0
+	t.windowStart = 0
+	t.ResetStats()
+}
+
 // AVF returns the TLB AVF over a window of cycles cycles. With
 // HammingCAM enabled, the tag share of each entry is scaled by its HD-1
 // exposure.

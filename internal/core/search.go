@@ -189,6 +189,10 @@ func Search(spec SearchSpec) (*SearchResult, error) {
 		gacfg.InitialPopulation = append(gacfg.InitialPopulation, GenomeFromKnobs(k))
 	}
 
+	ev, err := NewEvaluator(spec.Config)
+	if err != nil {
+		return nil, err
+	}
 	var (
 		mu    sync.Mutex
 		memo  = map[codegen.Knobs]float64{}
@@ -203,7 +207,7 @@ func Search(spec SearchSpec) (*SearchResult, error) {
 			return f, nil
 		}
 		mu.Unlock()
-		f, err := EvaluateKnobs(spec.Config, spec.Rates, spec.Weights, k, spec.Eval)
+		f, err := ev.EvaluateKnobs(spec.Rates, spec.Weights, k, spec.Eval)
 		if err != nil {
 			// Cull infeasible candidates instead of aborting the search.
 			fails.Add(1)
@@ -225,7 +229,7 @@ func Search(spec SearchSpec) (*SearchResult, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: regenerating best solution: %w", err)
 	}
-	res, err := pipe.Simulate(spec.Config, p, spec.Final)
+	res, err := ev.pool.Simulate(p, spec.Final)
 	if err != nil {
 		return nil, fmt.Errorf("core: final evaluation: %w", err)
 	}
@@ -241,18 +245,48 @@ func Search(spec SearchSpec) (*SearchResult, error) {
 	}, nil
 }
 
+// Evaluator is the pooled fitness path for one configuration: candidate
+// programs are simulated on recycled pipelines (pipe.Pool), so a GA
+// search's thousands of evaluations reuse one set of simulator
+// allocations per worker instead of rebuilding ROB, checkpoint matrix,
+// register file and cache hierarchy every time. Safe for concurrent use.
+type Evaluator struct {
+	cfg  uarch.Config
+	pool *pipe.Pool
+}
+
+// NewEvaluator validates cfg once and returns a pooled evaluator for it.
+func NewEvaluator(cfg uarch.Config) (*Evaluator, error) {
+	pool, err := pipe.NewPool(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Evaluator{cfg: cfg, pool: pool}, nil
+}
+
+// EvaluateKnobs generates and simulates one candidate on a pooled
+// pipeline and returns its fitness.
+func (e *Evaluator) EvaluateKnobs(rates uarch.FaultRates, w avf.Weights,
+	k codegen.Knobs, rc pipe.RunConfig) (float64, error) {
+	p, _, err := codegen.Generate(e.cfg, k, 1<<40)
+	if err != nil {
+		return 0, err
+	}
+	res, err := e.pool.Simulate(p, rc)
+	if err != nil {
+		return 0, err
+	}
+	return res.Fitness(e.cfg, rates, w), nil
+}
+
 // EvaluateKnobs generates and simulates one candidate and returns its
-// fitness. It is the single fitness path used by Search (and by tests
-// and benchmarks that probe individual knob settings).
+// fitness. It remains the one-shot path for tests and benchmarks that
+// probe individual knob settings; Search uses a long-lived Evaluator.
 func EvaluateKnobs(cfg uarch.Config, rates uarch.FaultRates, w avf.Weights,
 	k codegen.Knobs, rc pipe.RunConfig) (float64, error) {
-	p, _, err := codegen.Generate(cfg, k, 1<<40)
+	ev, err := NewEvaluator(cfg)
 	if err != nil {
 		return 0, err
 	}
-	res, err := pipe.Simulate(cfg, p, rc)
-	if err != nil {
-		return 0, err
-	}
-	return res.Fitness(cfg, rates, w), nil
+	return ev.EvaluateKnobs(rates, w, k, rc)
 }

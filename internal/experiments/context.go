@@ -8,6 +8,7 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 
@@ -117,7 +118,11 @@ func (c *Context) Workloads(cfg uarch.Config) ([]*avf.Result, error) {
 	errs := make([]error, len(profiles))
 	par := c.Opts.Parallelism
 	if par <= 0 {
-		par = 4
+		par = runtime.GOMAXPROCS(0)
+	}
+	pool, err := pipe.NewPool(cfg)
+	if err != nil {
+		return nil, err
 	}
 	sem := make(chan struct{}, par)
 	var wg sync.WaitGroup
@@ -133,7 +138,7 @@ func (c *Context) Workloads(cfg uarch.Config) ([]*avf.Result, error) {
 				errs[i] = err
 				return
 			}
-			results[i], errs[i] = pipe.Simulate(cfg, p, rc)
+			results[i], errs[i] = pool.Simulate(p, rc)
 		}(i, pf)
 	}
 	wg.Wait()

@@ -16,6 +16,7 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // Gene describes one genome dimension.
@@ -334,28 +335,51 @@ func bestIndex(scores []float64) int {
 	return bi
 }
 
+// evaluate scores the population with a fixed pool of worker goroutines
+// pulling individuals off a shared counter. Compared to one goroutine
+// per individual this keeps goroutine (and, downstream, pooled-pipeline)
+// churn at the parallelism level rather than the population size.
 func evaluate(pop []Genome, scores []float64, fit Fitness, parallelism int) error {
-	sem := make(chan struct{}, parallelism)
-	var wg sync.WaitGroup
-	var mu sync.Mutex
-	var firstErr error
-	for i := range pop {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int) {
-			defer wg.Done()
-			defer func() { <-sem }()
+	if parallelism > len(pop) {
+		parallelism = len(pop)
+	}
+	if parallelism <= 1 {
+		for i := range pop {
 			s, err := fit(pop[i])
 			if err != nil {
-				mu.Lock()
-				if firstErr == nil {
-					firstErr = fmt.Errorf("individual %d: %w", i, err)
-				}
-				mu.Unlock()
-				return
+				return fmt.Errorf("individual %d: %w", i, err)
 			}
 			scores[i] = s
-		}(i)
+		}
+		return nil
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	wg.Add(parallelism)
+	for w := 0; w < parallelism; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(pop) {
+					return
+				}
+				s, err := fit(pop[i])
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("individual %d: %w", i, err)
+					}
+					mu.Unlock()
+					continue
+				}
+				scores[i] = s
+			}
+		}()
 	}
 	wg.Wait()
 	return firstErr

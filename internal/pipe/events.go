@@ -1,0 +1,149 @@
+package pipe
+
+// The event-driven core replaces the seed's per-cycle ROB scans with two
+// small schedules:
+//
+//   - compQ, a min-heap of completion events pushed at issue, so
+//     complete() touches only the uops finishing at the current cycle and
+//     nextEvent() is an O(1) peek;
+//   - wakeQ, a min-heap of operand-ready events. A consumer whose source
+//     register has a known future ready cycle (its producer already
+//     issued) schedules a timed wakeup; a consumer whose producer has not
+//     issued yet parks on the producer register's waiter list and is
+//     converted to a timed wakeup when the producer issues and broadcasts
+//     its completion cycle.
+//
+// Events reference ROB slots by sequence number and are invalidated
+// lazily: a misprediction flush rewinds tail without touching the heaps,
+// and stale entries are recognised when popped because either the
+// sequence number is outside [head, tail) or the slot's generation
+// counter (bumped on every dispatch) no longer matches.
+
+// event schedules a state change for the uop at seq: a completion
+// (compQ) or one source operand becoming ready (wakeQ).
+type event struct {
+	cycle int64
+	seq   int64
+	gen   uint32
+}
+
+// eventHeap is a binary min-heap of events ordered by (cycle, seq). The
+// seq tiebreak makes same-cycle completions pop in age order, which is
+// what preserves the scan-based core's oldest-first flush semantics.
+type eventHeap []event
+
+func (h eventHeap) less(i, j int) bool {
+	return h[i].cycle < h[j].cycle || (h[i].cycle == h[j].cycle && h[i].seq < h[j].seq)
+}
+
+func (h *eventHeap) push(e event) {
+	q := append(*h, e)
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+	*h = q
+}
+
+func (h *eventHeap) pop() event {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q = q[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		least := i
+		if l < n && q.less(l, least) {
+			least = l
+		}
+		if r < n && q.less(r, least) {
+			least = r
+		}
+		if least == i {
+			break
+		}
+		q[i], q[least] = q[least], q[i]
+		i = least
+	}
+	*h = q
+	return top
+}
+
+// waiterRef parks a dispatched consumer on a physical register whose
+// producer has not issued yet (ready cycle still unknown).
+type waiterRef struct {
+	seq int64
+	gen uint32
+}
+
+// live reports whether the event or waiter still refers to the uop it was
+// created for: in the current ROB window and with a matching generation.
+func (pl *Pipeline) live(seq int64, gen uint32) (*uop, bool) {
+	if seq < pl.head || seq >= pl.tail {
+		return nil, false
+	}
+	u := pl.at(seq)
+	return u, u.gen == gen
+}
+
+// drainWakeups applies every operand-ready event due at or before now.
+// When a uop's last pending source resolves it enters the ready queue.
+func (pl *Pipeline) drainWakeups() {
+	for len(pl.wakeQ) > 0 && pl.wakeQ[0].cycle <= pl.now {
+		e := pl.wakeQ.pop()
+		u, ok := pl.live(e.seq, e.gen)
+		if !ok || u.state != sWaiting {
+			continue
+		}
+		u.pendingSrcs--
+		if u.pendingSrcs == 0 {
+			pl.readyQ.insert(e.seq, e.gen)
+		}
+	}
+}
+
+// watchOperands counts the uop's not-yet-ready sources and schedules one
+// wakeup per source: a timed event when the ready cycle is already known,
+// a waiter-list registration when the producer has not issued. Called at
+// dispatch; a uop with no pending sources goes straight to the ready
+// queue.
+func (pl *Pipeline) watchOperands(seq int64, u *uop) {
+	pending := uint8(0)
+	for _, s := range u.src {
+		if s == noReg {
+			continue
+		}
+		rc := pl.regs[s].readyCycle
+		if rc <= pl.now {
+			continue
+		}
+		pending++
+		if rc == farAway {
+			pl.waiters[s] = append(pl.waiters[s], waiterRef{seq: seq, gen: u.gen})
+		} else {
+			pl.wakeQ.push(event{cycle: rc, seq: seq, gen: u.gen})
+		}
+	}
+	u.pendingSrcs = pending
+	if pending == 0 {
+		pl.readyQ.insert(seq, u.gen)
+	}
+}
+
+// broadcast converts the waiters parked on physical register p into timed
+// wakeups at ready (the producer's completion cycle). Waiters from
+// flushed consumers fail the generation check when their event pops.
+func (pl *Pipeline) broadcast(p int16, ready int64) {
+	w := pl.waiters[p]
+	for _, ref := range w {
+		pl.wakeQ.push(event{cycle: ready, seq: ref.seq, gen: ref.gen})
+	}
+	pl.waiters[p] = w[:0]
+}

@@ -1,0 +1,210 @@
+package pipe_test
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"avfstress/internal/avf"
+	"avfstress/internal/codegen"
+	"avfstress/internal/pipe"
+	"avfstress/internal/uarch"
+	"avfstress/internal/workloads"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden simulator-equivalence file")
+
+// goldenCase is one (config, program, budget) triple whose full avf.Result
+// is locked in testdata/golden.json. The matrix spans both configurations,
+// both generator variants (L2-miss chase and L2-hit), heavy wrong-path
+// workload proxies, warmup and no-warmup budgets, and two cache scales, so
+// any behavioural drift in the pipeline core shows up as a bit-level diff.
+type goldenCase struct {
+	name  string
+	cfg   uarch.Config
+	knobs *codegen.Knobs // exclusive with workload
+	wl    string
+	rc    pipe.RunConfig
+}
+
+func goldenCases(t *testing.T) []goldenCase {
+	t.Helper()
+	base := uarch.Scaled(uarch.Baseline(), 32)
+	base64 := uarch.Scaled(uarch.Baseline(), 64)
+	confA := uarch.Scaled(uarch.ConfigA(), 32)
+	kBaseline := codegen.Knobs{LoopSize: 81, NumLoads: 29, NumStores: 28,
+		NumIndepArith: 5, MissDependent: 7, AvgChainLength: 2.14,
+		DepDistance: 6, FracLongLatency: 0.8, FracRegReg: 0.93, Seed: 42}
+	kHit := kBaseline
+	kHit.L2Hit = true
+	kEDR := codegen.Knobs{LoopSize: 54, NumLoads: 2, NumStores: 6,
+		NumIndepArith: 5, MissDependent: 15, AvgChainLength: 6.5,
+		DepDistance: 1, FracLongLatency: 0.9, FracRegReg: 0.4, Seed: 42,
+		L2Hit: true}
+	kConfA := codegen.Knobs{LoopSize: 91, NumLoads: 29, NumStores: 29,
+		NumIndepArith: 5, MissDependent: 14, AvgChainLength: 2.14,
+		DepDistance: 1, FracLongLatency: 0.6, FracRegReg: 0.96, Seed: 42}
+	warm := pipe.RunConfig{MaxInstructions: 30_000, WarmupInstructions: 10_000}
+	cold := pipe.RunConfig{MaxInstructions: 20_000}
+	return []goldenCase{
+		{name: "baseline-chase", cfg: base, knobs: &kBaseline, rc: warm},
+		{name: "baseline-chase-cold", cfg: base, knobs: &kBaseline, rc: cold},
+		{name: "baseline-l2hit", cfg: base, knobs: &kHit, rc: warm},
+		{name: "edr-knobs", cfg: base, knobs: &kEDR, rc: warm},
+		{name: "configA-chase", cfg: confA, knobs: &kConfA, rc: warm},
+		{name: "baseline-scale64", cfg: base64, knobs: &kBaseline, rc: warm},
+		{name: "wl-403.gcc", cfg: base, wl: "403.gcc", rc: warm},
+		{name: "wl-429.mcf", cfg: base, wl: "429.mcf", rc: warm},
+		{name: "wl-458.sjeng", cfg: base, wl: "458.sjeng", rc: warm},
+		{name: "wl-462.libquantum", cfg: confA, wl: "462.libquantum", rc: warm},
+	}
+}
+
+func runGoldenCase(t *testing.T, gc goldenCase) *avf.Result {
+	t.Helper()
+	if gc.knobs != nil {
+		prog, _, err := codegen.Generate(gc.cfg, *gc.knobs, 1<<40)
+		if err != nil {
+			t.Fatalf("%s: generate: %v", gc.name, err)
+		}
+		res, err := pipe.Simulate(gc.cfg, prog, gc.rc)
+		if err != nil {
+			t.Fatalf("%s: simulate: %v", gc.name, err)
+		}
+		return res
+	}
+	pf, err := workloads.ByName(gc.wl)
+	if err != nil {
+		t.Fatalf("%s: workload: %v", gc.name, err)
+	}
+	prog, err := pf.Build(gc.cfg, 1)
+	if err != nil {
+		t.Fatalf("%s: build: %v", gc.name, err)
+	}
+	res, err := pipe.Simulate(gc.cfg, prog, gc.rc)
+	if err != nil {
+		t.Fatalf("%s: simulate: %v", gc.name, err)
+	}
+	return res
+}
+
+// TestPoolMatchesFresh proves that a pooled, Reset pipeline is
+// bit-identical to a freshly constructed one: every golden case is run
+// twice through one Pool per configuration (so the second pass always
+// hits a reused pipeline, usually one that last ran a different program)
+// and compared against pipe.Simulate on a fresh pipeline.
+func TestPoolMatchesFresh(t *testing.T) {
+	pools := map[string]*pipe.Pool{}
+	poolFor := func(cfg uarch.Config) *pipe.Pool {
+		if p, ok := pools[cfg.Name]; ok {
+			return p
+		}
+		p, err := pipe.NewPool(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pools[cfg.Name] = p
+		return p
+	}
+	cases := goldenCases(t)
+	for pass := 0; pass < 2; pass++ {
+		for _, gc := range cases {
+			fresh := runGoldenCase(t, gc)
+			var pooled *avf.Result
+			var err error
+			if gc.knobs != nil {
+				prog, _, gerr := codegen.Generate(gc.cfg, *gc.knobs, 1<<40)
+				if gerr != nil {
+					t.Fatal(gerr)
+				}
+				pooled, err = poolFor(gc.cfg).Simulate(prog, gc.rc)
+			} else {
+				pf, werr := workloads.ByName(gc.wl)
+				if werr != nil {
+					t.Fatal(werr)
+				}
+				prog, berr := pf.Build(gc.cfg, 1)
+				if berr != nil {
+					t.Fatal(berr)
+				}
+				pooled, err = poolFor(gc.cfg).Simulate(prog, gc.rc)
+			}
+			if err != nil {
+				t.Fatalf("pass %d %s: pooled simulate: %v", pass, gc.name, err)
+			}
+			fj, _ := json.Marshal(fresh)
+			pj, _ := json.Marshal(pooled)
+			if string(fj) != string(pj) {
+				t.Errorf("pass %d %s: pooled result differs from fresh:\n fresh  %s\n pooled %s",
+					pass, gc.name, fj, pj)
+			}
+		}
+	}
+}
+
+// TestGoldenEquivalence locks the simulator's observable output — every
+// per-structure AVF, cycle count, commit count, occupancy and activity
+// counter — against testdata/golden.json, captured from the pre-event-queue
+// scan-based core. Any refactor of internal/pipe must reproduce these
+// bit-identically (floats compared exactly via their shortest round-trip
+// JSON encoding). Regenerate deliberately with: go test -run Golden -update.
+func TestGoldenEquivalence(t *testing.T) {
+	type entry struct {
+		Name   string
+		Result *avf.Result
+	}
+	cases := goldenCases(t)
+	got := make([]entry, 0, len(cases))
+	for _, gc := range cases {
+		got = append(got, entry{Name: gc.name, Result: runGoldenCase(t, gc)})
+	}
+	gotJSON, err := json.MarshalIndent(got, "", "\t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotJSON = append(gotJSON, '\n')
+	path := filepath.Join("testdata", "golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, gotJSON, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d cases)", path, len(got))
+		return
+	}
+	wantJSON, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden file (regenerate with -update): %v", err)
+	}
+	if string(gotJSON) == string(wantJSON) {
+		return
+	}
+	// Mismatch: report per-case, per-field diffs instead of a JSON dump.
+	var want []entry
+	if err := json.Unmarshal(wantJSON, &want); err != nil {
+		t.Fatalf("parsing golden file: %v", err)
+	}
+	wantBy := map[string]*avf.Result{}
+	for _, e := range want {
+		wantBy[e.Name] = e.Result
+	}
+	for _, e := range got {
+		w, ok := wantBy[e.Name]
+		if !ok {
+			t.Errorf("%s: no golden entry (regenerate with -update)", e.Name)
+			continue
+		}
+		gj, _ := json.Marshal(e.Result)
+		wj, _ := json.Marshal(w)
+		if string(gj) != string(wj) {
+			t.Errorf("%s: result drifted from golden:\n got  %s\n want %s", e.Name, gj, wj)
+		}
+	}
+	if len(got) != len(want) {
+		t.Errorf("case count changed: got %d, golden has %d (regenerate with -update)", len(got), len(want))
+	}
+}

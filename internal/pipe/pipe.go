@@ -22,6 +22,12 @@
 // branch predictor state updates at fetch, wrong-path memory operations
 // do not pollute the caches, and there is no bandwidth contention between
 // hierarchy levels.
+//
+// The core is event-driven rather than scan-based: completions and
+// operand wakeups are scheduled on min-heaps keyed by cycle (events.go)
+// and issue selection walks a small age-ordered ready queue (readyq.go),
+// so per-cycle work is proportional to the number of state changes, not
+// to the ROB size. DESIGN.md §2 states the invariants.
 package pipe
 
 import (
@@ -56,6 +62,13 @@ type uop struct {
 	wrongPath bool
 	ace       bool
 	state     uopState
+
+	// gen counts dispatches into this ROB slot; scheduled events carry
+	// the value so entries for flushed uops die on a mismatch.
+	gen uint32
+	// pendingSrcs is the number of source operands not yet ready; the
+	// uop enters the ready queue when it reaches zero.
+	pendingSrcs uint8
 
 	destPhys int16
 	oldPhys  int16
@@ -100,8 +113,9 @@ type RunConfig struct {
 	DeadlockCycles int64
 }
 
-// Pipeline simulates one program on one configuration. Create with New,
-// call Run once.
+// Pipeline simulates one program on one configuration. Create with New
+// and call Run; Reset re-arms the same pipeline for another program on
+// the same configuration without reallocating (see Pool).
 type Pipeline struct {
 	cfg    uarch.Config
 	core   uarch.CoreConfig
@@ -112,22 +126,35 @@ type Pipeline struct {
 
 	now int64
 
-	rob    []uop
-	ckpt   [][]int16 // rename-map checkpoint per ROB slot (branches only)
-	head   int64     // oldest in-flight seq
-	tail   int64     // next seq to allocate
-	robCap int64
+	rob     []uop
+	ckpt    [][]int16 // rename-map checkpoint per ROB slot (branches only)
+	head    int64     // oldest in-flight seq
+	tail    int64     // next seq to allocate
+	robCap  int64     // architectural capacity (cfg.Core.ROBEntries)
+	robMask int64     // ring mask; ring size is the next power of two ≥ robCap
 
 	archMap  []int16
 	freeList []int16
 	regs     []physReg
+
+	compQ   eventHeap     // completion events, keyed by doneCycle
+	wakeQ   eventHeap     // operand-ready events, keyed by ready cycle
+	readyQ  readyQueue    // age-ordered operand-ready uops
+	waiters [][]waiterRef // per-physical-register consumers awaiting issue broadcast
+
+	// dwStores indexes the in-flight correct-path stores by doubleword
+	// address (age-ordered seqs), replacing loadMemCheck's ROB back-scan
+	// with one map lookup. dwFree recycles the per-address lists.
+	dwStores map[uint64][]int64
+	dwFree   [][]int64
 
 	iqUsed, lqUsed, sqUsed int
 
 	fetchStallUntil int64
 	wrongPathMode   bool
 	wpIdx           int
-	pending         *fetchItem
+	pending         fetchItem
+	havePending     bool
 	streamDone      bool
 
 	acct accounting
@@ -160,13 +187,59 @@ func New(cfg uarch.Config, p *prog.Program) (*Pipeline, error) {
 		p:      p,
 		robCap: int64(cfg.Core.ROBEntries),
 	}
-	pl.rob = make([]uop, pl.robCap)
-	pl.ckpt = make([][]int16, pl.robCap)
+	ring := int64(1)
+	for ring < pl.robCap {
+		ring <<= 1
+	}
+	pl.robMask = ring - 1
+	pl.rob = make([]uop, ring)
+	pl.ckpt = make([][]int16, ring)
+	ckptBacking := make([]int16, int(ring)*isa.NumArchRegs)
 	for i := range pl.ckpt {
-		pl.ckpt[i] = make([]int16, isa.NumArchRegs)
+		pl.ckpt[i] = ckptBacking[i*isa.NumArchRegs : (i+1)*isa.NumArchRegs]
 	}
 	pl.archMap = make([]int16, isa.NumArchRegs)
 	pl.regs = make([]physReg, cfg.Core.PhysRegs)
+	pl.freeList = make([]int16, 0, cfg.Core.PhysRegs)
+	pl.waiters = make([][]waiterRef, cfg.Core.PhysRegs)
+	pl.dwStores = make(map[uint64][]int64)
+	pl.resetArchState()
+	return pl, nil
+}
+
+// pushStore records a dispatched correct-path store in the doubleword
+// index; its seq is strictly larger than every existing entry.
+func (pl *Pipeline) pushStore(dw uint64, seq int64) {
+	l, ok := pl.dwStores[dw]
+	if !ok && len(pl.dwFree) > 0 {
+		n := len(pl.dwFree) - 1
+		l = pl.dwFree[n][:0]
+		pl.dwFree = pl.dwFree[:n]
+	}
+	pl.dwStores[dw] = append(l, seq)
+}
+
+// dropStore removes a store that left flight: at commit it is the oldest
+// entry of its list, at flush the youngest.
+func (pl *Pipeline) dropStore(dw uint64, youngest bool) {
+	l := pl.dwStores[dw]
+	if youngest {
+		l = l[:len(l)-1]
+	} else {
+		copy(l, l[1:])
+		l = l[:len(l)-1]
+	}
+	if len(l) == 0 {
+		pl.dwFree = append(pl.dwFree, l)
+		delete(pl.dwStores, dw)
+		return
+	}
+	pl.dwStores[dw] = l
+}
+
+// resetArchState (re)initialises the rename map, free list and register
+// file to their power-on state.
+func (pl *Pipeline) resetArchState() {
 	// Architected registers r0..r30 start mapped to physical 0..30 and
 	// ready; r31 is the hardwired zero.
 	for r := 0; r < isa.NumArchRegs-1; r++ {
@@ -174,20 +247,59 @@ func New(cfg uarch.Config, p *prog.Program) (*Pipeline, error) {
 	}
 	pl.archMap[isa.RZero] = noReg
 	for i := range pl.regs {
-		pl.regs[i].readyCycle = 0
+		pl.regs[i] = physReg{}
 	}
-	for pr := isa.NumArchRegs - 1; pr < cfg.Core.PhysRegs; pr++ {
+	pl.freeList = pl.freeList[:0]
+	for pr := isa.NumArchRegs - 1; pr < pl.core.PhysRegs; pr++ {
 		pl.freeList = append(pl.freeList, int16(pr))
 	}
-	return pl, nil
 }
 
-func (pl *Pipeline) at(seq int64) *uop { return &pl.rob[seq%pl.robCap] }
+// Reset re-arms the pipeline to simulate program p from cycle zero on
+// the same configuration, reusing every allocation (ROB ring, checkpoint
+// matrix, register file, event heaps, cache hierarchy). A Reset pipeline
+// is bit-identical to a freshly built one; the golden-equivalence test
+// and TestPoolMatchesFresh lock that in.
+func (pl *Pipeline) Reset(p *prog.Program) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	pl.p = p
+	pl.stream.ResetTo(p)
+	pl.now = 0
+	pl.head, pl.tail = 0, 0
+	pl.iqUsed, pl.lqUsed, pl.sqUsed = 0, 0, 0
+	pl.fetchStallUntil = 0
+	pl.wrongPathMode = false
+	pl.wpIdx = 0
+	pl.pending = fetchItem{}
+	pl.havePending = false
+	pl.streamDone = false
+	pl.acct = accounting{}
+	pl.compQ = pl.compQ[:0]
+	pl.wakeQ = pl.wakeQ[:0]
+	pl.readyQ.reset()
+	for i := range pl.waiters {
+		pl.waiters[i] = pl.waiters[i][:0]
+	}
+	for dw, l := range pl.dwStores {
+		pl.dwFree = append(pl.dwFree, l[:0])
+		delete(pl.dwStores, dw)
+	}
+	// ROB slots and checkpoints are left dirty: dispatch fully overwrites
+	// a slot (preserving only gen) before any field is read.
+	pl.resetArchState()
+	pl.mem.Reset()
+	pl.bp.Reset()
+	return nil
+}
+
+func (pl *Pipeline) at(seq int64) *uop { return &pl.rob[seq&pl.robMask] }
 
 func (pl *Pipeline) robCount() int { return int(pl.tail - pl.head) }
 
 // Run executes the program under the given budget and returns the AVF
-// result. It can only be called once per Pipeline.
+// result. Call once per New or Reset.
 func (pl *Pipeline) Run(rc RunConfig) (*avf.Result, error) {
 	if rc.DeadlockCycles <= 0 {
 		rc.DeadlockCycles = 1_000_000
@@ -216,7 +328,7 @@ func (pl *Pipeline) Run(rc RunConfig) (*avf.Result, error) {
 
 	lastCommitCycle := int64(0)
 	for pl.acct.committed+pl.acct.warmupDone < maxInstrs {
-		if pl.streamDone && pl.robCount() == 0 && pl.pending == nil {
+		if pl.streamDone && pl.robCount() == 0 && !pl.havePending {
 			break
 		}
 		if pl.now >= maxCycles {
@@ -257,14 +369,17 @@ func (pl *Pipeline) Run(rc RunConfig) (*avf.Result, error) {
 // nextEvent returns the earliest future cycle at which pipeline state can
 // change: an in-flight completion or the end of a fetch stall. Returns a
 // far-future sentinel when nothing is pending (the deadlock detector
-// handles that case).
+// handles that case). Operand wakeups never precede the completion that
+// produces them, so peeking the completion heap is sufficient.
 func (pl *Pipeline) nextEvent() int64 {
 	next := farAway
-	for seq := pl.head; seq < pl.tail; seq++ {
-		u := pl.at(seq)
-		if u.state == sIssued && u.doneCycle < next {
-			next = u.doneCycle
+	for len(pl.compQ) > 0 {
+		e := pl.compQ[0]
+		if u, ok := pl.live(e.seq, e.gen); ok && u.state == sIssued {
+			next = e.cycle
+			break
 		}
+		pl.compQ.pop() // stale (flushed slot); discard
 	}
 	if pl.fetchStallUntil > pl.now && pl.fetchStallUntil < next {
 		next = pl.fetchStallUntil

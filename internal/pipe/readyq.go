@@ -1,0 +1,39 @@
+package pipe
+
+// readyRef is one ready-queue entry. gen pairs the entry with a specific
+// dispatch of the ROB slot (see events.go on lazy invalidation).
+type readyRef struct {
+	seq int64
+	gen uint32
+}
+
+// readyQueue holds the operand-ready, not-yet-issued uops in ascending
+// sequence order, so issue() preserves the oldest-first priority of the
+// scan-based core while touching only woken uops. The queue is small (at
+// most the issue-queue size plus a few stale entries), so ordered
+// insertion by memmove beats a heap: iteration during issue is then a
+// plain in-order walk with in-place compaction.
+type readyQueue struct {
+	q []readyRef
+}
+
+// insert places (seq, gen) after any existing entries with the same or
+// older sequence number.
+func (r *readyQueue) insert(seq int64, gen uint32) {
+	q := r.q
+	lo, hi := 0, len(q)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if q[mid].seq <= seq {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	q = append(q, readyRef{})
+	copy(q[lo+1:], q[lo:])
+	q[lo] = readyRef{seq: seq, gen: gen}
+	r.q = q
+}
+
+func (r *readyQueue) reset() { r.q = r.q[:0] }

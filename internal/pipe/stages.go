@@ -23,6 +23,7 @@ func (pl *Pipeline) commit() int {
 		if u.op() == isa.OpStore {
 			// The architectural write happens at retire.
 			pl.mem.Data(pl.now, u.dyn.Addr, 8, true)
+			pl.dropStore(u.dyn.Addr>>3, false)
 		}
 		if u.oldPhys != noReg {
 			pl.releaseReg(u.oldPhys)
@@ -73,20 +74,26 @@ func (pl *Pipeline) countCommit(u *uop) {
 
 // complete moves finished executions to done and handles branch
 // resolution (misprediction flush). Returns the number of completions.
+//
+// Completion events pop in (cycle, seq) order and the run loop never
+// advances past a pending completion, so every live event popped here is
+// due exactly now and the uops are visited oldest first — the same order
+// as the seed core's head→tail scan.
 func (pl *Pipeline) complete() int {
 	n := 0
-	for seq := pl.head; seq < pl.tail; seq++ {
-		u := pl.at(seq)
-		if u.state != sIssued || u.doneCycle > pl.now {
-			continue
+	for len(pl.compQ) > 0 && pl.compQ[0].cycle <= pl.now {
+		e := pl.compQ.pop()
+		u, ok := pl.live(e.seq, e.gen)
+		if !ok || u.state != sIssued {
+			continue // flushed or superseded; discard
 		}
 		u.state = sDone
 		n++
 		if u.op() == isa.OpBranch && u.mispred && !u.wrongPath {
-			pl.flushAfter(seq)
+			pl.flushAfter(e.seq)
 			pl.fetchStallUntil = pl.now + int64(pl.core.MispredictPenalty)
 			pl.wrongPathMode = false
-			return n // tail changed; nothing younger is left to scan
+			return n // everything younger was squashed; their events die lazily
 		}
 	}
 	return n
@@ -94,8 +101,10 @@ func (pl *Pipeline) complete() int {
 
 // flushAfter squashes every uop younger than seq, restoring the rename
 // map from the branch's checkpoint and returning physical registers.
+// Scheduled events and ready-queue entries of squashed uops are not
+// removed here; they are discarded when popped, via the generation check.
 func (pl *Pipeline) flushAfter(seq int64) {
-	copy(pl.archMap, pl.ckpt[seq%pl.robCap])
+	copy(pl.archMap, pl.ckpt[seq&pl.robMask])
 	for s := pl.tail - 1; s > seq; s-- {
 		u := pl.at(s)
 		if u.destPhys != noReg {
@@ -111,44 +120,63 @@ func (pl *Pipeline) flushAfter(seq int64) {
 		}
 		if u.inSQ {
 			pl.sqUsed--
+			if !u.wrongPath {
+				pl.dropStore(u.dyn.Addr>>3, true)
+			}
 		}
 		pl.acct.flushed++
 	}
 	pl.tail = seq + 1
-	pl.pending = nil
+	pl.havePending = false
 }
 
 // issue wakes up and issues ready instructions, oldest first, bounded by
 // the issue width, the memory-issue limit and functional-unit counts.
 // Returns the number issued.
+//
+// Only uops whose operands have all become ready are examined: timed
+// wakeups due this cycle are drained into the age-ordered ready queue,
+// then the queue is walked in order. Entries that lose a resource race
+// (FU counts, memory ports, issue width) or are blocked behind an older
+// store stay queued for the next cycle, preserving the seed core's
+// oldest-first selection exactly.
 func (pl *Pipeline) issue() int {
+	pl.drainWakeups()
 	issued, memIssued, aluIssued, mulIssued := 0, 0, 0, 0
-	for seq := pl.head; seq < pl.tail && issued < pl.core.IssueWidth; seq++ {
-		u := pl.at(seq)
-		if u.state != sWaiting {
-			continue
+	q := pl.readyQ.q
+	kept := q[:0]
+	for i := 0; i < len(q); i++ {
+		e := q[i]
+		u, ok := pl.live(e.seq, e.gen)
+		if !ok || u.state != sWaiting {
+			continue // flushed or already issued; drop the entry
 		}
-		if !pl.ready(u.src[0]) || !pl.ready(u.src[1]) {
+		if issued >= pl.core.IssueWidth {
+			kept = append(kept, e)
 			continue
 		}
 		op := u.op()
 		switch op {
 		case isa.OpAdd:
 			if aluIssued >= pl.core.NumALUs {
+				kept = append(kept, e)
 				continue
 			}
 		case isa.OpMul:
 			if mulIssued >= pl.core.NumMuls {
+				kept = append(kept, e)
 				continue
 			}
 		case isa.OpLoad, isa.OpStore:
 			if memIssued >= pl.core.MemIssuePerCycle {
+				kept = append(kept, e)
 				continue
 			}
 		}
 		if op == isa.OpLoad {
-			blocked, fwd := pl.loadMemCheck(seq, u)
+			blocked, fwd := pl.loadMemCheck(e.seq, u)
 			if blocked {
+				kept = append(kept, e)
 				continue
 			}
 			u.forwarded = fwd
@@ -202,6 +230,7 @@ func (pl *Pipeline) issue() int {
 			u.execLatency = 1
 			u.doneCycle = pl.now + 1
 		}
+		pl.compQ.push(event{cycle: u.doneCycle, seq: e.seq, gen: u.gen})
 		// Operand reads extend the producers' ACE intervals.
 		if u.ace {
 			for _, s := range u.src {
@@ -210,7 +239,8 @@ func (pl *Pipeline) issue() int {
 				}
 			}
 		}
-		// Result broadcast.
+		// Result broadcast: consumers parked on the destination register
+		// learn the ready cycle now.
 		if u.destPhys != noReg {
 			r := &pl.regs[u.destPhys]
 			r.readyCycle = u.doneCycle
@@ -218,8 +248,10 @@ func (pl *Pipeline) issue() int {
 			r.aceValue = u.ace
 			r.writeTime = u.doneCycle
 			r.lastRead = u.doneCycle
+			pl.broadcast(u.destPhys, u.doneCycle)
 		}
 	}
+	pl.readyQ.q = kept
 	return issued
 }
 
@@ -230,24 +262,21 @@ func (pl *Pipeline) ready(r int16) bool {
 // loadMemCheck applies perfect memory disambiguation against older
 // in-flight stores: a load is blocked while an older overlapping store
 // has not yet captured its data, and forwards from the youngest older
-// completed overlapping store.
+// completed overlapping store. The doubleword store index makes this one
+// map lookup plus a scan of the (almost always single-entry) same-address
+// list, instead of a walk over the whole ROB window.
 func (pl *Pipeline) loadMemCheck(seq int64, u *uop) (blocked, forwarded bool) {
 	if u.wrongPath {
 		return false, false
 	}
-	dw := u.dyn.Addr >> 3
-	for s := seq - 1; s >= pl.head; s-- {
-		st := pl.at(s)
-		if !st.inSQ || st.wrongPath {
-			continue
+	l := pl.dwStores[u.dyn.Addr>>3]
+	for i := len(l) - 1; i >= 0; i-- {
+		if l[i] < seq {
+			if pl.at(l[i]).state != sDone {
+				return true, false
+			}
+			return false, true
 		}
-		if st.dyn.Addr>>3 != dw {
-			continue
-		}
-		if st.state != sDone {
-			return true, false
-		}
-		return false, true
 	}
 	return false, false
 }
@@ -259,11 +288,11 @@ func (pl *Pipeline) dispatch() int {
 		if pl.now < pl.fetchStallUntil {
 			return n
 		}
-		it := pl.nextFetch()
-		if it == nil {
+		it, ok := pl.nextFetch()
+		if !ok {
 			return n
 		}
-		u0 := it.dyn
+		u0 := &it.dyn
 		op := u0.Static.Op
 		// Structural checks; on failure push the instruction back.
 		if pl.robCount() >= int(pl.robCap) ||
@@ -271,7 +300,7 @@ func (pl *Pipeline) dispatch() int {
 			(op == isa.OpLoad && pl.lqUsed >= pl.core.LQEntries) ||
 			(op == isa.OpStore && pl.sqUsed >= pl.core.SQEntries) ||
 			(pl.needsDest(u0.Static) && len(pl.freeList) == 0) {
-			pl.pending = it
+			pl.havePending = true
 			return n
 		}
 		if !it.wrongPath {
@@ -279,7 +308,7 @@ func (pl *Pipeline) dispatch() int {
 			// pollute the caches in this model).
 			if extra := pl.mem.Fetch(pl.now, u0.PC); extra > 0 {
 				pl.fetchStallUntil = pl.now + int64(extra)
-				pl.pending = it
+				pl.havePending = true
 				return n
 			}
 		}
@@ -291,6 +320,7 @@ func (pl *Pipeline) dispatch() int {
 			wrongPath:     it.wrongPath,
 			ace:           !it.wrongPath && !u0.Static.UnACE && op != isa.OpNop,
 			state:         sWaiting,
+			gen:           u.gen + 1,
 			destPhys:      noReg,
 			oldPhys:       noReg,
 			src:           [2]int16{noReg, noReg},
@@ -312,16 +342,22 @@ func (pl *Pipeline) dispatch() int {
 			pl.iqUsed++
 			u.inSQ = true
 			pl.sqUsed++
+			if !it.wrongPath {
+				pl.pushStore(u0.Addr>>3, seq)
+			}
 		default:
 			u.inIQ = true
 			pl.iqUsed++
+		}
+		if u.state == sWaiting {
+			pl.watchOperands(seq, u)
 		}
 		if op == isa.OpBranch && !it.wrongPath {
 			pred := pl.bp.Predict(u0.PC)
 			correct := pl.bp.Update(u0.PC, u0.Taken)
 			u.predTaken = pred
 			u.mispred = !correct
-			copy(pl.ckpt[seq%pl.robCap], pl.archMap)
+			copy(pl.ckpt[seq&pl.robMask], pl.archMap)
 			if u.mispred {
 				pl.wrongPathMode = true
 				pl.wpIdx = pl.wpIndexAfter(u0)
@@ -376,36 +412,41 @@ func (pl *Pipeline) rename(u *uop) {
 	}
 }
 
-// nextFetch returns the next instruction to dispatch: the pushed-back
-// one, a synthetic wrong-path instruction, or the next real-stream one.
-func (pl *Pipeline) nextFetch() *fetchItem {
-	if pl.pending != nil {
-		it := pl.pending
-		pl.pending = nil
-		return it
+// nextFetch stages the next instruction to dispatch in pl.pending — the
+// pushed-back one, a synthetic wrong-path instruction, or the next
+// real-stream one — and returns a pointer to it. The item stays staged
+// until dispatch succeeds, so a structural-hazard pushback is just
+// havePending = true with no copying.
+func (pl *Pipeline) nextFetch() (*fetchItem, bool) {
+	if pl.havePending {
+		pl.havePending = false
+		return &pl.pending, true
 	}
 	if pl.wrongPathMode {
 		body := pl.p.Body
 		in := &body[pl.wpIdx]
-		d := prog.Dyn{Static: in, Seq: -1, Iter: -1, PC: prog.PCOf(pl.wpIdx)}
+		pl.pending = fetchItem{
+			dyn:       prog.Dyn{Static: in, Seq: -1, Iter: -1, PC: prog.PCOf(pl.wpIdx)},
+			wrongPath: true,
+		}
 		pl.wpIdx = (pl.wpIdx + 1) % len(body)
-		return &fetchItem{dyn: d, wrongPath: true}
+		return &pl.pending, true
 	}
 	if pl.streamDone {
-		return nil
+		return nil, false
 	}
-	d, ok := pl.stream.Next()
-	if !ok {
+	pl.pending.wrongPath = false
+	if !pl.stream.NextInto(&pl.pending.dyn) {
 		pl.streamDone = true
-		return nil
+		return nil, false
 	}
-	return &fetchItem{dyn: d}
+	return &pl.pending, true
 }
 
 // wpIndexAfter picks where wrong-path fetch starts: the body instruction
 // following the mispredicted branch (the not-taken path of a taken
 // backedge, or the fall-through clone for a reconvergent branch).
-func (pl *Pipeline) wpIndexAfter(d prog.Dyn) int {
+func (pl *Pipeline) wpIndexAfter(d *prog.Dyn) int {
 	idx := int((d.PC - prog.BodyBase) / isa.InstrBytes)
 	if idx < 0 || idx >= len(pl.p.Body) {
 		return 0

@@ -164,38 +164,53 @@ func (s *Stream) Reset() {
 	s.idx, s.iter, s.seq = 0, 0, 0
 }
 
+// ResetTo rebinds the stream to program p and rewinds it, reusing the
+// Stream allocation (used by pipe.Pipeline.Reset when pooling pipelines
+// across GA fitness evaluations).
+func (s *Stream) ResetTo(p *Program) {
+	s.p = p
+	s.Reset()
+}
+
 // Program returns the underlying program.
 func (s *Stream) Program() *Program { return s.p }
 
 // Next returns the next dynamic instruction. ok is false once the
 // program's iteration count is exhausted.
 func (s *Stream) Next() (d Dyn, ok bool) {
+	ok = s.NextInto(&d)
+	return d, ok
+}
+
+// NextInto writes the next dynamic instruction into d, avoiding the
+// struct copies of Next on the simulator's per-fetch hot path. It
+// reports false (leaving d untouched) once the program's iteration count
+// is exhausted.
+func (s *Stream) NextInto(d *Dyn) bool {
 	p := s.p
 	if s.inInit {
-		in := &p.Init[s.idx]
-		d = s.materialise(in, -1)
+		s.materialise(d, &p.Init[s.idx], -1)
 		s.idx++
 		if s.idx == len(p.Init) {
 			s.inInit = false
 			s.idx = 0
 		}
-		return d, true
+		return true
 	}
 	if s.iter >= p.Iterations {
-		return Dyn{}, false
+		return false
 	}
-	in := &p.Body[s.idx]
-	d = s.materialise(in, s.iter)
+	s.materialise(d, &p.Body[s.idx], s.iter)
 	s.idx++
 	if s.idx == len(p.Body) {
 		s.idx = 0
 		s.iter++
 	}
-	return d, true
+	return true
 }
 
-func (s *Stream) materialise(in *isa.Instr, iter int64) Dyn {
-	d := Dyn{Static: in, Seq: s.seq, Iter: iter}
+func (s *Stream) materialise(d *Dyn, in *isa.Instr, iter int64) {
+	*d = Dyn{Static: in, Seq: s.seq, Iter: iter}
 	if iter < 0 {
 		d.PC = InitBase + uint64(s.idx)*isa.InstrBytes
 	} else {
@@ -208,5 +223,4 @@ func (s *Stream) materialise(in *isa.Instr, iter int64) Dyn {
 		d.Taken = s.p.BrGens[in.BrGen].Taken(iter)
 	}
 	s.seq++
-	return d
 }
