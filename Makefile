@@ -1,5 +1,9 @@
 GO ?= go
 
+# Benchmark packages: the experiment suite (repo root) plus the cache
+# lifetime-engine microbenchmarks.
+BENCH_PKGS = . ./internal/cache
+
 .PHONY: all build vet test check bench bench-compare bench-smoke
 
 all: check
@@ -16,16 +20,22 @@ test:
 check: vet build test
 
 # bench runs the whole benchmark suite once and records a machine-readable
-# snapshot, so the perf trajectory can be tracked across PRs (see
-# DESIGN.md §5).
+# snapshot, plus a timestamped archive copy so the perf trajectory is
+# preserved across PRs (see DESIGN.md §6).
 bench:
-	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x . | $(GO) run ./cmd/benchjson > BENCH_latest.json
-	@echo wrote BENCH_latest.json
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x $(BENCH_PKGS) | $(GO) run ./cmd/benchjson > BENCH_latest.json
+	cp BENCH_latest.json BENCH_$$(date +%Y-%m-%d).json
+	@echo wrote BENCH_latest.json and BENCH_$$(date +%Y-%m-%d).json
 
-# bench-smoke is the CI variant: one iteration of every benchmark, output
-# discarded — it only proves the experiment drivers still run end-to-end.
+# bench-smoke is the CI variant: one iteration of every benchmark,
+# compared against the committed snapshot — it proves the experiment
+# drivers still run end-to-end and gates >20% ns/op regressions. The
+# intermediate file keeps go test's own exit status observable (a plain
+# pipe would report only benchjson's).
 bench-smoke:
-	$(GO) test -run '^$$' -bench . -benchtime 1x .
+	$(GO) test -run '^$$' -bench . -benchtime 1x $(BENCH_PKGS) > bench-smoke.out || { cat bench-smoke.out; rm -f bench-smoke.out; exit 1; }
+	@status=0; $(GO) run ./cmd/benchjson -check BENCH_latest.json -tolerance 0.20 -min-ns 100000000 < bench-smoke.out > /dev/null || status=1; \
+	rm -f bench-smoke.out; exit $$status
 
 # bench-compare produces the 5-run samples of the two headline benchmarks
 # used for before/after comparisons (feed the two files to benchstat).

@@ -3,19 +3,23 @@
 // Usage:
 //
 //	avfbench [-run name[,name...]] [-scale N] [-seed N] [-pop N] [-gens N]
-//	         [-ref] [-list] [-quiet]
+//	         [-ref] [-list] [-quiet] [-cpuprofile f] [-memprofile f]
 //
 // With no -run flag the complete suite (Tables I-III, Figures 3-9 and the
 // §VI worst-case analysis) is produced, which is what EXPERIMENTS.md
 // records. -ref skips the GA searches and evaluates the paper's published
 // knob settings directly. -scale 1 uses the paper-exact cache geometry
-// (needs much larger budgets; see DESIGN.md §4).
+// (needs much larger budgets; see DESIGN.md §4). -cpuprofile and
+// -memprofile write pprof profiles of the run, so hot-path hunts don't
+// need ad-hoc harnesses.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"avfstress/internal/experiments"
@@ -23,20 +27,45 @@ import (
 
 func main() {
 	var (
-		run   = flag.String("run", "", "comma-separated experiments to run (default: all)")
-		scale = flag.Int("scale", 32, "cache scale-down factor (1 = paper-exact geometry)")
-		seed  = flag.Int64("seed", 1, "random seed")
-		pop   = flag.Int("pop", 14, "GA population size")
-		gens  = flag.Int("gens", 12, "GA generations")
-		ref   = flag.Bool("ref", false, "use the paper's published knobs instead of searching")
-		list  = flag.Bool("list", false, "list experiment names and exit")
-		quiet = flag.Bool("quiet", false, "suppress progress logging")
+		run        = flag.String("run", "", "comma-separated experiments to run (default: all)")
+		scale      = flag.Int("scale", 32, "cache scale-down factor (1 = paper-exact geometry)")
+		seed       = flag.Int64("seed", 1, "random seed")
+		pop        = flag.Int("pop", 14, "GA population size")
+		gens       = flag.Int("gens", 12, "GA generations")
+		ref        = flag.Bool("ref", false, "use the paper's published knobs instead of searching")
+		list       = flag.Bool("list", false, "list experiment names and exit")
+		quiet      = flag.Bool("quiet", false, "suppress progress logging")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	)
 	flag.Parse()
 
 	if *list {
 		fmt.Println(strings.Join(experiments.Names(), "\n"))
 		return
+	}
+	profiling := *cpuprofile != ""
+	if profiling {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "avfbench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "avfbench: start cpu profile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	// fail flushes the CPU profile before exiting (os.Exit skips defers),
+	// so a profile of a failing run is still readable.
+	fail := func(format string, args ...interface{}) {
+		if profiling {
+			pprof.StopCPUProfile()
+		}
+		fmt.Fprintf(os.Stderr, format, args...)
+		os.Exit(1)
 	}
 	opts := experiments.Options{
 		Scale: *scale, Seed: *seed, GAPop: *pop, GAGens: *gens,
@@ -56,9 +85,19 @@ func main() {
 	for _, n := range names {
 		out, err := ctx.Run(strings.TrimSpace(n))
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "avfbench: %s: %v\n", n, err)
-			os.Exit(1)
+			fail("avfbench: %s: %v\n", n, err)
 		}
 		fmt.Printf("%s\n%s\n", strings.Repeat("=", 72), out)
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fail("avfbench: -memprofile: %v\n", err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fail("avfbench: write heap profile: %v\n", err)
+		}
 	}
 }

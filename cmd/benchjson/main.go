@@ -1,20 +1,26 @@
 // Command benchjson converts `go test -bench` output on stdin into
 // machine-readable JSON on stdout, so benchmark snapshots can be
 // committed (BENCH_*.json) and compared across PRs without parsing the
-// text format again. Used by `make bench`.
+// text format again. Used by `make bench` and, with -check, by the CI
+// bench-smoke regression gate.
 //
 // Usage:
 //
 //	go test -run '^$' -bench . -benchmem | benchjson > BENCH_latest.json
+//	go test -run '^$' -bench . -benchtime 1x ./... | benchjson -check BENCH_latest.json
 //
 // Each benchmark line becomes one record; custom b.ReportMetric units
 // land in "metrics". Context lines (goos/goarch/pkg/cpu) are captured
-// into the header.
+// into the header; with multiple packages on stdin each result is tagged
+// with its package. With -check, results are compared by name against
+// the baseline snapshot and the exit status is non-zero if any benchmark
+// regressed by more than -tolerance (ns/op).
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
@@ -24,6 +30,7 @@ import (
 // Result is one parsed benchmark line.
 type Result struct {
 	Name        string             `json:"name"`
+	Pkg         string             `json:"pkg,omitempty"`
 	Iterations  int64              `json:"iterations"`
 	NsPerOp     float64            `json:"ns_per_op"`
 	BytesPerOp  *float64           `json:"bytes_per_op,omitempty"`
@@ -41,7 +48,15 @@ type Report struct {
 }
 
 func main() {
+	var (
+		check     = flag.String("check", "", "baseline BENCH_*.json: fail if any benchmark regresses past the tolerance")
+		tolerance = flag.Float64("tolerance", 0.20, "allowed fractional ns/op regression vs the baseline (with -check)")
+		minNs     = flag.Float64("min-ns", 1e6, "skip baselines faster than this in -check (single-iteration sub-ms timings are noise)")
+	)
+	flag.Parse()
+
 	rep := Report{Results: []Result{}}
+	curPkg := ""
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -52,11 +67,17 @@ func main() {
 		case strings.HasPrefix(line, "goarch: "):
 			rep.Goarch = strings.TrimPrefix(line, "goarch: ")
 		case strings.HasPrefix(line, "pkg: "):
-			rep.Pkg = strings.TrimPrefix(line, "pkg: ")
+			curPkg = strings.TrimPrefix(line, "pkg: ")
+			if rep.Pkg == "" {
+				rep.Pkg = curPkg
+			}
 		case strings.HasPrefix(line, "cpu: "):
 			rep.CPU = strings.TrimPrefix(line, "cpu: ")
 		case strings.HasPrefix(line, "Benchmark"):
 			if r, ok := parseLine(line); ok {
+				if curPkg != rep.Pkg {
+					r.Pkg = curPkg
+				}
 				rep.Results = append(rep.Results, r)
 			}
 		}
@@ -71,6 +92,67 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
+	if *check != "" && !compare(rep, *check, *tolerance, *minNs) {
+		os.Exit(1)
+	}
+}
+
+// compare reports whether every benchmark present in both the run and
+// the baseline is within the allowed ns/op regression.
+func compare(rep Report, baselinePath string, tolerance, minNs float64) bool {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: reading baseline: %v\n", err)
+		return false
+	}
+	var base Report
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: parsing baseline: %v\n", err)
+		return false
+	}
+	baseBy := make(map[string]float64, len(base.Results))
+	for _, r := range base.Results {
+		baseBy[r.Pkg+"|"+stripProcs(r.Name)] = r.NsPerOp
+	}
+	ok := true
+	checked := 0
+	for _, r := range rep.Results {
+		want, have := baseBy[r.Pkg+"|"+stripProcs(r.Name)]
+		if !have || want < minNs {
+			continue // new benchmark, or too fast to time reliably at 1x
+		}
+		checked++
+		if r.NsPerOp > want*(1+tolerance) {
+			fmt.Fprintf(os.Stderr, "benchjson: REGRESSION %s: %.0f ns/op vs baseline %.0f (+%.1f%% > %.0f%% allowed)\n",
+				r.Name, r.NsPerOp, want, 100*(r.NsPerOp/want-1), 100*tolerance)
+			ok = false
+		}
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: checked %d benchmarks against %s (tolerance %.0f%%)\n",
+		checked, baselinePath, 100*tolerance)
+	if checked == 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: no benchmarks matched the baseline — the gate covered nothing\n")
+		return false
+	}
+	return ok
+}
+
+// stripProcs removes the "-N" GOMAXPROCS suffix go test appends on
+// multi-core machines, so -check matches snapshots across core counts.
+func stripProcs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	for _, c := range name[i+1:] {
+		if c < '0' || c > '9' {
+			return name
+		}
+	}
+	if i+1 == len(name) {
+		return name
+	}
+	return name[:i]
 }
 
 // parseLine handles `BenchmarkName-8  N  12.3 ns/op  4 B/op  2 allocs/op

@@ -117,7 +117,7 @@ func TestLifetimeRules(t *testing.T) {
 	ace := func(ops func(c *Cache)) uint64 {
 		c := tiny()
 		ops(c)
-		return c.aceByteCycles
+		return c.aceBytes()
 	}
 	fill := func(c *Cache, at int64) {
 		if _, _, err := c.Fill(at, 0); err != nil {
@@ -245,12 +245,12 @@ func TestResetACEClipsOpenIntervals(t *testing.T) {
 	c.Fill(0, 0)
 	c.Touch(10, 0, 8, false) // ACE 80 before the reset
 	c.ResetACE(100)
-	if c.aceByteCycles != 0 {
+	if c.aceBytes() != 0 {
 		t.Fatal("counters survived reset")
 	}
 	c.Touch(150, 0, 8, false) // read→read spanning the reset: clipped at 100
-	if c.aceByteCycles != 8*50 {
-		t.Errorf("clipped interval contributed %d byte-cycles, want 400", c.aceByteCycles)
+	if c.aceBytes() != 8*50 {
+		t.Errorf("clipped interval contributed %d byte-cycles, want 400", c.aceBytes())
 	}
 }
 
@@ -286,6 +286,119 @@ func TestMissRate(t *testing.T) {
 	}
 }
 
+// TestWritebackAccessesCountedSeparately locks the satellite fix:
+// writeback-apply traffic from an upper level must not inflate the
+// demand-access count (and therefore the miss rate), but remains
+// visible in WritebackAccesses and TrafficMissRate.
+func TestWritebackAccessesCountedSeparately(t *testing.T) {
+	c := tiny()
+	if _, _, err := c.Fill(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	c.Touch(1, 0, 8, false) // 1 demand access, 1 miss
+	if err := c.TouchMask(2, 0, 0xff); err != nil {
+		t.Fatal(err)
+	}
+	if c.Accesses != 1 || c.WritebackAccesses != 1 {
+		t.Fatalf("accesses=%d writebackAccesses=%d, want 1/1", c.Accesses, c.WritebackAccesses)
+	}
+	if got := c.MissRate(); got != 1.0 {
+		t.Errorf("demand miss rate %f, want 1.0 (1 miss / 1 demand access)", got)
+	}
+	if got := c.TrafficMissRate(); got != 0.5 {
+		t.Errorf("traffic miss rate %f, want 0.5 (1 miss / 2 total)", got)
+	}
+	// The fast-path WriteMask counts the same way, including its
+	// write-allocate miss.
+	c2 := tiny()
+	c2.WriteMask(0, 0, 0xff)
+	if c2.Accesses != 0 || c2.WritebackAccesses != 1 || c2.Misses != 0 || c2.WritebackMisses != 1 {
+		t.Errorf("WriteMask: accesses=%d wb=%d misses=%d wbMisses=%d, want 0/1/0/1",
+			c2.Accesses, c2.WritebackAccesses, c2.Misses, c2.WritebackMisses)
+	}
+	if c2.MissRate() != 0 {
+		t.Errorf("demand miss rate with no demand accesses = %f, want 0", c2.MissRate())
+	}
+	if c2.TrafficMissRate() != 1.0 {
+		t.Errorf("traffic miss rate = %f, want 1.0 (allocate miss / 1 writeback access)", c2.TrafficMissRate())
+	}
+}
+
+// TestChunkConfigValidation covers the ChunkBytes rules.
+func TestChunkConfigValidation(t *testing.T) {
+	base := Config{Name: "c", SizeBytes: 1024, LineBytes: 64, Ways: 1}
+	for _, cb := range []int{0, 1, 2, 4, 8, 16, 32, 64} {
+		cfg := base
+		cfg.ChunkBytes = cb
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("chunk %d rejected: %v", cb, err)
+		}
+	}
+	for _, cb := range []int{-1, 3, 6, 12, 128} {
+		cfg := base
+		cfg.ChunkBytes = cb
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("chunk %d accepted", cb)
+		}
+	}
+	if got := base.EffectiveChunkBytes(); got != 1 {
+		t.Errorf("effective chunk of unset config = %d, want 1", got)
+	}
+}
+
+// TestChunkAlignmentPanics: the engine must reject accesses that are not
+// chunk-aligned multiples of the chunk size, in any build.
+func TestChunkAlignmentPanics(t *testing.T) {
+	c := MustNew(Config{Name: "a", SizeBytes: 512, LineBytes: 64, Ways: 2, HitLatency: 1, ChunkBytes: 8})
+	c.FillTouch(0, 0, 0, 8, false)
+	for _, bad := range []struct {
+		addr uint64
+		size int
+	}{{4, 8}, {0, 4}, {3, 8}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("misaligned access %#x size %d accepted", bad.addr, bad.size)
+				}
+			}()
+			c.Access(1, bad.addr, bad.size, false)
+		}()
+	}
+}
+
+// TestDebugChecks verifies the fast-path invariant checks that
+// SetDebugChecks enables: double fills, line-crossing accesses and
+// partial-chunk writeback masks all panic instead of silently
+// corrupting state.
+func TestDebugChecks(t *testing.T) {
+	prev := SetDebugChecks(true)
+	defer SetDebugChecks(prev)
+	expectPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic under debug checks", name)
+			}
+		}()
+		f()
+	}
+	mk := func() *Cache {
+		c := MustNew(Config{Name: "d", SizeBytes: 512, LineBytes: 64, Ways: 2, HitLatency: 1, ChunkBytes: 8})
+		c.FillTouch(0, 0, 0, 8, false)
+		return c
+	}
+	expectPanic("double fill", func() { mk().FillTouch(1, 1, 0, 8, false) })
+	expectPanic("line-crossing access", func() { mk().Access(1, 56, 16, false) })
+	expectPanic("line-crossing fill touch", func() { mk().FillTouch(1, 1, 64+56, 16, false) })
+	expectPanic("partial-chunk mask", func() { mk().WriteMask(1, 0, 0x3) })
+	// And the checked paths still accept legal traffic.
+	c := mk()
+	if !c.Access(1, 8, 8, true) {
+		t.Error("legal access rejected under debug checks")
+	}
+	c.WriteMask(2, 0, 0xff00)
+}
+
 // Property: for arbitrary access sequences, ACE byte-cycles never exceed
 // bytes × elapsed time, and replaying the sequence is deterministic.
 func TestQuickLifetimeInvariants(t *testing.T) {
@@ -315,10 +428,10 @@ func TestQuickLifetimeInvariants(t *testing.T) {
 		if c1 == nil || c2 == nil {
 			return false
 		}
-		if c1.aceByteCycles != c2.aceByteCycles || c1.tagAceCycles != c2.tagAceCycles {
+		if c1.aceBytes() != c2.aceBytes() || c1.tagAceCycles != c2.tagAceCycles {
 			return false // non-deterministic
 		}
-		if c1.aceByteCycles > uint64(c1.cfg.SizeBytes)*uint64(end) {
+		if c1.aceBytes() > uint64(c1.cfg.SizeBytes)*uint64(end) {
 			return false // more ACE than physically possible
 		}
 		return c1.DataAVF(end) <= 1 && c1.TagAVF(end) <= 1

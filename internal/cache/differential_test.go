@@ -1,0 +1,429 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refCache is the retained byte-granular reference implementation of the
+// Biswas lifetime engine: a direct port of the pre-chunk per-byte state
+// machine with the original Probe → Fill → Touch composite walks. The
+// differential tests replay identical access streams through it and the
+// chunk engine and require bit-identical accounting.
+type refCache struct {
+	cfg      Config
+	sets     int
+	lineBits uint
+	setMask  uint64
+
+	tag        []uint64
+	valid      []bool
+	lru        []int64
+	fillTime   []int64
+	lastAceEnd []int64
+	byteState  [][]uint8
+	byteTime   [][]int64
+
+	aceByteCycles uint64
+	tagAceCycles  uint64
+	windowStart   int64
+
+	accesses          uint64
+	misses            uint64
+	writebacks        uint64
+	writebackAccesses uint64
+	writebackMisses   uint64
+}
+
+func newRefCache(cfg Config) *refCache {
+	sets := cfg.SizeBytes / (cfg.LineBytes * cfg.Ways)
+	n := sets * cfg.Ways
+	r := &refCache{
+		cfg:        cfg,
+		sets:       sets,
+		setMask:    uint64(sets - 1),
+		tag:        make([]uint64, n),
+		valid:      make([]bool, n),
+		lru:        make([]int64, n),
+		fillTime:   make([]int64, n),
+		lastAceEnd: make([]int64, n),
+		byteState:  make([][]uint8, n),
+		byteTime:   make([][]int64, n),
+	}
+	for b := cfg.LineBytes; b > 1; b >>= 1 {
+		r.lineBits++
+	}
+	for i := 0; i < n; i++ {
+		r.byteState[i] = make([]uint8, cfg.LineBytes)
+		r.byteTime[i] = make([]int64, cfg.LineBytes)
+	}
+	return r
+}
+
+func (r *refCache) index(addr uint64) (set int, tag uint64) {
+	l := addr >> r.lineBits
+	return int(l & r.setMask), l >> uint(log2(r.sets))
+}
+
+func (r *refCache) find(addr uint64) int {
+	set, tag := r.index(addr)
+	for w := 0; w < r.cfg.Ways; w++ {
+		i := set*r.cfg.Ways + w
+		if r.valid[i] && r.tag[i] == tag {
+			return i
+		}
+	}
+	return -1
+}
+
+func (r *refCache) probe(addr uint64) bool { return r.find(addr) >= 0 }
+
+func (r *refCache) addAce(i int, t0, t1 int64) {
+	if t0 < r.windowStart {
+		t0 = r.windowStart
+	}
+	if t1 > t0 {
+		r.aceByteCycles += uint64(t1 - t0)
+		if t1 > r.lastAceEnd[i] {
+			r.lastAceEnd[i] = t1
+		}
+	}
+}
+
+func (r *refCache) closeByte(i, b int, now int64, write bool) {
+	st := r.byteState[i][b]
+	t0 := r.byteTime[i][b]
+	if st != stInvalid && !write {
+		r.addAce(i, t0, now)
+	}
+	if write {
+		r.byteState[i][b] = stWrite
+	} else {
+		r.byteState[i][b] = stRead
+	}
+	r.byteTime[i][b] = now
+}
+
+func (r *refCache) touch(t *testing.T, now int64, addr uint64, size int, write bool) {
+	t.Helper()
+	i := r.find(addr)
+	if i < 0 {
+		t.Fatalf("ref: touch of non-resident %#x", addr)
+	}
+	off := int(addr & uint64(r.cfg.LineBytes-1))
+	r.lru[i] = now
+	r.accesses++
+	for b := off; b < off+size; b++ {
+		r.closeByte(i, b, now, write)
+	}
+}
+
+func (r *refCache) touchMask(t *testing.T, now int64, addr uint64, mask uint64) {
+	t.Helper()
+	i := r.find(addr)
+	if i < 0 {
+		t.Fatalf("ref: masked touch of non-resident %#x", addr)
+	}
+	r.lru[i] = now
+	r.writebackAccesses++
+	for b := 0; b < r.cfg.LineBytes; b++ {
+		if mask&(1<<uint(b)) != 0 {
+			r.closeByte(i, b, now, true)
+		}
+	}
+}
+
+func (r *refCache) fill(t *testing.T, now int64, addr uint64) (wb Writeback, dirty bool) {
+	t.Helper()
+	if r.find(addr) >= 0 {
+		t.Fatalf("ref: double fill of %#x", addr)
+	}
+	set, tag := r.index(addr)
+	victim := set * r.cfg.Ways
+	for w := 1; w < r.cfg.Ways; w++ {
+		i := set*r.cfg.Ways + w
+		if !r.valid[i] {
+			victim = i
+			break
+		}
+		if r.valid[victim] && r.lru[i] < r.lru[victim] {
+			victim = i
+		}
+	}
+	if r.valid[victim] {
+		wb, dirty = r.evict(victim, now, set)
+	}
+	r.misses++
+	r.valid[victim] = true
+	r.tag[victim] = tag
+	r.lru[victim] = now
+	r.fillTime[victim] = now
+	r.lastAceEnd[victim] = now
+	for b := 0; b < r.cfg.LineBytes; b++ {
+		r.byteState[victim][b] = stFill
+		r.byteTime[victim][b] = now
+	}
+	return wb, dirty
+}
+
+func (r *refCache) evict(i int, now int64, set int) (wb Writeback, dirty bool) {
+	var mask uint64
+	for b := 0; b < r.cfg.LineBytes; b++ {
+		if r.byteState[i][b] == stWrite {
+			r.addAce(i, r.byteTime[i][b], now)
+			mask |= 1 << uint(b)
+		}
+		r.byteState[i][b] = stInvalid
+	}
+	t0 := r.fillTime[i]
+	if t0 < r.windowStart {
+		t0 = r.windowStart
+	}
+	if r.lastAceEnd[i] > t0 {
+		r.tagAceCycles += uint64(r.lastAceEnd[i] - t0)
+	}
+	r.valid[i] = false
+	if mask != 0 {
+		r.writebacks++
+		la := (r.tag[i]<<uint(log2(r.sets)) | uint64(set)) << r.lineBits
+		return Writeback{Addr: la, DirtyMask: mask}, true
+	}
+	return Writeback{}, false
+}
+
+func (r *refCache) finalize(now int64) {
+	for set := 0; set < r.sets; set++ {
+		for w := 0; w < r.cfg.Ways; w++ {
+			i := set*r.cfg.Ways + w
+			if r.valid[i] {
+				r.evict(i, now, set)
+			}
+		}
+	}
+}
+
+// diffOp is one access of a replayable aligned stream.
+type diffOp struct {
+	now   int64
+	addr  uint64
+	size  int
+	write bool
+	// whole-line read through ReadLine (L1-miss path) when lineRead;
+	// writeback-mask apply when mask != 0.
+	lineRead bool
+	mask     uint64
+}
+
+// genStream builds a random chunk-aligned access stream over a small
+// address space, mixing demand reads/writes, whole-line reads and
+// writeback-mask applications.
+func genStream(rng *rand.Rand, n, lineBytes, chunkBytes int) []diffOp {
+	ops := make([]diffOp, 0, n)
+	now := int64(0)
+	cpl := lineBytes / chunkBytes
+	for i := 0; i < n; i++ {
+		now += int64(rng.Intn(7) + 1)
+		line := uint64(rng.Intn(24)) * uint64(lineBytes)
+		switch rng.Intn(10) {
+		case 0: // whole-line read (the L2 path)
+			ops = append(ops, diffOp{now: now, addr: line, lineRead: true})
+		case 1: // writeback mask covering 1..cpl random chunks
+			var mask uint64
+			unit := uint64(1)<<uint(chunkBytes) - 1
+			for c := 0; c < cpl; c++ {
+				if rng.Intn(2) == 0 {
+					mask |= unit << uint(c*chunkBytes)
+				}
+			}
+			if mask == 0 {
+				mask = unit
+			}
+			ops = append(ops, diffOp{now: now, addr: line, mask: mask})
+		default: // chunk-aligned demand access
+			nChunks := 1 + rng.Intn(2)
+			maxStart := cpl - nChunks
+			off := uint64(rng.Intn(maxStart+1) * chunkBytes)
+			ops = append(ops, diffOp{
+				now: now, addr: line + off, size: nChunks * chunkBytes,
+				write: rng.Intn(3) == 0,
+			})
+		}
+	}
+	return ops
+}
+
+// TestDifferentialChunkVsByteReference replays random aligned access
+// streams through the chunk engine (at several granularities) and the
+// retained byte-granular reference, requiring identical ACE totals
+// (data and tag), miss/access/writeback counts and writeback masks.
+func TestDifferentialChunkVsByteReference(t *testing.T) {
+	const lineBytes = 64
+	for _, chunk := range []int{1, 4, 8, 16} {
+		for seed := int64(1); seed <= 12; seed++ {
+			rng := rand.New(rand.NewSource(seed))
+			ops := genStream(rng, 300, lineBytes, chunk)
+
+			cfg := Config{Name: "diff", SizeBytes: 8 * lineBytes * 2,
+				LineBytes: lineBytes, Ways: 2, HitLatency: 1, ChunkBytes: chunk}
+			c := MustNew(cfg)
+			ref := newRefCache(cfg)
+
+			var cWBs, rWBs []Writeback
+			for _, op := range ops {
+				switch {
+				case op.lineRead:
+					// Chunk engine: single-walk ReadLine. Reference: the
+					// original Probe+Fill+Touch composite.
+					c.ReadLine(op.now, op.now, op.addr)
+					if ref.find(op.addr) < 0 {
+						ref.fill(t, op.now, op.addr)
+					}
+					ref.accesses++
+					i := ref.find(op.addr)
+					ref.lru[i] = op.now
+					for b := 0; b < lineBytes; b++ {
+						ref.closeByte(i, b, op.now, false)
+					}
+				case op.mask != 0:
+					c.WriteMask(op.now, op.addr, op.mask)
+					if ref.find(op.addr) < 0 {
+						// Write-allocate: counted as a writeback miss, not a
+						// demand miss.
+						ref.fill(t, op.now, op.addr)
+						ref.misses--
+						ref.writebackMisses++
+					}
+					ref.touchMask(t, op.now, op.addr, op.mask)
+				default:
+					if c.Access(op.now, op.addr, op.size, op.write) {
+						if ref.find(op.addr) < 0 {
+							t.Fatalf("chunk=%d seed=%d: residency diverged at %#x", chunk, seed, op.addr)
+						}
+						ref.touch(t, op.now, op.addr, op.size, op.write)
+					} else {
+						wb, dirty := c.FillTouch(op.now, op.now+1, op.addr, op.size, op.write)
+						if dirty {
+							cWBs = append(cWBs, wb)
+						}
+						rwb, rdirty := ref.fill(t, op.now, op.addr)
+						if rdirty {
+							rWBs = append(rWBs, rwb)
+						}
+						ref.touch(t, op.now+1, op.addr, op.size, op.write)
+					}
+				}
+			}
+
+			end := ops[len(ops)-1].now + 10
+			c.Finalize(end)
+			ref.finalize(end)
+
+			if got, want := c.aceBytes(), ref.aceByteCycles; got != want {
+				t.Fatalf("chunk=%d seed=%d: data ACE %d byte-cycles, reference %d", chunk, seed, got, want)
+			}
+			if got, want := c.tagAceCycles, ref.tagAceCycles; got != want {
+				t.Fatalf("chunk=%d seed=%d: tag ACE %d, reference %d", chunk, seed, got, want)
+			}
+			if c.Misses != ref.misses || c.WritebackMisses != ref.writebackMisses || c.Writebacks != ref.writebacks {
+				t.Fatalf("chunk=%d seed=%d: misses/wbMisses/writebacks %d/%d/%d, reference %d/%d/%d",
+					chunk, seed, c.Misses, c.WritebackMisses, c.Writebacks,
+					ref.misses, ref.writebackMisses, ref.writebacks)
+			}
+			if c.Accesses != ref.accesses || c.WritebackAccesses != ref.writebackAccesses {
+				t.Fatalf("chunk=%d seed=%d: accesses %d/%d, reference %d/%d",
+					chunk, seed, c.Accesses, c.WritebackAccesses, ref.accesses, ref.writebackAccesses)
+			}
+			if len(cWBs) != len(rWBs) {
+				t.Fatalf("chunk=%d seed=%d: %d writebacks vs reference %d", chunk, seed, len(cWBs), len(rWBs))
+			}
+			for i := range cWBs {
+				if cWBs[i] != rWBs[i] {
+					t.Fatalf("chunk=%d seed=%d: writeback %d = %+v, reference %+v",
+						chunk, seed, i, cWBs[i], rWBs[i])
+				}
+			}
+		}
+	}
+}
+
+// TestDifferentialHierarchy drives two complete hierarchies — one with
+// the production chunk granules (IL1 4B, DL1/L2 8B), one byte-granular —
+// through an identical random stream of 8-byte-aligned data accesses and
+// 4-byte-aligned fetches, and requires identical latencies, ACE
+// accounting, AVFs and statistics at every level.
+func TestDifferentialHierarchy(t *testing.T) {
+	mk := func(chunked bool) *Hierarchy {
+		il1, dl1, l2 := 0, 0, 0
+		if chunked {
+			il1, dl1, l2 = 4, 8, 8
+		}
+		h, err := NewHierarchy(HierarchyConfig{
+			IL1:        Config{Name: "il1", SizeBytes: 2 << 10, LineBytes: 64, Ways: 2, HitLatency: 1, ChunkBytes: il1},
+			DL1:        Config{Name: "dl1", SizeBytes: 2 << 10, LineBytes: 64, Ways: 2, HitLatency: 3, ChunkBytes: dl1},
+			L2:         Config{Name: "l2", SizeBytes: 16 << 10, LineBytes: 64, Ways: 4, HitLatency: 7, ChunkBytes: l2},
+			DTLB:       TLBConfig{Name: "tlb", Entries: 4, PageBytes: 8 << 10, EntryBits: 80, WalkLatency: 30},
+			MemLatency: 100,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	for seed := int64(1); seed <= 6; seed++ {
+		a, b := mk(true), mk(false)
+		rng := rand.New(rand.NewSource(seed))
+		now := int64(0)
+		warmed := false
+		for i := 0; i < 6000; i++ {
+			now += int64(rng.Intn(5) + 1)
+			if i == 2000 {
+				a.ResetACE(now)
+				a.ResetStats()
+				b.ResetACE(now)
+				b.ResetStats()
+				warmed = true
+			}
+			if rng.Intn(4) == 0 {
+				pc := 0x10000 + uint64(rng.Intn(256))*4
+				if ea, eb := a.Fetch(now, pc), b.Fetch(now, pc); ea != eb {
+					t.Fatalf("seed %d: fetch latency %d vs %d", seed, ea, eb)
+				}
+				continue
+			}
+			addr := 0x4000_0000 + uint64(rng.Intn(2048))*8
+			write := rng.Intn(3) == 0
+			la, d1a, l2a := a.Data(now, addr, 8, write)
+			lb, d1b, l2b := b.Data(now, addr, 8, write)
+			if la != lb || d1a != d1b || l2a != l2b {
+				t.Fatalf("seed %d: data access diverged: (%d,%v,%v) vs (%d,%v,%v)",
+					seed, la, d1a, l2a, lb, d1b, l2b)
+			}
+		}
+		if !warmed {
+			t.Fatal("stream too short for the warmup reset")
+		}
+		end := now + 50
+		a.Finalize(end)
+		b.Finalize(end)
+		caches := []struct {
+			name string
+			x, y *Cache
+		}{{"IL1", a.IL1, b.IL1}, {"DL1", a.DL1, b.DL1}, {"L2", a.L2, b.L2}}
+		for _, c := range caches {
+			if c.x.aceBytes() != c.y.aceBytes() || c.x.tagAceCycles != c.y.tagAceCycles {
+				t.Errorf("seed %d %s: ACE %d/%d vs byte-granular %d/%d",
+					seed, c.name, c.x.aceBytes(), c.x.tagAceCycles, c.y.aceBytes(), c.y.tagAceCycles)
+			}
+			if c.x.Accesses != c.y.Accesses || c.x.Misses != c.y.Misses ||
+				c.x.Writebacks != c.y.Writebacks || c.x.WritebackAccesses != c.y.WritebackAccesses ||
+				c.x.WritebackMisses != c.y.WritebackMisses {
+				t.Errorf("seed %d %s: stats (%d,%d,%d,%d) vs (%d,%d,%d,%d)", seed, c.name,
+					c.x.Accesses, c.x.Misses, c.x.Writebacks, c.x.WritebackAccesses,
+					c.y.Accesses, c.y.Misses, c.y.Writebacks, c.y.WritebackAccesses)
+			}
+			if c.x.AVF(end) != c.y.AVF(end) {
+				t.Errorf("seed %d %s: AVF %v vs %v", seed, c.name, c.x.AVF(end), c.y.AVF(end))
+			}
+		}
+	}
+}

@@ -23,9 +23,29 @@ func (c HierarchyConfig) Validate() error {
 	if c.MemLatency <= 0 {
 		return fmt.Errorf("hierarchy: non-positive memory latency %d", c.MemLatency)
 	}
+	// The pipeline schedules completion events strictly in the future, so
+	// every level must cost at least one cycle.
+	for _, cc := range []Config{c.IL1, c.DL1, c.L2} {
+		if cc.HitLatency < 1 {
+			return fmt.Errorf("hierarchy: %s hit latency %d must be >= 1", cc.Name, cc.HitLatency)
+		}
+	}
 	if c.DL1.LineBytes != c.L2.LineBytes || c.IL1.LineBytes != c.L2.LineBytes {
 		return fmt.Errorf("hierarchy: L1/L2 line sizes must match (IL1=%d DL1=%d L2=%d)",
 			c.IL1.LineBytes, c.DL1.LineBytes, c.L2.LineBytes)
+	}
+	// The pipeline's access contract (DESIGN.md §5): 8-byte aligned data
+	// accesses, 4-byte aligned fetches, whole-line refills, and DL1 dirty
+	// masks applied to the L2. The chunk granules must divide those
+	// access sizes for chunk tracking to be lossless.
+	if cb := c.DL1.EffectiveChunkBytes(); 8%cb != 0 {
+		return fmt.Errorf("hierarchy: DL1 chunk size %d does not divide the 8-byte data access granule", cb)
+	}
+	if cb := c.IL1.EffectiveChunkBytes(); 4%cb != 0 {
+		return fmt.Errorf("hierarchy: IL1 chunk size %d does not divide the 4-byte fetch granule", cb)
+	}
+	if l2, dl1 := c.L2.EffectiveChunkBytes(), c.DL1.EffectiveChunkBytes(); dl1%l2 != 0 {
+		return fmt.Errorf("hierarchy: L2 chunk size %d does not divide the DL1 chunk size %d (writeback masks)", l2, dl1)
 	}
 	return nil
 }
@@ -35,12 +55,21 @@ func (c HierarchyConfig) Validate() error {
 // Bandwidth between levels is not modelled (accesses are independent);
 // the stressmark's pointer chase serialises its L2 misses through the
 // register dependence instead, exactly as in the paper.
+//
+// Each access does one associative lookup per level touched: L1 hits
+// resolve in a single Access walk, L1 misses combine the L2
+// probe/fill/whole-line read into one ReadLine walk and the L1
+// fill+demand touch into one FillTouch, and dirty L1 victims land in
+// the L2 via one WriteMask walk.
 type Hierarchy struct {
 	IL1  *Cache
 	DL1  *Cache
 	L2   *Cache
 	DTLB *TLB
 	cfg  HierarchyConfig
+
+	dl1Hit, l2Hit, memLat int64
+	lineMask              uint64 // shared L1/L2 line size - 1
 }
 
 // NewHierarchy builds the memory system.
@@ -49,11 +78,15 @@ func NewHierarchy(cfg HierarchyConfig) (*Hierarchy, error) {
 		return nil, err
 	}
 	return &Hierarchy{
-		IL1:  MustNew(cfg.IL1),
-		DL1:  MustNew(cfg.DL1),
-		L2:   MustNew(cfg.L2),
-		DTLB: MustNewTLB(cfg.DTLB),
-		cfg:  cfg,
+		IL1:      MustNew(cfg.IL1),
+		DL1:      MustNew(cfg.DL1),
+		L2:       MustNew(cfg.L2),
+		DTLB:     MustNewTLB(cfg.DTLB),
+		cfg:      cfg,
+		dl1Hit:   int64(cfg.DL1.HitLatency),
+		l2Hit:    int64(cfg.L2.HitLatency),
+		memLat:   int64(cfg.MemLatency),
+		lineMask: uint64(cfg.L2.LineBytes - 1),
 	}, nil
 }
 
@@ -64,94 +97,51 @@ func (h *Hierarchy) Config() HierarchyConfig { return h.cfg }
 // and returns the total latency in cycles (including the DL1 hit
 // latency) and whether the access missed DL1 and L2.
 func (h *Hierarchy) Data(now int64, addr uint64, size int, write bool) (latency int, dl1Miss, l2Miss bool) {
-	t := now
-	t += int64(h.DTLB.Access(t, addr))
+	t := now + int64(h.DTLB.Access(now, addr))
 
-	if hit, err := h.DL1.TouchHit(t+int64(h.cfg.DL1.HitLatency), addr, size, write); err != nil {
-		panic(err)
-	} else if hit {
-		return int(t + int64(h.cfg.DL1.HitLatency) - now), false, false
+	if h.DL1.Access(t+h.dl1Hit, addr, size, write) {
+		return int(t + h.dl1Hit - now), false, false
 	}
 	dl1Miss = true
-	la := h.DL1.LineAddr(addr)
-	// DL1 miss: consult L2.
-	if h.L2.Probe(la) {
-		t += int64(h.cfg.L2.HitLatency)
+	la := addr &^ h.lineMask
+	// DL1 miss: one combined L2 walk — probe, fill on miss, and the
+	// whole-line read of the fill data moving up (fill→read or read→read
+	// in L2 is ACE).
+	if h.L2.ReadLine(t+h.l2Hit, t+h.memLat, la) {
+		t += h.l2Hit
 	} else {
 		l2Miss = true
-		t += int64(h.cfg.MemLatency)
-		h.fillL2(t, la)
+		t += h.memLat
 	}
-	// The DL1-miss read of the L2 line happens when the fill data moves
-	// up (fill→read or read→read in L2 is ACE).
-	h.mustTouch(h.L2, t, la, h.cfg.DL1.LineBytes, false)
-	// Fill DL1, pushing any dirty victim down into L2.
-	wb, dirty, err := h.DL1.Fill(t, addr)
-	if err != nil {
-		panic(err)
-	}
+	// Fill DL1 and apply the demand access, pushing any dirty victim
+	// down into L2.
+	wb, dirty := h.DL1.FillTouch(t, t+h.dl1Hit, addr, size, write)
 	if dirty {
-		h.writebackToL2(t, wb)
+		h.L2.WriteMask(t, wb.Addr, wb.DirtyMask)
 	}
-	t += int64(h.cfg.DL1.HitLatency)
-	h.mustTouch(h.DL1, t, addr, size, write)
-	return int(t - now), dl1Miss, l2Miss
+	return int(t + h.dl1Hit - now), dl1Miss, l2Miss
 }
 
 // Fetch performs an instruction fetch of one line-resident access at pc
 // issued at time now and returns the added latency beyond the IL1 hit
 // path (0 on an IL1 hit).
 func (h *Hierarchy) Fetch(now int64, pc uint64) (extraLatency int) {
-	if hit, err := h.IL1.TouchHit(now, pc, 4, false); err != nil {
-		panic(err)
-	} else if hit {
+	if h.IL1.Access(now, pc, 4, false) {
 		return 0
 	}
 	t := now
-	la := h.IL1.LineAddr(pc)
-	if h.L2.Probe(la) {
-		t += int64(h.cfg.L2.HitLatency)
+	la := pc &^ h.lineMask
+	if h.L2.ReadLine(t+h.l2Hit, t+h.memLat, la) {
+		t += h.l2Hit
 	} else {
-		t += int64(h.cfg.MemLatency)
-		h.fillL2(t, la)
+		t += h.memLat
 	}
-	h.mustTouch(h.L2, t, la, h.cfg.IL1.LineBytes, false)
-	wb, dirty, err := h.IL1.Fill(t, pc)
-	if err != nil {
-		panic(err)
-	}
+	wb, dirty := h.IL1.FillTouch(t, t, pc, 4, false)
 	if dirty {
 		// Instruction lines are never dirty in this model; defensive.
-		h.writebackToL2(t, wb)
+		h.L2.WriteMask(t, wb.Addr, wb.DirtyMask)
 	}
-	h.mustTouch(h.IL1, t, pc, 4, false)
 	return int(t - now)
-}
-
-func (h *Hierarchy) fillL2(t int64, addr uint64) {
-	wb, dirty, err := h.L2.Fill(t, addr)
-	if err != nil {
-		panic(err)
-	}
-	_ = wb
-	_ = dirty // dirty L2 victims drain to memory; nothing to track there.
-}
-
-// writebackToL2 applies a dirty DL1 victim to the L2 (write-allocate,
-// off the critical path).
-func (h *Hierarchy) writebackToL2(t int64, wb Writeback) {
-	if !h.L2.Probe(wb.Addr) {
-		h.fillL2(t, wb.Addr)
-	}
-	if err := h.L2.TouchMask(t, wb.Addr, wb.DirtyMask); err != nil {
-		panic(err)
-	}
-}
-
-func (h *Hierarchy) mustTouch(c *Cache, t int64, addr uint64, size int, write bool) {
-	if err := c.Touch(t, addr, size, write); err != nil {
-		panic(err)
-	}
 }
 
 // Finalize closes all lifetime intervals at time now.

@@ -46,6 +46,35 @@ func TestHierarchyValidation(t *testing.T) {
 	if err := cfg.Validate(); err == nil {
 		t.Error("mismatched line sizes accepted")
 	}
+	cfg = tableIMem()
+	cfg.DL1.HitLatency = 0
+	if err := cfg.Validate(); err == nil {
+		t.Error("zero DL1 hit latency accepted (completion events must be strictly future)")
+	}
+}
+
+func TestHierarchyChunkValidation(t *testing.T) {
+	// The access contract: DL1 chunks divide the 8-byte data granule,
+	// IL1 chunks divide the 4-byte fetch granule, L2 chunks divide DL1's
+	// (writeback masks).
+	cfg := tableIMem()
+	cfg.IL1.ChunkBytes, cfg.DL1.ChunkBytes, cfg.L2.ChunkBytes = 4, 8, 8
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("production chunk set rejected: %v", err)
+	}
+	bad := []func(*HierarchyConfig){
+		func(c *HierarchyConfig) { c.DL1.ChunkBytes = 16 },                     // > data granule
+		func(c *HierarchyConfig) { c.IL1.ChunkBytes = 8 },                      // > fetch granule
+		func(c *HierarchyConfig) { c.DL1.ChunkBytes = 4; c.L2.ChunkBytes = 8 }, // L2 ∤ DL1
+	}
+	for i, mut := range bad {
+		c := tableIMem()
+		c.IL1.ChunkBytes, c.DL1.ChunkBytes, c.L2.ChunkBytes = 4, 8, 8
+		mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad chunk combination %d accepted", i)
+		}
+	}
 }
 
 func TestDataLatencyLadder(t *testing.T) {
@@ -86,9 +115,9 @@ func TestDirtyWritebackReachesL2(t *testing.T) {
 	}
 	// The dirty line's bytes must now be marked written in L2: evicting it
 	// from L2 (or finalizing) counts write→evict ACE.
-	before := h.L2.aceByteCycles
+	before := h.L2.aceBytes()
 	h.L2.Finalize(500)
-	if h.L2.aceByteCycles == before {
+	if h.L2.aceBytes() == before {
 		t.Error("dirty writeback did not mark L2 bytes (no write→evict ACE)")
 	}
 }
@@ -124,7 +153,7 @@ func TestHierarchyResets(t *testing.T) {
 	h.Finalize(200)
 	// The dirty bytes written at t=133 are clipped at the window start:
 	// ACE = (200-150) × 8 bytes, not (200-133) × 8.
-	if got := h.DL1.aceByteCycles; got != 8*50 {
+	if got := h.DL1.aceBytes(); got != 8*50 {
 		t.Errorf("clipped dirty ACE %d byte-cycles, want 400", got)
 	}
 }

@@ -50,10 +50,26 @@ type tlbEntry struct {
 // TLB is a fully associative, LRU translation buffer with lifetime ACE
 // accounting: an entry is ACE from fill to its last read (read→evict is
 // un-ACE, per the paper).
+//
+// Residency is indexed by a VPN map so the hit path — the overwhelmingly
+// common case — is a single lookup instead of a scan of all entries;
+// LRU victim selection scans only on the (rare) miss, and the HD-1
+// exposure bookkeeping is maintained incrementally per fill (O(entries)
+// instead of the previous O(entries²) recompute).
 type TLB struct {
 	cfg      TLBConfig
 	entries  []tlbEntry
+	byVPN    map[uint64]int32 // valid entries only
 	pageBits uint
+	small    bool // few entries: hit path scans instead of using the map
+
+	// One-entry memo for Access: consecutive data accesses overwhelmingly
+	// hit the same page, so the common case skips even the map lookup.
+	// Fills keep it coherent (the filled entry becomes the memo);
+	// Finalize and Reset clear it.
+	memoVPN   uint64
+	memoIdx   int32
+	memoValid bool
 
 	aceEntryCycles uint64 // entry-cycles (fill→last-read spans)
 	hd1EntryCycles uint64
@@ -68,7 +84,12 @@ func NewTLB(cfg TLBConfig) (*TLB, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	t := &TLB{cfg: cfg, entries: make([]tlbEntry, cfg.Entries)}
+	t := &TLB{
+		cfg:     cfg,
+		entries: make([]tlbEntry, cfg.Entries),
+		byVPN:   make(map[uint64]int32, cfg.Entries),
+		small:   cfg.Entries <= 64,
+	}
 	for p := cfg.PageBytes; p > 1; p >>= 1 {
 		t.pageBits++
 	}
@@ -92,41 +113,55 @@ func (t *TLB) VPN(addr uint64) uint64 { return addr >> t.pageBits }
 
 // Probe reports whether addr's page is resident, without state changes.
 func (t *TLB) Probe(addr uint64) bool {
-	vpn := t.VPN(addr)
-	for i := range t.entries {
-		if t.entries[i].valid && t.entries[i].vpn == vpn {
-			return true
-		}
-	}
-	return false
+	_, ok := t.byVPN[t.VPN(addr)]
+	return ok
 }
 
 // Access translates addr at time now, returning the added latency (0 on
 // a hit, WalkLatency on a miss, which also fills the entry).
 func (t *TLB) Access(now int64, addr uint64) (latency int) {
-	vpn := t.VPN(addr)
+	vpn := addr >> t.pageBits
 	t.Accesses++
-	for i := range t.entries {
-		e := &t.entries[i]
-		if e.valid && e.vpn == vpn {
-			e.lastRead = now
-			e.lru = now
-			return 0
+	if t.memoValid && vpn == t.memoVPN {
+		e := &t.entries[t.memoIdx]
+		e.lastRead = now
+		e.lru = now
+		return 0
+	}
+	if t.small {
+		// Few entries: a scan beats the map lookup (the map is still
+		// maintained for Probe and as the large-configuration path).
+		for i := range t.entries {
+			e := &t.entries[i]
+			if e.valid && e.vpn == vpn {
+				e.lastRead = now
+				e.lru = now
+				t.memoVPN, t.memoIdx, t.memoValid = vpn, int32(i), true
+				return 0
+			}
 		}
+	} else if i, ok := t.byVPN[vpn]; ok {
+		e := &t.entries[i]
+		e.lastRead = now
+		e.lru = now
+		t.memoVPN, t.memoIdx, t.memoValid = vpn, i, true
+		return 0
 	}
 	t.Misses++
 	// Evict LRU (or take an invalid slot).
 	victim := &t.entries[0]
+	victimIdx := int32(0)
 	for i := 1; i < len(t.entries); i++ {
 		e := &t.entries[i]
 		if !e.valid {
-			victim = e
+			victim, victimIdx = e, int32(i)
 			break
 		}
 		if victim.valid && e.lru < victim.lru {
-			victim = e
+			victim, victimIdx = e, int32(i)
 		}
 	}
+	oldVPN, hadOld := victim.vpn, victim.valid
 	if victim.valid {
 		t.closeEntry(victim, now)
 	}
@@ -135,8 +170,10 @@ func (t *TLB) Access(now int64, addr uint64) (latency int) {
 	victim.fillTime = now
 	victim.lastRead = now // the filling access reads the translation
 	victim.lru = now
+	t.byVPN[vpn] = victimIdx
+	t.memoVPN, t.memoIdx, t.memoValid = vpn, victimIdx, true
 	if t.cfg.HammingCAM {
-		t.recomputeHD1(now)
+		t.updateHD1(now, victimIdx, vpn, oldVPN, hadOld)
 	}
 	return t.cfg.WalkLatency
 }
@@ -154,6 +191,7 @@ func (t *TLB) closeEntry(e *tlbEntry, now int64) {
 		t.closeHD1(e, now)
 	}
 	e.valid = false
+	delete(t.byVPN, e.vpn)
 }
 
 // closeHD1 folds the entry's open HD-1 exposure interval into its
@@ -167,37 +205,48 @@ func (t *TLB) closeHD1(e *tlbEntry, now int64) {
 	e.hd1Count = 0
 }
 
-// recomputeHD1 refreshes, after a fill, which entries have a resident
-// Hamming-distance-1 neighbour. TLB fills are rare enough that the
-// O(entries²) pass is negligible.
-func (t *TLB) recomputeHD1(now int64) {
+// updateHD1 maintains, after a fill, which entries have a resident
+// Hamming-distance-1 neighbour. Residency changed only by the departure
+// of oldVPN (when hadOld) and the arrival of newVPN, so each surviving
+// entry's neighbour count is adjusted by at most ±1 — O(entries) per
+// fill instead of the previous full O(entries²) recompute — while
+// producing exactly the same exposure intervals.
+func (t *TLB) updateHD1(now int64, newIdx int32, newVPN, oldVPN uint64, hadOld bool) {
+	newCount := 0
 	for i := range t.entries {
 		e := &t.entries[i]
-		if !e.valid {
+		if !e.valid || int32(i) == newIdx {
 			continue
 		}
-		n := 0
-		for j := range t.entries {
-			if i == j || !t.entries[j].valid {
-				continue
+		d := e.hd1Count
+		if hadOld && bits.OnesCount64(e.vpn^oldVPN) == 1 {
+			d--
+		}
+		if bits.OnesCount64(e.vpn^newVPN) == 1 {
+			d++
+			newCount++
+		}
+		if d != e.hd1Count {
+			if d > 0 && e.hd1Count == 0 {
+				e.hd1Since = now
 			}
-			if bits.OnesCount64(e.vpn^t.entries[j].vpn) == 1 {
-				n++
+			if d == 0 && e.hd1Count > 0 && now > e.hd1Since {
+				e.hd1Cycles += uint64(now - e.hd1Since)
 			}
+			e.hd1Count = d
 		}
-		if n > 0 && e.hd1Count == 0 {
-			e.hd1Since = now
-		}
-		if n == 0 && e.hd1Count > 0 && now > e.hd1Since {
-			e.hd1Cycles += uint64(now - e.hd1Since)
-		}
-		e.hd1Count = n
 	}
+	ne := &t.entries[newIdx]
+	if newCount > 0 {
+		ne.hd1Since = now
+	}
+	ne.hd1Count = newCount
 }
 
 // Finalize closes all resident entries at time now. Call once at the end
 // of a measurement.
 func (t *TLB) Finalize(now int64) {
+	t.memoValid = false
 	for i := range t.entries {
 		if t.entries[i].valid {
 			t.closeEntry(&t.entries[i], now)
@@ -236,6 +285,8 @@ func (t *TLB) Reset() {
 	for i := range t.entries {
 		t.entries[i] = tlbEntry{}
 	}
+	clear(t.byVPN)
+	t.memoValid = false
 	t.aceEntryCycles, t.hd1EntryCycles = 0, 0
 	t.windowStart = 0
 	t.ResetStats()

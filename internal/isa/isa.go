@@ -111,7 +111,12 @@ type Instr struct {
 
 // Writes reports whether the instruction produces a register value
 // (writes to RZero do not count).
-func (in Instr) Writes() bool {
+func (in Instr) Writes() bool { return WritesDest(&in) }
+
+// WritesDest is Writes without copying the Instr, for the pipeline's
+// per-dispatch hot path; the single source of truth for which ops
+// produce a register value.
+func WritesDest(in *Instr) bool {
 	if in.Dest == RZero {
 		return false
 	}

@@ -196,7 +196,12 @@ func (pl *Pipeline) finalize() *avf.Result {
 
 	res.MispredictRate = pl.bp.MispredictRate()
 	res.DL1MissRate = pl.mem.DL1.MissRate()
-	res.L2MissRate = pl.mem.L2.MissRate()
+	// The reported L2 miss rate has always been misses over *all* L2
+	// traffic, including DL1 writeback-apply accesses; the cache now
+	// counts those separately (Cache.WritebackAccesses), so the
+	// all-traffic ratio is requested explicitly to keep the result
+	// bit-identical to the golden snapshots.
+	res.L2MissRate = pl.mem.L2.TrafficMissRate()
 	res.DTLBMissRate = pl.mem.DTLB.MissRate()
 	res.OccupancyROB = float64(a.occROB) / (float64(core.ROBEntries) * fc)
 	res.OccupancyIQ = float64(a.occIQ) / (float64(core.IQEntries) * fc)
@@ -212,7 +217,7 @@ func (pl *Pipeline) finalize() *avf.Result {
 		IssuedMem:   a.issuedMem,
 		IssuedBr:    a.issuedBr,
 		DL1Accesses: int64(pl.mem.DL1.Accesses),
-		L2Accesses:  int64(pl.mem.L2.Accesses),
+		L2Accesses:  int64(pl.mem.L2.Accesses + pl.mem.L2.WritebackAccesses),
 		Mispredicts: a.mispredicts,
 	}
 	if a.committed > 0 {

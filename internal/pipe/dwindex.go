@@ -1,0 +1,154 @@
+package pipe
+
+// dwIndex maps doubleword addresses of in-flight correct-path stores to
+// their age-ordered sequence numbers. It replaces a Go map on the
+// dispatch/commit/disambiguation hot path with a small open-addressing
+// table: the live key count is bounded by the store-queue size, so a
+// fixed low-load-factor table with tombstone deletion (rebuilt when
+// tombstones accumulate) makes every operation a couple of cache probes.
+type dwIndex struct {
+	keys []uint64  // dw value, or dwEmpty / dwTombstone
+	vals [][]int64 // age-ordered store seqs for the key
+	free [][]int64 // recycled value slices
+	// spareKeys/spareVals are the retained scratch arrays rebuild swaps
+	// into, so periodic tombstone compaction allocates nothing.
+	spareKeys []uint64
+	spareVals [][]int64
+	mask      uint64
+	live      int // occupied slots
+	used      int // occupied + tombstones
+}
+
+const (
+	dwEmpty     = ^uint64(0)     // no key ever stored here
+	dwTombstone = ^uint64(0) - 1 // deleted; probing continues past it
+)
+
+// initDW sizes the table for at most maxLive simultaneous keys.
+func (d *dwIndex) initDW(maxLive int) {
+	size := 64
+	for size < 4*maxLive {
+		size <<= 1
+	}
+	d.keys = make([]uint64, size)
+	d.vals = make([][]int64, size)
+	d.spareKeys = make([]uint64, size)
+	d.spareVals = make([][]int64, size)
+	d.mask = uint64(size - 1)
+	d.clearDW()
+}
+
+func (d *dwIndex) clearDW() {
+	for i := range d.keys {
+		d.keys[i] = dwEmpty
+		if v := d.vals[i]; v != nil {
+			d.free = append(d.free, v[:0])
+			d.vals[i] = nil
+		}
+	}
+	d.live, d.used = 0, 0
+}
+
+func (d *dwIndex) slot(dw uint64) uint64 {
+	return (dw * 0x9E3779B97F4A7C15) >> 32 & d.mask
+}
+
+// lookup returns the seq list for dw (nil if absent).
+func (d *dwIndex) lookup(dw uint64) []int64 {
+	for i := d.slot(dw); ; i = (i + 1) & d.mask {
+		switch d.keys[i] {
+		case dw:
+			return d.vals[i]
+		case dwEmpty:
+			return nil
+		}
+	}
+}
+
+// push appends seq to dw's list (seqs arrive in increasing order).
+func (d *dwIndex) push(dw uint64, seq int64) {
+	first := -1
+	for i := d.slot(dw); ; i = (i + 1) & d.mask {
+		switch d.keys[i] {
+		case dw:
+			d.vals[i] = append(d.vals[i], seq)
+			return
+		case dwTombstone:
+			if first < 0 {
+				first = int(i)
+			}
+		case dwEmpty:
+			at := int(i)
+			if first >= 0 {
+				at = first
+			} else {
+				d.used++
+			}
+			d.keys[at] = dw
+			v := d.vals[at]
+			if v == nil && len(d.free) > 0 {
+				v = d.free[len(d.free)-1][:0]
+				d.free = d.free[:len(d.free)-1]
+			}
+			d.vals[at] = append(v, seq)
+			d.live++
+			if d.used > len(d.keys)/2 {
+				d.rebuild()
+			}
+			return
+		}
+	}
+}
+
+// drop removes one seq from dw's list: the oldest at commit, the
+// youngest at flush. The key is tombstoned when its list empties.
+func (d *dwIndex) drop(dw uint64, youngest bool) {
+	for i := d.slot(dw); ; i = (i + 1) & d.mask {
+		switch d.keys[i] {
+		case dw:
+			l := d.vals[i]
+			if youngest {
+				l = l[:len(l)-1]
+			} else {
+				copy(l, l[1:])
+				l = l[:len(l)-1]
+			}
+			d.vals[i] = l
+			if len(l) == 0 {
+				d.keys[i] = dwTombstone
+				d.free = append(d.free, l)
+				d.vals[i] = nil
+				d.live--
+			}
+			return
+		case dwEmpty:
+			return // absent; nothing to drop (callers only drop present keys)
+		}
+	}
+}
+
+// rebuild rehashes the live entries into the retained scratch arrays,
+// clearing tombstones without allocating.
+func (d *dwIndex) rebuild() {
+	keys, vals := d.keys, d.vals
+	d.keys, d.spareKeys = d.spareKeys, keys
+	d.vals, d.spareVals = d.spareVals, vals
+	for i := range d.keys {
+		d.keys[i] = dwEmpty
+		d.vals[i] = nil
+	}
+	d.live, d.used = 0, 0
+	for i, k := range keys {
+		if k != dwEmpty && k != dwTombstone {
+			for j := d.slot(k); ; j = (j + 1) & d.mask {
+				if d.keys[j] == dwEmpty {
+					d.keys[j] = k
+					d.vals[j] = vals[i]
+					d.live++
+					d.used++
+					break
+				}
+			}
+		}
+	}
+}

@@ -1,79 +1,252 @@
 package pipe
 
-// The event-driven core replaces the seed's per-cycle ROB scans with two
-// small schedules:
+import "math/bits"
+
+// The event-driven core replaces the seed's per-cycle ROB scans with
+// one schedule and one broadcast structure:
 //
-//   - compQ, a min-heap of completion events pushed at issue, so
+//   - compW, a calendar queue of completion events pushed at issue, so
 //     complete() touches only the uops finishing at the current cycle and
-//     nextEvent() is an O(1) peek;
-//   - wakeQ, a min-heap of operand-ready events. A consumer whose source
-//     register has a known future ready cycle (its producer already
-//     issued) schedules a timed wakeup; a consumer whose producer has not
-//     issued yet parks on the producer register's waiter list and is
-//     converted to a timed wakeup when the producer issues and broadcasts
-//     its completion cycle.
+//     nextEvent() is a near-O(1) peek;
+//   - per-physical-register waiter lists: a consumer with a not-yet-ready
+//     source parks on that register at rename, and is woken by
+//     broadcast() when the producer's completion event fires — a
+//     source's ready cycle is always its producer's completion cycle, so
+//     no separate wakeup event queue is needed.
+//
+// Every schedulable latency is bounded by the memory round trip, so the
+// calendar (timing-wheel) representation — a ring of per-cycle buckets
+// with an occupancy bitmap — replaces the previous binary heap: pushes
+// are an append plus a bit set, and draining a cycle is a bitmap scan
+// plus an insertion sort of a (nearly always tiny) bucket. Events are
+// consumed in exactly the heap's (cycle, seq) order, which is what
+// preserves the scan-based core's oldest-first flush semantics.
 //
 // Events reference ROB slots by sequence number and are invalidated
-// lazily: a misprediction flush rewinds tail without touching the heaps,
-// and stale entries are recognised when popped because either the
-// sequence number is outside [head, tail) or the slot's generation
+// lazily: a misprediction flush rewinds tail without touching the
+// calendars, and stale entries are recognised when popped because either
+// the sequence number is outside [head, tail) or the slot's generation
 // counter (bumped on every dispatch) no longer matches.
 
-// event schedules a state change for the uop at seq: a completion
-// (compQ) or one source operand becoming ready (wakeQ).
+// event schedules a completion for the uop at seq on compW.
 type event struct {
 	cycle int64
 	seq   int64
 	gen   uint32
 }
 
-// eventHeap is a binary min-heap of events ordered by (cycle, seq). The
-// seq tiebreak makes same-cycle completions pop in age order, which is
-// what preserves the scan-based core's oldest-first flush semantics.
-type eventHeap []event
-
-func (h eventHeap) less(i, j int) bool {
-	return h[i].cycle < h[j].cycle || (h[i].cycle == h[j].cycle && h[i].seq < h[j].seq)
+// eventWheel is a calendar queue of events: a power-of-two ring of
+// per-cycle buckets plus an occupancy bitmap. All scheduled cycles lie
+// within `size` cycles of `head` (the horizon — enforced by construction
+// from the configuration's worst-case latency, with auto-grow as a
+// safety net), so bucket index = cycle & mask is collision-free.
+//
+// Draining moves one bucket at a time into `due`, sorted by sequence
+// number; peek/pop then walk `due` in order. Because buckets are begun
+// strictly in cycle order and pushes always target cycles ≥ head, the
+// consumption order is exactly the (cycle, seq) order of the binary
+// heap this replaces.
+type eventWheel struct {
+	slots   [][]event
+	occ     []uint64 // bit per slot: bucket non-empty
+	mask    int64
+	size    int64
+	head    int64   // every cycle < head has been drained into due
+	nextDue int64   // exact earliest pending bucket cycle (farAway when none)
+	due     []event // begun bucket, sorted by seq
+	dueIdx  int
+	pending int // events still in buckets (excludes due)
 }
 
-func (h *eventHeap) push(e event) {
-	q := append(*h, e)
-	i := len(q) - 1
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !q.less(i, parent) {
-			break
-		}
-		q[i], q[parent] = q[parent], q[i]
-		i = parent
+// initWheel sizes the wheel for events scheduled at most horizon cycles
+// ahead (rounded up to a power of two, minimum 64 slots).
+func (w *eventWheel) initWheel(horizon int64) {
+	size := int64(64)
+	for size < horizon {
+		size <<= 1
 	}
-	*h = q
+	w.size = size
+	w.mask = size - 1
+	w.slots = make([][]event, size)
+	w.occ = make([]uint64, size>>6)
+	w.nextDue = farAway
 }
 
-func (h *eventHeap) pop() event {
-	q := *h
-	top := q[0]
-	n := len(q) - 1
-	q[0] = q[n]
-	q = q[:n]
-	i := 0
-	for {
-		l, r := 2*i+1, 2*i+2
-		least := i
-		if l < n && q.less(l, least) {
-			least = l
-		}
-		if r < n && q.less(r, least) {
-			least = r
-		}
-		if least == i {
-			break
-		}
-		q[i], q[least] = q[least], q[i]
-		i = least
+// push schedules e. The cycle must be ≥ head (events are always pushed
+// for future cycles; peek keeps head at most one past the draining
+// limit, which is the current cycle).
+func (w *eventWheel) push(e event) {
+	if e.cycle-w.head >= w.size {
+		w.grow(e.cycle)
 	}
-	*h = q
-	return top
+	if e.cycle < w.head {
+		panic("pipe: push below wheel head")
+	}
+	if e.cycle < w.nextDue {
+		w.nextDue = e.cycle
+	}
+	i := e.cycle & w.mask
+	s := &w.slots[i]
+	if len(*s) == 0 {
+		w.occ[i>>6] |= 1 << uint(i&63)
+	}
+	*s = append(*s, e)
+	w.pending++
+}
+
+// grow widens the ring until cycle fits in the horizon, re-bucketing the
+// pending events. Only reachable if a configuration's real latencies
+// exceed the sized horizon (the initWheel margin makes this effectively
+// dead code, kept as a safety net).
+func (w *eventWheel) grow(cycle int64) {
+	var all []event
+	for i := range w.slots {
+		all = append(all, w.slots[i]...)
+	}
+	for w.size <= cycle-w.head {
+		w.size <<= 1
+	}
+	w.mask = w.size - 1
+	w.slots = make([][]event, w.size)
+	w.occ = make([]uint64, w.size>>6)
+	w.pending = 0
+	w.nextDue = farAway
+	for _, e := range all {
+		w.push(e)
+	}
+}
+
+// beginNextBucket drains the earliest pending bucket with cycle ≤ limit
+// into the due buffer (sorted by seq), reporting whether there was one.
+// The spent due buffer must be fully consumed. limit is always the
+// current cycle, so head — the push floor — never passes a future push
+// target.
+func (w *eventWheel) beginNextBucket(limit int64) bool {
+	if w.nextDue > limit {
+		// Nothing due: catch head (the push floor) up so an idle
+		// stretch cannot shrink the usable horizon.
+		if limit+1 > w.head {
+			w.head = limit + 1
+		}
+		return false
+	}
+	c := w.nextDue
+	s := &w.slots[c&w.mask]
+	// Swap the bucket with the spent due buffer instead of copying.
+	w.due, *s = *s, w.due[:0]
+	w.occ[(c&w.mask)>>6] &^= 1 << uint(c&63)
+	w.pending -= len(w.due)
+	sortBySeq(w.due)
+	w.dueIdx = 0
+	w.head = c + 1
+	if w.pending == 0 {
+		w.nextDue = farAway
+	} else {
+		w.nextDue = w.nextOccupiedFrom(c + 1)
+	}
+	return true
+}
+
+// hasDue reports whether an event with cycle ≤ limit is queued. Small
+// enough to inline, so the per-cycle "anything due?" checks in the stage
+// functions cost two compares instead of a call.
+func (w *eventWheel) hasDue(limit int64) bool {
+	return w.dueIdx < len(w.due) || w.nextDue <= limit
+}
+
+// nextOccupiedFrom returns the earliest cycle ≥ from with a non-empty
+// bucket; pending must be non-zero and every pending cycle ≥ from.
+func (w *eventWheel) nextOccupiedFrom(from int64) int64 {
+	start := from & w.mask
+	wi := start >> 6
+	if b := w.occ[wi] >> uint(start&63); b != 0 {
+		return from + int64(bits.TrailingZeros64(b))
+	}
+	n := int64(len(w.occ))
+	for k := int64(1); k <= n; k++ {
+		wj := (wi + k) & (n - 1)
+		if b := w.occ[wj]; b != 0 {
+			off := (wj<<6 + int64(bits.TrailingZeros64(b)) - start) & w.mask
+			return from + off
+		}
+	}
+	panic("pipe: event wheel pending but no occupied bucket")
+}
+
+// reset empties the wheel in O(occupied buckets), keeping allocations.
+func (w *eventWheel) reset() {
+	if w.pending > 0 {
+		for wi, b := range w.occ {
+			for b != 0 {
+				i := wi<<6 + bits.TrailingZeros64(b)
+				w.slots[i] = w.slots[i][:0]
+				b &= b - 1
+			}
+			w.occ[wi] = 0
+		}
+	}
+	w.pending = 0
+	w.nextDue = farAway
+	w.due = w.due[:0]
+	w.dueIdx = 0
+	w.head = 0
+}
+
+// sortBySeq insertion-sorts a bucket by sequence number (buckets hold a
+// handful of events at most; same-cycle same-seq duplicates can only
+// pair a live entry with stale flushed ones, so ties are unordered).
+func sortBySeq(es []event) {
+	for i := 1; i < len(es); i++ {
+		e := es[i]
+		j := i - 1
+		for j >= 0 && es[j].seq > e.seq {
+			es[j+1] = es[j]
+			j--
+		}
+		es[j+1] = e
+	}
+}
+
+// earliestLiveCompletion returns the cycle of the earliest pending live
+// completion event (farAway if none), discarding stale flushed events as
+// it scans. Unlike peek it never begins a future bucket, so the due
+// order and the push floor are untouched — this is the run loop's stall
+// fast-forward target.
+func (pl *Pipeline) earliestLiveCompletion() int64 {
+	w := &pl.compW
+	// Leftover due entries exist only after a misprediction flush, and
+	// are then all younger than the flushed branch — stale — but scan
+	// them for completeness.
+	for i := w.dueIdx; i < len(w.due); i++ {
+		e := w.due[i]
+		if u, ok := pl.live(e.seq, e.gen); ok && u.state == sIssued {
+			return e.cycle
+		}
+	}
+	for w.pending > 0 {
+		c := w.nextDue
+		si := c & w.mask
+		s := w.slots[si]
+		kept := s[:0]
+		for _, e := range s {
+			if u, ok := pl.live(e.seq, e.gen); ok && u.state == sIssued {
+				kept = append(kept, e)
+			}
+		}
+		w.pending -= len(s) - len(kept)
+		w.slots[si] = kept
+		if len(kept) > 0 {
+			return c
+		}
+		// Stale-only bucket: clear it; head stays (the bitmap skips it).
+		w.occ[si>>6] &^= 1 << uint(si&63)
+		if w.pending == 0 {
+			w.nextDue = farAway
+		} else {
+			w.nextDue = w.nextOccupiedFrom(c + 1)
+		}
+	}
+	return farAway
 }
 
 // waiterRef parks a dispatched consumer on a physical register whose
@@ -93,57 +266,26 @@ func (pl *Pipeline) live(seq int64, gen uint32) (*uop, bool) {
 	return u, u.gen == gen
 }
 
-// drainWakeups applies every operand-ready event due at or before now.
-// When a uop's last pending source resolves it enters the ready queue.
-func (pl *Pipeline) drainWakeups() {
-	for len(pl.wakeQ) > 0 && pl.wakeQ[0].cycle <= pl.now {
-		e := pl.wakeQ.pop()
-		u, ok := pl.live(e.seq, e.gen)
+// broadcast resolves the waiters parked on physical register p when its
+// producer completes: each live waiter loses one pending source and
+// enters the ready queue when none remain. Waiters from flushed
+// consumers fail the generation check and are dropped; waiters parked by
+// a previous occupant of a recycled register are likewise stale (they
+// were younger than the flush that freed it) and die the same way.
+func (pl *Pipeline) broadcast(p int16) {
+	w := pl.waiters[p]
+	if len(w) == 0 {
+		return
+	}
+	for _, ref := range w {
+		u, ok := pl.live(ref.seq, ref.gen)
 		if !ok || u.state != sWaiting {
 			continue
 		}
 		u.pendingSrcs--
 		if u.pendingSrcs == 0 {
-			pl.readyQ.insert(e.seq, e.gen)
+			pl.readyB.set(ref.seq & pl.robMask)
 		}
-	}
-}
-
-// watchOperands counts the uop's not-yet-ready sources and schedules one
-// wakeup per source: a timed event when the ready cycle is already known,
-// a waiter-list registration when the producer has not issued. Called at
-// dispatch; a uop with no pending sources goes straight to the ready
-// queue.
-func (pl *Pipeline) watchOperands(seq int64, u *uop) {
-	pending := uint8(0)
-	for _, s := range u.src {
-		if s == noReg {
-			continue
-		}
-		rc := pl.regs[s].readyCycle
-		if rc <= pl.now {
-			continue
-		}
-		pending++
-		if rc == farAway {
-			pl.waiters[s] = append(pl.waiters[s], waiterRef{seq: seq, gen: u.gen})
-		} else {
-			pl.wakeQ.push(event{cycle: rc, seq: seq, gen: u.gen})
-		}
-	}
-	u.pendingSrcs = pending
-	if pending == 0 {
-		pl.readyQ.insert(seq, u.gen)
-	}
-}
-
-// broadcast converts the waiters parked on physical register p into timed
-// wakeups at ready (the producer's completion cycle). Waiters from
-// flushed consumers fail the generation check when their event pops.
-func (pl *Pipeline) broadcast(p int16, ready int64) {
-	w := pl.waiters[p]
-	for _, ref := range w {
-		pl.wakeQ.push(event{cycle: ready, seq: ref.seq, gen: ref.gen})
 	}
 	pl.waiters[p] = w[:0]
 }

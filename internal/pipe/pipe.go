@@ -23,11 +23,13 @@
 // do not pollute the caches, and there is no bandwidth contention between
 // hierarchy levels.
 //
-// The core is event-driven rather than scan-based: completions and
-// operand wakeups are scheduled on min-heaps keyed by cycle (events.go)
-// and issue selection walks a small age-ordered ready queue (readyq.go),
-// so per-cycle work is proportional to the number of state changes, not
-// to the ROB size. DESIGN.md §2 states the invariants.
+// The core is event-driven rather than scan-based: completions are
+// scheduled on a calendar queue (timing wheel) keyed by cycle
+// (events.go), operand wakeups ride the producers' completion broadcasts
+// through per-register waiter lists, and issue selection walks a ready
+// bitmap over the ROB ring in age order (readyq.go), so per-cycle work
+// is proportional to the number of state changes, not to the ROB size.
+// DESIGN.md §2 states the invariants.
 package pipe
 
 import (
@@ -56,26 +58,14 @@ const (
 	sDone                    // completed, awaiting commit
 )
 
-// uop is one in-flight dynamic instruction (a ROB entry).
+// uop is one in-flight dynamic instruction (a ROB entry). Only the
+// static-instruction pointer and the effective address survive from the
+// dynamic instance (everything else the stages need is re-derived or
+// captured in dedicated fields), keeping the ROB ring compact — at() is
+// on every hot path.
 type uop struct {
-	dyn       prog.Dyn
-	wrongPath bool
-	ace       bool
-	state     uopState
-
-	// gen counts dispatches into this ROB slot; scheduled events carry
-	// the value so entries for flushed uops die on a mismatch.
-	gen uint32
-	// pendingSrcs is the number of source operands not yet ready; the
-	// uop enters the ready queue when it reaches zero.
-	pendingSrcs uint8
-
-	destPhys int16
-	oldPhys  int16
-	src      [2]int16
-	inIQ     bool
-	inLQ     bool
-	inSQ     bool
+	static *isa.Instr
+	addr   uint64 // effective address (memory ops)
 
 	dispatchCycle int64
 	issueCycle    int64
@@ -83,13 +73,33 @@ type uop struct {
 	dataReady     int64 // loads: cycle the fill data arrived
 	execLatency   int64 // FU stage-cycles consumed
 
-	forwarded bool // load satisfied from the store queue
+	// gen counts dispatches into this ROB slot; scheduled events carry
+	// the value so entries for flushed uops die on a mismatch.
+	gen uint32
 
+	destPhys int16
+	oldPhys  int16
+	src      [2]int16
+
+	// opc caches static.Op so the stage hot paths avoid chasing the
+	// static-instruction pointer.
+	opc   isa.Op
+	state uopState
+	// pendingSrcs is the number of source operands not yet ready; the
+	// uop enters the ready queue when it reaches zero.
+	pendingSrcs uint8
+
+	wrongPath bool
+	ace       bool
+	inIQ      bool
+	inLQ      bool
+	inSQ      bool
+	forwarded bool // load satisfied from the store queue
 	predTaken bool
 	mispred   bool
 }
 
-func (u *uop) op() isa.Op { return u.dyn.Static.Op }
+func (u *uop) op() isa.Op { return u.opc }
 
 type physReg struct {
 	readyCycle int64
@@ -137,16 +147,17 @@ type Pipeline struct {
 	freeList []int16
 	regs     []physReg
 
-	compQ   eventHeap     // completion events, keyed by doneCycle
-	wakeQ   eventHeap     // operand-ready events, keyed by ready cycle
-	readyQ  readyQueue    // age-ordered operand-ready uops
-	waiters [][]waiterRef // per-physical-register consumers awaiting issue broadcast
+	compW   eventWheel    // completion events, keyed by doneCycle
+	readyB  readyBits     // operand-ready uops, one bit per ROB slot
+	waiters [][]waiterRef // per-physical-register consumers awaiting completion broadcast
+	// blockedOn parks disambiguation-blocked loads on the ROB slot of the
+	// store blocking them; the store's completion re-readies them.
+	blockedOn [][]readyRef
 
 	// dwStores indexes the in-flight correct-path stores by doubleword
 	// address (age-ordered seqs), replacing loadMemCheck's ROB back-scan
-	// with one map lookup. dwFree recycles the per-address lists.
-	dwStores map[uint64][]int64
-	dwFree   [][]int64
+	// with a couple of open-addressing probes (dwindex.go).
+	dwStores dwIndex
 
 	iqUsed, lqUsed, sqUsed int
 
@@ -198,44 +209,32 @@ func New(cfg uarch.Config, p *prog.Program) (*Pipeline, error) {
 	for i := range pl.ckpt {
 		pl.ckpt[i] = ckptBacking[i*isa.NumArchRegs : (i+1)*isa.NumArchRegs]
 	}
+	pl.blockedOn = make([][]readyRef, ring)
+	pl.readyB.init(ring)
 	pl.archMap = make([]int16, isa.NumArchRegs)
 	pl.regs = make([]physReg, cfg.Core.PhysRegs)
 	pl.freeList = make([]int16, 0, cfg.Core.PhysRegs)
 	pl.waiters = make([][]waiterRef, cfg.Core.PhysRegs)
-	pl.dwStores = make(map[uint64][]int64)
+	pl.dwStores.initDW(cfg.Core.SQEntries)
+	// Event horizon: no completion or wakeup is ever scheduled further
+	// ahead than the fully serialised memory round trip plus the longest
+	// functional-unit latency; double it for margin (the wheel can still
+	// grow if a pathological configuration exceeds this).
+	horizon := int64(cfg.Mem.MemLatency + cfg.Mem.DTLB.WalkLatency +
+		cfg.Mem.DL1.HitLatency + cfg.Mem.L2.HitLatency +
+		cfg.Core.MulLatency + cfg.Core.ALULatency + cfg.Core.MispredictPenalty + 64)
+	pl.compW.initWheel(2 * horizon)
 	pl.resetArchState()
 	return pl, nil
 }
 
 // pushStore records a dispatched correct-path store in the doubleword
 // index; its seq is strictly larger than every existing entry.
-func (pl *Pipeline) pushStore(dw uint64, seq int64) {
-	l, ok := pl.dwStores[dw]
-	if !ok && len(pl.dwFree) > 0 {
-		n := len(pl.dwFree) - 1
-		l = pl.dwFree[n][:0]
-		pl.dwFree = pl.dwFree[:n]
-	}
-	pl.dwStores[dw] = append(l, seq)
-}
+func (pl *Pipeline) pushStore(dw uint64, seq int64) { pl.dwStores.push(dw, seq) }
 
 // dropStore removes a store that left flight: at commit it is the oldest
 // entry of its list, at flush the youngest.
-func (pl *Pipeline) dropStore(dw uint64, youngest bool) {
-	l := pl.dwStores[dw]
-	if youngest {
-		l = l[:len(l)-1]
-	} else {
-		copy(l, l[1:])
-		l = l[:len(l)-1]
-	}
-	if len(l) == 0 {
-		pl.dwFree = append(pl.dwFree, l)
-		delete(pl.dwStores, dw)
-		return
-	}
-	pl.dwStores[dw] = l
-}
+func (pl *Pipeline) dropStore(dw uint64, youngest bool) { pl.dwStores.drop(dw, youngest) }
 
 // resetArchState (re)initialises the rename map, free list and register
 // file to their power-on state.
@@ -276,16 +275,15 @@ func (pl *Pipeline) Reset(p *prog.Program) error {
 	pl.havePending = false
 	pl.streamDone = false
 	pl.acct = accounting{}
-	pl.compQ = pl.compQ[:0]
-	pl.wakeQ = pl.wakeQ[:0]
-	pl.readyQ.reset()
+	pl.compW.reset()
+	pl.readyB.reset()
 	for i := range pl.waiters {
 		pl.waiters[i] = pl.waiters[i][:0]
 	}
-	for dw, l := range pl.dwStores {
-		pl.dwFree = append(pl.dwFree, l[:0])
-		delete(pl.dwStores, dw)
+	for i := range pl.blockedOn {
+		pl.blockedOn[i] = pl.blockedOn[i][:0]
 	}
+	pl.dwStores.clearDW()
 	// ROB slots and checkpoints are left dirty: dispatch fully overwrites
 	// a slot (preserving only gen) before any field is read.
 	pl.resetArchState()
@@ -370,17 +368,9 @@ func (pl *Pipeline) Run(rc RunConfig) (*avf.Result, error) {
 // change: an in-flight completion or the end of a fetch stall. Returns a
 // far-future sentinel when nothing is pending (the deadlock detector
 // handles that case). Operand wakeups never precede the completion that
-// produces them, so peeking the completion heap is sufficient.
+// produces them, so scanning the completion wheel is sufficient.
 func (pl *Pipeline) nextEvent() int64 {
-	next := farAway
-	for len(pl.compQ) > 0 {
-		e := pl.compQ[0]
-		if u, ok := pl.live(e.seq, e.gen); ok && u.state == sIssued {
-			next = e.cycle
-			break
-		}
-		pl.compQ.pop() // stale (flushed slot); discard
-	}
+	next := pl.earliestLiveCompletion()
 	if pl.fetchStallUntil > pl.now && pl.fetchStallUntil < next {
 		next = pl.fetchStallUntil
 	}

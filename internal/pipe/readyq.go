@@ -1,39 +1,53 @@
 package pipe
 
-// readyRef is one ready-queue entry. gen pairs the entry with a specific
-// dispatch of the ROB slot (see events.go on lazy invalidation).
+// readyRef pairs a sequence number with the ROB slot generation that was
+// current when the reference was created (used by the waiter lists and
+// the disambiguation-blocked parking lists; see events.go on lazy
+// invalidation).
 type readyRef struct {
 	seq int64
 	gen uint32
 }
 
-// readyQueue holds the operand-ready, not-yet-issued uops in ascending
-// sequence order, so issue() preserves the oldest-first priority of the
-// scan-based core while touching only woken uops. The queue is small (at
-// most the issue-queue size plus a few stale entries), so ordered
-// insertion by memmove beats a heap: iteration during issue is then a
-// plain in-order walk with in-place compaction.
-type readyQueue struct {
-	q []readyRef
+// readyBits marks the operand-ready, not-yet-issued uops with one bit
+// per ROB ring slot. Because the in-flight window never exceeds the ring
+// size, walking the set bits starting at head's slot (with wrap) visits
+// uops in ascending sequence order — the oldest-first priority of the
+// scan-based core — while insertion and removal are single bit
+// operations instead of the previous sorted-slice memmove. Bits always
+// refer to the slot's current occupant: they are set only for live
+// waiting uops and cleared at issue, at disambiguation-park and at
+// flush, so no generation check is needed when walking (issue does a
+// defensive state check).
+type readyBits struct {
+	words []uint64
+	count int
 }
 
-// insert places (seq, gen) after any existing entries with the same or
-// older sequence number.
-func (r *readyQueue) insert(seq int64, gen uint32) {
-	q := r.q
-	lo, hi := 0, len(q)
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if q[mid].seq <= seq {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
+func (r *readyBits) init(ring int64) {
+	r.words = make([]uint64, (ring+63)>>6)
+	r.count = 0
+}
+
+func (r *readyBits) set(slot int64) {
+	w, b := slot>>6, uint(slot&63)
+	if r.words[w]&(1<<b) == 0 {
+		r.words[w] |= 1 << b
+		r.count++
 	}
-	q = append(q, readyRef{})
-	copy(q[lo+1:], q[lo:])
-	q[lo] = readyRef{seq: seq, gen: gen}
-	r.q = q
 }
 
-func (r *readyQueue) reset() { r.q = r.q[:0] }
+func (r *readyBits) clear(slot int64) {
+	w, b := slot>>6, uint(slot&63)
+	if r.words[w]&(1<<b) != 0 {
+		r.words[w] &^= 1 << b
+		r.count--
+	}
+}
+
+func (r *readyBits) reset() {
+	for i := range r.words {
+		r.words[i] = 0
+	}
+	r.count = 0
+}

@@ -1,6 +1,8 @@
 package pipe
 
 import (
+	"math/bits"
+
 	"avfstress/internal/isa"
 	"avfstress/internal/prog"
 )
@@ -22,8 +24,8 @@ func (pl *Pipeline) commit() int {
 		}
 		if u.op() == isa.OpStore {
 			// The architectural write happens at retire.
-			pl.mem.Data(pl.now, u.dyn.Addr, 8, true)
-			pl.dropStore(u.dyn.Addr>>3, false)
+			pl.mem.Data(pl.now, u.addr, 8, true)
+			pl.dropStore(u.addr>>3, false)
 		}
 		if u.oldPhys != noReg {
 			pl.releaseReg(u.oldPhys)
@@ -80,15 +82,42 @@ func (pl *Pipeline) countCommit(u *uop) {
 // due exactly now and the uops are visited oldest first — the same order
 // as the seed core's head→tail scan.
 func (pl *Pipeline) complete() int {
+	if !pl.compW.hasDue(pl.now) {
+		return 0
+	}
 	n := 0
-	for len(pl.compQ) > 0 && pl.compQ[0].cycle <= pl.now {
-		e := pl.compQ.pop()
+	w := &pl.compW
+	for {
+		if w.dueIdx >= len(w.due) {
+			if !w.beginNextBucket(pl.now) {
+				break
+			}
+		}
+		e := w.due[w.dueIdx]
+		w.dueIdx++
 		u, ok := pl.live(e.seq, e.gen)
 		if !ok || u.state != sIssued {
 			continue // flushed or superseded; discard
 		}
 		u.state = sDone
 		n++
+		if u.destPhys != noReg {
+			// The result is ready exactly now: wake parked consumers.
+			pl.broadcast(u.destPhys)
+		}
+		if u.opc == isa.OpStore {
+			// Loads disambiguation-blocked on this store become issuable
+			// exactly now: return the live ones to the ready set (stale
+			// refs from flushed loads are dropped here).
+			if i := e.seq & pl.robMask; len(pl.blockedOn[i]) > 0 {
+				for _, ref := range pl.blockedOn[i] {
+					if c, ok := pl.live(ref.seq, ref.gen); ok && c.state == sWaiting {
+						pl.readyB.set(ref.seq & pl.robMask)
+					}
+				}
+				pl.blockedOn[i] = pl.blockedOn[i][:0]
+			}
+		}
 		if u.op() == isa.OpBranch && u.mispred && !u.wrongPath {
 			pl.flushAfter(e.seq)
 			pl.fetchStallUntil = pl.now + int64(pl.core.MispredictPenalty)
@@ -100,13 +129,15 @@ func (pl *Pipeline) complete() int {
 }
 
 // flushAfter squashes every uop younger than seq, restoring the rename
-// map from the branch's checkpoint and returning physical registers.
-// Scheduled events and ready-queue entries of squashed uops are not
-// removed here; they are discarded when popped, via the generation check.
+// map from the branch's checkpoint, returning physical registers and
+// clearing ready bits. Scheduled completion events, parked waiters and
+// blocked-load refs of squashed uops are not removed here; they are
+// discarded when popped, via the generation check.
 func (pl *Pipeline) flushAfter(seq int64) {
 	copy(pl.archMap, pl.ckpt[seq&pl.robMask])
 	for s := pl.tail - 1; s > seq; s-- {
 		u := pl.at(s)
+		pl.readyB.clear(s & pl.robMask)
 		if u.destPhys != noReg {
 			// The squashed value is un-ACE; reset and return the register.
 			pl.regs[u.destPhys] = physReg{readyCycle: farAway}
@@ -121,7 +152,7 @@ func (pl *Pipeline) flushAfter(seq int64) {
 		if u.inSQ {
 			pl.sqUsed--
 			if !u.wrongPath {
-				pl.dropStore(u.dyn.Addr>>3, true)
+				pl.dropStore(u.addr>>3, true)
 			}
 		}
 		pl.acct.flushed++
@@ -130,128 +161,155 @@ func (pl *Pipeline) flushAfter(seq int64) {
 	pl.havePending = false
 }
 
-// issue wakes up and issues ready instructions, oldest first, bounded by
-// the issue width, the memory-issue limit and functional-unit counts.
-// Returns the number issued.
+// issue issues ready instructions, oldest first, bounded by the issue
+// width, the memory-issue limit and functional-unit counts. Returns the
+// number issued.
 //
-// Only uops whose operands have all become ready are examined: timed
-// wakeups due this cycle are drained into the age-ordered ready queue,
-// then the queue is walked in order. Entries that lose a resource race
-// (FU counts, memory ports, issue width) or are blocked behind an older
-// store stay queued for the next cycle, preserving the seed core's
-// oldest-first selection exactly.
+// Only uops whose operands have all become ready are examined: the
+// ready bitmap is walked from the head slot in sequence order. Uops
+// that lose a resource race (FU counts, memory ports, issue width) keep
+// their ready bit for the next cycle, and loads blocked behind an older
+// incomplete same-address store are parked on that store's ROB slot
+// until its completion — both preserving the seed core's oldest-first
+// selection exactly.
 func (pl *Pipeline) issue() int {
-	pl.drainWakeups()
+	r := &pl.readyB
+	if r.count == 0 {
+		return 0
+	}
 	issued, memIssued, aluIssued, mulIssued := 0, 0, 0, 0
-	q := pl.readyQ.q
-	kept := q[:0]
-	for i := 0; i < len(q); i++ {
-		e := q[i]
-		u, ok := pl.live(e.seq, e.gen)
-		if !ok || u.state != sWaiting {
-			continue // flushed or already issued; drop the entry
-		}
-		if issued >= pl.core.IssueWidth {
-			kept = append(kept, e)
-			continue
-		}
-		op := u.op()
-		switch op {
-		case isa.OpAdd:
-			if aluIssued >= pl.core.NumALUs {
-				kept = append(kept, e)
+	mask := pl.robMask
+	start := pl.head & mask
+	nw := int64(len(r.words))
+	wi := start >> 6
+	w := r.words[wi] &^ (1<<uint(start&63) - 1)
+	for k := int64(0); ; {
+		for w != 0 {
+			b := int64(bits.TrailingZeros64(w))
+			w &= w - 1
+			slot := wi<<6 + b
+			u := &pl.rob[slot]
+			if u.state != sWaiting {
+				// Bits are cleared eagerly at issue/park/flush; defensive.
+				r.clear(slot)
 				continue
 			}
-		case isa.OpMul:
-			if mulIssued >= pl.core.NumMuls {
-				kept = append(kept, e)
-				continue
+			if issued >= pl.core.IssueWidth {
+				return issued // remaining bits stay set for the next cycle
 			}
-		case isa.OpLoad, isa.OpStore:
-			if memIssued >= pl.core.MemIssuePerCycle {
-				kept = append(kept, e)
-				continue
-			}
-		}
-		if op == isa.OpLoad {
-			blocked, fwd := pl.loadMemCheck(e.seq, u)
-			if blocked {
-				kept = append(kept, e)
-				continue
-			}
-			u.forwarded = fwd
-		}
-		// Issue.
-		u.state = sIssued
-		u.issueCycle = pl.now
-		if u.inIQ {
-			u.inIQ = false
-			pl.iqUsed--
-		}
-		issued++
-		if pl.acct.measuring {
+			seq := pl.head + ((slot - start) & mask)
+			op := u.opc
 			switch op {
 			case isa.OpAdd:
-				pl.acct.issuedALU++
+				if aluIssued >= pl.core.NumALUs {
+					continue // bit stays set
+				}
 			case isa.OpMul:
-				pl.acct.issuedMul++
+				if mulIssued >= pl.core.NumMuls {
+					continue
+				}
 			case isa.OpLoad, isa.OpStore:
-				pl.acct.issuedMem++
-			case isa.OpBranch:
-				pl.acct.issuedBr++
-			}
-		}
-		switch op {
-		case isa.OpAdd:
-			aluIssued++
-			u.execLatency = int64(pl.core.ALULatency)
-			u.doneCycle = pl.now + u.execLatency
-		case isa.OpMul:
-			mulIssued++
-			u.execLatency = int64(pl.core.MulLatency)
-			u.doneCycle = pl.now + u.execLatency
-		case isa.OpBranch:
-			u.execLatency = 1
-			u.doneCycle = pl.now + 1
-		case isa.OpLoad:
-			memIssued++
-			switch {
-			case u.wrongPath:
-				u.doneCycle = pl.now + int64(pl.cfg.Mem.DL1.HitLatency)
-			case u.forwarded:
-				u.doneCycle = pl.now + 1
-			default:
-				lat, _, _ := pl.mem.Data(pl.now, u.dyn.Addr, 8, false)
-				u.doneCycle = pl.now + int64(lat)
-			}
-			u.dataReady = u.doneCycle
-		case isa.OpStore:
-			memIssued++
-			u.execLatency = 1
-			u.doneCycle = pl.now + 1
-		}
-		pl.compQ.push(event{cycle: u.doneCycle, seq: e.seq, gen: u.gen})
-		// Operand reads extend the producers' ACE intervals.
-		if u.ace {
-			for _, s := range u.src {
-				if s != noReg && pl.regs[s].lastRead < pl.now {
-					pl.regs[s].lastRead = pl.now
+				if memIssued >= pl.core.MemIssuePerCycle {
+					continue
 				}
 			}
+			if op == isa.OpLoad {
+				blocked, blockSeq, fwd := pl.loadMemCheck(seq, u)
+				if blocked {
+					// Park on the blocking store's ROB slot instead of
+					// staying ready: the store's completion re-readies the
+					// load at the cycle it becomes issuable, so it is not
+					// re-examined on every cycle of a (possibly hundreds of
+					// cycles long) miss shadow.
+					r.clear(slot)
+					i := blockSeq & mask
+					pl.blockedOn[i] = append(pl.blockedOn[i], readyRef{seq: seq, gen: u.gen})
+					continue
+				}
+				u.forwarded = fwd
+			}
+			// Issue.
+			r.clear(slot)
+			u.state = sIssued
+			u.issueCycle = pl.now
+			if u.inIQ {
+				u.inIQ = false
+				pl.iqUsed--
+			}
+			issued++
+			if pl.acct.measuring {
+				switch op {
+				case isa.OpAdd:
+					pl.acct.issuedALU++
+				case isa.OpMul:
+					pl.acct.issuedMul++
+				case isa.OpLoad, isa.OpStore:
+					pl.acct.issuedMem++
+				case isa.OpBranch:
+					pl.acct.issuedBr++
+				}
+			}
+			switch op {
+			case isa.OpAdd:
+				aluIssued++
+				u.execLatency = int64(pl.core.ALULatency)
+				u.doneCycle = pl.now + u.execLatency
+			case isa.OpMul:
+				mulIssued++
+				u.execLatency = int64(pl.core.MulLatency)
+				u.doneCycle = pl.now + u.execLatency
+			case isa.OpBranch:
+				u.execLatency = 1
+				u.doneCycle = pl.now + 1
+			case isa.OpLoad:
+				memIssued++
+				switch {
+				case u.wrongPath:
+					u.doneCycle = pl.now + int64(pl.cfg.Mem.DL1.HitLatency)
+				case u.forwarded:
+					u.doneCycle = pl.now + 1
+				default:
+					lat, _, _ := pl.mem.Data(pl.now, u.addr, 8, false)
+					u.doneCycle = pl.now + int64(lat)
+				}
+				u.dataReady = u.doneCycle
+			case isa.OpStore:
+				memIssued++
+				u.execLatency = 1
+				u.doneCycle = pl.now + 1
+			}
+			pl.compW.push(event{cycle: u.doneCycle, seq: seq, gen: u.gen})
+			// Operand reads extend the producers' ACE intervals.
+			if u.ace {
+				for _, s := range u.src {
+					if s != noReg && pl.regs[s].lastRead < pl.now {
+						pl.regs[s].lastRead = pl.now
+					}
+				}
+			}
+			// Result announcement: later-dispatched consumers see the known
+			// ready cycle; already-parked waiters are woken by broadcast()
+			// when the completion event fires at exactly that cycle.
+			if u.destPhys != noReg {
+				reg := &pl.regs[u.destPhys]
+				reg.readyCycle = u.doneCycle
+				reg.written = true
+				reg.aceValue = u.ace
+				reg.writeTime = u.doneCycle
+				reg.lastRead = u.doneCycle
+			}
 		}
-		// Result broadcast: consumers parked on the destination register
-		// learn the ready cycle now.
-		if u.destPhys != noReg {
-			r := &pl.regs[u.destPhys]
-			r.readyCycle = u.doneCycle
-			r.written = true
-			r.aceValue = u.ace
-			r.writeTime = u.doneCycle
-			r.lastRead = u.doneCycle
-			pl.broadcast(u.destPhys, u.doneCycle)
+		k++
+		if k > nw {
+			break
+		}
+		wi = (wi + 1) & (nw - 1)
+		w = r.words[wi]
+		if wi == start>>6 {
+			// Wrapped back to the first word: only bits before start.
+			w &= 1<<uint(start&63) - 1
 		}
 	}
-	pl.readyQ.q = kept
 	return issued
 }
 
@@ -261,24 +319,25 @@ func (pl *Pipeline) ready(r int16) bool {
 
 // loadMemCheck applies perfect memory disambiguation against older
 // in-flight stores: a load is blocked while an older overlapping store
-// has not yet captured its data, and forwards from the youngest older
-// completed overlapping store. The doubleword store index makes this one
-// map lookup plus a scan of the (almost always single-entry) same-address
-// list, instead of a walk over the whole ROB window.
-func (pl *Pipeline) loadMemCheck(seq int64, u *uop) (blocked, forwarded bool) {
+// has not yet captured its data (blockSeq names that store), and
+// forwards from the youngest older completed overlapping store. The
+// doubleword store index makes this one map lookup plus a scan of the
+// (almost always single-entry) same-address list, instead of a walk over
+// the whole ROB window.
+func (pl *Pipeline) loadMemCheck(seq int64, u *uop) (blocked bool, blockSeq int64, forwarded bool) {
 	if u.wrongPath {
-		return false, false
+		return false, 0, false
 	}
-	l := pl.dwStores[u.dyn.Addr>>3]
+	l := pl.dwStores.lookup(u.addr >> 3)
 	for i := len(l) - 1; i >= 0; i-- {
 		if l[i] < seq {
 			if pl.at(l[i]).state != sDone {
-				return true, false
+				return true, l[i], false
 			}
-			return false, true
+			return false, 0, true
 		}
 	}
-	return false, false
+	return false, 0, false
 }
 
 // dispatch fetches, renames and inserts up to MapWidth instructions.
@@ -299,7 +358,7 @@ func (pl *Pipeline) dispatch() int {
 			(op != isa.OpNop && pl.iqUsed >= pl.core.IQEntries) ||
 			(op == isa.OpLoad && pl.lqUsed >= pl.core.LQEntries) ||
 			(op == isa.OpStore && pl.sqUsed >= pl.core.SQEntries) ||
-			(pl.needsDest(u0.Static) && len(pl.freeList) == 0) {
+			(isa.WritesDest(u0.Static) && len(pl.freeList) == 0) {
 			pl.havePending = true
 			return n
 		}
@@ -315,19 +374,36 @@ func (pl *Pipeline) dispatch() int {
 		seq := pl.tail
 		pl.tail++
 		u := pl.at(seq)
-		*u = uop{
-			dyn:           it.dyn,
-			wrongPath:     it.wrongPath,
-			ace:           !it.wrongPath && !u0.Static.UnACE && op != isa.OpNop,
-			state:         sWaiting,
-			gen:           u.gen + 1,
-			destPhys:      noReg,
-			oldPhys:       noReg,
-			src:           [2]int16{noReg, noReg},
-			dispatchCycle: pl.now,
-			doneCycle:     farAway,
+		if l := pl.blockedOn[seq&pl.robMask]; len(l) > 0 {
+			// Stale parked loads of a flushed previous occupant: anything
+			// parked on a flushed store was younger and flushed with it.
+			pl.blockedOn[seq&pl.robMask] = l[:0]
 		}
-		pl.rename(u)
+		pl.readyB.clear(seq & pl.robMask) // defensive; flush already cleared it
+		// Field-wise re-initialisation (every field is written) instead of
+		// a composite-literal assignment: the struct is large enough that
+		// the literal compiles to a temp plus a bulk copy.
+		u.static = u0.Static
+		u.addr = u0.Addr
+		u.wrongPath = it.wrongPath
+		u.opc = op
+		u.ace = !it.wrongPath && !u0.Static.UnACE && op != isa.OpNop
+		u.state = sWaiting
+		u.gen++
+		u.pendingSrcs = 0
+		u.destPhys = noReg
+		u.oldPhys = noReg
+		u.src[0], u.src[1] = noReg, noReg
+		u.inIQ, u.inLQ, u.inSQ = false, false, false
+		u.dispatchCycle = pl.now
+		u.issueCycle = 0
+		u.doneCycle = farAway
+		u.dataReady = 0
+		u.execLatency = 0
+		u.forwarded = false
+		u.predTaken = false
+		u.mispred = false
+		pl.rename(seq, u)
 		switch op {
 		case isa.OpNop:
 			u.state = sDone
@@ -349,8 +425,8 @@ func (pl *Pipeline) dispatch() int {
 			u.inIQ = true
 			pl.iqUsed++
 		}
-		if u.state == sWaiting {
-			pl.watchOperands(seq, u)
+		if u.state == sWaiting && u.pendingSrcs == 0 {
+			pl.readyB.set(seq & pl.robMask)
 		}
 		if op == isa.OpBranch && !it.wrongPath {
 			pred := pl.bp.Predict(u0.PC)
@@ -373,13 +449,15 @@ func (pl *Pipeline) dispatch() int {
 	return pl.core.MapWidth
 }
 
-// needsDest reports whether the instruction allocates a physical
-// destination register.
-func (pl *Pipeline) needsDest(in *isa.Instr) bool { return in.Writes() }
 
-// rename maps source registers and allocates a destination register.
-func (pl *Pipeline) rename(u *uop) {
-	in := u.dyn.Static
+// rename maps source registers, counts the not-yet-ready ones (parking
+// the uop on each pending source's waiter list, resolved by broadcast at
+// the producer's completion), and allocates a destination register. The
+// source mapping is read before the destination allocation overwrites
+// the rename map, so self-referencing instructions (the pointer chase)
+// see the previous producer.
+func (pl *Pipeline) rename(seq int64, u *uop) {
+	in := u.static
 	var srcs [2]isa.Reg
 	ns := 0
 	switch in.Op {
@@ -397,18 +475,31 @@ func (pl *Pipeline) rename(u *uop) {
 		srcs[0], srcs[1] = in.Src1, in.Src2
 		ns = 2
 	}
+	pending := uint8(0)
 	for i := 0; i < ns; i++ {
-		if srcs[i] != isa.RZero {
-			u.src[i] = pl.archMap[srcs[i]]
+		if srcs[i] == isa.RZero {
+			continue
+		}
+		p := pl.archMap[srcs[i]]
+		u.src[i] = p
+		if pl.regs[p].readyCycle > pl.now {
+			pending++
+			pl.waiters[p] = append(pl.waiters[p], waiterRef{seq: seq, gen: u.gen})
 		}
 	}
-	if pl.needsDest(in) {
+	u.pendingSrcs = pending
+	if isa.WritesDest(in) {
 		p := pl.freeList[len(pl.freeList)-1]
 		pl.freeList = pl.freeList[:len(pl.freeList)-1]
 		u.oldPhys = pl.archMap[in.Dest]
 		u.destPhys = p
 		pl.archMap[in.Dest] = p
-		pl.regs[p] = physReg{readyCycle: farAway}
+		// Only readyCycle and written need resetting: the remaining
+		// physReg fields are read solely when written is true, and issue
+		// rewrites them all before setting it.
+		r := &pl.regs[p]
+		r.readyCycle = farAway
+		r.written = false
 	}
 }
 
@@ -425,11 +516,16 @@ func (pl *Pipeline) nextFetch() (*fetchItem, bool) {
 	if pl.wrongPathMode {
 		body := pl.p.Body
 		in := &body[pl.wpIdx]
-		pl.pending = fetchItem{
-			dyn:       prog.Dyn{Static: in, Seq: -1, Iter: -1, PC: prog.PCOf(pl.wpIdx)},
-			wrongPath: true,
+		d := &pl.pending.dyn
+		d.Static = in
+		d.Seq, d.Iter = -1, -1
+		d.PC = prog.PCOf(pl.wpIdx)
+		d.Addr, d.Taken = 0, false
+		pl.pending.wrongPath = true
+		pl.wpIdx++
+		if pl.wpIdx == len(body) {
+			pl.wpIdx = 0
 		}
-		pl.wpIdx = (pl.wpIdx + 1) % len(body)
 		return &pl.pending, true
 	}
 	if pl.streamDone {
@@ -451,7 +547,10 @@ func (pl *Pipeline) wpIndexAfter(d *prog.Dyn) int {
 	if idx < 0 || idx >= len(pl.p.Body) {
 		return 0
 	}
-	return (idx + 1) % len(pl.p.Body)
+	if idx+1 == len(pl.p.Body) {
+		return 0
+	}
+	return idx + 1
 }
 
 // releaseReg frees a physical register at commit of the overwriting

@@ -34,8 +34,7 @@ func (g PointerChase) Addr(iter int64) uint64 {
 	if iter < 0 {
 		return g.Base
 	}
-	off := (uint64(iter) * g.Stride) % g.Region
-	return g.Base + off
+	return g.Base + wrap(uint64(iter)*g.Stride, g.Region)
 }
 
 func (g PointerChase) String() string {
@@ -61,8 +60,7 @@ func (g LineSweep) Addr(iter int64) uint64 {
 	if i < 0 {
 		i = 0
 	}
-	off := (uint64(i) * g.Stride) % g.Region
-	return g.Base + off + g.Offset
+	return g.Base + wrap(uint64(i)*g.Stride, g.Region) + g.Offset
 }
 
 func (g LineSweep) String() string {
@@ -118,8 +116,7 @@ func (g StridedBlock) Addr(iter int64) uint64 {
 	if iter < 0 {
 		iter = 0
 	}
-	off := (g.Phase + uint64(iter)*g.Stride) % g.Region
-	return g.Base + off
+	return g.Base + wrap(g.Phase+uint64(iter)*g.Stride, g.Region)
 }
 
 func (g StridedBlock) String() string {
@@ -172,7 +169,12 @@ func (g Periodic) Taken(iter int64) bool {
 	if g.Period <= 0 {
 		return true
 	}
-	m := (iter + g.Phase) % g.Period
+	v := iter + g.Phase
+	if v >= 0 && g.Period&(g.Period-1) == 0 {
+		// Power-of-two period: mask instead of a 64-bit divide.
+		return v&(g.Period-1) < g.Duty
+	}
+	m := v % g.Period
 	if m < 0 {
 		m += g.Period
 	}
@@ -181,6 +183,17 @@ func (g Periodic) Taken(iter int64) bool {
 
 func (g Periodic) String() string {
 	return fmt.Sprintf("periodic %d/%d+%d", g.Duty, g.Period, g.Phase)
+}
+
+// wrap reduces v modulo region, using a mask when the region is a power
+// of two (the usual case: regions derive from cache/TLB geometries) —
+// a 64-bit divide costs tens of cycles on the simulator's per-access
+// hot path.
+func wrap(v, region uint64) uint64 {
+	if region&(region-1) == 0 {
+		return v & (region - 1)
+	}
+	return v % region
 }
 
 // mix is a 64-bit stateless hash (splitmix64 finaliser) used by the pure

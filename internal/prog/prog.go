@@ -210,17 +210,46 @@ func (s *Stream) NextInto(d *Dyn) bool {
 }
 
 func (s *Stream) materialise(d *Dyn, in *isa.Instr, iter int64) {
-	*d = Dyn{Static: in, Seq: s.seq, Iter: iter}
+	d.Static = in
+	d.Seq = s.seq
+	d.Iter = iter
+	d.Addr = 0
+	d.Taken = false
 	if iter < 0 {
 		d.PC = InitBase + uint64(s.idx)*isa.InstrBytes
 	} else {
 		d.PC = PCOf(s.idx)
 	}
 	if in.Op.IsMem() {
-		d.Addr = s.p.AddrGens[in.AddrGen].Addr(iter)
+		// Type-switch devirtualisation: the built-in generators resolve to
+		// direct (inlinable) calls on the per-fetch hot path, the
+		// interface call remains as the general fallback.
+		switch g := s.p.AddrGens[in.AddrGen].(type) {
+		case LineSweep:
+			d.Addr = g.Addr(iter)
+		case PointerChase:
+			d.Addr = g.Addr(iter)
+		case StridedBlock:
+			d.Addr = g.Addr(iter)
+		case RandomWalk:
+			d.Addr = g.Addr(iter)
+		case Fixed:
+			d.Addr = g.Address
+		default:
+			d.Addr = g.Addr(iter)
+		}
 	}
 	if in.Op == isa.OpBranch {
-		d.Taken = s.p.BrGens[in.BrGen].Taken(iter)
+		switch g := s.p.BrGens[in.BrGen].(type) {
+		case LoopBranch:
+			d.Taken = g.Taken(iter)
+		case Periodic:
+			d.Taken = g.Taken(iter)
+		case Bernoulli:
+			d.Taken = g.Taken(iter)
+		default:
+			d.Taken = g.Taken(iter)
+		}
 	}
 	s.seq++
 }

@@ -125,9 +125,13 @@ func Baseline() Config {
 			Bpred:             bpred.DefaultConfig(),
 		},
 		Mem: cache.HierarchyConfig{
-			IL1: cache.Config{Name: "IL1", SizeBytes: 64 << 10, LineBytes: 64, Ways: 2, HitLatency: 1},
-			DL1: cache.Config{Name: "DL1", SizeBytes: 64 << 10, LineBytes: 64, Ways: 2, HitLatency: 3},
-			L2:  cache.Config{Name: "L2", SizeBytes: 1 << 20, LineBytes: 64, Ways: 1, HitLatency: 7},
+			// Chunk sizes are the GCD of each cache's access stream — the
+			// pipeline issues 8-byte data accesses and 4-byte fetches, and
+			// refills/writebacks move whole lines — so chunk-granular
+			// lifetime tracking is lossless (DESIGN.md §5).
+			IL1: cache.Config{Name: "IL1", SizeBytes: 64 << 10, LineBytes: 64, Ways: 2, HitLatency: 1, ChunkBytes: 4},
+			DL1: cache.Config{Name: "DL1", SizeBytes: 64 << 10, LineBytes: 64, Ways: 2, HitLatency: 3, ChunkBytes: 8},
+			L2:  cache.Config{Name: "L2", SizeBytes: 1 << 20, LineBytes: 64, Ways: 1, HitLatency: 7, ChunkBytes: 8},
 			DTLB: cache.TLBConfig{
 				Name: "DTLB", Entries: 256, PageBytes: 8 << 10,
 				EntryBits: 80, WalkLatency: 30,
@@ -186,6 +190,6 @@ func ConfigA() Config {
 	c.Core.NumMuls = 4
 	c.Mem.DL1.Ways = 4
 	c.Mem.DTLB.Entries = 512
-	c.Mem.L2 = cache.Config{Name: "L2", SizeBytes: 2 << 20, LineBytes: 64, Ways: 8, HitLatency: 12}
+	c.Mem.L2 = cache.Config{Name: "L2", SizeBytes: 2 << 20, LineBytes: 64, Ways: 8, HitLatency: 12, ChunkBytes: 8}
 	return c
 }

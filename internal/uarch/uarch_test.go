@@ -185,3 +185,29 @@ func TestStructureNames(t *testing.T) {
 		t.Errorf("class sizes: QS %d core %d", len(QueueStructures), len(CoreStructures))
 	}
 }
+
+// TestChunkGranules locks the lifetime-engine granules of the evaluated
+// configurations: the GCD of each cache's access stream (8-byte data,
+// 4-byte fetch; see DESIGN.md §5). Scaled must preserve them.
+func TestChunkGranules(t *testing.T) {
+	for _, cfg := range []Config{Baseline(), ConfigA()} {
+		if got := cfg.Mem.IL1.EffectiveChunkBytes(); got != 4 {
+			t.Errorf("%s IL1 chunk = %d, want 4", cfg.Name, got)
+		}
+		if got := cfg.Mem.DL1.EffectiveChunkBytes(); got != 8 {
+			t.Errorf("%s DL1 chunk = %d, want 8", cfg.Name, got)
+		}
+		if got := cfg.Mem.L2.EffectiveChunkBytes(); got != 8 {
+			t.Errorf("%s L2 chunk = %d, want 8", cfg.Name, got)
+		}
+		s := Scaled(cfg, 32)
+		if s.Mem.DL1.ChunkBytes != cfg.Mem.DL1.ChunkBytes ||
+			s.Mem.IL1.ChunkBytes != cfg.Mem.IL1.ChunkBytes ||
+			s.Mem.L2.ChunkBytes != cfg.Mem.L2.ChunkBytes {
+			t.Errorf("%s: Scaled changed chunk sizes", cfg.Name)
+		}
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s scaled config invalid: %v", cfg.Name, err)
+		}
+	}
+}
