@@ -4,7 +4,7 @@ GO ?= go
 # lifetime-engine microbenchmarks.
 BENCH_PKGS = . ./internal/cache
 
-.PHONY: all build vet test check bench bench-compare bench-smoke
+.PHONY: all build vet test check bench bench-compare bench-smoke cache-smoke
 
 all: check
 
@@ -41,3 +41,21 @@ bench-smoke:
 # used for before/after comparisons (feed the two files to benchstat).
 bench-compare:
 	$(GO) test -run '^$$' -bench 'BenchmarkTableI_BaselineSim|BenchmarkFig5_GASearchBaseline' -benchmem -count 5 .
+
+# cache-smoke proves the simcache determinism contract end-to-end: the
+# full experiment suite must render byte-identically with the cache
+# disabled, with a cold disk tier, and warm-from-disk — and the warm run
+# must actually be served from disk (>0 disk hits in the stats line).
+CACHE_SMOKE_DIR ?= $(CURDIR)/.cache-smoke
+cache-smoke:
+	rm -rf $(CACHE_SMOKE_DIR)
+	mkdir -p $(CACHE_SMOKE_DIR)
+	$(GO) build -o $(CACHE_SMOKE_DIR)/avfbench ./cmd/avfbench
+	$(CACHE_SMOKE_DIR)/avfbench -ref -quiet > $(CACHE_SMOKE_DIR)/off.out
+	$(CACHE_SMOKE_DIR)/avfbench -ref -quiet -cache-dir $(CACHE_SMOKE_DIR)/cache > $(CACHE_SMOKE_DIR)/cold.out 2> $(CACHE_SMOKE_DIR)/cold.err
+	$(CACHE_SMOKE_DIR)/avfbench -ref -quiet -cache-dir $(CACHE_SMOKE_DIR)/cache > $(CACHE_SMOKE_DIR)/warm.out 2> $(CACHE_SMOKE_DIR)/warm.err
+	cmp $(CACHE_SMOKE_DIR)/off.out $(CACHE_SMOKE_DIR)/cold.out
+	cmp $(CACHE_SMOKE_DIR)/cold.out $(CACHE_SMOKE_DIR)/warm.out
+	grep -E '^# cache: mem=[0-9]+ disk=[1-9][0-9]* sim=0 ' $(CACHE_SMOKE_DIR)/warm.err
+	@echo cache-smoke OK: outputs byte-identical, warm run served from disk
+	rm -rf $(CACHE_SMOKE_DIR)

@@ -16,6 +16,7 @@ import (
 	"avfstress/internal/experiments"
 	"avfstress/internal/ga"
 	"avfstress/internal/pipe"
+	"avfstress/internal/simcache"
 	"avfstress/internal/uarch"
 	"avfstress/internal/workloads"
 )
@@ -204,6 +205,49 @@ func BenchmarkWorstCase_SectionVI(b *testing.B) {
 	}
 	b.ReportMetric(sustained, "sustained-qs")
 	b.ReportMetric(bound, "instant-bound")
+}
+
+// BenchmarkRunAll regenerates the complete evaluation (all 13
+// experiments) on one shared context with a cold cache — the
+// cross-experiment sharing case: Fig3/Fig4/Fig6/Fig7, Table III, the
+// worst-case and power studies all reuse the same 33-workload baseline
+// suite and stressmark evaluations.
+func BenchmarkRunAll(b *testing.B) {
+	var sims int64
+	for i := 0; i < b.N; i++ {
+		ctx := experiments.NewContext(benchOpts())
+		if _, err := ctx.RunAll(); err != nil {
+			b.Fatal(err)
+		}
+		sims = ctx.CacheStats().Simulated
+	}
+	b.ReportMetric(float64(sims), "sims/run")
+}
+
+// BenchmarkRunAllWarm is the second-pass case: a fresh context per
+// iteration sharing one pre-warmed store, so every simulation is a memo
+// hit and the iteration cost is experiment assembly and rendering only.
+// The acceptance target is ≥5x faster than BenchmarkRunAll.
+func BenchmarkRunAllWarm(b *testing.B) {
+	store := simcache.New(simcache.Options{})
+	opts := benchOpts()
+	opts.Cache = store
+	if _, err := experiments.NewContext(opts).RunAll(); err != nil {
+		b.Fatal(err)
+	}
+	warmed := store.Stats().Simulated
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx := experiments.NewContext(opts)
+		if _, err := ctx.RunAll(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if st := store.Stats(); st.Simulated != warmed {
+		b.Fatalf("warm pass simulated: %d -> %d", warmed, st.Simulated)
+	}
+	b.ReportMetric(float64(store.Stats().MemHits)/float64(b.N), "hits/run")
 }
 
 // BenchmarkCodegen measures raw stressmark generation throughput.

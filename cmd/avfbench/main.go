@@ -35,6 +35,7 @@ func main() {
 		ref        = flag.Bool("ref", false, "use the paper's published knobs instead of searching")
 		list       = flag.Bool("list", false, "list experiment names and exit")
 		quiet      = flag.Bool("quiet", false, "suppress progress logging")
+		cacheDir   = flag.String("cache-dir", "", "persist simulation results under this directory (shared across runs; results are bit-identical)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	)
@@ -69,7 +70,7 @@ func main() {
 	}
 	opts := experiments.Options{
 		Scale: *scale, Seed: *seed, GAPop: *pop, GAGens: *gens,
-		UseReferenceKnobs: *ref,
+		UseReferenceKnobs: *ref, CacheDir: *cacheDir,
 	}
 	if !*quiet {
 		opts.Logf = func(f string, args ...interface{}) {
@@ -88,6 +89,11 @@ func main() {
 			fail("avfbench: %s: %v\n", n, err)
 		}
 		fmt.Printf("%s\n%s\n", strings.Repeat("=", 72), out)
+	}
+	if *cacheDir != "" {
+		// Stats go to stderr so stdout stays byte-identical across cache
+		// states; the CI cache-effectiveness smoke greps this line.
+		fmt.Fprintf(os.Stderr, "# cache: %s\n", ctx.CacheStats())
 	}
 	if *memprofile != "" {
 		f, err := os.Create(*memprofile)

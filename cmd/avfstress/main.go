@@ -20,19 +20,21 @@ import (
 	"avfstress/internal/ga"
 	"avfstress/internal/persist"
 	"avfstress/internal/report"
+	"avfstress/internal/simcache"
 	"avfstress/internal/uarch"
 )
 
 func main() {
 	var (
-		config  = flag.String("config", "baseline", "configuration: baseline or configA")
-		rates   = flag.String("rates", "uniform", "fault rates: uniform, rhc or edr")
-		scale   = flag.Int("scale", 32, "cache scale-down factor (1 = paper-exact)")
-		pop     = flag.Int("pop", 20, "GA population size (paper: 50)")
-		gens    = flag.Int("gens", 16, "GA generations (paper: 50)")
-		seed    = flag.Int64("seed", 1, "GA seed")
-		listing = flag.Bool("listing", false, "print the generated stressmark listing")
-		save    = flag.String("save", "", "write the final knobs and result to a JSON file")
+		config   = flag.String("config", "baseline", "configuration: baseline or configA")
+		rates    = flag.String("rates", "uniform", "fault rates: uniform, rhc or edr")
+		scale    = flag.Int("scale", 32, "cache scale-down factor (1 = paper-exact)")
+		pop      = flag.Int("pop", 20, "GA population size (paper: 50)")
+		gens     = flag.Int("gens", 16, "GA generations (paper: 50)")
+		seed     = flag.Int64("seed", 1, "GA seed")
+		listing  = flag.Bool("listing", false, "print the generated stressmark listing")
+		save     = flag.String("save", "", "write the final knobs and result to a JSON file")
+		cacheDir = flag.String("cache-dir", "", "persist candidate simulations under this directory (shared across runs and processes; results are bit-identical)")
 	)
 	flag.Parse()
 
@@ -55,16 +57,25 @@ func main() {
 		os.Exit(1)
 	}
 
+	var cache *simcache.Store
+	if *cacheDir != "" {
+		cache = simcache.New(simcache.Options{Dir: *cacheDir})
+	}
+
 	fmt.Fprintf(os.Stderr, "# searching %s / %s rates, %d generations × %d individuals\n",
 		cfg.Name, *rates, *gens, *pop)
 	res, err := core.Search(core.SearchSpec{
 		Config: cfg,
 		Rates:  fr,
 		GA:     ga.Config{PopSize: *pop, Generations: *gens, Seed: *seed},
+		Cache:  cache,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "avfstress:", err)
 		os.Exit(1)
+	}
+	if cache != nil {
+		fmt.Fprintf(os.Stderr, "# cache: %s\n", cache.Stats())
 	}
 
 	fmt.Printf("final GA solution (%d evaluations, %d cataclysms, %d failed candidates):\n\n%s\n",

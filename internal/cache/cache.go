@@ -69,6 +69,15 @@ type Config struct {
 	ChunkBytes int
 }
 
+// Fingerprint returns a canonical description of every field, used by
+// internal/simcache to key cached simulation results. It must change
+// whenever any field that can influence simulation output changes, so
+// it simply renders the whole struct; adding a field therefore
+// invalidates old cache entries, which is the safe direction.
+func (c Config) Fingerprint() string {
+	return fmt.Sprintf("cache.Config%+v", c)
+}
+
 // Validate reports configuration errors.
 func (c Config) Validate() error {
 	switch {

@@ -10,6 +10,14 @@ type HierarchyConfig struct {
 	MemLatency int
 }
 
+// Fingerprint returns a canonical description of the whole hierarchy
+// geometry for internal/simcache keys.
+func (c HierarchyConfig) Fingerprint() string {
+	return fmt.Sprintf("mem{il1=%s dl1=%s l2=%s dtlb=%s memlat=%d}",
+		c.IL1.Fingerprint(), c.DL1.Fingerprint(), c.L2.Fingerprint(),
+		c.DTLB.Fingerprint(), c.MemLatency)
+}
+
 // Validate reports the first configuration error.
 func (c HierarchyConfig) Validate() error {
 	for _, cc := range []Config{c.IL1, c.DL1, c.L2} {

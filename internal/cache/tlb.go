@@ -21,6 +21,12 @@ type TLBConfig struct {
 	HammingCAM bool
 }
 
+// Fingerprint returns a canonical description of every field for
+// internal/simcache keys.
+func (c TLBConfig) Fingerprint() string {
+	return fmt.Sprintf("cache.TLBConfig%+v", c)
+}
+
 // Validate reports configuration errors.
 func (c TLBConfig) Validate() error {
 	switch {

@@ -85,6 +85,15 @@ func (k Knobs) String() string {
 	return b.String()
 }
 
+// Fingerprint returns a canonical description of the knob vector for
+// internal/simcache keys. The generator is a deterministic function of
+// (config, knobs), so the knobs are a complete content address for the
+// generated program; float fields render in Go's shortest round-trip
+// form, so distinct values never collapse.
+func (k Knobs) Fingerprint() string {
+	return fmt.Sprintf("codegen.Knobs%+v", k)
+}
+
 // reserved instructions: chase load, induction add, loop branch.
 const reserved = 3
 

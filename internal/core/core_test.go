@@ -1,6 +1,7 @@
 package core
 
 import (
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -8,6 +9,7 @@ import (
 	"avfstress/internal/codegen"
 	"avfstress/internal/ga"
 	"avfstress/internal/pipe"
+	"avfstress/internal/simcache"
 	"avfstress/internal/uarch"
 )
 
@@ -158,6 +160,44 @@ func TestSearchSeededBeatsOrMatchesSeed(t *testing.T) {
 	// Allow the small re-evaluation noise of the final (longer) run.
 	if res.Fitness < seedFit*0.93 {
 		t.Errorf("seeded search returned %f, seed alone scores %f", res.Fitness, seedFit)
+	}
+}
+
+// TestSearchSharesSimulationsThroughCache: an identical search against a
+// warm store must return the identical result without running a single
+// simulation — the cross-process/GA-restart reuse the memo engine is for.
+func TestSearchSharesSimulationsThroughCache(t *testing.T) {
+	if testing.Short() {
+		t.Skip("GA search in -short mode")
+	}
+	store := simcache.New(simcache.Options{})
+	spec := SearchSpec{
+		Config: testCfg(),
+		Eval:   pipe.RunConfig{MaxInstructions: 40_000, WarmupInstructions: 20_000},
+		Final:  pipe.RunConfig{MaxInstructions: 40_000, WarmupInstructions: 20_000},
+		GA:     ga.Config{PopSize: 6, Generations: 3, Seed: 4},
+		Cache:  store,
+	}
+	cold, err := Search(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simulated := store.Stats().Simulated
+	if simulated == 0 {
+		t.Fatal("cold search did not populate the store")
+	}
+	warm, err := Search(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := store.Stats(); st.Simulated != simulated {
+		t.Errorf("warm search re-simulated: %d -> %d", simulated, st.Simulated)
+	}
+	// Byte-identity of the search outcome across cache states, including
+	// the evaluation count (which deliberately counts candidates, not
+	// simulations).
+	if !reflect.DeepEqual(cold, warm) {
+		t.Errorf("warm search result differs:\ncold %+v\nwarm %+v", cold, warm)
 	}
 }
 

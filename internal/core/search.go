@@ -23,6 +23,7 @@ import (
 	"avfstress/internal/ga"
 	"avfstress/internal/pipe"
 	"avfstress/internal/prog"
+	"avfstress/internal/simcache"
 	"avfstress/internal/uarch"
 )
 
@@ -119,6 +120,12 @@ type SearchSpec struct {
 
 	// SeedKnobs optionally seed the initial population.
 	SeedKnobs []codegen.Knobs
+
+	// Cache optionally memoises candidate simulations content-addressed
+	// by (engine version, config, knobs, budget), sharing them across
+	// searches, GA generations and — with a disk tier — processes. Nil
+	// disables sharing; results are bit-identical either way.
+	Cache *simcache.Store
 }
 
 // DefaultEvalBudget sizes a fitness run for cfg: warmup long enough to
@@ -193,6 +200,7 @@ func Search(spec SearchSpec) (*SearchResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	ev.WithCache(spec.Cache)
 	var (
 		mu    sync.Mutex
 		memo  = map[codegen.Knobs]float64{}
@@ -213,6 +221,10 @@ func Search(spec SearchSpec) (*SearchResult, error) {
 			fails.Add(1)
 			f = 0
 		}
+		// Count distinct candidates (process-local memo misses) whether
+		// the simulation ran or was served by the shared cache: the
+		// number is then a pure function of the GA trajectory, so search
+		// reports stay byte-identical across cold and warm caches.
 		evals.Add(1)
 		mu.Lock()
 		memo[k] = f
@@ -229,7 +241,7 @@ func Search(spec SearchSpec) (*SearchResult, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: regenerating best solution: %w", err)
 	}
-	res, err := ev.pool.Simulate(p, spec.Final)
+	res, err := ev.SimulateKnobs(best, spec.Final)
 	if err != nil {
 		return nil, fmt.Errorf("core: final evaluation: %w", err)
 	}
@@ -251,8 +263,10 @@ func Search(spec SearchSpec) (*SearchResult, error) {
 // allocations per worker instead of rebuilding ROB, checkpoint matrix,
 // register file and cache hierarchy every time. Safe for concurrent use.
 type Evaluator struct {
-	cfg  uarch.Config
-	pool *pipe.Pool
+	cfg   uarch.Config
+	cfgFP string
+	pool  *pipe.Pool
+	cache *simcache.Store
 }
 
 // NewEvaluator validates cfg once and returns a pooled evaluator for it.
@@ -261,18 +275,37 @@ func NewEvaluator(cfg uarch.Config) (*Evaluator, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Evaluator{cfg: cfg, pool: pool}, nil
+	return &Evaluator{cfg: cfg, cfgFP: cfg.Fingerprint(), pool: pool}, nil
+}
+
+// WithCache routes the evaluator's simulations through the given store
+// (nil disables memoisation) and returns the evaluator.
+func (e *Evaluator) WithCache(s *simcache.Store) *Evaluator {
+	e.cache = s
+	return e
+}
+
+// SimulateKnobs returns the simulation result for one candidate,
+// content-addressed by (config, knobs, budget): on a cache hit the
+// generation and simulation are both skipped, and concurrent identical
+// candidates (quantised-gene collisions within a generation) simulate
+// once.
+func (e *Evaluator) SimulateKnobs(k codegen.Knobs, rc pipe.RunConfig) (*avf.Result, error) {
+	key := e.cache.Key(e.cfgFP, "knobs:"+k.Fingerprint(), rc.Fingerprint())
+	return e.cache.Do(key, func() (*avf.Result, error) {
+		p, _, err := codegen.Generate(e.cfg, k, 1<<40)
+		if err != nil {
+			return nil, err
+		}
+		return e.pool.Simulate(p, rc)
+	})
 }
 
 // EvaluateKnobs generates and simulates one candidate on a pooled
 // pipeline and returns its fitness.
 func (e *Evaluator) EvaluateKnobs(rates uarch.FaultRates, w avf.Weights,
 	k codegen.Knobs, rc pipe.RunConfig) (float64, error) {
-	p, _, err := codegen.Generate(e.cfg, k, 1<<40)
-	if err != nil {
-		return 0, err
-	}
-	res, err := e.pool.Simulate(p, rc)
+	res, err := e.SimulateKnobs(k, rc)
 	if err != nil {
 		return 0, err
 	}

@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"testing"
+
+	"avfstress/internal/simcache"
+	"avfstress/internal/uarch"
+)
+
+// smallOpts keeps the cache/aliasing tests cheap: short windows, paper
+// knobs, no GA.
+func smallOpts() Options {
+	return Options{
+		Scale: 32, Seed: 1, UseReferenceKnobs: true,
+		WorkloadInstr: 40_000, WorkloadWarmup: 10_000,
+	}
+}
+
+// TestWorkloadsNotAliasedByConfigName is the regression test for the
+// PR 3 key fix: the wl/sm memos used to key on cfg.Name alone, so two
+// differently-scaled configurations sharing a Name silently served each
+// other's results. They now key on the configuration fingerprint.
+func TestWorkloadsNotAliasedByConfigName(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation suite in -short mode")
+	}
+	ctx := NewContext(smallOpts())
+	small := ctx.Baseline // Baseline/s32
+	big := uarch.Scaled(uarch.Baseline(), 8)
+	big.Name = small.Name // force the historical collision
+
+	rsSmall, err := ctx.Workloads(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rsBig, err := ctx.Workloads(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The geometries differ by 4x, so at least some workloads must see
+	// different cache behaviour; aliasing would make every result
+	// pointer-identical.
+	distinct := false
+	for i := range rsSmall {
+		if rsSmall[i] != rsBig[i] {
+			distinct = true
+			break
+		}
+	}
+	if !distinct {
+		t.Fatal("two configs sharing a Name were served one cached suite")
+	}
+	differs := false
+	for i := range rsSmall {
+		if rsSmall[i].DL1MissRate != rsBig[i].DL1MissRate || rsSmall[i].Cycles != rsBig[i].Cycles {
+			differs = true
+			break
+		}
+	}
+	if !differs {
+		t.Error("4x-scaled geometries produced identical suites (suspicious)")
+	}
+}
+
+// TestStressmarkNotAliasedByKey: the sm memo must distinguish the same
+// search key evaluated on different configurations.
+func TestStressmarkNotAliasedByKey(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation suite in -short mode")
+	}
+	ctx := NewContext(smallOpts())
+	big := uarch.Scaled(uarch.Baseline(), 16)
+	big.Name = ctx.Baseline.Name
+	a, err := ctx.Stressmark("baseline", ctx.Baseline, uarch.UniformRates(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ctx.Stressmark("baseline", big, uarch.UniformRates(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatal("same search key on two configurations served one cached result")
+	}
+	if a.Result.Cycles == b.Result.Cycles && a.Result.AVF == b.Result.AVF {
+		t.Error("2x-scaled geometries produced identical stressmark results (suspicious)")
+	}
+}
+
+// TestRunByteIdenticalAcrossCacheStates is the tentpole's bit-identity
+// lock: the rendered experiment output must be byte-equal with
+// per-simulation caching disabled, with a cold disk tier, and in a
+// fresh context warm-from-disk only.
+func TestRunByteIdenticalAcrossCacheStates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation suite in -short mode")
+	}
+	dir := t.TempDir()
+	render := func(opts Options) string {
+		ctx := NewContext(opts)
+		out := ""
+		for _, name := range []string{"fig3", "fig6", "worstcase"} {
+			s, err := ctx.Run(name)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			out += s
+		}
+		return out
+	}
+
+	off := smallOpts()
+	off.DisableCache = true
+	plain := render(off)
+
+	cold := smallOpts()
+	cold.CacheDir = dir
+	first := render(cold)
+	if first != plain {
+		t.Fatal("cache-enabled output differs from cache-disabled output")
+	}
+
+	warm := smallOpts()
+	warm.CacheDir = dir
+	warmCtx := NewContext(warm)
+	out := ""
+	for _, name := range []string{"fig3", "fig6", "worstcase"} {
+		s, err := warmCtx.Run(name)
+		if err != nil {
+			t.Fatalf("warm %s: %v", name, err)
+		}
+		out += s
+	}
+	if out != plain {
+		t.Fatal("warm-from-disk output differs from cache-disabled output")
+	}
+	st := warmCtx.CacheStats()
+	if st.DiskHits == 0 {
+		t.Errorf("warm run reports no disk hits: %+v", st)
+	}
+	if st.Simulated != 0 {
+		t.Errorf("warm run still simulated %d times", st.Simulated)
+	}
+}
+
+// TestSharedStoreDeduplicatesAcrossContexts: a store injected into two
+// fresh contexts must make the second context's experiments pure memo
+// hits — the cross-experiment, cross-process sharing the memo engine
+// exists for.
+func TestSharedStoreDeduplicatesAcrossContexts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation suite in -short mode")
+	}
+	store := simcache.New(simcache.Options{})
+	opts := smallOpts()
+	opts.Cache = store
+	if _, err := NewContext(opts).Fig3(); err != nil {
+		t.Fatal(err)
+	}
+	simulated := store.Stats().Simulated
+	if simulated == 0 {
+		t.Fatal("first context did not populate the store")
+	}
+	if _, err := NewContext(opts).Fig3(); err != nil {
+		t.Fatal(err)
+	}
+	st := store.Stats()
+	if st.Simulated != simulated {
+		t.Errorf("second context re-simulated: %d -> %d", simulated, st.Simulated)
+	}
+	if st.MemHits == 0 {
+		t.Error("second context reports no memory hits")
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"avfstress/internal/ga"
 	"avfstress/internal/pipe"
 	"avfstress/internal/prog"
+	"avfstress/internal/simcache"
 	"avfstress/internal/uarch"
 	"avfstress/internal/workloads"
 )
@@ -43,6 +44,16 @@ type Options struct {
 	Parallelism int
 	// Logf, when set, receives progress lines.
 	Logf func(format string, args ...interface{})
+
+	// Cache supplies the content-addressed simulation store shared by
+	// every experiment (nil: the context builds its own, with a disk
+	// tier under CacheDir when set). Cached results are bit-identical to
+	// fresh simulations, so experiment output does not depend on cache
+	// state. DisableCache turns per-simulation memoisation off entirely
+	// (differential tests).
+	Cache        *simcache.Store
+	CacheDir     string
+	DisableCache bool
 }
 
 func (o Options) withDefaults() Options {
@@ -61,11 +72,18 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Context caches shared work across experiments.
+// Context caches shared work across experiments at two levels: the
+// wl/sm maps memoise whole workload suites and stressmark searches
+// (keyed by configuration fingerprint, so configurations sharing a
+// Name can never alias), and every individual simulation underneath is
+// routed through a content-addressed simcache.Store, which also
+// deduplicates work across contexts and — with a disk tier — processes.
 type Context struct {
 	Opts     Options
 	Baseline uarch.Config
 	ConfigA  uarch.Config
+
+	cache *simcache.Store
 
 	mu sync.Mutex
 	wl map[string][]*avf.Result
@@ -75,14 +93,27 @@ type Context struct {
 // NewContext prepares a context for the given options.
 func NewContext(opts Options) *Context {
 	opts = opts.withDefaults()
+	cache := opts.Cache
+	if opts.DisableCache {
+		cache = nil // wins over an injected store: "off entirely"
+	} else if cache == nil {
+		cache = simcache.New(simcache.Options{Dir: opts.CacheDir})
+	}
 	return &Context{
 		Opts:     opts,
 		Baseline: uarch.Scaled(uarch.Baseline(), opts.Scale),
 		ConfigA:  uarch.Scaled(uarch.ConfigA(), opts.Scale),
+		cache:    cache,
 		wl:       map[string][]*avf.Result{},
 		sm:       map[string]*core.SearchResult{},
 	}
 }
+
+// Cache returns the context's simulation store (nil when disabled).
+func (c *Context) Cache() *simcache.Store { return c.cache }
+
+// CacheStats reports the store's traffic counters (zero when disabled).
+func (c *Context) CacheStats() simcache.Stats { return c.cache.Stats() }
 
 func (c *Context) logf(format string, args ...interface{}) {
 	if c.Opts.Logf != nil {
@@ -104,10 +135,16 @@ func (c *Context) workloadBudget() pipe.RunConfig {
 	return rc
 }
 
-// Workloads simulates (once, cached) the 33-proxy suite on cfg.
+// Workloads simulates (once, cached) the 33-proxy suite on cfg. The
+// suite is keyed by the configuration fingerprint — never by Name alone,
+// which two differently-scaled configurations could share — and each
+// individual simulation is content-addressed in the simcache store, so
+// other experiments, contexts and processes re-using a workload result
+// pay for it once.
 func (c *Context) Workloads(cfg uarch.Config) ([]*avf.Result, error) {
+	cfgFP := cfg.Fingerprint()
 	c.mu.Lock()
-	if rs, ok := c.wl[cfg.Name]; ok {
+	if rs, ok := c.wl[cfgFP]; ok {
 		c.mu.Unlock()
 		return rs, nil
 	}
@@ -127,6 +164,7 @@ func (c *Context) Workloads(cfg uarch.Config) ([]*avf.Result, error) {
 	sem := make(chan struct{}, par)
 	var wg sync.WaitGroup
 	rc := c.workloadBudget()
+	rcFP := rc.Fingerprint()
 	for i, pf := range profiles {
 		wg.Add(1)
 		sem <- struct{}{}
@@ -138,7 +176,10 @@ func (c *Context) Workloads(cfg uarch.Config) ([]*avf.Result, error) {
 				errs[i] = err
 				return
 			}
-			results[i], errs[i] = pool.Simulate(p, rc)
+			key := c.cache.Key(cfgFP, "prog:"+p.Fingerprint(), rcFP)
+			results[i], errs[i] = c.cache.Do(key, func() (*avf.Result, error) {
+				return pool.Simulate(p, rc)
+			})
 		}(i, pf)
 	}
 	wg.Wait()
@@ -149,7 +190,7 @@ func (c *Context) Workloads(cfg uarch.Config) ([]*avf.Result, error) {
 	}
 	c.logf("simulated %d workload proxies on %s", len(results), cfg.Name)
 	c.mu.Lock()
-	c.wl[cfg.Name] = results
+	c.wl[cfgFP] = results
 	c.mu.Unlock()
 	return results, nil
 }
@@ -197,10 +238,13 @@ func ReferenceKnobs(key string) (codegen.Knobs, error) {
 
 // Stressmark runs (once, cached) the stressmark search for (key, cfg,
 // rates). With UseReferenceKnobs it evaluates the paper's published knobs
-// instead of searching.
+// instead of searching. The memo key covers the configuration
+// fingerprint and the rate vector, not just the search key, so the same
+// key name against two configurations (or rate sets) never aliases.
 func (c *Context) Stressmark(key string, cfg uarch.Config, rates uarch.FaultRates) (*core.SearchResult, error) {
+	smKey := key + "\x00" + cfg.Fingerprint() + "\x00" + rates.Fingerprint()
 	c.mu.Lock()
-	if r, ok := c.sm[key]; ok {
+	if r, ok := c.sm[smKey]; ok {
 		c.mu.Unlock()
 		return r, nil
 	}
@@ -224,6 +268,7 @@ func (c *Context) Stressmark(key string, cfg uarch.Config, rates uarch.FaultRate
 				Seed:        c.Opts.Seed,
 				Parallelism: c.Opts.Parallelism,
 			},
+			Cache: c.cache,
 		})
 	}
 	if err != nil {
@@ -232,7 +277,7 @@ func (c *Context) Stressmark(key string, cfg uarch.Config, rates uarch.FaultRate
 	c.logf("stressmark %q: fitness %.3f, knobs: loop=%d loads=%d stores=%d l2hit=%v",
 		key, res.Fitness, res.Knobs.LoopSize, res.Knobs.NumLoads, res.Knobs.NumStores, res.Knobs.L2Hit)
 	c.mu.Lock()
-	c.sm[key] = res
+	c.sm[smKey] = res
 	c.mu.Unlock()
 	return res, nil
 }
@@ -264,7 +309,10 @@ func (c *Context) evaluateReference(key string, cfg uarch.Config, rates uarch.Fa
 	}
 	rc := core.DefaultEvalBudget(cfg)
 	rc.MaxInstructions *= 2
-	res, err := pipe.Simulate(cfg, p, rc)
+	cacheKey := c.cache.Key(cfg.Fingerprint(), "knobs:"+k.Fingerprint(), rc.Fingerprint())
+	res, err := c.cache.Do(cacheKey, func() (*avf.Result, error) {
+		return pipe.Simulate(cfg, p, rc)
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -127,7 +127,11 @@ func (c *Context) PowerContrast() (*PowerContrastResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	pr, err := pipe.Simulate(cfg, pv, c.workloadBudget())
+	rc := c.workloadBudget()
+	key := c.cache.Key(cfg.Fingerprint(), "prog:"+pv.Fingerprint(), rc.Fingerprint())
+	pr, err := c.cache.Do(key, func() (*avf.Result, error) {
+		return pipe.Simulate(cfg, pv, rc)
+	})
 	if err != nil {
 		return nil, err
 	}

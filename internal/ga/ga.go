@@ -197,12 +197,20 @@ func Run(cfg Config, fit Fitness) (*Result, error) {
 
 	res := &Result{BestFitness: math.Inf(-1)}
 	scores := make([]float64, cfg.PopSize)
+	// Elite individuals are copied into the next generation verbatim, and
+	// Fitness is contractually pure, so re-evaluating them must return the
+	// same value: their scores are carried instead of re-simulated. The
+	// carry lives in separate arrays so `scores` keeps last generation's
+	// values until evaluate overwrites them (migration reads them).
+	carryScore := make([]float64, cfg.PopSize)
+	carryKnown := make([]bool, cfg.PopSize)
 	stale := 0
 	for gen := 0; gen < cfg.Generations; gen++ {
-		if err := evaluate(pop, scores, fit, cfg.Parallelism); err != nil {
+		n, err := evaluate(pop, scores, carryScore, carryKnown, fit, cfg.Parallelism)
+		if err != nil {
 			return nil, fmt.Errorf("ga: generation %d: %w", gen, err)
 		}
-		res.Evaluations += len(pop)
+		res.Evaluations += n
 
 		st := summarise(gen, scores)
 		bi := bestIndex(scores)
@@ -224,8 +232,10 @@ func Run(cfg Config, fit Fitness) (*Result, error) {
 			seed := res.Best.Clone()
 			for i := range pop {
 				pop[i] = randomGenome(cfg.Genes, rng)
+				carryKnown[i] = false
 			}
 			pop[0] = seed
+			carryScore[0], carryKnown[0] = res.BestFitness, true
 			res.History = append(res.History, st)
 			continue
 		}
@@ -234,12 +244,12 @@ func Run(cfg Config, fit Fitness) (*Result, error) {
 			break
 		}
 		if cfg.Islands > 1 {
-			pop = nextGenerationIslands(cfg, pop, scores, rng)
+			pop = nextGenerationIslands(cfg, pop, scores, carryScore, carryKnown, rng)
 			if (gen+1)%cfg.MigrationEvery == 0 {
-				migrate(cfg, pop, scores)
+				migrate(cfg, pop, scores, carryScore, carryKnown)
 			}
 		} else {
-			pop = nextGeneration(cfg, pop, scores, rng)
+			pop = nextGeneration(cfg, pop, scores, carryScore, carryKnown, rng)
 		}
 	}
 	return res, nil
@@ -258,21 +268,25 @@ func islandBounds(cfg Config, i int) (int, int) {
 
 // nextGenerationIslands evolves each island independently (selection and
 // crossover never cross island boundaries).
-func nextGenerationIslands(cfg Config, pop []Genome, scores []float64, rng *rand.Rand) []Genome {
+func nextGenerationIslands(cfg Config, pop []Genome, scores, carryScore []float64,
+	carryKnown []bool, rng *rand.Rand) []Genome {
 	next := make([]Genome, 0, len(pop))
 	for i := 0; i < cfg.Islands; i++ {
 		s, e := islandBounds(cfg, i)
 		sub := cfg
 		sub.PopSize = e - s
 		sub.Elites = 1
-		next = append(next, nextGeneration(sub, pop[s:e], scores[s:e], rng)...)
+		next = append(next, nextGeneration(sub, pop[s:e], scores[s:e],
+			carryScore[s:e], carryKnown[s:e], rng)...)
 	}
 	return next
 }
 
 // migrate copies each island's best individual over the worst individual
-// of the next island in the ring — SNAP's migration operator.
-func migrate(cfg Config, pop []Genome, scores []float64) {
+// of the next island in the ring — SNAP's migration operator. A migrant
+// whose source slot carried a known score keeps it (identical genome →
+// identical fitness); any other overwritten carry is cleared.
+func migrate(cfg Config, pop []Genome, scores, carryScore []float64, carryKnown []bool) {
 	type be struct{ best, worst int }
 	idx := make([]be, cfg.Islands)
 	for i := 0; i < cfg.Islands; i++ {
@@ -290,12 +304,17 @@ func migrate(cfg Config, pop []Genome, scores []float64) {
 	}
 	// Snapshot the migrants first so a chain of migrations is stable.
 	migrants := make([]Genome, cfg.Islands)
+	migScore := make([]float64, cfg.Islands)
+	migKnown := make([]bool, cfg.Islands)
 	for i := range migrants {
 		migrants[i] = pop[idx[i].best].Clone()
+		migScore[i], migKnown[i] = carryScore[idx[i].best], carryKnown[idx[i].best]
 	}
 	for i := 0; i < cfg.Islands; i++ {
 		dst := (i + 1) % cfg.Islands
-		pop[idx[dst].worst] = migrants[i]
+		w := idx[dst].worst
+		pop[w] = migrants[i]
+		carryScore[w], carryKnown[w] = migScore[i], migKnown[i]
 	}
 }
 
@@ -339,19 +358,34 @@ func bestIndex(scores []float64) int {
 // pulling individuals off a shared counter. Compared to one goroutine
 // per individual this keeps goroutine (and, downstream, pooled-pipeline)
 // churn at the parallelism level rather than the population size.
-func evaluate(pop []Genome, scores []float64, fit Fitness, parallelism int) error {
-	if parallelism > len(pop) {
-		parallelism = len(pop)
+// Individuals with a carried score (elites, the post-cataclysm seed) are
+// not re-evaluated — fitness purity guarantees the identical value — and
+// the returned count covers only the evaluations actually performed.
+func evaluate(pop []Genome, scores, carryScore []float64, carryKnown []bool,
+	fit Fitness, parallelism int) (int, error) {
+	n := 0
+	for i := range pop {
+		if carryKnown[i] {
+			scores[i] = carryScore[i]
+		} else {
+			n++
+		}
+	}
+	if parallelism > n {
+		parallelism = n
 	}
 	if parallelism <= 1 {
 		for i := range pop {
+			if carryKnown[i] {
+				continue
+			}
 			s, err := fit(pop[i])
 			if err != nil {
-				return fmt.Errorf("individual %d: %w", i, err)
+				return n, fmt.Errorf("individual %d: %w", i, err)
 			}
 			scores[i] = s
 		}
-		return nil
+		return n, nil
 	}
 	var (
 		next     atomic.Int64
@@ -368,6 +402,9 @@ func evaluate(pop []Genome, scores []float64, fit Fitness, parallelism int) erro
 				if i >= len(pop) {
 					return
 				}
+				if carryKnown[i] {
+					continue
+				}
 				s, err := fit(pop[i])
 				if err != nil {
 					mu.Lock()
@@ -382,14 +419,20 @@ func evaluate(pop []Genome, scores []float64, fit Fitness, parallelism int) erro
 		}()
 	}
 	wg.Wait()
-	return firstErr
+	return n, firstErr
 }
 
 // nextGeneration applies elitism, tournament selection, two-point
-// crossover and per-gene mutation.
-func nextGeneration(cfg Config, pop []Genome, scores []float64, rng *rand.Rand) []Genome {
+// crossover and per-gene mutation. Elite copies record their (already
+// evaluated) scores in the carry arrays so the next evaluate pass skips
+// them; every freshly bred slot has its carry cleared.
+func nextGeneration(cfg Config, pop []Genome, scores, carryScore []float64,
+	carryKnown []bool, rng *rand.Rand) []Genome {
 	n := len(pop)
 	next := make([]Genome, 0, n)
+	for i := range carryKnown {
+		carryKnown[i] = false
+	}
 
 	// Elites, best first.
 	order := make([]int, n)
@@ -405,6 +448,7 @@ func nextGeneration(cfg Config, pop []Genome, scores []float64, rng *rand.Rand) 
 		}
 		order[i], order[bi] = order[bi], order[i]
 		next = append(next, pop[order[i]].Clone())
+		carryScore[i], carryKnown[i] = scores[order[i]], true
 	}
 
 	sel := func() Genome {

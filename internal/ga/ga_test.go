@@ -38,6 +38,22 @@ func TestValidation(t *testing.T) {
 	}
 }
 
+// expectedEvaluations reconstructs how many fitness calls a (non-island)
+// run must have made: the full population in generation 0, then the
+// population minus the carried individuals — the elites, or just the
+// seeded best after a cataclysm — in every later generation.
+func expectedEvaluations(popSize, elites int, history []GenStats) int {
+	want := popSize
+	for i := 1; i < len(history); i++ {
+		if history[i-1].Cataclysm {
+			want += popSize - 1
+		} else {
+			want += popSize - elites
+		}
+	}
+	return want
+}
+
 func TestSphereConverges(t *testing.T) {
 	res, err := Run(Config{
 		Genes: genes(6), PopSize: 40, Generations: 40, Seed: 7,
@@ -53,8 +69,55 @@ func TestSphereConverges(t *testing.T) {
 			t.Errorf("gene %f far from optimum 0.5", v)
 		}
 	}
-	if res.Evaluations != 40*40 {
-		t.Errorf("evaluations = %d, want 1600", res.Evaluations)
+	if want := expectedEvaluations(40, 2, res.History); res.Evaluations != want {
+		t.Errorf("evaluations = %d, want %d (elite scores carry over)", res.Evaluations, want)
+	}
+}
+
+// TestElitesAreNotReEvaluated is the regression test for elite score
+// carrying: with a deterministic fitness the elites' values are known, so
+// a run of G generations must cost Elites×(G-1) fewer evaluations than
+// the naive P×G (absent cataclysms), and the count must agree with the
+// number of fitness invocations actually observed.
+func TestElitesAreNotReEvaluated(t *testing.T) {
+	const pop, gens, elites = 12, 10, 3
+	calls := 0
+	counted := func(g Genome) (float64, error) {
+		calls++
+		return sphere(g)
+	}
+	res, err := Run(Config{
+		Genes: genes(5), PopSize: pop, Generations: gens, Seed: 21,
+		Elites: elites, Parallelism: 1,
+	}, counted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != res.Evaluations {
+		t.Errorf("observed %d fitness calls, result reports %d", calls, res.Evaluations)
+	}
+	if want := expectedEvaluations(pop, elites, res.History); res.Evaluations != want {
+		t.Errorf("evaluations = %d, want %d", res.Evaluations, want)
+	}
+	if res.Evaluations >= pop*gens {
+		t.Errorf("evaluations = %d, want fewer than the naive %d", res.Evaluations, pop*gens)
+	}
+	// The carried scores must be the values the fitness would return:
+	// the run's trajectory (and best) matches a second identical run.
+	res2, err := Run(Config{
+		Genes: genes(5), PopSize: pop, Generations: gens, Seed: 21,
+		Elites: elites, Parallelism: 1,
+	}, sphere)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestFitness != res2.BestFitness {
+		t.Errorf("carry changed the outcome: %f vs %f", res.BestFitness, res2.BestFitness)
+	}
+	for i, h := range res.History {
+		if h != res2.History[i] {
+			t.Errorf("generation %d stats diverge: %+v vs %+v", i, h, res2.History[i])
+		}
 	}
 }
 
@@ -243,7 +306,14 @@ func TestElitesSurviveUnchanged(t *testing.T) {
 		scores[i], _ = sphere(pop[i])
 	}
 	bi := bestIndex(scores)
-	next := nextGeneration(cfg, pop, scores, rng)
+	carryScore := make([]float64, cfg.PopSize)
+	carryKnown := make([]bool, cfg.PopSize)
+	next := nextGeneration(cfg, pop, scores, carryScore, carryKnown, rng)
+	for i := 0; i < cfg.Elites; i++ {
+		if !carryKnown[i] {
+			t.Errorf("elite slot %d has no carried score", i)
+		}
+	}
 	found := false
 	for _, g := range next[:cfg.Elites] {
 		same := true
@@ -300,7 +370,7 @@ func TestMigrationMovesBestGenome(t *testing.T) {
 		pop[i] = Genome{float64(i) / 10}
 		scores[i] = float64(i) // island 0 best = 3, island 1 best = 7
 	}
-	migrate(cfg, pop, scores)
+	migrate(cfg, pop, scores, make([]float64, 8), make([]bool, 8))
 	// Island 1's worst (index 4) receives island 0's best (genome 0.3);
 	// island 0's worst (index 0) receives island 1's best (genome 0.7).
 	if pop[4][0] != 0.3 {

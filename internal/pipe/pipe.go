@@ -123,6 +123,14 @@ type RunConfig struct {
 	DeadlockCycles int64
 }
 
+// Fingerprint returns a canonical description of the run budget for
+// internal/simcache keys. Every field can change the simulated window
+// (and MaxCycles/DeadlockCycles can cut a run short), so all of them
+// participate.
+func (rc RunConfig) Fingerprint() string {
+	return fmt.Sprintf("pipe.RunConfig%+v", rc)
+}
+
 // Pipeline simulates one program on one configuration. Create with New
 // and call Run; Reset re-arms the same pipeline for another program on
 // the same configuration without reallocating (see Pool).

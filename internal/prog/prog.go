@@ -10,6 +10,8 @@
 package prog
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"strings"
 
@@ -124,6 +126,38 @@ func (p *Program) Listing() string {
 
 // StaticLen returns the total static instruction count.
 func (p *Program) StaticLen() int { return len(p.Init) + len(p.Body) }
+
+// Fingerprint returns a compact content address of the program for
+// internal/simcache keys: a hex SHA-256 over the name (which reaches
+// avf.Result.Workload), the iteration count, the footprint, every
+// instruction field that influences execution, and the full state of
+// every address and branch generator. Instruction labels are excluded —
+// they only decorate listings. The built-in generators are plain value
+// structs, so %T/%+v renders their complete state deterministically;
+// custom generator implementations must do the same for their
+// simulation-relevant fields.
+func (p *Program) Fingerprint() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "prog{name=%q iters=%d footprint=%d}", p.Name, p.Iterations, p.FootprintBytes)
+	section := func(tag string, ins []isa.Instr) {
+		fmt.Fprintf(h, "|%s[%d]", tag, len(ins))
+		for i := range ins {
+			in := &ins[i]
+			fmt.Fprintf(h, "|%d,%d,%d,%d,%d,%t,%d,%d,%t",
+				in.Op, in.Dest, in.Src1, in.Src2, in.Imm, in.RegReg,
+				in.AddrGen, in.BrGen, in.UnACE)
+		}
+	}
+	section("init", p.Init)
+	section("body", p.Body)
+	for _, g := range p.AddrGens {
+		fmt.Fprintf(h, "|ag:%T%+v", g, g)
+	}
+	for _, g := range p.BrGens {
+		fmt.Fprintf(h, "|bg:%T%+v", g, g)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
 
 // Dyn is one dynamic instruction instance handed to the pipeline.
 type Dyn struct {

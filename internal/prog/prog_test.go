@@ -1,6 +1,7 @@
 package prog
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -229,5 +230,130 @@ func TestListingContainsStructure(t *testing.T) {
 	}
 	if p.StaticLen() != 3 {
 		t.Errorf("static length %d, want 3", p.StaticLen())
+	}
+}
+
+// TestProgramFingerprint locks the content-address contract for
+// programs: simulation-relevant differences (instructions, generator
+// state, iteration count) change the fingerprint; cosmetic labels do
+// not.
+func TestProgramFingerprint(t *testing.T) {
+	build := func() *Program {
+		return &Program{
+			Name: "p",
+			Init: []isa.Instr{{Op: isa.OpAdd, Dest: 1, Src1: isa.RZero, Imm: 1}},
+			Body: []isa.Instr{
+				{Op: isa.OpLoad, Dest: 2, Src1: 1, AddrGen: 0},
+				{Op: isa.OpBranch, Dest: isa.RZero, Src1: 2, BrGen: 0},
+			},
+			AddrGens:   []AddrGen{PointerChase{Base: 0x1000, Stride: 64, Region: 1 << 20}},
+			BrGens:     []BranchGen{LoopBranch{Iterations: 100}},
+			Iterations: 100,
+		}
+	}
+	a, b := build(), build()
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("identical programs fingerprint differently")
+	}
+	b.Body[0].Src1 = 3
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Error("instruction change not reflected")
+	}
+	c := build()
+	c.AddrGens[0] = PointerChase{Base: 0x1000, Stride: 64, Region: 1 << 21}
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Error("address-generator state change not reflected")
+	}
+	d := build()
+	d.Iterations = 101
+	if a.Fingerprint() == d.Fingerprint() {
+		t.Error("iteration count change not reflected")
+	}
+	e := build()
+	e.Body[0].Label = "decorative"
+	if a.Fingerprint() != e.Fingerprint() {
+		t.Error("listing label changed the fingerprint")
+	}
+	// Generators of different types with coincidentally equal fields must
+	// not collide (%T participates).
+	f := build()
+	f.AddrGens[0] = StridedBlock{Base: 0x1000, Stride: 64, Region: 1 << 20}
+	g := build()
+	g.AddrGens[0] = PointerChase{Base: 0x1000, Stride: 64, Region: 1 << 20}
+	if f.Fingerprint() == g.Fingerprint() {
+		t.Error("generator type does not participate in the fingerprint")
+	}
+}
+
+// TestProgramFingerprintCoversEveryInstrField mutates each isa.Instr
+// field reflectively and asserts the program fingerprint reacts — the
+// serialisation lists instruction fields by hand, so this fails if
+// isa.Instr grows a field the fingerprint silently omits. Label is the
+// one documented exception (listing decoration only).
+func TestProgramFingerprintCoversEveryInstrField(t *testing.T) {
+	p := &Program{
+		Name:       "p",
+		Body:       []isa.Instr{{Op: isa.OpAdd, Dest: 1, Src1: 2, Src2: 3, Imm: 4, RegReg: true}},
+		Iterations: 1,
+	}
+	base := p.Fingerprint()
+	v := reflect.ValueOf(&p.Body[0]).Elem()
+	tp := v.Type()
+	for i := 0; i < tp.NumField(); i++ {
+		f := v.Field(i)
+		name := tp.Field(i).Name
+		var restore func()
+		switch f.Kind() {
+		case reflect.Uint8:
+			old := f.Uint()
+			f.SetUint(old + 1)
+			restore = func() { f.SetUint(old) }
+		case reflect.Int16, reflect.Int:
+			old := f.Int()
+			f.SetInt(old + 1)
+			restore = func() { f.SetInt(old) }
+		case reflect.Bool:
+			old := f.Bool()
+			f.SetBool(!old)
+			restore = func() { f.SetBool(old) }
+		case reflect.String:
+			old := f.String()
+			f.SetString(old + "'")
+			restore = func() { f.SetString(old) }
+		default:
+			t.Fatalf("isa.Instr.%s: unhandled kind %v — extend the test", name, f.Kind())
+		}
+		changed := p.Fingerprint() != base
+		restore()
+		if name == "Label" {
+			if changed {
+				t.Error("Label participates in the fingerprint; it must not")
+			}
+			continue
+		}
+		if !changed {
+			t.Errorf("mutating isa.Instr.%s does not change the fingerprint", name)
+		}
+	}
+}
+
+// TestProgramFingerprintKnowsEveryField pins Program's field set: the
+// fingerprint serialises fields by hand, so anyone adding a field must
+// come here, teach Fingerprint about it (or document an exclusion) and
+// extend this list.
+func TestProgramFingerprintKnowsEveryField(t *testing.T) {
+	known := map[string]bool{
+		"Name": true, "Init": true, "Body": true, "AddrGens": true,
+		"BrGens": true, "Iterations": true, "FootprintBytes": true,
+	}
+	tp := reflect.TypeOf(Program{})
+	if tp.NumField() != len(known) {
+		t.Errorf("Program has %d fields, fingerprint test knows %d", tp.NumField(), len(known))
+	}
+	for i := 0; i < tp.NumField(); i++ {
+		if !known[tp.Field(i).Name] {
+			t.Errorf("Program.%s is unknown to the fingerprint — serialise it in Fingerprint and add it here",
+				tp.Field(i).Name)
+		}
 	}
 }

@@ -1,0 +1,247 @@
+// Package simcache is a content-addressed memoisation engine for
+// simulation results. Every simulation in this repository is a pure
+// function of (engine version, microarchitecture configuration, program,
+// run budget) — the determinism the paper's automated methodology relies
+// on for reproducible stressmark search — so a result can be served from
+// a cache keyed by a canonical fingerprint of those inputs and is
+// bit-identical to re-running the simulator.
+//
+// The store is two-tier:
+//
+//   - an in-memory map, shared by every experiment and GA search in the
+//     process (duplicate genomes across generations, the 33-workload
+//     suite shared by Figures 3/4/6/7, Table III, ...);
+//   - an optional on-disk tier (one JSON file per key, written via
+//     internal/persist), shared across processes and runs.
+//
+// Concurrent requests for the same key are deduplicated (singleflight):
+// the first caller simulates, the rest wait and share the result.
+//
+// Keys incorporate EngineVersion, so entries written by an older
+// simulator never match and stale disk tiers self-invalidate (DESIGN.md
+// §7 gives the bump rules). Results handed out by the store are shared —
+// callers must treat *avf.Result as immutable, which every consumer in
+// this repository already does.
+package simcache
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"avfstress/internal/avf"
+	"avfstress/internal/persist"
+)
+
+// EngineVersion names the simulation semantics of internal/pipe,
+// internal/cache and internal/avf. It MUST be bumped by any change that
+// alters the bits of any *avf.Result for any (config, program, budget) —
+// see DESIGN.md §7. It participates in every key, so a bump invalidates
+// both tiers at once. "v3" is the PR 3 state of the engine (event-driven
+// pipeline, chunk-granular lifetime tracking).
+const EngineVersion = "v3"
+
+// Key is the content address of one simulation: a SHA-256 over the
+// engine version and the canonical input fingerprints.
+type Key [sha256.Size]byte
+
+// Hex renders the key as the file-name-safe hex string used by the disk
+// tier.
+func (k Key) Hex() string { return hex.EncodeToString(k[:]) }
+
+// Options configures a Store.
+type Options struct {
+	// Dir enables the disk tier under this directory ("" = memory only).
+	// Entries land in Dir/<version>/<key>.json so stale engine versions
+	// are inert and easy to sweep.
+	Dir string
+	// Version overrides EngineVersion (tests only).
+	Version string
+}
+
+// Store is the two-tier result cache. The zero value is not usable;
+// construct with New. A nil *Store is valid everywhere and disables
+// caching (Do just runs the simulation), so call sites need no branching.
+type Store struct {
+	version string
+	dir     string // "" = memory only
+
+	mu     sync.Mutex
+	mem    map[Key]*avf.Result
+	flight map[Key]*call
+
+	memHits  atomic.Int64
+	diskHits atomic.Int64
+	sims     atomic.Int64
+	dedups   atomic.Int64
+}
+
+// call is one in-flight simulation other goroutines can wait on.
+type call struct {
+	done chan struct{}
+	res  *avf.Result
+	err  error
+}
+
+// New returns an empty store. With a non-empty Dir the disk tier is
+// created lazily on first write.
+func New(opts Options) *Store {
+	v := opts.Version
+	if v == "" {
+		v = EngineVersion
+	}
+	s := &Store{
+		version: v,
+		mem:     map[Key]*avf.Result{},
+		flight:  map[Key]*call{},
+	}
+	if opts.Dir != "" {
+		s.dir = filepath.Join(opts.Dir, v)
+	}
+	return s
+}
+
+// Key builds the content address for the given canonical fingerprint
+// parts (typically: config fingerprint, program or knobs identity, run
+// budget fingerprint). Parts are length-prefixed, so no concatenation of
+// distinct part lists collides, and the store's engine version is always
+// included. Safe on a nil store.
+func (s *Store) Key(parts ...string) Key {
+	v := EngineVersion
+	if s != nil {
+		v = s.version
+	}
+	h := sha256.New()
+	var n [8]byte
+	write := func(p string) {
+		binary.LittleEndian.PutUint64(n[:], uint64(len(p)))
+		h.Write(n[:])
+		h.Write([]byte(p))
+	}
+	write(v)
+	for _, p := range parts {
+		write(p)
+	}
+	var k Key
+	h.Sum(k[:0])
+	return k
+}
+
+// Do returns the cached result for key, or runs simulate, stores its
+// result in both tiers and returns it. Concurrent calls with the same
+// key run simulate once. Errors are returned to every waiter but never
+// cached. On a nil store, Do simply runs simulate.
+func (s *Store) Do(key Key, simulate func() (*avf.Result, error)) (*avf.Result, error) {
+	if s == nil {
+		return simulate()
+	}
+	s.mu.Lock()
+	if r, ok := s.mem[key]; ok {
+		s.mu.Unlock()
+		s.memHits.Add(1)
+		return r, nil
+	}
+	if c, ok := s.flight[key]; ok {
+		s.mu.Unlock()
+		s.dedups.Add(1)
+		<-c.done
+		return c.res, c.err
+	}
+	c := &call{done: make(chan struct{})}
+	s.flight[key] = c
+	s.mu.Unlock()
+
+	var err error
+	r := s.loadDisk(key)
+	if r != nil {
+		s.diskHits.Add(1)
+	} else {
+		r, err = simulate()
+		s.sims.Add(1)
+		if err == nil {
+			s.saveDisk(key, r)
+		}
+	}
+	c.res, c.err = r, err
+	s.mu.Lock()
+	delete(s.flight, key)
+	if err == nil {
+		s.mem[key] = r
+	}
+	s.mu.Unlock()
+	close(c.done)
+	return r, err
+}
+
+func (s *Store) path(key Key) string { return filepath.Join(s.dir, key.Hex()+".json") }
+
+// loadDisk returns the disk tier's entry for key, or nil. Unreadable or
+// corrupt entries are treated as misses (the re-simulated result
+// overwrites them).
+func (s *Store) loadDisk(key Key) *avf.Result {
+	if s.dir == "" {
+		return nil
+	}
+	r, err := persist.LoadResult(s.path(key))
+	if err != nil {
+		return nil
+	}
+	return r
+}
+
+// saveDisk writes the entry atomically (temp file + rename), so
+// concurrent processes sharing one cache directory never observe partial
+// writes — and since entries are content-addressed, a lost race
+// overwrites identical bytes. The disk tier is best-effort: write
+// failures degrade to memory-only caching.
+func (s *Store) saveDisk(key Key, r *avf.Result) {
+	if s.dir == "" {
+		return
+	}
+	if err := os.MkdirAll(s.dir, 0o755); err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(s.dir, key.Hex()+".tmp*")
+	if err != nil {
+		return
+	}
+	tmp.Close()
+	if err := persist.SaveResult(tmp.Name(), r); err != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), s.path(key)); err != nil {
+		os.Remove(tmp.Name())
+	}
+}
+
+// Stats is a snapshot of the store's traffic counters.
+type Stats struct {
+	// MemHits and DiskHits count requests served from each tier;
+	// Simulated counts simulations actually executed; Deduped counts
+	// callers that waited on an identical in-flight simulation.
+	MemHits, DiskHits, Simulated, Deduped int64
+}
+
+// Stats returns the current counters (zero on a nil store).
+func (s *Store) Stats() Stats {
+	if s == nil {
+		return Stats{}
+	}
+	return Stats{
+		MemHits:   s.memHits.Load(),
+		DiskHits:  s.diskHits.Load(),
+		Simulated: s.sims.Load(),
+		Deduped:   s.dedups.Load(),
+	}
+}
+
+func (st Stats) String() string {
+	return fmt.Sprintf("mem=%d disk=%d sim=%d dedup=%d",
+		st.MemHits, st.DiskHits, st.Simulated, st.Deduped)
+}

@@ -1,0 +1,216 @@
+package simcache
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"avfstress/internal/avf"
+	"avfstress/internal/uarch"
+)
+
+func sampleResult(tag string) *avf.Result {
+	r := &avf.Result{Config: "cfg-" + tag, Workload: tag, Cycles: 123, Instructions: 456, IPC: 3.7}
+	r.AVF[uarch.ROB] = 0.25
+	r.AVF[uarch.DL1] = 0.5
+	r.Activity.Fetched = 789
+	return r
+}
+
+func TestKeyDistinguishesPartsAndVersions(t *testing.T) {
+	s := New(Options{})
+	if s.Key("a", "b") == s.Key("a", "c") {
+		t.Error("different parts share a key")
+	}
+	// Length-prefixing: concatenation across part boundaries must not
+	// collide.
+	if s.Key("ab", "c") == s.Key("a", "bc") {
+		t.Error("part boundaries are ambiguous")
+	}
+	old := New(Options{Version: "v0-test"})
+	if s.Key("a", "b") == old.Key("a", "b") {
+		t.Error("engine version does not participate in the key")
+	}
+	// A nil store still produces usable (EngineVersion-scoped) keys.
+	var nils *Store
+	if nils.Key("a", "b") != s.Key("a", "b") {
+		t.Error("nil-store key differs from default-version key")
+	}
+}
+
+func TestDoMemoises(t *testing.T) {
+	s := New(Options{})
+	var sims int
+	sim := func() (*avf.Result, error) { sims++; return sampleResult("w"), nil }
+	k := s.Key("x")
+	r1, err := s.Do(k, sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s.Do(k, sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sims != 1 {
+		t.Errorf("simulated %d times, want 1", sims)
+	}
+	if r1 != r2 {
+		t.Error("memory tier did not return the shared result")
+	}
+	if _, err := s.Do(s.Key("y"), sim); err != nil {
+		t.Fatal(err)
+	}
+	if sims != 2 {
+		t.Errorf("distinct key did not simulate (sims=%d)", sims)
+	}
+	st := s.Stats()
+	if st.MemHits != 1 || st.Simulated != 2 || st.DiskHits != 0 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+func TestErrorsAreNotCached(t *testing.T) {
+	s := New(Options{})
+	boom := errors.New("boom")
+	k := s.Key("e")
+	fail := func() (*avf.Result, error) { return nil, boom }
+	if _, err := s.Do(k, fail); !errors.Is(err, boom) {
+		t.Fatalf("error lost: %v", err)
+	}
+	ok := func() (*avf.Result, error) { return sampleResult("w"), nil }
+	r, err := s.Do(k, ok)
+	if err != nil || r == nil {
+		t.Fatalf("failed call poisoned the key: %v", err)
+	}
+}
+
+func TestDiskTierRoundTripsBitIdentically(t *testing.T) {
+	dir := t.TempDir()
+	want := sampleResult("disk")
+	a := New(Options{Dir: dir})
+	k := a.Key("k")
+	if _, err := a.Do(k, func() (*avf.Result, error) { return want, nil }); err != nil {
+		t.Fatal(err)
+	}
+	// A second store on the same directory (a fresh process) must serve
+	// the identical result from disk without simulating.
+	b := New(Options{Dir: dir})
+	got, err := b.Do(b.Key("k"), func() (*avf.Result, error) {
+		t.Fatal("simulated despite a warm disk tier")
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("disk round trip lost data:\nwant %+v\ngot  %+v", want, got)
+	}
+	if st := b.Stats(); st.DiskHits != 1 || st.Simulated != 0 {
+		t.Errorf("stats %+v, want one disk hit and no simulation", st)
+	}
+}
+
+func TestStaleEngineVersionSelfInvalidates(t *testing.T) {
+	dir := t.TempDir()
+	old := New(Options{Dir: dir, Version: "v-old"})
+	if _, err := old.Do(old.Key("k"), func() (*avf.Result, error) { return sampleResult("old"), nil }); err != nil {
+		t.Fatal(err)
+	}
+	cur := New(Options{Dir: dir, Version: "v-new"})
+	sims := 0
+	if _, err := cur.Do(cur.Key("k"), func() (*avf.Result, error) { sims++; return sampleResult("new"), nil }); err != nil {
+		t.Fatal(err)
+	}
+	if sims != 1 {
+		t.Error("stale engine version served a cached result")
+	}
+	// Each version owns its own subdirectory, so stale tiers are easy to
+	// identify and sweep.
+	for _, v := range []string{"v-old", "v-new"} {
+		ents, err := os.ReadDir(filepath.Join(dir, v))
+		if err != nil || len(ents) != 1 {
+			t.Errorf("version dir %s: %d entries, err %v", v, len(ents), err)
+		}
+	}
+}
+
+func TestCorruptDiskEntryIsAMiss(t *testing.T) {
+	dir := t.TempDir()
+	s := New(Options{Dir: dir})
+	k := s.Key("k")
+	if _, err := s.Do(k, func() (*avf.Result, error) { return sampleResult("a"), nil }); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, EngineVersion, k.Hex()+".json")
+	if err := os.WriteFile(path, []byte("{corrupt"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fresh := New(Options{Dir: dir})
+	sims := 0
+	if _, err := fresh.Do(fresh.Key("k"), func() (*avf.Result, error) { sims++; return sampleResult("a"), nil }); err != nil {
+		t.Fatal(err)
+	}
+	if sims != 1 {
+		t.Error("corrupt entry was served instead of re-simulating")
+	}
+}
+
+func TestSingleflightDeduplicatesConcurrentCalls(t *testing.T) {
+	s := New(Options{})
+	k := s.Key("hot")
+	var sims atomic.Int64
+	gate := make(chan struct{})
+	sim := func() (*avf.Result, error) {
+		sims.Add(1)
+		<-gate // hold the flight open until every caller has queued
+		return sampleResult("w"), nil
+	}
+	const callers = 8
+	var wg sync.WaitGroup
+	results := make([]*avf.Result, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, err := s.Do(k, sim)
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = r
+		}(i)
+	}
+	// Wait until the losers are parked on the flight, then release it.
+	for s.Stats().Deduped < callers-1 {
+		runtime.Gosched()
+	}
+	close(gate)
+	wg.Wait()
+	if n := sims.Load(); n != 1 {
+		t.Errorf("%d concurrent identical calls ran %d simulations, want 1", callers, n)
+	}
+	for _, r := range results {
+		if r != results[0] {
+			t.Error("waiters did not share the winner's result")
+		}
+	}
+	if st := s.Stats(); st.Deduped != callers-1 {
+		t.Errorf("deduped = %d, want %d", st.Deduped, callers-1)
+	}
+}
+
+func TestNilStoreJustSimulates(t *testing.T) {
+	var s *Store
+	sims := 0
+	r, err := s.Do(s.Key("k"), func() (*avf.Result, error) { sims++; return sampleResult("w"), nil })
+	if err != nil || r == nil || sims != 1 {
+		t.Fatalf("nil store: r=%v err=%v sims=%d", r, err, sims)
+	}
+	if st := s.Stats(); st != (Stats{}) {
+		t.Errorf("nil store stats %+v", st)
+	}
+}

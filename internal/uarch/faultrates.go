@@ -45,6 +45,14 @@ var QueueStructures = []Structure{IQ, ROB, FU, LQTag, LQData, SQTag, SQData}
 // the paper's arbitrary "units per bit".
 type FaultRates [NumStructures]float64
 
+// Fingerprint returns a canonical description of the rate vector.
+// Rates never enter simulation-result cache keys (a Result is
+// rate-independent; rates only weight it afterwards), but search-level
+// caches use this to key search outcomes.
+func (r FaultRates) Fingerprint() string {
+	return fmt.Sprintf("uarch.FaultRates%v", [NumStructures]float64(r))
+}
+
 // UniformRates returns rate u for every structure (the paper's default is
 // 1 unit/bit everywhere).
 func UniformRates(u float64) FaultRates {

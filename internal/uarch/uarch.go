@@ -95,6 +95,21 @@ type Config struct {
 	Mem  cache.HierarchyConfig
 }
 
+// Fingerprint returns a canonical, collision-resistant description of
+// everything that can influence a simulation on this configuration:
+// the name (which reaches avf.Result.Config and hence rendered output),
+// every core sizing field including the branch-predictor geometry, and
+// the full memory hierarchy. internal/simcache hashes it into cache
+// keys, so two configurations that merely share a Name — e.g. the same
+// config at two cache scales — can never alias. %+v renders every
+// struct field in declaration order; adding a field changes the
+// fingerprint and thereby invalidates stale cache entries, which is the
+// safe direction (DESIGN.md §7).
+func (c Config) Fingerprint() string {
+	return fmt.Sprintf("uarch.Config{Name:%q Core:%+v Mem:%s}",
+		c.Name, c.Core, c.Mem.Fingerprint())
+}
+
 // Validate reports the first configuration error.
 func (c Config) Validate() error {
 	if err := c.Core.Validate(); err != nil {

@@ -1,6 +1,7 @@
 package uarch
 
 import (
+	"reflect"
 	"testing"
 	"testing/quick"
 )
@@ -209,5 +210,124 @@ func TestChunkGranules(t *testing.T) {
 		if err := s.Validate(); err != nil {
 			t.Errorf("%s scaled config invalid: %v", cfg.Name, err)
 		}
+	}
+}
+
+// TestFingerprintDistinguishesConfigurations locks the content-address
+// contract: every simulation-relevant difference — including ones hidden
+// behind a shared Name — must change the fingerprint, and identical
+// configurations must agree (internal/simcache keys depend on both).
+func TestFingerprintDistinguishesConfigurations(t *testing.T) {
+	base := Baseline()
+	if base.Fingerprint() != Baseline().Fingerprint() {
+		t.Error("identical configurations fingerprint differently")
+	}
+	if base.Fingerprint() == ConfigA().Fingerprint() {
+		t.Error("Baseline and ConfigA share a fingerprint")
+	}
+	// The PR 3 aliasing regression: two differently-scaled configurations
+	// forced to share a Name must not share a fingerprint.
+	a := Scaled(Baseline(), 8)
+	b := Scaled(Baseline(), 32)
+	b.Name = a.Name
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Error("configurations sharing a Name alias despite different geometries")
+	}
+	// Single-field sensitivity across the layers the fingerprint composes.
+	mut := Baseline()
+	mut.Core.ROBEntries++
+	if mut.Fingerprint() == base.Fingerprint() {
+		t.Error("core sizing change not reflected")
+	}
+	mut = Baseline()
+	mut.Core.Bpred.GlobalHistBits++
+	if mut.Fingerprint() == base.Fingerprint() {
+		t.Error("branch-predictor change not reflected")
+	}
+	mut = Baseline()
+	mut.Mem.L2.Ways *= 2
+	if mut.Fingerprint() == base.Fingerprint() {
+		t.Error("cache geometry change not reflected")
+	}
+	mut = Baseline()
+	mut.Mem.DTLB.Entries *= 2
+	if mut.Fingerprint() == base.Fingerprint() {
+		t.Error("TLB change not reflected")
+	}
+	mut = Baseline()
+	mut.Mem.MemLatency++
+	if mut.Fingerprint() == base.Fingerprint() {
+		t.Error("memory latency change not reflected")
+	}
+}
+
+func TestFaultRatesFingerprint(t *testing.T) {
+	if UniformRates(1).Fingerprint() != UniformRates(1).Fingerprint() {
+		t.Error("identical rates fingerprint differently")
+	}
+	set := map[string]bool{}
+	for _, r := range []FaultRates{UniformRates(1), RHCRates(), EDRRates()} {
+		set[r.Fingerprint()] = true
+	}
+	if len(set) != 3 {
+		t.Errorf("rate sets collapse to %d fingerprints, want 3", len(set))
+	}
+}
+
+// TestFingerprintCoversEveryField walks the whole Config struct tree
+// reflectively, mutating one leaf field at a time and asserting the
+// fingerprint changes. The Fingerprint methods compose hand-written
+// pieces (Config, HierarchyConfig), so this is what guarantees the
+// DESIGN.md §7 property that a future simulation-relevant field cannot
+// be silently omitted from cache keys: adding any field — at any depth,
+// including bpred.Config and the cache/TLB geometries — that the
+// fingerprints miss fails here.
+func TestFingerprintCoversEveryField(t *testing.T) {
+	cfg := Baseline()
+	base := cfg.Fingerprint()
+	var walk func(v reflect.Value, path string)
+	check := func(path string) {
+		if cfg.Fingerprint() == base {
+			t.Errorf("mutating %s does not change the fingerprint", path)
+		}
+	}
+	walk = func(v reflect.Value, path string) {
+		switch v.Kind() {
+		case reflect.Struct:
+			tp := v.Type()
+			for i := 0; i < v.NumField(); i++ {
+				if tp.Field(i).PkgPath != "" {
+					t.Fatalf("%s.%s is unexported: %%+v cannot render it — restructure or extend the fingerprint",
+						path, tp.Field(i).Name)
+				}
+				walk(v.Field(i), path+"."+tp.Field(i).Name)
+			}
+		case reflect.Int:
+			old := v.Int()
+			v.SetInt(old + 1)
+			check(path)
+			v.SetInt(old)
+		case reflect.String:
+			old := v.String()
+			v.SetString(old + "'")
+			check(path)
+			v.SetString(old)
+		case reflect.Bool:
+			old := v.Bool()
+			v.SetBool(!old)
+			check(path)
+			v.SetBool(old)
+		case reflect.Float64:
+			old := v.Float()
+			v.SetFloat(old + 1)
+			check(path)
+			v.SetFloat(old)
+		default:
+			t.Fatalf("%s: unhandled kind %v — extend the test", path, v.Kind())
+		}
+	}
+	walk(reflect.ValueOf(&cfg).Elem(), "Config")
+	if cfg.Fingerprint() != base {
+		t.Fatal("walk did not restore the configuration")
 	}
 }
