@@ -4,7 +4,7 @@ GO ?= go
 # lifetime-engine microbenchmarks.
 BENCH_PKGS = . ./internal/cache
 
-.PHONY: all build vet test check bench bench-compare bench-smoke cache-smoke
+.PHONY: all build vet test race check bench bench-compare bench-smoke cache-smoke serve-smoke
 
 all: check
 
@@ -16,6 +16,11 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# race runs the concurrency-heavy tiers (DAG scheduler, job service,
+# experiment orchestration) under the race detector.
+race:
+	$(GO) test -race ./internal/sched ./internal/service ./internal/scenario ./internal/experiments
 
 check: vet build test
 
@@ -59,3 +64,10 @@ cache-smoke:
 	grep -E '^# cache: mem=[0-9]+ disk=[1-9][0-9]* sim=0 ' $(CACHE_SMOKE_DIR)/warm.err
 	@echo cache-smoke OK: outputs byte-identical, warm run served from disk
 	rm -rf $(CACHE_SMOKE_DIR)
+
+# serve-smoke boots avfstressd, submits two concurrent overlapping
+# scenario jobs and asserts the second is served mostly from cache hits
+# (fewer fresh simulations than the first) — the daemon's shared-store
+# contract, end to end over real HTTP.
+serve-smoke:
+	sh scripts/serve_smoke.sh

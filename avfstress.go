@@ -28,12 +28,15 @@
 package avfstress
 
 import (
+	"context"
+
 	"avfstress/internal/avf"
 	"avfstress/internal/codegen"
 	"avfstress/internal/core"
 	"avfstress/internal/experiments"
 	"avfstress/internal/pipe"
 	"avfstress/internal/prog"
+	"avfstress/internal/scenario"
 	"avfstress/internal/uarch"
 	"avfstress/internal/workloads"
 )
@@ -107,7 +110,10 @@ type (
 
 // Search runs the automated methodology of the paper's Figure 2: a GA
 // search over the code-generator knob space against the AVF simulator.
-func Search(spec SearchSpec) (*SearchResult, error) { return core.Search(spec) }
+// The context cancels the search between simulations.
+func Search(ctx context.Context, spec SearchSpec) (*SearchResult, error) {
+	return core.Search(ctx, spec)
+}
 
 // Generate builds a stressmark program from explicit knob settings.
 func Generate(cfg Config, k Knobs, iterations int64) (*Program, Knobs, error) {
@@ -129,11 +135,22 @@ type (
 	ExperimentOptions = experiments.Options
 	// Experiments caches shared work across experiment runners.
 	Experiments = experiments.Context
+	// ScenarioSpec is the declarative, serialisable description of a
+	// scenario portfolio — the submission body of the avfstressd
+	// service and the currency of sweep drivers.
+	ScenarioSpec = scenario.Spec
 )
 
 // NewExperiments prepares the table/figure regeneration harness.
 func NewExperiments(opts ExperimentOptions) *Experiments {
 	return experiments.NewContext(opts)
+}
+
+// NewExperimentsFromSpec builds a harness for a declarative spec and
+// returns it with the resolved scenario names (run them with
+// Experiments.RunScenarios).
+func NewExperimentsFromSpec(sp ScenarioSpec, base ExperimentOptions) (*Experiments, []string, error) {
+	return experiments.NewSpecContext(sp, base)
 }
 
 // ExperimentNames lists the runnable experiments in paper order.

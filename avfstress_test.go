@@ -1,6 +1,7 @@
 package avfstress_test
 
 import (
+	"context"
 	"testing"
 
 	"avfstress"
@@ -64,7 +65,7 @@ func TestFacadeExperiments(t *testing.T) {
 	ctx := avfstress.NewExperiments(avfstress.ExperimentOptions{
 		Scale: 32, UseReferenceKnobs: true,
 	})
-	out, err := ctx.Run("table1")
+	out, err := ctx.Run(context.Background(), "table1")
 	if err != nil || out == "" {
 		t.Fatalf("table1: %v", err)
 	}

@@ -8,6 +8,7 @@
 package avfstress_test
 
 import (
+	"context"
 	"testing"
 
 	"avfstress/internal/avf"
@@ -61,7 +62,7 @@ func BenchmarkFig3_StressmarkVsSPEC(b *testing.B) {
 	var adv [avf.NumClasses]float64
 	for i := 0; i < b.N; i++ {
 		ctx := experiments.NewContext(benchOpts())
-		f, err := ctx.Fig3()
+		f, err := ctx.Fig3(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -79,7 +80,7 @@ func BenchmarkFig4_StressmarkVsMiBench(b *testing.B) {
 	var adv float64
 	for i := 0; i < b.N; i++ {
 		ctx := experiments.NewContext(benchOpts())
-		f, err := ctx.Fig4()
+		f, err := ctx.Fig4(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -97,7 +98,7 @@ func BenchmarkFig5_GASearchBaseline(b *testing.B) {
 	var fit float64
 	var evals int64
 	for i := 0; i < b.N; i++ {
-		res, err := core.Search(core.SearchSpec{
+		res, err := core.Search(context.Background(), core.SearchSpec{
 			Config: cfg,
 			Eval:   eval,
 			Final:  eval,
@@ -118,7 +119,7 @@ func BenchmarkFig6_PerStructureAVF(b *testing.B) {
 	var rob, dl1 float64
 	for i := 0; i < b.N; i++ {
 		ctx := experiments.NewContext(benchOpts())
-		f, err := ctx.Fig6()
+		f, err := ctx.Fig6(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -134,7 +135,7 @@ func BenchmarkFig7_MitigatedWorkloads(b *testing.B) {
 	var rhcTop, edrTop float64
 	for i := 0; i < b.N; i++ {
 		ctx := experiments.NewContext(benchOpts())
-		f, err := ctx.Fig7()
+		f, err := ctx.Fig7(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -151,7 +152,7 @@ func BenchmarkFig8_FaultRateAdaptation(b *testing.B) {
 	var iqRHC float64
 	for i := 0; i < b.N; i++ {
 		ctx := experiments.NewContext(benchOpts())
-		f, err := ctx.Fig8()
+		f, err := ctx.Fig8(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -165,7 +166,7 @@ func BenchmarkFig9_ConfigA(b *testing.B) {
 	var rob float64
 	for i := 0; i < b.N; i++ {
 		ctx := experiments.NewContext(benchOpts())
-		f, err := ctx.Fig9()
+		f, err := ctx.Fig9(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -180,7 +181,7 @@ func BenchmarkTable3_Estimators(b *testing.B) {
 	var row experiments.Table3Row
 	for i := 0; i < b.N; i++ {
 		ctx := experiments.NewContext(benchOpts())
-		t3, err := ctx.Table3()
+		t3, err := ctx.Table3(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -197,7 +198,7 @@ func BenchmarkWorstCase_SectionVI(b *testing.B) {
 	var sustained, bound float64
 	for i := 0; i < b.N; i++ {
 		ctx := experiments.NewContext(benchOpts())
-		w, err := ctx.WorstCase()
+		w, err := ctx.WorstCase(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -216,7 +217,7 @@ func BenchmarkRunAll(b *testing.B) {
 	var sims int64
 	for i := 0; i < b.N; i++ {
 		ctx := experiments.NewContext(benchOpts())
-		if _, err := ctx.RunAll(); err != nil {
+		if _, err := ctx.RunAll(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 		sims = ctx.CacheStats().Simulated
@@ -232,14 +233,14 @@ func BenchmarkRunAllWarm(b *testing.B) {
 	store := simcache.New(simcache.Options{})
 	opts := benchOpts()
 	opts.Cache = store
-	if _, err := experiments.NewContext(opts).RunAll(); err != nil {
+	if _, err := experiments.NewContext(opts).RunAll(context.Background()); err != nil {
 		b.Fatal(err)
 	}
 	warmed := store.Stats().Simulated
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ctx := experiments.NewContext(opts)
-		if _, err := ctx.RunAll(); err != nil {
+		if _, err := ctx.RunAll(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -291,7 +292,7 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 func ablationEval(b *testing.B, k codegen.Knobs) float64 {
 	b.Helper()
 	cfg := uarch.Scaled(uarch.Baseline(), 32)
-	f, err := core.EvaluateKnobs(cfg, uarch.UniformRates(1), avf.DefaultWeights(), k,
+	f, err := core.EvaluateKnobs(context.Background(), cfg, uarch.UniformRates(1), avf.DefaultWeights(), k,
 		pipe.RunConfig{MaxInstructions: 100_000, WarmupInstructions: 40_000})
 	if err != nil {
 		b.Fatal(err)
@@ -389,7 +390,7 @@ func BenchmarkPowerContrast(b *testing.B) {
 	var powerKingSER, stressmarkSER float64
 	for i := 0; i < b.N; i++ {
 		ctx := experiments.NewContext(benchOpts())
-		p, err := ctx.PowerContrast()
+		p, err := ctx.PowerContrast(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}

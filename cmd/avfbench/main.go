@@ -12,15 +12,25 @@
 // (needs much larger budgets; see DESIGN.md §4). -cpuprofile and
 // -memprofile write pprof profiles of the run, so hot-path hunts don't
 // need ad-hoc harnesses.
+//
+// avfbench is a thin client of the scenario registry and the concurrent
+// DAG scheduler (the same path avfstressd serves): the requested
+// scenarios' jobs run concurrently, deduplicated across scenarios, and
+// the combined report is assembled in request order — byte-identical to
+// a sequential run. Ctrl-C cancels cleanly between simulations.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 
 	"avfstress/internal/experiments"
 )
@@ -79,17 +89,24 @@ func main() {
 	}
 	ctx := experiments.NewContext(opts)
 
+	cctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	names := experiments.Names()
 	if *run != "" {
 		names = strings.Split(*run, ",")
-	}
-	for _, n := range names {
-		out, err := ctx.Run(strings.TrimSpace(n))
-		if err != nil {
-			fail("avfbench: %s: %v\n", n, err)
+		for i := range names {
+			names[i] = strings.TrimSpace(names[i])
 		}
-		fmt.Printf("%s\n%s\n", strings.Repeat("=", 72), out)
 	}
+	out, err := ctx.RunScenarios(cctx, names)
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fail("avfbench: interrupted\n")
+		}
+		fail("avfbench: %v\n", err)
+	}
+	fmt.Print(out)
 	if *cacheDir != "" {
 		// Stats go to stderr so stdout stays byte-identical across cache
 		// states; the CI cache-effectiveness smoke greps this line.

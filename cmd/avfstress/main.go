@@ -7,21 +7,29 @@
 // Usage:
 //
 //	avfstress [-config baseline|configA] [-rates uniform|rhc|edr]
-//	          [-scale 32] [-pop 20] [-gens 16] [-seed 1] [-listing]
+//	          [-scale 32] [-pop 20] [-gens 16] [-seed 1] [-listing] [-v]
+//
+// avfstress is a thin client of the same scenario path avfstressd
+// serves: the flags build a declarative scenario.Spec whose parametric
+// "stressmark" scenario runs through the registry and scheduler, so the
+// search shares its weighting, memoisation and cancellation semantics
+// with the daemon and the experiment suite (the RHC/EDR studies use the
+// paper's core-only fitness). Ctrl-C cancels the search between
+// simulations; -v streams per-generation GA convergence.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
-	"avfstress/internal/avf"
-	"avfstress/internal/core"
-	"avfstress/internal/ga"
+	"avfstress/internal/experiments"
 	"avfstress/internal/persist"
-	"avfstress/internal/report"
-	"avfstress/internal/simcache"
-	"avfstress/internal/uarch"
+	"avfstress/internal/scenario"
 )
 
 func main() {
@@ -35,74 +43,76 @@ func main() {
 		listing  = flag.Bool("listing", false, "print the generated stressmark listing")
 		save     = flag.String("save", "", "write the final knobs and result to a JSON file")
 		cacheDir = flag.String("cache-dir", "", "persist candidate simulations under this directory (shared across runs and processes; results are bit-identical)")
+		verbose  = flag.Bool("v", false, "stream search progress (per-generation best/avg fitness)")
 	)
 	flag.Parse()
 
-	cfg := uarch.Baseline()
-	if *config == "configA" {
-		cfg = uarch.ConfigA()
+	spec := scenario.Spec{
+		Scenarios: []string{"stressmark"},
+		Config:    *config,
+		Rates:     *rates,
+		Mode:      "search",
+		Scale:     *scale,
+		Seed:      *seed,
+		GAPop:     *pop,
+		GAGens:    *gens,
 	}
-	cfg = uarch.Scaled(cfg, *scale)
-
-	var fr uarch.FaultRates
-	switch *rates {
-	case "uniform":
-		fr = uarch.UniformRates(1)
-	case "rhc":
-		fr = uarch.RHCRates()
-	case "edr":
-		fr = uarch.EDRRates()
-	default:
-		fmt.Fprintf(os.Stderr, "avfstress: unknown rates %q\n", *rates)
-		os.Exit(1)
+	base := experiments.Options{CacheDir: *cacheDir}
+	if *verbose {
+		base.Logf = func(f string, args ...interface{}) {
+			fmt.Fprintf(os.Stderr, "# "+f+"\n", args...)
+		}
 	}
-
-	var cache *simcache.Store
-	if *cacheDir != "" {
-		cache = simcache.New(simcache.Options{Dir: *cacheDir})
-	}
-
-	fmt.Fprintf(os.Stderr, "# searching %s / %s rates, %d generations × %d individuals\n",
-		cfg.Name, *rates, *gens, *pop)
-	res, err := core.Search(core.SearchSpec{
-		Config: cfg,
-		Rates:  fr,
-		GA:     ga.Config{PopSize: *pop, Generations: *gens, Seed: *seed},
-		Cache:  cache,
-	})
+	ctx, names, err := experiments.NewSpecContext(spec, base)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "avfstress:", err)
 		os.Exit(1)
 	}
-	if cache != nil {
-		fmt.Fprintf(os.Stderr, "# cache: %s\n", cache.Stats())
-	}
 
-	fmt.Printf("final GA solution (%d evaluations, %d cataclysms, %d failed candidates):\n\n%s\n",
-		res.Evaluations, res.Cataclysms, res.FailedEvals, res.Knobs)
-	avgs := make([]float64, len(res.History))
-	for i, h := range res.History {
-		avgs[i] = h.Avg
-	}
-	fmt.Printf("convergence (avg fitness/gen): %s\n\n", report.Sparkline(avgs))
-	fmt.Print(res.Result)
-	fmt.Printf("\nSER (units/bit, %s rates):\n", *rates)
-	for _, cl := range avf.AllClasses() {
-		fmt.Printf("  %-10s %.3f\n", cl, res.Result.SER(cfg, fr, cl))
-	}
-	fmt.Printf("fitness: %.4f\n", res.Fitness)
-	if *listing {
-		fmt.Printf("\n%s\n", res.Program.Listing())
-	}
-	if *save != "" {
-		err := persist.SaveStressmark(*save, persist.SavedStressmark{
-			Config: cfg.Name, Rates: *rates, Knobs: res.Knobs,
-			Fitness: res.Fitness, Result: res.Result,
-		})
-		if err != nil {
+	cctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	fmt.Fprintf(os.Stderr, "# searching %s / %s rates, %d generations × %d individuals\n",
+		*config, *rates, *gens, *pop)
+	out, err := ctx.Run(cctx, names[0])
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "avfstress: interrupted")
+		} else {
 			fmt.Fprintln(os.Stderr, "avfstress:", err)
-			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "# saved to %s\n", *save)
+		os.Exit(1)
+	}
+	if *cacheDir != "" {
+		fmt.Fprintf(os.Stderr, "# cache: %s\n", ctx.CacheStats())
+	}
+	fmt.Print(out)
+
+	if *listing || *save != "" {
+		// The search is memoised: fetching the result re-runs nothing.
+		cfg, err := experiments.ResolveConfig(*config, *scale)
+		fatal(err)
+		fr, err := experiments.ResolveRates(*rates)
+		fatal(err)
+		res, err := ctx.Stressmark(cctx, experiments.SearchKeyFor(*config, *rates), cfg, fr)
+		fatal(err)
+		if *listing {
+			fmt.Printf("\n%s\n", res.Program.Listing())
+		}
+		if *save != "" {
+			err := persist.SaveStressmark(*save, persist.SavedStressmark{
+				Config: cfg.Name, Rates: *rates, Knobs: res.Knobs,
+				Fitness: res.Fitness, Result: res.Result,
+			})
+			fatal(err)
+			fmt.Fprintf(os.Stderr, "# saved to %s\n", *save)
+		}
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "avfstress:", err)
+		os.Exit(1)
 	}
 }

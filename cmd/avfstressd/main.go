@@ -1,0 +1,85 @@
+// Command avfstressd serves the experiment portfolio over HTTP: clients
+// submit declarative scenario specs, the daemon schedules their
+// combined job DAG on a bounded worker pool, and every job shares one
+// content-addressed simulation store — concurrent clients requesting
+// overlapping scenarios each pay only the marginal simulations.
+//
+// Usage:
+//
+//	avfstressd [-addr :8080] [-cache-dir DIR] [-scale N]
+//	           [-parallelism N] [-max-jobs N] [-quiet]
+//
+// API:
+//
+//	POST   /v1/jobs          submit a scenario.Spec (JSON); returns the job
+//	GET    /v1/jobs          list jobs + server-wide cache stats
+//	GET    /v1/jobs/{id}     job status (+ ?stream=1: progress stream)
+//	DELETE /v1/jobs/{id}     cancel a queued or running job
+//	GET    /v1/results/{id}  rendered report + stats (+ ?format=text)
+//	GET    /healthz          liveness
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"avfstress/internal/service"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		cacheDir = flag.String("cache-dir", "", "persist simulation results under this directory (shared across jobs, runs and processes)")
+		scale    = flag.Int("scale", 0, "default cache scale-down factor for jobs that set none (0 = harness default)")
+		par      = flag.Int("parallelism", 0, "per-job concurrency bound (0 = all cores)")
+		maxJobs  = flag.Int("max-jobs", 0, "concurrently running jobs; excess queue in order (0 = all cores)")
+		quiet    = flag.Bool("quiet", false, "suppress server logging")
+	)
+	flag.Parse()
+
+	opts := service.Options{
+		CacheDir:    *cacheDir,
+		Scale:       *scale,
+		Parallelism: *par,
+		MaxJobs:     *maxJobs,
+	}
+	if !*quiet {
+		opts.Logf = func(f string, args ...interface{}) {
+			fmt.Fprintf(os.Stderr, "avfstressd: "+f+"\n", args...)
+		}
+	}
+	srv := service.New(opts)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "avfstressd:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "avfstressd: listening on http://%s\n", ln.Addr())
+	hs := &http.Server{Handler: srv}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "avfstressd:", err)
+		os.Exit(1)
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "avfstressd: %v — draining\n", s)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "avfstressd: shutdown:", err)
+	}
+	hs.Shutdown(ctx)
+}

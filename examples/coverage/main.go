@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -27,11 +28,11 @@ func main() {
 	rates := uarch.UniformRates(1)
 
 	fmt.Printf("simulating the 33-proxy workload suite on %s...\n", cfg.Name)
-	results, err := ctx.Workloads(cfg)
+	results, err := ctx.Workloads(context.Background(), cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	sm, err := ctx.Stressmark("baseline", cfg, rates)
+	sm, err := ctx.Stressmark(context.Background(), "baseline", cfg, rates)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -31,7 +32,7 @@ func main() {
 	for _, cfg := range configs {
 		fmt.Printf("searching on %s (ROB %d, IQ %d, %d muls)...\n",
 			cfg.Name, cfg.Core.ROBEntries, cfg.Core.IQEntries, cfg.Core.NumMuls)
-		res, err := avfstress.Search(avfstress.SearchSpec{
+		res, err := avfstress.Search(context.Background(), avfstress.SearchSpec{
 			Config: cfg,
 			Rates:  rates,
 			GA:     ga.Config{PopSize: 10, Generations: 8, Seed: 4},

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -34,7 +35,7 @@ func main() {
 	fmt.Println("re-generating the stressmark for each protection scheme on", cfg.Name)
 	var worst []float64
 	for _, c := range cases {
-		res, err := avfstress.Search(avfstress.SearchSpec{
+		res, err := avfstress.Search(context.Background(), avfstress.SearchSpec{
 			Config: cfg,
 			Rates:  c.rates,
 			GA:     ga.Config{PopSize: 10, Generations: 8, Seed: 2},

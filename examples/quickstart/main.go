@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -21,7 +22,7 @@ func main() {
 	rates := avfstress.UniformRates(1) // 1 unit/bit everywhere, as in the paper
 
 	fmt.Println("searching for an AVF stressmark on", cfg.Name, "...")
-	res, err := avfstress.Search(avfstress.SearchSpec{
+	res, err := avfstress.Search(context.Background(), avfstress.SearchSpec{
 		Config: cfg,
 		Rates:  rates,
 		GA:     ga.Config{PopSize: 10, Generations: 8, Seed: 1},

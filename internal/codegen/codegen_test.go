@@ -364,3 +364,34 @@ func TestDepDistanceSpacing(t *testing.T) {
 		t.Errorf("dep distance 8 yields mean spacing %.1f, want ≥ 3", wide)
 	}
 }
+
+// TestFingerprintIsLossless is the regression test for the simcache
+// aliasing bug: Fingerprint once rendered the Stringer display table,
+// which omits Seed and rounds the float knobs to two decimals, so
+// candidates differing only in those fields shared one cache entry.
+func TestFingerprintIsLossless(t *testing.T) {
+	base := Knobs{LoopSize: 26, NumLoads: 12, NumStores: 12,
+		AvgChainLength: 5.398623388174891, DepDistance: 11,
+		FracLongLatency: 0.6073972426237857, FracRegReg: 0.8481767696821934,
+		Seed: 105}
+	mutants := []func(*Knobs){
+		func(k *Knobs) { k.Seed = 820 },
+		func(k *Knobs) { k.L2Hit = true },
+		func(k *Knobs) { k.AvgChainLength += 1e-9 },
+		func(k *Knobs) { k.FracLongLatency += 1e-12 },
+		func(k *Knobs) { k.FracRegReg = 0.8481767696821935 },
+	}
+	for i, mutate := range mutants {
+		m := base
+		mutate(&m)
+		if m == base {
+			t.Fatalf("mutant %d equals base", i)
+		}
+		if m.Fingerprint() == base.Fingerprint() {
+			t.Errorf("mutant %d aliases the base fingerprint: %s", i, m.Fingerprint())
+		}
+	}
+	if !strings.Contains(base.Fingerprint(), "Seed:105") {
+		t.Errorf("fingerprint does not carry the seed: %s", base.Fingerprint())
+	}
+}

@@ -89,9 +89,12 @@ func (k Knobs) String() string {
 // internal/simcache keys. The generator is a deterministic function of
 // (config, knobs), so the knobs are a complete content address for the
 // generated program; float fields render in Go's shortest round-trip
-// form, so distinct values never collapse.
+// form, so distinct values never collapse. %#v (not %+v) is essential:
+// Knobs implements Stringer, and %+v would render the lossy display
+// table — which omits Seed entirely and rounds the float knobs to two
+// decimals, silently aliasing distinct candidates in the cache.
 func (k Knobs) Fingerprint() string {
-	return fmt.Sprintf("codegen.Knobs%+v", k)
+	return fmt.Sprintf("%#v", k)
 }
 
 // reserved instructions: chase load, induction add, loop branch.

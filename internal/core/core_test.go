@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"reflect"
 	"testing"
 	"testing/quick"
@@ -70,7 +72,7 @@ func TestQuickGenomeAlwaysFeasible(t *testing.T) {
 func TestEvaluateKnobs(t *testing.T) {
 	cfg := testCfg()
 	k, _ := referenceBaseline()
-	f, err := EvaluateKnobs(cfg, uarch.UniformRates(1), avf.DefaultWeights(), k,
+	f, err := EvaluateKnobs(context.Background(), cfg, uarch.UniformRates(1), avf.DefaultWeights(), k,
 		pipe.RunConfig{MaxInstructions: 40_000, WarmupInstructions: 20_000})
 	if err != nil {
 		t.Fatal(err)
@@ -80,7 +82,7 @@ func TestEvaluateKnobs(t *testing.T) {
 	}
 	bad := cfg
 	bad.Core.ROBEntries = 0
-	if _, err := EvaluateKnobs(bad, uarch.UniformRates(1), avf.DefaultWeights(), k,
+	if _, err := EvaluateKnobs(context.Background(), bad, uarch.UniformRates(1), avf.DefaultWeights(), k,
 		pipe.RunConfig{MaxInstructions: 1000}); err == nil {
 		t.Error("invalid config accepted")
 	}
@@ -104,7 +106,7 @@ func TestSearchTiny(t *testing.T) {
 	}
 	cfg := testCfg()
 	eval := pipe.RunConfig{MaxInstructions: 50_000, WarmupInstructions: 25_000}
-	res, err := Search(SearchSpec{
+	res, err := Search(context.Background(), SearchSpec{
 		Config: cfg,
 		Eval:   eval,
 		Final:  eval,
@@ -142,11 +144,11 @@ func TestSearchSeededBeatsOrMatchesSeed(t *testing.T) {
 	cfg := testCfg()
 	eval := pipe.RunConfig{MaxInstructions: 50_000, WarmupInstructions: 25_000}
 	k, _ := referenceBaseline()
-	seedFit, err := EvaluateKnobs(cfg, uarch.UniformRates(1), avf.DefaultWeights(), k, eval)
+	seedFit, err := EvaluateKnobs(context.Background(), cfg, uarch.UniformRates(1), avf.DefaultWeights(), k, eval)
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Search(SearchSpec{
+	res, err := Search(context.Background(), SearchSpec{
 		Config:    cfg,
 		Eval:      eval,
 		Final:     eval,
@@ -178,7 +180,7 @@ func TestSearchSharesSimulationsThroughCache(t *testing.T) {
 		GA:     ga.Config{PopSize: 6, Generations: 3, Seed: 4},
 		Cache:  store,
 	}
-	cold, err := Search(spec)
+	cold, err := Search(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,7 +188,7 @@ func TestSearchSharesSimulationsThroughCache(t *testing.T) {
 	if simulated == 0 {
 		t.Fatal("cold search did not populate the store")
 	}
-	warm, err := Search(spec)
+	warm, err := Search(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,7 +220,93 @@ func TestDefaultEvalBudgetScalesWithConfig(t *testing.T) {
 func TestSearchRejectsInvalidConfig(t *testing.T) {
 	bad := testCfg()
 	bad.Core.IQEntries = 0
-	if _, err := Search(SearchSpec{Config: bad}); err == nil {
+	if _, err := Search(context.Background(), SearchSpec{Config: bad}); err == nil {
 		t.Error("invalid config accepted")
+	}
+}
+
+// TestSearchCancellation: cancelling mid-search propagates
+// context.Canceled and leaves the shared store uncorrupted — an
+// identical search afterwards completes and matches a virgin-store run
+// exactly (partial entries are content-addressed and bit-identical, so
+// resuming from them changes nothing).
+func TestSearchCancellation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("GA search in -short mode")
+	}
+	store := simcache.New(simcache.Options{})
+	spec := SearchSpec{
+		Config: testCfg(),
+		Eval:   pipe.RunConfig{MaxInstructions: 40_000, WarmupInstructions: 20_000},
+		Final:  pipe.RunConfig{MaxInstructions: 40_000, WarmupInstructions: 20_000},
+		GA:     ga.Config{PopSize: 6, Generations: 4, Seed: 4, Parallelism: 1},
+		Cache:  store,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	gens := 0
+	cancelSpec := spec
+	cancelSpec.Logf = func(string, ...interface{}) {
+		if gens++; gens == 1 {
+			cancel() // after the first generation's summary line
+		}
+	}
+	if _, err := Search(ctx, cancelSpec); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	partial := store.Stats().Simulated
+	resumed, err := Search(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := store.Stats(); st.Simulated <= partial {
+		t.Logf("note: resume re-simulated nothing beyond the partial %d", partial)
+	}
+	virgin, err := Search(context.Background(), SearchSpec{
+		Config: spec.Config, Eval: spec.Eval, Final: spec.Final, GA: spec.GA,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Fitness != virgin.Fitness || resumed.Knobs != virgin.Knobs ||
+		resumed.Evaluations != virgin.Evaluations {
+		t.Errorf("search resumed from a cancelled store diverged:\nresumed %+v\nvirgin  %+v",
+			resumed.Knobs, virgin.Knobs)
+	}
+	for i := range virgin.History {
+		if resumed.History[i] != virgin.History[i] {
+			t.Fatalf("generation %d stats diverge after cancellation", i)
+		}
+	}
+}
+
+// TestSearchCacheDoesNotAlterTrajectory is the system-level regression
+// test for the fingerprint-aliasing bug: a search with a content-
+// addressed store must return exactly the result of the same search
+// with caching disabled (the store may only deduplicate identical
+// inputs, never distinct candidates that happen to render alike).
+func TestSearchCacheDoesNotAlterTrajectory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("GA search in -short mode")
+	}
+	spec := SearchSpec{
+		Config: testCfg(),
+		Eval:   pipe.RunConfig{MaxInstructions: 40_000, WarmupInstructions: 20_000},
+		Final:  pipe.RunConfig{MaxInstructions: 40_000, WarmupInstructions: 20_000},
+		GA:     ga.Config{PopSize: 6, Generations: 4, Seed: 4, Parallelism: 1},
+	}
+	plain, err := Search(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached := spec
+	cached.Cache = simcache.New(simcache.Options{})
+	stored, err := Search(context.Background(), cached)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, stored) {
+		t.Errorf("cache changed the search outcome:\nplain  %+v f=%v evals=%d\nstored %+v f=%v evals=%d",
+			plain.Knobs, plain.Fitness, plain.Evaluations,
+			stored.Knobs, stored.Fitness, stored.Evaluations)
 	}
 }

@@ -14,6 +14,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -121,6 +123,11 @@ type SearchSpec struct {
 	// SeedKnobs optionally seed the initial population.
 	SeedKnobs []codegen.Knobs
 
+	// Logf, when set, receives search progress lines (one per GA
+	// generation: best/avg fitness and cataclysm events). GA.Logf, when
+	// set directly, wins.
+	Logf func(format string, args ...interface{})
+
 	// Cache optionally memoises candidate simulations content-addressed
 	// by (engine version, config, knobs, budget), sharing them across
 	// searches, GA generations and — with a disk tier — processes. Nil
@@ -184,14 +191,21 @@ type SearchResult struct {
 }
 
 // Search runs the full methodology of Figure 2 and returns the
-// stressmark for the spec's microarchitecture and fault rates.
-func Search(spec SearchSpec) (*SearchResult, error) {
+// stressmark for the spec's microarchitecture and fault rates. The
+// context cancels the search between simulations (the GA checks it
+// between generations and fitness evaluations); a cancelled Search
+// returns the context's error and leaves only complete, valid entries
+// in the spec's cache.
+func Search(ctx context.Context, spec SearchSpec) (*SearchResult, error) {
 	spec = spec.withDefaults()
 	if err := spec.Config.Validate(); err != nil {
 		return nil, err
 	}
 	gacfg := spec.GA
 	gacfg.Genes = Genes(spec.Config)
+	if gacfg.Logf == nil {
+		gacfg.Logf = spec.Logf
+	}
 	for _, k := range spec.SeedKnobs {
 		gacfg.InitialPopulation = append(gacfg.InitialPopulation, GenomeFromKnobs(k))
 	}
@@ -215,8 +229,14 @@ func Search(spec SearchSpec) (*SearchResult, error) {
 			return f, nil
 		}
 		mu.Unlock()
-		f, err := ev.EvaluateKnobs(spec.Rates, spec.Weights, k, spec.Eval)
+		f, err := ev.EvaluateKnobs(ctx, spec.Rates, spec.Weights, k, spec.Eval)
 		if err != nil {
+			// Cancellation is not a property of the candidate: propagate
+			// it instead of culling, and never memoise the zero score a
+			// cancelled evaluation would otherwise leave behind.
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return 0, err
+			}
 			// Cull infeasible candidates instead of aborting the search.
 			fails.Add(1)
 			f = 0
@@ -232,7 +252,7 @@ func Search(spec SearchSpec) (*SearchResult, error) {
 		return f, nil
 	}
 
-	gres, err := ga.Run(gacfg, fitness)
+	gres, err := ga.Run(ctx, gacfg, fitness)
 	if err != nil {
 		return nil, err
 	}
@@ -241,7 +261,7 @@ func Search(spec SearchSpec) (*SearchResult, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: regenerating best solution: %w", err)
 	}
-	res, err := ev.SimulateKnobs(best, spec.Final)
+	res, err := ev.SimulateKnobs(ctx, best, spec.Final)
 	if err != nil {
 		return nil, fmt.Errorf("core: final evaluation: %w", err)
 	}
@@ -289,8 +309,13 @@ func (e *Evaluator) WithCache(s *simcache.Store) *Evaluator {
 // content-addressed by (config, knobs, budget): on a cache hit the
 // generation and simulation are both skipped, and concurrent identical
 // candidates (quantised-gene collisions within a generation) simulate
-// once.
-func (e *Evaluator) SimulateKnobs(k codegen.Knobs, rc pipe.RunConfig) (*avf.Result, error) {
+// once. The context is checked before the (uninterruptible) simulation
+// starts — a cancelled evaluation returns the context's error and
+// stores nothing.
+func (e *Evaluator) SimulateKnobs(ctx context.Context, k codegen.Knobs, rc pipe.RunConfig) (*avf.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	key := e.cache.Key(e.cfgFP, "knobs:"+k.Fingerprint(), rc.Fingerprint())
 	return e.cache.Do(key, func() (*avf.Result, error) {
 		p, _, err := codegen.Generate(e.cfg, k, 1<<40)
@@ -303,9 +328,9 @@ func (e *Evaluator) SimulateKnobs(k codegen.Knobs, rc pipe.RunConfig) (*avf.Resu
 
 // EvaluateKnobs generates and simulates one candidate on a pooled
 // pipeline and returns its fitness.
-func (e *Evaluator) EvaluateKnobs(rates uarch.FaultRates, w avf.Weights,
+func (e *Evaluator) EvaluateKnobs(ctx context.Context, rates uarch.FaultRates, w avf.Weights,
 	k codegen.Knobs, rc pipe.RunConfig) (float64, error) {
-	res, err := e.SimulateKnobs(k, rc)
+	res, err := e.SimulateKnobs(ctx, k, rc)
 	if err != nil {
 		return 0, err
 	}
@@ -315,11 +340,11 @@ func (e *Evaluator) EvaluateKnobs(rates uarch.FaultRates, w avf.Weights,
 // EvaluateKnobs generates and simulates one candidate and returns its
 // fitness. It remains the one-shot path for tests and benchmarks that
 // probe individual knob settings; Search uses a long-lived Evaluator.
-func EvaluateKnobs(cfg uarch.Config, rates uarch.FaultRates, w avf.Weights,
+func EvaluateKnobs(ctx context.Context, cfg uarch.Config, rates uarch.FaultRates, w avf.Weights,
 	k codegen.Knobs, rc pipe.RunConfig) (float64, error) {
 	ev, err := NewEvaluator(cfg)
 	if err != nil {
 		return 0, err
 	}
-	return ev.EvaluateKnobs(rates, w, k, rc)
+	return ev.EvaluateKnobs(ctx, rates, w, k, rc)
 }

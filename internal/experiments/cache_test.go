@@ -29,11 +29,11 @@ func TestWorkloadsNotAliasedByConfigName(t *testing.T) {
 	big := uarch.Scaled(uarch.Baseline(), 8)
 	big.Name = small.Name // force the historical collision
 
-	rsSmall, err := ctx.Workloads(small)
+	rsSmall, err := ctx.Workloads(bg, small)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rsBig, err := ctx.Workloads(big)
+	rsBig, err := ctx.Workloads(bg, big)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,11 +71,11 @@ func TestStressmarkNotAliasedByKey(t *testing.T) {
 	ctx := NewContext(smallOpts())
 	big := uarch.Scaled(uarch.Baseline(), 16)
 	big.Name = ctx.Baseline.Name
-	a, err := ctx.Stressmark("baseline", ctx.Baseline, uarch.UniformRates(1))
+	a, err := ctx.Stressmark(bg, "baseline", ctx.Baseline, uarch.UniformRates(1))
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := ctx.Stressmark("baseline", big, uarch.UniformRates(1))
+	b, err := ctx.Stressmark(bg, "baseline", big, uarch.UniformRates(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +100,7 @@ func TestRunByteIdenticalAcrossCacheStates(t *testing.T) {
 		ctx := NewContext(opts)
 		out := ""
 		for _, name := range []string{"fig3", "fig6", "worstcase"} {
-			s, err := ctx.Run(name)
+			s, err := ctx.Run(bg, name)
 			if err != nil {
 				t.Fatalf("%s: %v", name, err)
 			}
@@ -125,7 +125,7 @@ func TestRunByteIdenticalAcrossCacheStates(t *testing.T) {
 	warmCtx := NewContext(warm)
 	out := ""
 	for _, name := range []string{"fig3", "fig6", "worstcase"} {
-		s, err := warmCtx.Run(name)
+		s, err := warmCtx.Run(bg, name)
 		if err != nil {
 			t.Fatalf("warm %s: %v", name, err)
 		}
@@ -154,14 +154,14 @@ func TestSharedStoreDeduplicatesAcrossContexts(t *testing.T) {
 	store := simcache.New(simcache.Options{})
 	opts := smallOpts()
 	opts.Cache = store
-	if _, err := NewContext(opts).Fig3(); err != nil {
+	if _, err := NewContext(opts).Fig3(bg); err != nil {
 		t.Fatal(err)
 	}
 	simulated := store.Stats().Simulated
 	if simulated == 0 {
 		t.Fatal("first context did not populate the store")
 	}
-	if _, err := NewContext(opts).Fig3(); err != nil {
+	if _, err := NewContext(opts).Fig3(bg); err != nil {
 		t.Fatal(err)
 	}
 	st := store.Stats()

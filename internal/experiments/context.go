@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -18,6 +19,7 @@ import (
 	"avfstress/internal/ga"
 	"avfstress/internal/pipe"
 	"avfstress/internal/prog"
+	"avfstress/internal/scenario"
 	"avfstress/internal/simcache"
 	"avfstress/internal/uarch"
 	"avfstress/internal/workloads"
@@ -40,7 +42,11 @@ type Options struct {
 	// WorkloadInstr/WorkloadWarmup budget each workload simulation;
 	// zero derives them from the scaled configuration.
 	WorkloadInstr, WorkloadWarmup int64
-	// Parallelism bounds concurrent simulations (0 = GOMAXPROCS).
+	// Parallelism bounds each concurrency layer independently: the
+	// scheduler's concurrent scenario jobs, a workload suite's
+	// concurrent simulations and a GA search's concurrent evaluations
+	// (0 = GOMAXPROCS each). Layers compose, so transient peaks can
+	// exceed it; actual CPU parallelism stays capped by GOMAXPROCS.
 	Parallelism int
 	// Logf, when set, receives progress lines.
 	Logf func(format string, args ...interface{})
@@ -72,12 +78,60 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// flight memoises keyed computations with singleflight semantics:
+// concurrent callers of one key share a single computation, successful
+// values are memoised forever, and errors (including cancellations) are
+// handed to every waiter but never memoised — a later call retries.
+type flight[T any] struct {
+	mu       sync.Mutex
+	done     map[string]T
+	inflight map[string]*flightCall[T]
+}
+
+type flightCall[T any] struct {
+	ch  chan struct{}
+	val T
+	err error
+}
+
+func (f *flight[T]) do(key string, compute func() (T, error)) (T, error) {
+	f.mu.Lock()
+	if f.done == nil {
+		f.done = map[string]T{}
+		f.inflight = map[string]*flightCall[T]{}
+	}
+	if v, ok := f.done[key]; ok {
+		f.mu.Unlock()
+		return v, nil
+	}
+	if c, ok := f.inflight[key]; ok {
+		f.mu.Unlock()
+		<-c.ch
+		return c.val, c.err
+	}
+	c := &flightCall[T]{ch: make(chan struct{})}
+	f.inflight[key] = c
+	f.mu.Unlock()
+
+	c.val, c.err = compute()
+	f.mu.Lock()
+	delete(f.inflight, key)
+	if c.err == nil {
+		f.done[key] = c.val
+	}
+	f.mu.Unlock()
+	close(c.ch)
+	return c.val, c.err
+}
+
 // Context caches shared work across experiments at two levels: the
-// wl/sm maps memoise whole workload suites and stressmark searches
+// wl/sm flights memoise whole workload suites and stressmark searches
 // (keyed by configuration fingerprint, so configurations sharing a
-// Name can never alias), and every individual simulation underneath is
-// routed through a content-addressed simcache.Store, which also
-// deduplicates work across contexts and — with a disk tier — processes.
+// Name can never alias; concurrent scenario jobs requesting one suite
+// share a single computation), and every individual simulation
+// underneath is routed through a content-addressed simcache.Store,
+// which also deduplicates work across contexts and — with a disk tier —
+// processes.
 type Context struct {
 	Opts     Options
 	Baseline uarch.Config
@@ -85,9 +139,12 @@ type Context struct {
 
 	cache *simcache.Store
 
-	mu sync.Mutex
-	wl map[string][]*avf.Result
-	sm map[string]*core.SearchResult
+	wl flight[[]*avf.Result]
+	sm flight[*core.SearchResult]
+	pv flight[*avf.Result]
+
+	regOnce sync.Once
+	reg     *scenario.Registry
 }
 
 // NewContext prepares a context for the given options.
@@ -104,8 +161,6 @@ func NewContext(opts Options) *Context {
 		Baseline: uarch.Scaled(uarch.Baseline(), opts.Scale),
 		ConfigA:  uarch.Scaled(uarch.ConfigA(), opts.Scale),
 		cache:    cache,
-		wl:       map[string][]*avf.Result{},
-		sm:       map[string]*core.SearchResult{},
 	}
 }
 
@@ -140,64 +195,61 @@ func (c *Context) workloadBudget() pipe.RunConfig {
 // which two differently-scaled configurations could share — and each
 // individual simulation is content-addressed in the simcache store, so
 // other experiments, contexts and processes re-using a workload result
-// pay for it once.
-func (c *Context) Workloads(cfg uarch.Config) ([]*avf.Result, error) {
+// pay for it once. Concurrent callers (scenario jobs) share one
+// computation; cancelling ctx stops the suite between simulations.
+func (c *Context) Workloads(ctx context.Context, cfg uarch.Config) ([]*avf.Result, error) {
 	cfgFP := cfg.Fingerprint()
-	c.mu.Lock()
-	if rs, ok := c.wl[cfgFP]; ok {
-		c.mu.Unlock()
-		return rs, nil
-	}
-	c.mu.Unlock()
-
-	profiles := workloads.Profiles()
-	results := make([]*avf.Result, len(profiles))
-	errs := make([]error, len(profiles))
-	par := c.Opts.Parallelism
-	if par <= 0 {
-		par = runtime.GOMAXPROCS(0)
-	}
-	pool, err := pipe.NewPool(cfg)
-	if err != nil {
-		return nil, err
-	}
-	sem := make(chan struct{}, par)
-	var wg sync.WaitGroup
-	rc := c.workloadBudget()
-	rcFP := rc.Fingerprint()
-	for i, pf := range profiles {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int, pf workloads.Profile) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			p, err := pf.Build(cfg, c.Opts.Seed)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			key := c.cache.Key(cfgFP, "prog:"+p.Fingerprint(), rcFP)
-			results[i], errs[i] = c.cache.Do(key, func() (*avf.Result, error) {
-				return pool.Simulate(p, rc)
-			})
-		}(i, pf)
-	}
-	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("experiments: workload %s: %w", profiles[i].Name, err)
+	return c.wl.do(cfgFP, func() ([]*avf.Result, error) {
+		profiles := workloads.Profiles()
+		results := make([]*avf.Result, len(profiles))
+		errs := make([]error, len(profiles))
+		par := c.Opts.Parallelism
+		if par <= 0 {
+			par = runtime.GOMAXPROCS(0)
 		}
-	}
-	c.logf("simulated %d workload proxies on %s", len(results), cfg.Name)
-	c.mu.Lock()
-	c.wl[cfgFP] = results
-	c.mu.Unlock()
-	return results, nil
+		pool, err := pipe.NewPool(cfg)
+		if err != nil {
+			return nil, err
+		}
+		sem := make(chan struct{}, par)
+		var wg sync.WaitGroup
+		rc := c.workloadBudget()
+		rcFP := rc.Fingerprint()
+		for i, pf := range profiles {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int, pf workloads.Profile) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					return
+				}
+				p, err := pf.Build(cfg, c.Opts.Seed)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				key := c.cache.Key(cfgFP, "prog:"+p.Fingerprint(), rcFP)
+				results[i], errs[i] = c.cache.Do(key, func() (*avf.Result, error) {
+					return pool.Simulate(p, rc)
+				})
+			}(i, pf)
+		}
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				return nil, fmt.Errorf("experiments: workload %s: %w", profiles[i].Name, err)
+			}
+		}
+		c.logf("simulated %d workload proxies on %s", len(results), cfg.Name)
+		return results, nil
+	})
 }
 
 // WorkloadsBySuite splits cached baseline results by suite.
-func (c *Context) WorkloadsBySuite(cfg uarch.Config, s workloads.Suite) ([]*avf.Result, error) {
-	all, err := c.Workloads(cfg)
+func (c *Context) WorkloadsBySuite(ctx context.Context, cfg uarch.Config, s workloads.Suite) ([]*avf.Result, error) {
+	all, err := c.Workloads(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -241,45 +293,45 @@ func ReferenceKnobs(key string) (codegen.Knobs, error) {
 // instead of searching. The memo key covers the configuration
 // fingerprint and the rate vector, not just the search key, so the same
 // key name against two configurations (or rate sets) never aliases.
-func (c *Context) Stressmark(key string, cfg uarch.Config, rates uarch.FaultRates) (*core.SearchResult, error) {
+// Concurrent callers share one search; cancelling ctx stops the GA
+// within one generation and nothing partial is memoised.
+func (c *Context) Stressmark(ctx context.Context, key string, cfg uarch.Config, rates uarch.FaultRates) (*core.SearchResult, error) {
 	smKey := key + "\x00" + cfg.Fingerprint() + "\x00" + rates.Fingerprint()
-	c.mu.Lock()
-	if r, ok := c.sm[smKey]; ok {
-		c.mu.Unlock()
-		return r, nil
-	}
-	c.mu.Unlock()
-
-	var (
-		res *core.SearchResult
-		err error
-	)
-	if c.Opts.UseReferenceKnobs {
-		res, err = c.evaluateReference(key, cfg, rates)
-	} else {
-		c.logf("GA search %q on %s (%d×%d)...", key, cfg.Name, c.Opts.GAGens, c.Opts.GAPop)
-		res, err = core.Search(core.SearchSpec{
-			Config:  cfg,
-			Rates:   rates,
-			Weights: searchWeights(key),
-			GA: ga.Config{
-				PopSize:     c.Opts.GAPop,
-				Generations: c.Opts.GAGens,
-				Seed:        c.Opts.Seed,
-				Parallelism: c.Opts.Parallelism,
-			},
-			Cache: c.cache,
-		})
-	}
-	if err != nil {
-		return nil, fmt.Errorf("experiments: stressmark %q: %w", key, err)
-	}
-	c.logf("stressmark %q: fitness %.3f, knobs: loop=%d loads=%d stores=%d l2hit=%v",
-		key, res.Fitness, res.Knobs.LoopSize, res.Knobs.NumLoads, res.Knobs.NumStores, res.Knobs.L2Hit)
-	c.mu.Lock()
-	c.sm[smKey] = res
-	c.mu.Unlock()
-	return res, nil
+	return c.sm.do(smKey, func() (*core.SearchResult, error) {
+		var (
+			res *core.SearchResult
+			err error
+		)
+		if c.Opts.UseReferenceKnobs {
+			res, err = c.evaluateReference(ctx, key, cfg, rates)
+		} else {
+			c.logf("GA search %q on %s (%d×%d)...", key, cfg.Name, c.Opts.GAGens, c.Opts.GAPop)
+			spec := core.SearchSpec{
+				Config:  cfg,
+				Rates:   rates,
+				Weights: searchWeights(key),
+				GA: ga.Config{
+					PopSize:     c.Opts.GAPop,
+					Generations: c.Opts.GAGens,
+					Seed:        c.Opts.Seed,
+					Parallelism: c.Opts.Parallelism,
+				},
+				Cache: c.cache,
+			}
+			if c.Opts.Logf != nil {
+				spec.Logf = func(f string, args ...interface{}) {
+					c.logf("search %q: "+f, append([]interface{}{key}, args...)...)
+				}
+			}
+			res, err = core.Search(ctx, spec)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("experiments: stressmark %q: %w", key, err)
+		}
+		c.logf("stressmark %q: fitness %.3f, knobs: loop=%d loads=%d stores=%d l2hit=%v",
+			key, res.Fitness, res.Knobs.LoopSize, res.Knobs.NumLoads, res.Knobs.NumStores, res.Knobs.L2Hit)
+		return res, nil
+	})
 }
 
 // searchWeights selects the fitness weighting per study. The RHC/EDR
@@ -298,7 +350,10 @@ func searchWeights(key string) avf.Weights {
 
 // evaluateReference builds a SearchResult from published knobs without a
 // search.
-func (c *Context) evaluateReference(key string, cfg uarch.Config, rates uarch.FaultRates) (*core.SearchResult, error) {
+func (c *Context) evaluateReference(ctx context.Context, key string, cfg uarch.Config, rates uarch.FaultRates) (*core.SearchResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	k, err := ReferenceKnobs(key)
 	if err != nil {
 		return nil, err
@@ -325,12 +380,32 @@ func (c *Context) evaluateReference(key string, cfg uarch.Config, rates uarch.Fa
 
 // StressmarkProgram is a convenience for examples/tools: the generated
 // best program for a key.
-func (c *Context) StressmarkProgram(key string, cfg uarch.Config, rates uarch.FaultRates) (*prog.Program, error) {
-	r, err := c.Stressmark(key, cfg, rates)
+func (c *Context) StressmarkProgram(ctx context.Context, key string, cfg uarch.Config, rates uarch.FaultRates) (*prog.Program, error) {
+	r, err := c.Stressmark(ctx, key, cfg, rates)
 	if err != nil {
 		return nil, err
 	}
 	return r.Program, nil
+}
+
+// PowerVirus simulates (once, cached) the §IV-B maximum-activity loop
+// on the baseline configuration.
+func (c *Context) PowerVirus(ctx context.Context) (*avf.Result, error) {
+	cfg := c.Baseline
+	return c.pv.do("pv\x00"+cfg.Fingerprint(), func() (*avf.Result, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		pv, err := powerVirus(cfg)
+		if err != nil {
+			return nil, err
+		}
+		rc := c.workloadBudget()
+		key := c.cache.Key(cfg.Fingerprint(), "prog:"+pv.Fingerprint(), rc.Fingerprint())
+		return c.cache.Do(key, func() (*avf.Result, error) {
+			return pipe.Simulate(cfg, pv, rc)
+		})
+	})
 }
 
 // sortedByClass returns indices of results ordered by descending class

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -54,12 +55,12 @@ func TestNamesAndUnknown(t *testing.T) {
 	if len(Names()) != 13 {
 		t.Errorf("experiment count %d, want 13", len(Names()))
 	}
-	if _, err := fastCtx.Run("bogus"); err == nil {
+	if _, err := fastCtx.Run(bg, "bogus"); err == nil {
 		t.Error("unknown experiment accepted")
 	}
 	// table1/table2 need no simulation.
 	for _, n := range []string{"table1", "table2"} {
-		out, err := fastCtx.Run(n)
+		out, err := fastCtx.Run(bg, n)
 		if err != nil || out == "" {
 			t.Errorf("%s: %v", n, err)
 		}
@@ -70,7 +71,7 @@ func TestFig3StressmarkWinsEveryClass(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation suite in -short mode")
 	}
-	f, err := fastCtx.Fig3()
+	f, err := fastCtx.Fig3(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +102,7 @@ func TestFig4MiBench(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation suite in -short mode")
 	}
-	f, err := fastCtx.Fig4()
+	f, err := fastCtx.Fig4(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +124,7 @@ func TestFig6Structure(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation suite in -short mode")
 	}
-	f, err := fastCtx.Fig6()
+	f, err := fastCtx.Fig6(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +156,7 @@ func TestWorstCaseBoundExceedsSustained(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation suite in -short mode")
 	}
-	w, err := fastCtx.WorstCase()
+	w, err := fastCtx.WorstCase(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +178,7 @@ func TestTable3ReferenceMode(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation suite in -short mode")
 	}
-	tb, err := fastCtx.Table3()
+	tb, err := fastCtx.Table3(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,7 +210,7 @@ func TestFig8KnobsDiffer(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation suite in -short mode")
 	}
-	f, err := fastCtx.Fig8()
+	f, err := fastCtx.Fig8(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -231,7 +232,7 @@ func TestFig9ConfigAAdaptation(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation suite in -short mode")
 	}
-	f, err := fastCtx.Fig9()
+	f, err := fastCtx.Fig9(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -252,7 +253,7 @@ func TestEvaluateReferenceProducesACEStressmark(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation suite in -short mode")
 	}
-	sm, err := fastCtx.Stressmark("baseline", fastCtx.Baseline, uarch.UniformRates(1))
+	sm, err := fastCtx.Stressmark(bg, "baseline", fastCtx.Baseline, uarch.UniformRates(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -263,7 +264,7 @@ func TestEvaluateReferenceProducesACEStressmark(t *testing.T) {
 		t.Error(err)
 	}
 	// Cached: a second call returns the same object.
-	sm2, err := fastCtx.Stressmark("baseline", fastCtx.Baseline, uarch.UniformRates(1))
+	sm2, err := fastCtx.Stressmark(bg, "baseline", fastCtx.Baseline, uarch.UniformRates(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -276,7 +277,7 @@ func TestPowerContrastReproducesSectionIVB(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation suite in -short mode")
 	}
-	p, err := fastCtx.PowerContrast()
+	p, err := fastCtx.PowerContrast(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -310,7 +311,7 @@ func TestHVFStudyBoundsHoldSuiteWide(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation suite in -short mode")
 	}
-	h, err := fastCtx.HVFStudy()
+	h, err := fastCtx.HVFStudy(bg)
 	if err != nil {
 		t.Fatal(err) // HVFStudy itself fails on any AVF > HVF violation
 	}
@@ -339,3 +340,6 @@ func TestRunAllNamesIncludeExtras(t *testing.T) {
 		t.Errorf("extras missing from experiment list: %v", names)
 	}
 }
+
+// bg is the test suite's shared background context.
+var bg = context.Background()

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -8,7 +9,6 @@ import (
 	"avfstress/internal/analysis"
 	"avfstress/internal/avf"
 	"avfstress/internal/isa"
-	"avfstress/internal/pipe"
 	"avfstress/internal/power"
 	"avfstress/internal/prog"
 	"avfstress/internal/report"
@@ -106,7 +106,7 @@ func powerVirus(cfg uarch.Config) (*prog.Program, error) {
 
 // PowerContrast evaluates the stressmark, a synthetic power virus and
 // the workload suite under the power proxy.
-func (c *Context) PowerContrast() (*PowerContrastResult, error) {
+func (c *Context) PowerContrast(ctx context.Context) (*PowerContrastResult, error) {
 	cfg := c.Baseline
 	rates := uarch.UniformRates(1)
 	out := &PowerContrastResult{}
@@ -118,25 +118,17 @@ func (c *Context) PowerContrast() (*PowerContrastResult, error) {
 			IPC:   r.IPC,
 		})
 	}
-	sm, err := c.Stressmark("baseline", cfg, rates)
+	sm, err := c.Stressmark(ctx, "baseline", cfg, rates)
 	if err != nil {
 		return nil, err
 	}
 	add("stressmark", sm.Result)
-	pv, err := powerVirus(cfg)
-	if err != nil {
-		return nil, err
-	}
-	rc := c.workloadBudget()
-	key := c.cache.Key(cfg.Fingerprint(), "prog:"+pv.Fingerprint(), rc.Fingerprint())
-	pr, err := c.cache.Do(key, func() (*avf.Result, error) {
-		return pipe.Simulate(cfg, pv, rc)
-	})
+	pr, err := c.PowerVirus(ctx)
 	if err != nil {
 		return nil, err
 	}
 	add("power-virus", pr)
-	wl, err := c.Workloads(cfg)
+	wl, err := c.Workloads(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -178,13 +170,13 @@ func (h *HVFResult) String() string {
 
 // HVFStudy computes the HVF bound for the stressmark and the suite and
 // verifies AVF ≤ HVF throughout.
-func (c *Context) HVFStudy() (*HVFResult, error) {
+func (c *Context) HVFStudy(ctx context.Context) (*HVFResult, error) {
 	cfg := c.Baseline
-	sm, err := c.Stressmark("baseline", cfg, uarch.UniformRates(1))
+	sm, err := c.Stressmark(ctx, "baseline", cfg, uarch.UniformRates(1))
 	if err != nil {
 		return nil, err
 	}
-	wl, err := c.Workloads(cfg)
+	wl, err := c.Workloads(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}

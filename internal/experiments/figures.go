@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -78,26 +79,26 @@ func (f *SERComparison) String() string {
 
 // Fig3 compares the stressmark with the SPEC CPU2006 proxies on the
 // baseline configuration (paper Figure 3).
-func (c *Context) Fig3() (*SERComparison, error) {
-	return c.serComparison("Figure 3", []workloads.Suite{workloads.SPECInt, workloads.SPECFP})
+func (c *Context) Fig3(ctx context.Context) (*SERComparison, error) {
+	return c.serComparison(ctx, "Figure 3", []workloads.Suite{workloads.SPECInt, workloads.SPECFP})
 }
 
 // Fig4 compares the stressmark with the MiBench proxies (paper Figure 4).
-func (c *Context) Fig4() (*SERComparison, error) {
-	return c.serComparison("Figure 4", []workloads.Suite{workloads.MiBench})
+func (c *Context) Fig4(ctx context.Context) (*SERComparison, error) {
+	return c.serComparison(ctx, "Figure 4", []workloads.Suite{workloads.MiBench})
 }
 
-func (c *Context) serComparison(fig string, suites []workloads.Suite) (*SERComparison, error) {
+func (c *Context) serComparison(ctx context.Context, fig string, suites []workloads.Suite) (*SERComparison, error) {
 	cfg := c.Baseline
 	rates := uarch.UniformRates(1)
-	sm, err := c.Stressmark("baseline", cfg, rates)
+	sm, err := c.Stressmark(ctx, "baseline", cfg, rates)
 	if err != nil {
 		return nil, err
 	}
 	out := &SERComparison{Figure: fig, Config: cfg.Name,
 		Stressmark: serRow("stressmark", sm.Result, cfg, rates)}
 	for _, s := range suites {
-		rs, err := c.WorkloadsBySuite(cfg, s)
+		rs, err := c.WorkloadsBySuite(ctx, cfg, s)
 		if err != nil {
 			return nil, err
 		}
@@ -141,9 +142,9 @@ func (f *Fig5Result) String() string {
 }
 
 // Fig5 runs the baseline GA search and reports knobs and convergence.
-func (c *Context) Fig5() (*Fig5Result, error) {
+func (c *Context) Fig5(ctx context.Context) (*Fig5Result, error) {
 	cfg := c.Baseline
-	sm, err := c.Stressmark("baseline", cfg, uarch.UniformRates(1))
+	sm, err := c.Stressmark(ctx, "baseline", cfg, uarch.UniformRates(1))
 	if err != nil {
 		return nil, err
 	}
@@ -202,15 +203,15 @@ func (f *Fig6Result) String() string {
 
 // Fig6 reports per-structure AVFs for all three suites plus the
 // stressmark (paper Figure 6a/b/c).
-func (c *Context) Fig6() (*Fig6Result, error) {
+func (c *Context) Fig6(ctx context.Context) (*Fig6Result, error) {
 	cfg := c.Baseline
-	sm, err := c.Stressmark("baseline", cfg, uarch.UniformRates(1))
+	sm, err := c.Stressmark(ctx, "baseline", cfg, uarch.UniformRates(1))
 	if err != nil {
 		return nil, err
 	}
 	out := &Fig6Result{Config: cfg.Name, Stressmark: avfRow("stressmark", sm.Result)}
 	for _, s := range []workloads.Suite{workloads.SPECInt, workloads.SPECFP, workloads.MiBench} {
-		rs, err := c.WorkloadsBySuite(cfg, s)
+		rs, err := c.WorkloadsBySuite(ctx, cfg, s)
 		if err != nil {
 			return nil, err
 		}
@@ -270,9 +271,9 @@ func (f *Fig7Result) String() string {
 
 // Fig7 evaluates all workloads and per-rate-set stressmarks under the
 // RHC and EDR fault rates.
-func (c *Context) Fig7() (*Fig7Result, error) {
+func (c *Context) Fig7(ctx context.Context) (*Fig7Result, error) {
 	cfg := c.Baseline
-	all, err := c.Workloads(cfg)
+	all, err := c.Workloads(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -284,7 +285,7 @@ func (c *Context) Fig7() (*Fig7Result, error) {
 		{"rhc", uarch.RHCRates()},
 		{"edr", uarch.EDRRates()},
 	} {
-		sm, err := c.Stressmark(rs.key, cfg, rs.rates)
+		sm, err := c.Stressmark(ctx, rs.key, cfg, rs.rates)
 		if err != nil {
 			return nil, err
 		}
@@ -341,17 +342,17 @@ func (f *Fig8Result) String() string {
 }
 
 // Fig8 runs the three rate-set searches and assembles Figure 8.
-func (c *Context) Fig8() (*Fig8Result, error) {
+func (c *Context) Fig8(ctx context.Context) (*Fig8Result, error) {
 	cfg := c.Baseline
-	base, err := c.Stressmark("baseline", cfg, uarch.UniformRates(1))
+	base, err := c.Stressmark(ctx, "baseline", cfg, uarch.UniformRates(1))
 	if err != nil {
 		return nil, err
 	}
-	rhc, err := c.Stressmark("rhc", cfg, uarch.RHCRates())
+	rhc, err := c.Stressmark(ctx, "rhc", cfg, uarch.RHCRates())
 	if err != nil {
 		return nil, err
 	}
-	edr, err := c.Stressmark("edr", cfg, uarch.EDRRates())
+	edr, err := c.Stressmark(ctx, "edr", cfg, uarch.EDRRates())
 	if err != nil {
 		return nil, err
 	}
@@ -397,12 +398,12 @@ func (f *Fig9Result) String() string {
 
 // Fig9 searches on Configuration A and compares with the baseline
 // stressmark.
-func (c *Context) Fig9() (*Fig9Result, error) {
-	base, err := c.Stressmark("baseline", c.Baseline, uarch.UniformRates(1))
+func (c *Context) Fig9(ctx context.Context) (*Fig9Result, error) {
+	base, err := c.Stressmark(ctx, "baseline", c.Baseline, uarch.UniformRates(1))
 	if err != nil {
 		return nil, err
 	}
-	ca, err := c.Stressmark("configA", c.ConfigA, uarch.UniformRates(1))
+	ca, err := c.Stressmark(ctx, "configA", c.ConfigA, uarch.UniformRates(1))
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -71,9 +72,9 @@ func (t *Table3Result) String() string {
 }
 
 // Table3 reproduces Table III for the Baseline, RHC and EDR rate sets.
-func (c *Context) Table3() (*Table3Result, error) {
+func (c *Context) Table3(ctx context.Context) (*Table3Result, error) {
 	cfg := c.Baseline
-	all, err := c.Workloads(cfg)
+	all, err := c.Workloads(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -86,7 +87,7 @@ func (c *Context) Table3() (*Table3Result, error) {
 		{"RHC", "rhc", uarch.RHCRates()},
 		{"EDR", "edr", uarch.EDRRates()},
 	} {
-		sm, err := c.Stressmark(rs.key, cfg, rs.rates)
+		sm, err := c.Stressmark(ctx, rs.key, cfg, rs.rates)
 		if err != nil {
 			return nil, err
 		}
@@ -126,14 +127,14 @@ func (w *WorstCaseResult) String() string {
 
 // WorstCase reproduces the §VI back-of-the-envelope check and the
 // coverage analysis of the workload suite.
-func (c *Context) WorstCase() (*WorstCaseResult, error) {
+func (c *Context) WorstCase(ctx context.Context) (*WorstCaseResult, error) {
 	cfg := c.Baseline
 	rates := uarch.UniformRates(1)
-	sm, err := c.Stressmark("baseline", cfg, rates)
+	sm, err := c.Stressmark(ctx, "baseline", cfg, rates)
 	if err != nil {
 		return nil, err
 	}
-	all, err := c.Workloads(cfg)
+	all, err := c.Workloads(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -10,6 +10,7 @@
 package ga
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -90,6 +91,12 @@ type Config struct {
 	// (clipped to PopSize); the remainder is random. Useful for resuming
 	// a search or biasing it with a known-good solution.
 	InitialPopulation []Genome
+
+	// Logf, when set, receives one line per generation (best/avg/worst
+	// fitness and cataclysm events) — the convergence stream surfaced
+	// by verbose CLI runs and avfstressd job progress. Logging never
+	// affects the search trajectory.
+	Logf func(format string, args ...interface{})
 
 	Seed int64
 }
@@ -173,8 +180,12 @@ type Result struct {
 	Cataclysms  int
 }
 
-// Run executes the GA and returns the best solution found.
-func Run(cfg Config, fit Fitness) (*Result, error) {
+// Run executes the GA and returns the best solution found. The context
+// is checked between generations and between fitness evaluations, so a
+// cancellation or deadline stops the search within one generation and
+// Run returns the context's error (in-flight evaluations finish first —
+// a fitness call is never abandoned midway).
+func Run(ctx context.Context, cfg Config, fit Fitness) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -206,7 +217,10 @@ func Run(cfg Config, fit Fitness) (*Result, error) {
 	carryKnown := make([]bool, cfg.PopSize)
 	stale := 0
 	for gen := 0; gen < cfg.Generations; gen++ {
-		n, err := evaluate(pop, scores, carryScore, carryKnown, fit, cfg.Parallelism)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		n, err := evaluate(ctx, pop, scores, carryScore, carryKnown, fit, cfg.Parallelism)
 		if err != nil {
 			return nil, fmt.Errorf("ga: generation %d: %w", gen, err)
 		}
@@ -225,8 +239,20 @@ func Run(cfg Config, fit Fitness) (*Result, error) {
 		} else {
 			stale = 0
 		}
-		if stale >= cfg.CataclysmPatience && gen < cfg.Generations-1 {
+		cataclysm := stale >= cfg.CataclysmPatience && gen < cfg.Generations-1
+		if cataclysm {
 			st.Cataclysm = true
+		}
+		if cfg.Logf != nil {
+			ev := ""
+			if st.Cataclysm {
+				ev = "  [cataclysm]"
+			}
+			cfg.Logf("gen %d/%d: best %.4f avg %.4f worst %.4f%s",
+				gen+1, cfg.Generations, st.Best, st.Avg, st.Worst, ev)
+		}
+		res.History = append(res.History, st)
+		if cataclysm {
 			res.Cataclysms++
 			stale = 0
 			seed := res.Best.Clone()
@@ -236,10 +262,8 @@ func Run(cfg Config, fit Fitness) (*Result, error) {
 			}
 			pop[0] = seed
 			carryScore[0], carryKnown[0] = res.BestFitness, true
-			res.History = append(res.History, st)
 			continue
 		}
-		res.History = append(res.History, st)
 		if gen == cfg.Generations-1 {
 			break
 		}
@@ -361,8 +385,11 @@ func bestIndex(scores []float64) int {
 // Individuals with a carried score (elites, the post-cataclysm seed) are
 // not re-evaluated — fitness purity guarantees the identical value — and
 // the returned count covers only the evaluations actually performed.
-func evaluate(pop []Genome, scores, carryScore []float64, carryKnown []bool,
-	fit Fitness, parallelism int) (int, error) {
+// The context is checked before every fitness call (the "between fitness
+// batches" cancellation point), so a cancelled search abandons the rest
+// of the population without waiting for it.
+func evaluate(ctx context.Context, pop []Genome, scores, carryScore []float64,
+	carryKnown []bool, fit Fitness, parallelism int) (int, error) {
 	n := 0
 	for i := range pop {
 		if carryKnown[i] {
@@ -379,6 +406,9 @@ func evaluate(pop []Genome, scores, carryScore []float64, carryKnown []bool,
 			if carryKnown[i] {
 				continue
 			}
+			if err := ctx.Err(); err != nil {
+				return n, err
+			}
 			s, err := fit(pop[i])
 			if err != nil {
 				return n, fmt.Errorf("individual %d: %w", i, err)
@@ -393,6 +423,13 @@ func evaluate(pop []Genome, scores, carryScore []float64, carryKnown []bool,
 		mu       sync.Mutex
 		firstErr error
 	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
 	wg.Add(parallelism)
 	for w := 0; w < parallelism; w++ {
 		go func() {
@@ -405,13 +442,13 @@ func evaluate(pop []Genome, scores, carryScore []float64, carryKnown []bool,
 				if carryKnown[i] {
 					continue
 				}
+				if err := ctx.Err(); err != nil {
+					fail(err)
+					return
+				}
 				s, err := fit(pop[i])
 				if err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = fmt.Errorf("individual %d: %w", i, err)
-					}
-					mu.Unlock()
+					fail(fmt.Errorf("individual %d: %w", i, err))
 					continue
 				}
 				scores[i] = s

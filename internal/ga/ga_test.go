@@ -1,9 +1,14 @@
 package ga
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"math"
 	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 )
@@ -27,13 +32,13 @@ func sphere(g Genome) (float64, error) {
 }
 
 func TestValidation(t *testing.T) {
-	if _, err := Run(Config{}, sphere); err == nil {
+	if _, err := Run(context.Background(), Config{}, sphere); err == nil {
 		t.Error("empty gene list accepted")
 	}
-	if _, err := Run(Config{Genes: []Gene{{Min: 2, Max: 1}}}, sphere); err == nil {
+	if _, err := Run(context.Background(), Config{Genes: []Gene{{Min: 2, Max: 1}}}, sphere); err == nil {
 		t.Error("inverted gene range accepted")
 	}
-	if _, err := Run(Config{Genes: genes(2)}, nil); err == nil {
+	if _, err := Run(context.Background(), Config{Genes: genes(2)}, nil); err == nil {
 		t.Error("nil fitness accepted")
 	}
 }
@@ -55,7 +60,7 @@ func expectedEvaluations(popSize, elites int, history []GenStats) int {
 }
 
 func TestSphereConverges(t *testing.T) {
-	res, err := Run(Config{
+	res, err := Run(context.Background(), Config{
 		Genes: genes(6), PopSize: 40, Generations: 40, Seed: 7,
 	}, sphere)
 	if err != nil {
@@ -86,7 +91,7 @@ func TestElitesAreNotReEvaluated(t *testing.T) {
 		calls++
 		return sphere(g)
 	}
-	res, err := Run(Config{
+	res, err := Run(context.Background(), Config{
 		Genes: genes(5), PopSize: pop, Generations: gens, Seed: 21,
 		Elites: elites, Parallelism: 1,
 	}, counted)
@@ -104,7 +109,7 @@ func TestElitesAreNotReEvaluated(t *testing.T) {
 	}
 	// The carried scores must be the values the fitness would return:
 	// the run's trajectory (and best) matches a second identical run.
-	res2, err := Run(Config{
+	res2, err := Run(context.Background(), Config{
 		Genes: genes(5), PopSize: pop, Generations: gens, Seed: 21,
 		Elites: elites, Parallelism: 1,
 	}, sphere)
@@ -133,7 +138,7 @@ func TestOneMaxWithIntegerGenes(t *testing.T) {
 		}
 		return s, nil
 	}
-	res, err := Run(Config{Genes: gs, PopSize: 30, Generations: 30, Seed: 3}, onemax)
+	res, err := Run(context.Background(), Config{Genes: gs, PopSize: 30, Generations: 30, Seed: 3}, onemax)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +148,7 @@ func TestOneMaxWithIntegerGenes(t *testing.T) {
 }
 
 func TestBestSoFarIsMonotone(t *testing.T) {
-	res, err := Run(Config{Genes: genes(4), PopSize: 20, Generations: 25, Seed: 11}, sphere)
+	res, err := Run(context.Background(), Config{Genes: genes(4), PopSize: 20, Generations: 25, Seed: 11}, sphere)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,7 +171,7 @@ func TestBestSoFarIsMonotone(t *testing.T) {
 
 func TestDeterministicUnderSeed(t *testing.T) {
 	run := func() *Result {
-		r, err := Run(Config{Genes: genes(5), PopSize: 16, Generations: 12, Seed: 99, Parallelism: 4}, sphere)
+		r, err := Run(context.Background(), Config{Genes: genes(5), PopSize: 16, Generations: 12, Seed: 99, Parallelism: 4}, sphere)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -181,7 +186,7 @@ func TestDeterministicUnderSeed(t *testing.T) {
 			t.Fatal("same seed, different genome")
 		}
 	}
-	c, err := Run(Config{Genes: genes(5), PopSize: 16, Generations: 12, Seed: 100}, sphere)
+	c, err := Run(context.Background(), Config{Genes: genes(5), PopSize: 16, Generations: 12, Seed: 100}, sphere)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,7 +206,7 @@ func TestCataclysmTriggersOnConvergence(t *testing.T) {
 	// from generation 0, so a cataclysm must fire after the patience
 	// window.
 	flat := func(Genome) (float64, error) { return 1, nil }
-	res, err := Run(Config{
+	res, err := Run(context.Background(), Config{
 		Genes: genes(3), PopSize: 10, Generations: 20, Seed: 5,
 		CataclysmPatience: 3,
 	}, flat)
@@ -232,7 +237,7 @@ func TestCataclysmKeepsBest(t *testing.T) {
 		}
 		return g[0], nil
 	}
-	res, err := Run(Config{Genes: genes(2), PopSize: 8, Generations: 10, Seed: 2,
+	res, err := Run(context.Background(), Config{Genes: genes(2), PopSize: 8, Generations: 10, Seed: 2,
 		CataclysmPatience: 2}, tricky)
 	if err != nil {
 		t.Fatal(err)
@@ -244,7 +249,7 @@ func TestCataclysmKeepsBest(t *testing.T) {
 
 func TestInitialPopulationSeeding(t *testing.T) {
 	seeded := Genome{0.5, 0.5, 0.5}
-	res, err := Run(Config{
+	res, err := Run(context.Background(), Config{
 		Genes: genes(3), PopSize: 6, Generations: 1, Seed: 1,
 		InitialPopulation: []Genome{seeded},
 	}, sphere)
@@ -259,7 +264,7 @@ func TestInitialPopulationSeeding(t *testing.T) {
 
 func TestFitnessErrorPropagates(t *testing.T) {
 	boom := errors.New("boom")
-	_, err := Run(Config{Genes: genes(2), PopSize: 4, Generations: 2, Seed: 1},
+	_, err := Run(context.Background(), Config{Genes: genes(2), PopSize: 4, Generations: 2, Seed: 1},
 		func(Genome) (float64, error) { return 0, boom })
 	if err == nil || !errors.Is(err, boom) {
 		t.Errorf("fitness error lost: %v", err)
@@ -335,7 +340,7 @@ func TestElitesSurviveUnchanged(t *testing.T) {
 }
 
 func TestIslandModelConvergesAndMigrates(t *testing.T) {
-	res, err := Run(Config{
+	res, err := Run(context.Background(), Config{
 		Genes: genes(5), PopSize: 24, Generations: 30, Seed: 13,
 		Islands: 4, MigrationEvery: 2,
 	}, sphere)
@@ -378,5 +383,92 @@ func TestMigrationMovesBestGenome(t *testing.T) {
 	}
 	if pop[0][0] != 0.7 {
 		t.Errorf("island 0 worst = %v, want 0.7", pop[0][0])
+	}
+}
+
+// TestCancellationStopsWithinOneGeneration: a context cancelled during
+// a generation's evaluations must stop the run before the next
+// generation begins — at most the remainder of the current population
+// is evaluated — and Run must return the context's error.
+func TestCancellationStopsWithinOneGeneration(t *testing.T) {
+	const pop, gens = 8, 50
+	ctx, cancel := context.WithCancel(context.Background())
+	var calls atomic.Int32
+	fit := func(g Genome) (float64, error) {
+		if calls.Add(1) == pop+3 { // partway through generation 1
+			cancel()
+		}
+		return sphere(g)
+	}
+	_, err := Run(ctx, Config{
+		Genes: genes(4), PopSize: pop, Generations: gens, Seed: 6, Parallelism: 2,
+	}, fit)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	// Stopped within one generation of the cancellation point: never
+	// reaches generation 2's evaluations.
+	if n := calls.Load(); n > 2*pop {
+		t.Errorf("%d fitness calls after cancelling in generation 1 (bound %d)", n, 2*pop)
+	}
+}
+
+// TestPreCancelledContextEvaluatesNothing: Run on an already-cancelled
+// context returns immediately without touching the fitness function.
+func TestPreCancelledContextEvaluatesNothing(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var calls atomic.Int32
+	_, err := Run(ctx, Config{Genes: genes(2), PopSize: 4, Generations: 2, Seed: 1},
+		func(g Genome) (float64, error) { calls.Add(1); return sphere(g) })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if calls.Load() != 0 {
+		t.Errorf("%d fitness calls on a dead context", calls.Load())
+	}
+}
+
+// TestLogfStreamsGenerations: the progress callback sees one line per
+// generation (with the cataclysm marker) and never alters the search.
+func TestLogfStreamsGenerations(t *testing.T) {
+	var mu sync.Mutex
+	var lines []string
+	logged, err := Run(context.Background(), Config{
+		Genes: genes(3), PopSize: 10, Generations: 12, Seed: 5,
+		CataclysmPatience: 3,
+		Logf: func(f string, args ...interface{}) {
+			mu.Lock()
+			lines = append(lines, fmt.Sprintf(f, args...))
+			mu.Unlock()
+		},
+	}, func(Genome) (float64, error) { return 1, nil }) // flat → cataclysms
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != len(logged.History) {
+		t.Fatalf("%d log lines for %d generations", len(lines), len(logged.History))
+	}
+	cataclysms := 0
+	for i, l := range lines {
+		if !strings.Contains(l, "best") || !strings.Contains(l, "avg") {
+			t.Errorf("line %d missing stats: %q", i, l)
+		}
+		if strings.Contains(l, "cataclysm") {
+			cataclysms++
+		}
+	}
+	if cataclysms != logged.Cataclysms {
+		t.Errorf("log marks %d cataclysms, result says %d", cataclysms, logged.Cataclysms)
+	}
+	silent, err := Run(context.Background(), Config{
+		Genes: genes(3), PopSize: 10, Generations: 12, Seed: 5,
+		CataclysmPatience: 3,
+	}, func(Genome) (float64, error) { return 1, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if silent.BestFitness != logged.BestFitness || len(silent.History) != len(logged.History) {
+		t.Error("logging changed the search trajectory")
 	}
 }

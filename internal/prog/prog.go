@@ -150,11 +150,16 @@ func (p *Program) Fingerprint() string {
 	}
 	section("init", p.Init)
 	section("body", p.Body)
+	// %#v, not %+v: the generators implement Stringer for listings, and
+	// %+v would hash those lossy display strings (Bernoulli, for one,
+	// rounds its probability to three decimals), aliasing distinct
+	// programs. %#v renders the raw fields exactly and includes the
+	// concrete type name.
 	for _, g := range p.AddrGens {
-		fmt.Fprintf(h, "|ag:%T%+v", g, g)
+		fmt.Fprintf(h, "|ag:%#v", g)
 	}
 	for _, g := range p.BrGens {
-		fmt.Fprintf(h, "|bg:%T%+v", g, g)
+		fmt.Fprintf(h, "|bg:%#v", g)
 	}
 	return hex.EncodeToString(h.Sum(nil))
 }

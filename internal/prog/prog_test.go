@@ -357,3 +357,31 @@ func TestProgramFingerprintKnowsEveryField(t *testing.T) {
 		}
 	}
 }
+
+// TestFingerprintDistinguishesGeneratorPrecision is the regression test
+// for hashing generators through their lossy Stringer output (Bernoulli
+// rounds P to three decimals): programs differing only in fine-grained
+// generator parameters must not alias.
+func TestFingerprintDistinguishesGeneratorPrecision(t *testing.T) {
+	build := func(p float64, seed uint64) *Program {
+		return &Program{
+			Name: "fp",
+			Body: []isa.Instr{
+				{Op: isa.OpAdd, Dest: 3, Src1: 3, Imm: 1},
+				{Op: isa.OpBranch, Dest: isa.RZero, Src1: 2, BrGen: 0},
+			},
+			BrGens:     []BranchGen{Bernoulli{Seed: seed, P: p}},
+			Iterations: 100,
+		}
+	}
+	a := build(0.1234, 1)
+	if fp := build(0.12341, 1).Fingerprint(); fp == a.Fingerprint() {
+		t.Error("programs differing in Bernoulli P beyond 3 decimals alias")
+	}
+	if fp := build(0.1234, 2).Fingerprint(); fp == a.Fingerprint() {
+		t.Error("programs differing in Bernoulli seed alias")
+	}
+	if fp := build(0.1234, 1).Fingerprint(); fp != a.Fingerprint() {
+		t.Error("identical programs fingerprint differently")
+	}
+}

@@ -1,0 +1,83 @@
+package scenario
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func render(s string) func(context.Context) (string, error) {
+	return func(context.Context) (string, error) { return s, nil }
+}
+
+func TestRegistryOrderAndLookup(t *testing.T) {
+	r := NewRegistry()
+	for _, n := range []string{"b", "a", "c"} {
+		if err := r.Register(Definition{Name: n, Render: render(n)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names := r.Names()
+	if strings.Join(names, ",") != "b,a,c" {
+		t.Errorf("registration order lost: %v", names)
+	}
+	d, err := r.Lookup("a")
+	if err != nil || d.Name != "a" {
+		t.Errorf("lookup a: %v %v", d, err)
+	}
+	// Names must return a copy the caller cannot corrupt.
+	names[0] = "zzz"
+	if r.Names()[0] != "b" {
+		t.Error("Names leaked internal order slice")
+	}
+}
+
+func TestRegistryRejects(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register(Definition{Render: render("")}); err == nil {
+		t.Error("nameless definition accepted")
+	}
+	if err := r.Register(Definition{Name: "x"}); err == nil {
+		t.Error("render-less definition accepted")
+	}
+	if err := r.Register(Definition{Name: "x", Render: render("x")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(Definition{Name: "x", Render: render("x")}); err == nil {
+		t.Error("duplicate registration accepted")
+	}
+	if _, err := r.Lookup("nope"); err == nil ||
+		!strings.Contains(err.Error(), "unknown scenario") || !strings.Contains(err.Error(), "x") {
+		t.Errorf("unknown-name error not descriptive: %v", err)
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	good := []Spec{
+		{},
+		{Config: "configA", Rates: "edr", Suite: "mibench", Mode: "reference"},
+		{Scenarios: []string{"fig3", "stressmark:baseline:rhc"}, Scale: 8, GAPop: 4},
+	}
+	for i, s := range good {
+		if err := s.Validate(); err != nil {
+			t.Errorf("spec %d rejected: %v", i, err)
+		}
+	}
+	bad := []Spec{
+		{Config: "pentium"},
+		{Rates: "cosmic"},
+		{Suite: "spec2017"},
+		{Mode: "guess"},
+		{Scale: -1},
+		{GAPop: -2},
+		{WorkloadInstr: -5},
+		{Parallelism: -1},
+		{TimeoutSec: -1},
+		{Scenarios: []string{"fig3", " "}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad spec %d accepted: %+v", i, s)
+		}
+	}
+}

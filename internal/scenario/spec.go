@@ -1,0 +1,103 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Spec is the typed, serialisable description of one portfolio request:
+// which scenarios to run and under which configuration, fault rates,
+// workload suite, search mode and budgets. It is the submission body of
+// the avfstressd service (POST /v1/jobs) and the shared currency of the
+// CLIs, so a sweep driver can enumerate Specs instead of shelling out
+// with ad-hoc flags.
+type Spec struct {
+	// Scenarios lists the scenario names to run, in order. Empty means
+	// the full registered suite in paper order. Besides registered names
+	// ("fig3", "table1", ...), two parametric forms are accepted:
+	//
+	//	stressmark[:<config>:<rates>]  — one stressmark study
+	//	workloads[:<config>:<suite>]   — one workload-suite evaluation
+	//
+	// The short forms take <config>/<rates>/<suite> from the fields
+	// below.
+	Scenarios []string `json:"scenarios,omitempty"`
+
+	// Config selects the microarchitecture for parametric scenarios:
+	// "baseline" (default) or "configA".
+	Config string `json:"config,omitempty"`
+	// Rates selects the fault-rate set for parametric scenarios:
+	// "uniform" (default), "rhc" or "edr".
+	Rates string `json:"rates,omitempty"`
+	// Suite selects the workload suite for the parametric workloads
+	// scenario: "specint", "specfp", "mibench" or "all" (default).
+	Suite string `json:"suite,omitempty"`
+	// Mode selects stressmark provenance: "search" (default; run the
+	// GA) or "reference" (the paper's published knobs — fast path).
+	Mode string `json:"mode,omitempty"`
+
+	// Scale divides cache/TLB capacities (0 = the harness default).
+	Scale int `json:"scale,omitempty"`
+	// Seed drives every stochastic component (0 = default).
+	Seed int64 `json:"seed,omitempty"`
+	// GAPop and GAGens size the stressmark searches (0 = defaults).
+	GAPop  int `json:"ga_pop,omitempty"`
+	GAGens int `json:"ga_gens,omitempty"`
+	// WorkloadInstr/WorkloadWarmup budget each workload simulation.
+	WorkloadInstr  int64 `json:"workload_instr,omitempty"`
+	WorkloadWarmup int64 `json:"workload_warmup,omitempty"`
+	// Parallelism bounds each concurrency layer — scheduled jobs, and
+	// each job's simulations — independently (0 = all cores).
+	Parallelism int `json:"parallelism,omitempty"`
+	// TimeoutSec deadlines the whole request (0 = none).
+	TimeoutSec int `json:"timeout_sec,omitempty"`
+}
+
+// enum validates a one-of field, treating "" as the default.
+func enum(field, v string, allowed ...string) error {
+	if v == "" {
+		return nil
+	}
+	for _, a := range allowed {
+		if v == a {
+			return nil
+		}
+	}
+	return fmt.Errorf("scenario: spec %s %q not one of %s", field, v, strings.Join(allowed, "/"))
+}
+
+// Validate checks the spec's enumerated and numeric fields. Scenario
+// name resolution is registry-dependent and is checked by the layer
+// that owns the registry (internal/experiments).
+func (s Spec) Validate() error {
+	if err := enum("config", s.Config, "baseline", "configA"); err != nil {
+		return err
+	}
+	if err := enum("rates", s.Rates, "uniform", "rhc", "edr"); err != nil {
+		return err
+	}
+	if err := enum("suite", s.Suite, "specint", "specfp", "mibench", "all"); err != nil {
+		return err
+	}
+	if err := enum("mode", s.Mode, "search", "reference"); err != nil {
+		return err
+	}
+	for _, n := range s.Scenarios {
+		if strings.TrimSpace(n) == "" {
+			return fmt.Errorf("scenario: spec contains an empty scenario name")
+		}
+	}
+	switch {
+	case s.Scale < 0:
+		return fmt.Errorf("scenario: spec scale %d negative", s.Scale)
+	case s.GAPop < 0 || s.GAGens < 0:
+		return fmt.Errorf("scenario: spec GA sizing (%d×%d) negative", s.GAGens, s.GAPop)
+	case s.WorkloadInstr < 0 || s.WorkloadWarmup < 0:
+		return fmt.Errorf("scenario: spec workload budget negative")
+	case s.Parallelism < 0:
+		return fmt.Errorf("scenario: spec parallelism %d negative", s.Parallelism)
+	case s.TimeoutSec < 0:
+		return fmt.Errorf("scenario: spec timeout %ds negative", s.TimeoutSec)
+	}
+	return nil
+}

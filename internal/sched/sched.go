@@ -1,0 +1,204 @@
+// Package sched executes a declared job DAG (internal/scenario Jobs) on
+// a bounded worker pool. Jobs sharing a Key are deduplicated — the
+// combined DAG of many scenarios pays for each shared workload suite or
+// stressmark search once — and execution is fully concurrent: a job
+// becomes runnable the moment its dependencies complete, bounded only
+// by the worker count.
+//
+// Cancellation is first-class: the context passed to Run is handed to
+// every job, the first job error (or the caller's cancellation) stops
+// new work from starting, and Run returns once all in-flight jobs have
+// drained. Because every job result in this repository is memoised
+// content-addressed (internal/simcache), a cancelled run leaves only
+// complete, valid entries behind — re-running after a cancellation
+// resumes from what finished.
+package sched
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"avfstress/internal/scenario"
+)
+
+// Options configures one Run.
+type Options struct {
+	// Workers bounds concurrently executing jobs (0 = GOMAXPROCS).
+	Workers int
+	// OnDone, when set, observes every job completion (progress
+	// streams). It may be called from multiple goroutines.
+	OnDone func(key string, d time.Duration, err error)
+}
+
+// node is one deduplicated job in the DAG.
+type node struct {
+	key        string
+	run        func(context.Context) error
+	dependents []*node
+	pending    int // remaining dependencies (guarded by Run's mutex)
+}
+
+// Run executes jobs in dependency order and returns the first error
+// (job failure, or ctx cancellation). Jobs with identical Keys are
+// executed once — by the declared-jobs purity contract (DESIGN.md §8)
+// they describe identical work, so the first declaration wins. On
+// error or cancellation, running jobs drain but no new jobs start.
+// Job errors are returned unwrapped (keys are dedup identities, not
+// display strings), so jobs should return self-describing errors.
+func Run(ctx context.Context, jobs []scenario.Job, opts Options) error {
+	nodes, err := build(jobs)
+	if err != nil {
+		return err
+	}
+	if len(nodes) == 0 {
+		return ctx.Err()
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	sem := make(chan struct{}, workers)
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+			cancel()
+		}
+		mu.Unlock()
+	}
+	var exec func(n *node)
+	exec = func(n *node) {
+		defer wg.Done()
+		sem <- struct{}{}
+		start := time.Now()
+		err := cctx.Err()
+		if err == nil && n.run != nil {
+			err = n.run(cctx)
+		}
+		<-sem
+		if err != nil {
+			// Job errors are propagated as-is: keys are dedup
+			// identities (often fingerprint blobs), not display
+			// strings, so jobs must return self-describing errors.
+			fail(err)
+		}
+		if opts.OnDone != nil {
+			opts.OnDone(n.key, time.Since(start), err)
+		}
+		// Release dependents; the last dependency to finish launches
+		// each one (even after a failure, so the DAG always drains —
+		// released jobs then see the cancelled context and skip work).
+		mu.Lock()
+		var ready []*node
+		for _, d := range n.dependents {
+			d.pending--
+			if d.pending == 0 {
+				ready = append(ready, d)
+			}
+		}
+		mu.Unlock()
+		for _, d := range ready {
+			wg.Add(1)
+			go exec(d)
+		}
+	}
+	mu.Lock()
+	var roots []*node
+	for _, n := range nodes {
+		if n.pending == 0 {
+			roots = append(roots, n)
+		}
+	}
+	mu.Unlock()
+	for _, n := range roots {
+		wg.Add(1)
+		go exec(n)
+	}
+	wg.Wait()
+
+	mu.Lock()
+	err = firstErr
+	mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return ctx.Err()
+}
+
+// build deduplicates jobs by Key, wires the dependency edges and
+// rejects unknown dependencies and cycles.
+func build(jobs []scenario.Job) ([]*node, error) {
+	byKey := make(map[string]*node, len(jobs))
+	deps := make(map[string][]string, len(jobs))
+	var nodes []*node
+	for _, j := range jobs {
+		if j.Key == "" {
+			return nil, fmt.Errorf("sched: job with empty key")
+		}
+		if _, ok := byKey[j.Key]; ok {
+			continue // purity contract: identical key ⇒ identical work
+		}
+		n := &node{key: j.Key, run: j.Run}
+		byKey[j.Key] = n
+		deps[j.Key] = j.Deps
+		nodes = append(nodes, n)
+	}
+	for _, n := range nodes {
+		seen := map[string]bool{}
+		for _, dk := range deps[n.key] {
+			if seen[dk] {
+				continue
+			}
+			seen[dk] = true
+			dep, ok := byKey[dk]
+			if !ok {
+				return nil, fmt.Errorf("sched: job %q depends on unknown job %q", n.key, dk)
+			}
+			if dep == n {
+				return nil, fmt.Errorf("sched: job %q depends on itself", n.key)
+			}
+			dep.dependents = append(dep.dependents, n)
+			n.pending++
+		}
+	}
+	// Kahn's algorithm over a scratch copy of the indegrees: if not
+	// every node is reachable from the roots, the remainder is cyclic.
+	indeg := make(map[*node]int, len(nodes))
+	var queue []*node
+	for _, n := range nodes {
+		indeg[n] = n.pending
+		if n.pending == 0 {
+			queue = append(queue, n)
+		}
+	}
+	reached := 0
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		reached++
+		for _, d := range n.dependents {
+			if indeg[d]--; indeg[d] == 0 {
+				queue = append(queue, d)
+			}
+		}
+	}
+	if reached != len(nodes) {
+		for _, n := range nodes {
+			if indeg[n] > 0 {
+				return nil, fmt.Errorf("sched: dependency cycle involving job %q", n.key)
+			}
+		}
+	}
+	return nodes, nil
+}

@@ -1,0 +1,445 @@
+// Package service is the avfstressd job server: an HTTP surface over
+// the scenario registry and the concurrent DAG scheduler. Clients
+// submit declarative scenario.Specs (POST /v1/jobs), follow progress
+// (GET /v1/jobs/{id}, optionally streamed), fetch rendered reports and
+// results (GET /v1/results/{id}) and cancel running work (DELETE
+// /v1/jobs/{id}).
+//
+// All jobs share one content-addressed simulation store (optionally
+// disk-backed), so concurrent clients requesting overlapping scenarios
+// each pay only the marginal simulations; every job runs against its
+// own store view, so per-job cache-effectiveness stats are exact even
+// under concurrency. Job execution is bounded by MaxJobs; each job's
+// context is cancelled by DELETE or its spec's timeout, and
+// cancellation propagates through the scheduler, the experiment
+// harness and the GA (DESIGN.md §8).
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"avfstress/internal/experiments"
+	"avfstress/internal/scenario"
+	"avfstress/internal/simcache"
+)
+
+// Options configures a Server.
+type Options struct {
+	// CacheDir enables the shared store's disk tier ("" = memory only).
+	CacheDir string
+	// Scale is the default cache scale-down factor for jobs that do not
+	// set one (0 = the experiments default).
+	Scale int
+	// Parallelism bounds each job's concurrent jobs/simulations
+	// (0 = GOMAXPROCS).
+	Parallelism int
+	// MaxJobs bounds concurrently *running* jobs; excess submissions
+	// queue in order (0 = GOMAXPROCS).
+	MaxJobs int
+	// MaxHistory bounds retained jobs: when a submission would exceed
+	// it, the oldest *terminal* jobs (and their reports) are evicted —
+	// a long-running daemon's memory stays bounded, at the cost of old
+	// job ids turning 404 (0 = 512).
+	MaxHistory int
+	// Logf, when set, receives server-side log lines.
+	Logf func(format string, args ...interface{})
+}
+
+// Server implements http.Handler. Construct with New.
+type Server struct {
+	opts  Options
+	store *simcache.Store
+	slots chan struct{}
+	mux   *http.ServeMux
+
+	mu   sync.Mutex
+	jobs map[string]*job
+	seq  int
+}
+
+// Status is a job's lifecycle state.
+type Status string
+
+// Job lifecycle states.
+const (
+	StatusQueued   Status = "queued"
+	StatusRunning  Status = "running"
+	StatusDone     Status = "done"
+	StatusFailed   Status = "failed"
+	StatusCanceled Status = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s Status) Terminal() bool {
+	return s == StatusDone || s == StatusFailed || s == StatusCanceled
+}
+
+// job is one submitted request.
+type job struct {
+	id        string
+	spec      scenario.Spec
+	scenarios []string
+	cancel    context.CancelFunc
+	done      chan struct{}
+
+	mu       sync.Mutex
+	status   Status
+	lines    []string
+	report   string
+	errMsg   string
+	stats    simcache.Stats
+	created  time.Time
+	started  time.Time
+	finished time.Time
+}
+
+func (j *job) logf(format string, args ...interface{}) {
+	j.mu.Lock()
+	j.lines = append(j.lines, fmt.Sprintf(format, args...))
+	j.mu.Unlock()
+}
+
+// JobStatus is the wire form of a job's state.
+type JobStatus struct {
+	ID        string         `json:"id"`
+	Status    Status         `json:"status"`
+	Scenarios []string       `json:"scenarios"`
+	Spec      scenario.Spec  `json:"spec"`
+	Progress  []string       `json:"progress,omitempty"`
+	Error     string         `json:"error,omitempty"`
+	Stats     simcache.Stats `json:"stats"`
+	CreatedAt time.Time      `json:"created_at"`
+	StartedAt *time.Time     `json:"started_at,omitempty"`
+	EndedAt   *time.Time     `json:"ended_at,omitempty"`
+}
+
+func (j *job) snapshot(progress bool) JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID: j.id, Status: j.status, Scenarios: j.scenarios, Spec: j.spec,
+		Error: j.errMsg, Stats: j.stats, CreatedAt: j.created,
+	}
+	if progress {
+		st.Progress = append([]string(nil), j.lines...)
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.EndedAt = &t
+	}
+	return st
+}
+
+// New builds a server with its shared simulation store.
+func New(opts Options) *Server {
+	if opts.MaxJobs <= 0 {
+		opts.MaxJobs = runtime.GOMAXPROCS(0)
+	}
+	if opts.MaxHistory <= 0 {
+		opts.MaxHistory = 512
+	}
+	s := &Server{
+		opts:  opts,
+		store: simcache.New(simcache.Options{Dir: opts.CacheDir}),
+		slots: make(chan struct{}, opts.MaxJobs),
+		jobs:  map[string]*job{},
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/results/{id}", s.handleResults)
+	s.mux = mux
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Store exposes the shared simulation store (server-wide stats).
+func (s *Server) Store() *simcache.Store { return s.store }
+
+// Shutdown cancels every non-terminal job and waits for them to drain
+// (bounded by ctx).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	var pending []*job
+	for _, j := range s.jobs {
+		pending = append(pending, j)
+	}
+	s.mu.Unlock()
+	for _, j := range pending {
+		j.cancel()
+	}
+	for _, j := range pending {
+		select {
+		case <-j.done:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return nil
+}
+
+func (s *Server) logf(format string, args ...interface{}) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// handleSubmit validates the spec, registers the job and starts it in
+// the background (queueing behind MaxJobs running jobs).
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec scenario.Spec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		httpError(w, http.StatusBadRequest, "bad spec: %v", err)
+		return
+	}
+	names, err := experiments.ResolveSpec(spec)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	ctx := context.Background()
+	var cancel context.CancelFunc
+	if spec.TimeoutSec > 0 {
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(spec.TimeoutSec)*time.Second)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	s.mu.Lock()
+	s.seq++
+	j := &job{
+		id: fmt.Sprintf("job-%d", s.seq), spec: spec, scenarios: names,
+		cancel: cancel, done: make(chan struct{}),
+		status: StatusQueued, created: time.Now(),
+	}
+	s.jobs[j.id] = j
+	s.evictLocked()
+	s.mu.Unlock()
+	s.logf("submitted %s: %v", j.id, names)
+	go s.run(ctx, j)
+	writeJSON(w, http.StatusAccepted, j.snapshot(false))
+}
+
+// evictLocked drops the oldest terminal jobs until at most MaxHistory
+// remain, keeping the daemon's memory bounded. Non-terminal jobs are
+// never evicted. Caller holds s.mu.
+func (s *Server) evictLocked() {
+	excess := len(s.jobs) - s.opts.MaxHistory
+	for i := 1; excess > 0 && i <= s.seq; i++ {
+		id := fmt.Sprintf("job-%d", i)
+		if j, ok := s.jobs[id]; ok && func() bool {
+			j.mu.Lock()
+			defer j.mu.Unlock()
+			return j.status.Terminal()
+		}() {
+			delete(s.jobs, id)
+			excess--
+		}
+	}
+}
+
+// run executes one job against a fresh experiments context sharing the
+// server's store through a per-job view.
+func (s *Server) run(ctx context.Context, j *job) {
+	defer close(j.done)
+	defer j.cancel()
+
+	// Take a run slot; a cancellation while queued resolves immediately.
+	select {
+	case s.slots <- struct{}{}:
+		defer func() { <-s.slots }()
+	case <-ctx.Done():
+		j.finish("", ctx.Err(), simcache.Stats{})
+		return
+	}
+
+	j.mu.Lock()
+	j.status = StatusRunning
+	j.started = time.Now()
+	j.mu.Unlock()
+
+	view := s.store.View()
+	base := experiments.Options{
+		Scale:       s.opts.Scale,
+		Parallelism: s.opts.Parallelism,
+		Cache:       view,
+		Logf:        j.logf,
+	}
+	c, names, err := experiments.NewSpecContext(j.spec, base)
+	var report string
+	if err == nil {
+		report, err = c.RunScenarios(ctx, names)
+	}
+	j.finish(report, err, view.LocalStats())
+	s.logf("%s finished: %s (cache %s)", j.id, j.snapshot(false).Status, view.LocalStats())
+}
+
+func (j *job) finish(report string, err error, stats simcache.Stats) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.finished = time.Now()
+	j.stats = stats
+	switch {
+	case err == nil:
+		j.status = StatusDone
+		j.report = report
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		j.status = StatusCanceled
+		j.errMsg = err.Error()
+	default:
+		j.status = StatusFailed
+		j.errMsg = err.Error()
+	}
+}
+
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) *job {
+	s.mu.Lock()
+	j := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if j == nil {
+		httpError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+	}
+	return j
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	ordered := make([]*job, 0, len(s.jobs))
+	for i := 1; i <= s.seq; i++ {
+		if j, ok := s.jobs[fmt.Sprintf("job-%d", i)]; ok {
+			ordered = append(ordered, j)
+		}
+	}
+	s.mu.Unlock()
+	jobs := make([]JobStatus, len(ordered))
+	for i, j := range ordered {
+		jobs[i] = j.snapshot(false)
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"jobs":  jobs,
+		"stats": s.store.Stats(),
+	})
+}
+
+// handleStatus reports a job; with ?stream=1 it streams progress lines
+// as plain text until the job reaches a terminal state.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	if r.URL.Query().Get("stream") == "" {
+		writeJSON(w, http.StatusOK, j.snapshot(true))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	sent := 0
+	for {
+		j.mu.Lock()
+		lines := j.lines[sent:]
+		sent = len(j.lines)
+		status := j.status
+		errMsg := j.errMsg
+		j.mu.Unlock()
+		for _, l := range lines {
+			fmt.Fprintln(w, l)
+		}
+		if len(lines) > 0 && flusher != nil {
+			flusher.Flush()
+		}
+		if status.Terminal() {
+			fmt.Fprintf(w, "status: %s", status)
+			if errMsg != "" {
+				fmt.Fprintf(w, " (%s)", errMsg)
+			}
+			fmt.Fprintln(w)
+			return
+		}
+		select {
+		case <-j.done:
+			// Loop once more to drain the final lines.
+		case <-r.Context().Done():
+			return
+		case <-time.After(150 * time.Millisecond):
+		}
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	j.cancel()
+	writeJSON(w, http.StatusAccepted, j.snapshot(false))
+}
+
+// handleResults returns the rendered report and result stats of a
+// finished job: JSON by default, the raw report text with ?format=text.
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	status, report := j.status, j.report
+	j.mu.Unlock()
+	if !status.Terminal() {
+		httpError(w, http.StatusConflict, "job %s is %s; results are available once it finishes", j.id, status)
+		return
+	}
+	if status != StatusDone {
+		st := j.snapshot(false)
+		httpError(w, http.StatusGone, "job %s %s: %s", j.id, st.Status, st.Error)
+		return
+	}
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, report)
+		return
+	}
+	st := j.snapshot(false)
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"id":       j.id,
+		"status":   st.Status,
+		"stats":    st.Stats,
+		"report":   report,
+		"ended_at": st.EndedAt,
+	})
+}

@@ -64,10 +64,23 @@ type Options struct {
 	Version string
 }
 
-// Store is the two-tier result cache. The zero value is not usable;
-// construct with New. A nil *Store is valid everywhere and disables
-// caching (Do just runs the simulation), so call sites need no branching.
+// Store is a handle on the two-tier result cache. The zero value is not
+// usable; construct with New. A nil *Store is valid everywhere and
+// disables caching (Do just runs the simulation), so call sites need no
+// branching.
+//
+// Handles returned by View share the underlying tiers, dedup state and
+// store-wide counters, but additionally count their own traffic — the
+// per-job cache-effectiveness attribution the avfstressd service
+// reports for concurrent clients sharing one store.
 type Store struct {
+	st  *state   // shared across all views of one store
+	loc counters // this handle's own traffic
+}
+
+// state is the shared heart of a store: tiers, dedup and global
+// counters.
+type state struct {
 	version string
 	dir     string // "" = memory only
 
@@ -75,10 +88,24 @@ type Store struct {
 	mem    map[Key]*avf.Result
 	flight map[Key]*call
 
+	glob counters
+}
+
+// counters is one set of traffic counters.
+type counters struct {
 	memHits  atomic.Int64
 	diskHits atomic.Int64
 	sims     atomic.Int64
 	dedups   atomic.Int64
+}
+
+func (c *counters) snapshot() Stats {
+	return Stats{
+		MemHits:   c.memHits.Load(),
+		DiskHits:  c.diskHits.Load(),
+		Simulated: c.sims.Load(),
+		Deduped:   c.dedups.Load(),
+	}
 }
 
 // call is one in-flight simulation other goroutines can wait on.
@@ -95,15 +122,25 @@ func New(opts Options) *Store {
 	if v == "" {
 		v = EngineVersion
 	}
-	s := &Store{
+	st := &state{
 		version: v,
 		mem:     map[Key]*avf.Result{},
 		flight:  map[Key]*call{},
 	}
 	if opts.Dir != "" {
-		s.dir = filepath.Join(opts.Dir, v)
+		st.dir = filepath.Join(opts.Dir, v)
 	}
-	return s
+	return &Store{st: st}
+}
+
+// View returns a new handle on the same store: identical tiers, dedup
+// and store-wide Stats, but a fresh LocalStats counter observing only
+// traffic through this handle. Safe (and nil) on a nil store.
+func (s *Store) View() *Store {
+	if s == nil {
+		return nil
+	}
+	return &Store{st: s.st}
 }
 
 // Key builds the content address for the given canonical fingerprint
@@ -114,7 +151,7 @@ func New(opts Options) *Store {
 func (s *Store) Key(parts ...string) Key {
 	v := EngineVersion
 	if s != nil {
-		v = s.version
+		v = s.st.version
 	}
 	h := sha256.New()
 	var n [8]byte
@@ -140,51 +177,56 @@ func (s *Store) Do(key Key, simulate func() (*avf.Result, error)) (*avf.Result, 
 	if s == nil {
 		return simulate()
 	}
-	s.mu.Lock()
-	if r, ok := s.mem[key]; ok {
-		s.mu.Unlock()
-		s.memHits.Add(1)
+	st := s.st
+	st.mu.Lock()
+	if r, ok := st.mem[key]; ok {
+		st.mu.Unlock()
+		st.glob.memHits.Add(1)
+		s.loc.memHits.Add(1)
 		return r, nil
 	}
-	if c, ok := s.flight[key]; ok {
-		s.mu.Unlock()
-		s.dedups.Add(1)
+	if c, ok := st.flight[key]; ok {
+		st.mu.Unlock()
+		st.glob.dedups.Add(1)
+		s.loc.dedups.Add(1)
 		<-c.done
 		return c.res, c.err
 	}
 	c := &call{done: make(chan struct{})}
-	s.flight[key] = c
-	s.mu.Unlock()
+	st.flight[key] = c
+	st.mu.Unlock()
 
 	var err error
 	r := s.loadDisk(key)
 	if r != nil {
-		s.diskHits.Add(1)
+		st.glob.diskHits.Add(1)
+		s.loc.diskHits.Add(1)
 	} else {
 		r, err = simulate()
-		s.sims.Add(1)
+		st.glob.sims.Add(1)
+		s.loc.sims.Add(1)
 		if err == nil {
 			s.saveDisk(key, r)
 		}
 	}
 	c.res, c.err = r, err
-	s.mu.Lock()
-	delete(s.flight, key)
+	st.mu.Lock()
+	delete(st.flight, key)
 	if err == nil {
-		s.mem[key] = r
+		st.mem[key] = r
 	}
-	s.mu.Unlock()
+	st.mu.Unlock()
 	close(c.done)
 	return r, err
 }
 
-func (s *Store) path(key Key) string { return filepath.Join(s.dir, key.Hex()+".json") }
+func (s *Store) path(key Key) string { return filepath.Join(s.st.dir, key.Hex()+".json") }
 
 // loadDisk returns the disk tier's entry for key, or nil. Unreadable or
 // corrupt entries are treated as misses (the re-simulated result
 // overwrites them).
 func (s *Store) loadDisk(key Key) *avf.Result {
-	if s.dir == "" {
+	if s.st.dir == "" {
 		return nil
 	}
 	r, err := persist.LoadResult(s.path(key))
@@ -200,13 +242,13 @@ func (s *Store) loadDisk(key Key) *avf.Result {
 // overwrites identical bytes. The disk tier is best-effort: write
 // failures degrade to memory-only caching.
 func (s *Store) saveDisk(key Key, r *avf.Result) {
-	if s.dir == "" {
+	if s.st.dir == "" {
 		return
 	}
-	if err := os.MkdirAll(s.dir, 0o755); err != nil {
+	if err := os.MkdirAll(s.st.dir, 0o755); err != nil {
 		return
 	}
-	tmp, err := os.CreateTemp(s.dir, key.Hex()+".tmp*")
+	tmp, err := os.CreateTemp(s.st.dir, key.Hex()+".tmp*")
 	if err != nil {
 		return
 	}
@@ -220,25 +262,37 @@ func (s *Store) saveDisk(key Key, r *avf.Result) {
 	}
 }
 
-// Stats is a snapshot of the store's traffic counters.
+// Stats is a snapshot of a set of traffic counters.
 type Stats struct {
 	// MemHits and DiskHits count requests served from each tier;
 	// Simulated counts simulations actually executed; Deduped counts
 	// callers that waited on an identical in-flight simulation.
-	MemHits, DiskHits, Simulated, Deduped int64
+	MemHits   int64 `json:"mem_hits"`
+	DiskHits  int64 `json:"disk_hits"`
+	Simulated int64 `json:"simulated"`
+	Deduped   int64 `json:"deduped"`
 }
 
-// Stats returns the current counters (zero on a nil store).
+// Hits is the total traffic served without running a simulation.
+func (st Stats) Hits() int64 { return st.MemHits + st.DiskHits + st.Deduped }
+
+// Stats returns the store-wide counters, covering traffic through every
+// view (zero on a nil store).
 func (s *Store) Stats() Stats {
 	if s == nil {
 		return Stats{}
 	}
-	return Stats{
-		MemHits:   s.memHits.Load(),
-		DiskHits:  s.diskHits.Load(),
-		Simulated: s.sims.Load(),
-		Deduped:   s.dedups.Load(),
+	return s.st.glob.snapshot()
+}
+
+// LocalStats returns the traffic counted through this handle only
+// (zero on a nil store). For the handle New returned that is its own
+// direct traffic; for a View it is that view's.
+func (s *Store) LocalStats() Stats {
+	if s == nil {
+		return Stats{}
 	}
+	return s.loc.snapshot()
 }
 
 func (st Stats) String() string {

@@ -214,3 +214,52 @@ func TestNilStoreJustSimulates(t *testing.T) {
 		t.Errorf("nil store stats %+v", st)
 	}
 }
+
+// TestViewsShareTiersButCountLocally: two views of one store share the
+// memoised results (the second view's request is a mem hit) while each
+// view's LocalStats attributes only its own traffic — the per-job
+// accounting the avfstressd service reports.
+func TestViewsShareTiersButCountLocally(t *testing.T) {
+	root := New(Options{})
+	a, b := root.View(), root.View()
+	key := root.Key("cfg", "prog", "rc")
+	ra, err := a.Do(key, func() (*avf.Result, error) {
+		return &avf.Result{Workload: "x", Cycles: 7}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := b.Do(key, func() (*avf.Result, error) {
+		t.Error("second view re-simulated a shared key")
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra != rb {
+		t.Error("views returned different result objects for one key")
+	}
+	as, bs := a.LocalStats(), b.LocalStats()
+	if as.Simulated != 1 || as.MemHits != 0 {
+		t.Errorf("view a local stats %+v, want 1 sim", as)
+	}
+	if bs.Simulated != 0 || bs.MemHits != 1 {
+		t.Errorf("view b local stats %+v, want 1 mem hit", bs)
+	}
+	if g := root.Stats(); g.Simulated != 1 || g.MemHits != 1 {
+		t.Errorf("global stats %+v, want the union of both views", g)
+	}
+	if root.LocalStats() != (Stats{}) {
+		t.Errorf("root handle counted traffic it did not serve: %+v", root.LocalStats())
+	}
+	if bs.Hits() != 1 {
+		t.Errorf("Hits() = %d, want 1", bs.Hits())
+	}
+	var nilStore *Store
+	if nilStore.View() != nil {
+		t.Error("nil store's view is not nil")
+	}
+	if nilStore.LocalStats() != (Stats{}) {
+		t.Error("nil store local stats non-zero")
+	}
+}

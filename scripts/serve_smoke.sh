@@ -1,0 +1,92 @@
+#!/bin/sh
+# serve_smoke boots avfstressd, submits two concurrent overlapping
+# scenario jobs (the second a strict superset of the first) and asserts
+# the cache-sharing contract: the second job completes with >0 cache
+# hits and fewer fresh simulations than the first — concurrent clients
+# pay only the marginal simulations.
+#
+# -max-jobs 1 keeps the per-job attribution deterministic: both jobs are
+# in the daemon concurrently (the second queues while the first runs),
+# and the overlap resolves as cache hits instead of racing singleflights.
+set -eu
+
+DIR=${SERVE_SMOKE_DIR:-$PWD/.serve-smoke}
+ADDR=${SERVE_SMOKE_ADDR:-127.0.0.1:18734}
+BASE="http://$ADDR"
+
+rm -rf "$DIR"
+mkdir -p "$DIR"
+go build -o "$DIR/avfstressd" ./cmd/avfstressd
+"$DIR/avfstressd" -addr "$ADDR" -cache-dir "$DIR/cache" -max-jobs 1 \
+    >"$DIR/daemon.log" 2>&1 &
+PID=$!
+cleanup() { kill "$PID" 2>/dev/null || true; }
+trap cleanup EXIT
+
+i=0
+until curl -fsS "$BASE/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -ge 100 ]; then
+        echo "serve-smoke: daemon never became healthy" >&2
+        cat "$DIR/daemon.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+SPEC1='{"scenarios":["fig3","fig4"],"mode":"reference","workload_instr":40000,"workload_warmup":10000}'
+SPEC2='{"scenarios":["fig3","fig4","fig7"],"mode":"reference","workload_instr":40000,"workload_warmup":10000}'
+
+job_id() { grep -o '"id": *"job-[0-9]*"' | head -1 | grep -o 'job-[0-9]*'; }
+
+# Submit both immediately: the jobs coexist in the daemon.
+id1=$(curl -fsS -X POST -d "$SPEC1" "$BASE/v1/jobs" | job_id)
+id2=$(curl -fsS -X POST -d "$SPEC2" "$BASE/v1/jobs" | job_id)
+echo "serve-smoke: submitted $id1 (fig3,fig4) and $id2 (fig3,fig4,fig7)"
+
+wait_done() {
+    i=0
+    while :; do
+        st=$(curl -fsS "$BASE/v1/jobs/$1" | grep -o '"status": *"[a-z]*"' | head -1 | cut -d'"' -f4)
+        case "$st" in
+        done) return 0 ;;
+        failed | canceled)
+            echo "serve-smoke: job $1 ended $st" >&2
+            curl -fsS "$BASE/v1/jobs/$1" >&2 || true
+            exit 1
+            ;;
+        esac
+        i=$((i + 1))
+        if [ "$i" -ge 1200 ]; then
+            echo "serve-smoke: job $1 never finished" >&2
+            exit 1
+        fi
+        sleep 0.2
+    done
+}
+wait_done "$id1"
+wait_done "$id2"
+
+field() { curl -fsS "$BASE/v1/results/$1" | grep -o "\"$2\": *[0-9]*" | head -1 | grep -o '[0-9]*$'; }
+sims1=$(field "$id1" simulated)
+sims2=$(field "$id2" simulated)
+mem2=$(field "$id2" mem_hits)
+disk2=$(field "$id2" disk_hits)
+dedup2=$(field "$id2" deduped)
+hits2=$((mem2 + disk2 + dedup2))
+echo "serve-smoke: $id1 simulated=$sims1; $id2 simulated=$sims2 hits=$hits2 (mem=$mem2 disk=$disk2 dedup=$dedup2)"
+
+if [ "$hits2" -le 0 ]; then
+    echo "serve-smoke: second job saw no cache hits" >&2
+    exit 1
+fi
+if [ "$sims2" -ge "$sims1" ]; then
+    echo "serve-smoke: second job simulated $sims2 >= first's $sims1 — overlap not shared" >&2
+    exit 1
+fi
+if [ "$hits2" -le "$sims2" ]; then
+    echo "serve-smoke: second job not served mostly from cache ($hits2 hits vs $sims2 sims)" >&2
+    exit 1
+fi
+echo "serve-smoke OK: second job served mostly from cache ($hits2 hits, $sims2 fresh sims vs $sims1)"
+rm -rf "$DIR"
