@@ -4,7 +4,7 @@ GO ?= go
 # lifetime-engine microbenchmarks.
 BENCH_PKGS = . ./internal/cache
 
-.PHONY: all build vet test race check bench bench-compare bench-smoke cache-smoke serve-smoke
+.PHONY: all build vet test race check bench bench-compare bench-smoke cache-smoke serve-smoke docs-check
 
 all: check
 
@@ -18,9 +18,10 @@ test:
 	$(GO) test ./...
 
 # race runs the concurrency-heavy tiers (DAG scheduler, job service,
-# experiment orchestration) under the race detector.
+# experiment orchestration, injection campaigns) under the race
+# detector.
 race:
-	$(GO) test -race ./internal/sched ./internal/service ./internal/scenario ./internal/experiments
+	$(GO) test -race ./internal/sched ./internal/service ./internal/scenario ./internal/experiments ./internal/inject
 
 check: vet build test
 
@@ -71,3 +72,9 @@ cache-smoke:
 # contract, end to end over real HTTP.
 serve-smoke:
 	sh scripts/serve_smoke.sh
+
+# docs-check keeps the documentation honest: gofmt, vet, every example
+# builds, and no README/DESIGN reference points at a repo path that no
+# longer exists.
+docs-check:
+	sh scripts/docs_check.sh

@@ -13,6 +13,8 @@
 //   - internal/cache    — caches + DTLB with lifetime ACE analysis
 //   - internal/workloads— SPEC CPU2006 / MiBench proxy suite
 //   - internal/experiments — regeneration of every paper table and figure
+//   - internal/inject   — Monte Carlo fault-injection validation of the
+//     ACE accounting (DESIGN.md §9)
 //
 // Quick start:
 //

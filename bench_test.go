@@ -4,7 +4,7 @@
 // with the paper's published reference knobs (the GA-search path is
 // exercised by BenchmarkFig5_GASearchBaseline) and reports the
 // experiment's headline quantities via b.ReportMetric, so the bench log
-// doubles as a results table for EXPERIMENTS.md.
+// doubles as a results table (archived per PR in BENCH_<date>.json).
 package avfstress_test
 
 import (

@@ -6,8 +6,7 @@
 //	         [-ref] [-list] [-quiet] [-cpuprofile f] [-memprofile f]
 //
 // With no -run flag the complete suite (Tables I-III, Figures 3-9 and the
-// §VI worst-case analysis) is produced, which is what EXPERIMENTS.md
-// records. -ref skips the GA searches and evaluates the paper's published
+// §VI worst-case analysis) is produced. -ref skips the GA searches and evaluates the paper's published
 // knob settings directly. -scale 1 uses the paper-exact cache geometry
 // (needs much larger budgets; see DESIGN.md §4). -cpuprofile and
 // -memprofile write pprof profiles of the run, so hot-path hunts don't

@@ -1,0 +1,89 @@
+// Command avfinject runs a Monte Carlo statistical fault-injection
+// campaign — the standard validation cross-check for the repository's
+// ACE-based AVF accounting. It samples single-bit (structure, bit,
+// cycle) targets from a golden simulation, replays the run
+// deterministically with each bit flipped, classifies every trial as
+// masked, SDC or detected, and reports injection-measured AVF beside
+// ACE-based AVF with 95% confidence intervals (DESIGN.md §9).
+//
+// Usage:
+//
+//	avfinject [-config baseline|configA] [-rates uniform|rhc|edr]
+//	          [-trials 1000] [-scale 32] [-seed 1] [-mode reference|search]
+//	          [-cache-dir DIR] [-v]
+//
+// avfinject is a thin client of the same scenario path avfstressd
+// serves: the flags build a declarative scenario.Spec whose parametric
+// faultinject scenario runs through the registry and scheduler, so the
+// campaign shares the suite's stressmark search, per-trial memoisation
+// and cancellation semantics with the daemon (POST /v1/jobs with
+// {"scenarios": ["faultinject"], ...} runs the identical study).
+// Ctrl-C cancels between replays.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"avfstress/internal/experiments"
+	"avfstress/internal/scenario"
+)
+
+func main() {
+	var (
+		config   = flag.String("config", "baseline", "configuration: baseline or configA")
+		rates    = flag.String("rates", "uniform", "fault rates: uniform, rhc or edr")
+		trials   = flag.Int("trials", 1000, "Monte Carlo trials per campaign")
+		scale    = flag.Int("scale", 32, "cache scale-down factor (1 = paper-exact)")
+		seed     = flag.Int64("seed", 1, "sampling and search seed (campaigns are byte-deterministic per seed)")
+		mode     = flag.String("mode", "reference", "stressmark provenance: reference (published knobs) or search (run the GA)")
+		cacheDir = flag.String("cache-dir", "", "persist simulations and per-trial outcomes under this directory (shared across runs; results are bit-identical)")
+		verbose  = flag.Bool("v", false, "stream per-campaign progress")
+	)
+	flag.Parse()
+
+	spec := scenario.Spec{
+		Scenarios:    []string{"faultinject"},
+		Config:       *config,
+		Rates:        *rates,
+		InjectTrials: *trials,
+		Mode:         *mode,
+		Scale:        *scale,
+		Seed:         *seed,
+	}
+	base := experiments.Options{CacheDir: *cacheDir}
+	if *verbose {
+		base.Logf = func(f string, args ...interface{}) {
+			fmt.Fprintf(os.Stderr, "# "+f+"\n", args...)
+		}
+	}
+	ctx, names, err := experiments.NewSpecContext(spec, base)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "avfinject:", err)
+		os.Exit(1)
+	}
+
+	cctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	fmt.Fprintf(os.Stderr, "# injecting %s / %s rates, %d trials per campaign\n",
+		*config, *rates, *trials)
+	out, err := ctx.Run(cctx, names[0])
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "avfinject: interrupted")
+		} else {
+			fmt.Fprintln(os.Stderr, "avfinject:", err)
+		}
+		os.Exit(1)
+	}
+	if *cacheDir != "" {
+		fmt.Fprintf(os.Stderr, "# cache: %s\n", ctx.CacheStats())
+	}
+	fmt.Print(out)
+}

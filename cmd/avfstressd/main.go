@@ -17,6 +17,11 @@
 //	DELETE /v1/jobs/{id}     cancel a queued or running job
 //	GET    /v1/results/{id}  rendered report + stats (+ ?format=text)
 //	GET    /healthz          liveness
+//
+// The README documents every route with an example curl session.
+// Specs may request registered experiments or the parametric
+// stressmark / workloads / faultinject scenarios (the latter runs the
+// Monte Carlo fault-injection validation, DESIGN.md §9).
 package main
 
 import (

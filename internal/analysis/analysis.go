@@ -35,6 +35,7 @@ func (w WorstCaseBreakdown) Value() float64 {
 	return float64(w.ACEBits) / float64(w.TotalBits)
 }
 
+// String renders the WorstCaseBreakdown as its paper-style report.
 func (w WorstCaseBreakdown) String() string {
 	return fmt.Sprintf(
 		"instantaneous worst case: ROB=%d IQ=%d LQ=%d SQ=%d FU=0 → %d/%d bits = %.3f units/bit",
@@ -150,6 +151,7 @@ func (c Coverage) Gap() float64 {
 	return c.WorstCase/c.Max - 1
 }
 
+// String renders the Coverage as its paper-style report.
 func (c Coverage) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s: workloads span [%.3f, %.3f] (mean %.3f), worst case %.3f\n",

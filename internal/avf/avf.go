@@ -70,6 +70,7 @@ const (
 
 var classNames = [NumClasses]string{"QS", "QS+RF", "DL1+DTLB", "L2"}
 
+// String renders the class label ("QS", "QS+RF", ...).
 func (c Class) String() string {
 	if c >= 0 && c < NumClasses {
 		return classNames[c]

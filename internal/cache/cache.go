@@ -163,6 +163,24 @@ type line struct {
 	chunkTime  []int64
 }
 
+// fateWatch observes the microarchitectural fate of one bit for the
+// fault-injection engine (internal/inject, DESIGN.md §9): armed before a
+// replay starts, it waits for the first lifetime transition on its target
+// whose interval contains the injection timestamp and records whether
+// that interval closed ACE (the flipped bit would have reached
+// architectural state) or un-ACE (the flip was masked by an overwrite or
+// a clean eviction). Exactly the Biswas rule the ACE accounting applies,
+// observed for a single (line, chunk) or tag entry.
+type fateWatch struct {
+	ln    *line // geometric slot identity (stable across fills)
+	ci    int   // chunk index for data watches; unused for tag watches
+	tag   bool
+	cycle int64 // injection timestamp
+
+	resolved bool
+	ace      bool
+}
+
 // Cache is a set-associative writeback cache with LRU replacement and
 // chunk-granular lifetime ACE accounting. Not safe for concurrent use.
 type Cache struct {
@@ -191,6 +209,11 @@ type Cache struct {
 	memoLine  *line
 	memoAddr  uint64
 	memoEpoch uint64
+
+	// watch is the (at most one) armed fault-injection fate watch; nil on
+	// every normal simulation, so the lifetime hot paths pay a single
+	// predictable nil-check branch.
+	watch *fateWatch
 
 	// Stats since the last ResetStats. Accesses/Misses count demand
 	// traffic (reads and writes issued to this cache); WritebackAccesses
@@ -357,6 +380,9 @@ func (c *Cache) TouchHit(now int64, addr uint64, size int, write bool) (bool, er
 		return false, fmt.Errorf("cache %s: access %#x size %d crosses line boundary", c.cfg.Name, addr, size)
 	}
 	ci, n := c.chunkSpan(addr, size)
+	if c.watch != nil {
+		c.watchSpan(ln, ci, n, now, write)
+	}
 	ln.lru = now
 	c.Accesses++
 	for k := 0; k < n; k++ {
@@ -389,6 +415,9 @@ func (c *Cache) Access(now int64, addr uint64, size int, write bool) bool {
 		}
 	}
 	ci, n := c.chunkSpan(addr, size)
+	if c.watch != nil {
+		c.watchSpan(ln, ci, n, now, write)
+	}
 	ln.lru = now
 	c.Accesses++
 	if write {
@@ -431,6 +460,9 @@ func (c *Cache) applyMask(ln *line, now int64, mask uint64) error {
 			return fmt.Errorf("cache %s: writeback mask %#x covers a partial %d-byte chunk",
 				c.cfg.Name, mask, c.chunkBytes)
 		}
+		if c.watch != nil {
+			c.watchSpan(ln, ci, 1, now, true)
+		}
 		c.closeChunkWrite(ln, ci, now)
 	}
 	return nil
@@ -448,6 +480,12 @@ func (c *Cache) closeChunk(ln *line, ci int, now int64, write bool) {
 }
 
 // closeChunkRead: fill→read, read→read and write→read are all ACE.
+//
+// The chunk-transition helpers carry no fate-watch hooks: they are
+// inlined into every access fast path, and even a nil-check call here
+// blows the inlining budget (measured +65% on the baseline simulation).
+// Watches instead resolve in the outer access functions, which call
+// watchSpan *before* the transition loop runs.
 func (c *Cache) closeChunkRead(ln *line, ci int, now int64) {
 	st := ln.chunkState[ci]
 	if st != stInvalid {
@@ -467,6 +505,92 @@ func (c *Cache) closeChunkWrite(ln *line, ci int, now int64) {
 	ln.dirty |= 1 << uint(ci)
 	ln.chunkTime[ci] = now
 }
+
+// watchSpan resolves the armed fate watch when an access is about to
+// close the chunk intervals [ci, ci+n) of ln at time now: closing by a
+// read is ACE (the flipped bits were consumed), closing by a write is
+// un-ACE (they were overwritten). Callers invoke it before their
+// transition loop, while the interval starts are still the pre-access
+// chunk times, and only behind a c.watch nil check.
+func (c *Cache) watchSpan(ln *line, ci, n int, now int64, write bool) {
+	w := c.watch
+	if w.resolved || w.tag || w.ln != ln || w.ci < ci || w.ci >= ci+n {
+		return
+	}
+	// The closing interval is [chunkTime, now) of the current residency;
+	// the flip participates only if it lies inside.
+	if w.cycle < ln.chunkTime[w.ci] || w.cycle >= now {
+		return
+	}
+	w.resolved = true
+	w.ace = !write
+}
+
+// watchEvict resolves the armed fate watch at an eviction of the watched
+// line: a dirty watched chunk ends ACE (its writeback is architecturally
+// required), a clean one un-ACE; a tag watch ends ACE iff the line's last
+// ACE interval extends past the watched timestamp. Called after the
+// dirty-chunk walk (which can advance lastAceEnd) and before the dirty
+// mask is cleared.
+func (c *Cache) watchEvict(ln *line, now int64) {
+	w := c.watch
+	if w.resolved || w.ln != ln {
+		return
+	}
+	if w.tag {
+		if w.cycle >= ln.fillTime && w.cycle < now {
+			w.resolved = true
+			w.ace = ln.lastAceEnd > w.cycle
+		}
+		return
+	}
+	if w.cycle < ln.chunkTime[w.ci] || w.cycle >= now {
+		return
+	}
+	w.resolved = true
+	w.ace = ln.dirty>>uint(w.ci)&1 == 1
+}
+
+// ArmWatch arms the fault-injection fate watch on one bit of this cache
+// — bits below DataBits address the data array (line-major, byte-major
+// within the line), the rest the tag array (one tag entry per line) —
+// with the given injection timestamp. At most one watch is active per
+// cache; arming replaces any previous watch. Arm before the replay
+// starts (accesses carry timestamps ahead of the pipeline's wall clock,
+// so the covering lifetime interval may be closed by an access executed
+// before the injection cycle is reached). Reset clears the watch.
+func (c *Cache) ArmWatch(bit uint64, cycle int64) error {
+	if bit >= c.cfg.Bits() {
+		return fmt.Errorf("cache %s: watch bit %d out of range (%d bits)", c.cfg.Name, bit, c.cfg.Bits())
+	}
+	if bit < c.cfg.DataBits() {
+		byteIdx := int(bit >> 3)
+		c.watch = &fateWatch{
+			ln:    &c.lines[byteIdx/c.cfg.LineBytes],
+			ci:    (byteIdx % c.cfg.LineBytes) >> c.chunkBits,
+			cycle: cycle,
+		}
+		return nil
+	}
+	lineIdx := int((bit - c.cfg.DataBits()) / c.cfg.TagBitsPerLine())
+	c.watch = &fateWatch{ln: &c.lines[lineIdx], tag: true, cycle: cycle}
+	return nil
+}
+
+// WatchOutcome reports the armed watch's state: resolved is true once
+// the fate of the watched bit is known, and ace then tells whether the
+// flip would reach architectural state. An unresolved watch after
+// Finalize means the watched bit was never live at the watched timestamp
+// — callers treat that as masked.
+func (c *Cache) WatchOutcome() (resolved, ace bool) {
+	if c.watch == nil {
+		return false, false
+	}
+	return c.watch.resolved, c.watch.ace
+}
+
+// ClearWatch disarms any fate watch.
+func (c *Cache) ClearWatch() { c.watch = nil }
 
 func (c *Cache) addAce(ln *line, t0, t1 int64) {
 	if t0 < c.windowStart {
@@ -534,6 +658,9 @@ func (c *Cache) FillTouch(fillT, touchT int64, addr uint64, size int, write bool
 	c.Misses++
 	c.fillLine(victim, tag, fillT)
 	ci, n := c.chunkSpan(addr, size)
+	if c.watch != nil {
+		c.watchSpan(victim, ci, n, touchT, write)
+	}
 	victim.lru = touchT
 	c.Accesses++
 	if write {
@@ -560,6 +687,9 @@ func (c *Cache) ReadLine(tHit, tMiss int64, addr uint64) (hit bool) {
 	for w := 0; w < c.ways; w++ {
 		ln := &c.lines[base+w]
 		if ln.valid && ln.tag == tag {
+			if c.watch != nil {
+				c.watchSpan(ln, 0, c.cpl, tHit, false)
+			}
 			ln.lru = tHit
 			c.Accesses++
 			for ci := 0; ci < c.cpl; ci++ {
@@ -622,6 +752,9 @@ func (c *Cache) evictLine(ln *line, now int64, set int) (wb Writeback, dirty boo
 		// write→evict: writeback data is ACE.
 		c.addAce(ln, ln.chunkTime[ci], now)
 		mask |= c.chunkUnit << uint(ci<<c.chunkBits)
+	}
+	if c.watch != nil {
+		c.watchEvict(ln, now)
 	}
 	ln.dirty = 0
 	// Tag approximation: ACE from fill to last ACE byte-interval end.
@@ -697,6 +830,7 @@ func (c *Cache) Reset() {
 	c.memoLine = nil
 	c.memoEpoch, c.memoAddr = 0, 0
 	c.epoch++
+	c.watch = nil
 	c.ResetStats()
 }
 

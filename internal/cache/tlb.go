@@ -81,8 +81,23 @@ type TLB struct {
 	hd1EntryCycles uint64
 	windowStart    int64
 
+	// watch is the (at most one) armed fault-injection fate watch
+	// (DESIGN.md §9); nil on every normal simulation.
+	watch *tlbWatch
+
 	Accesses uint64
 	Misses   uint64
+}
+
+// tlbWatch observes the fate of one TLB entry slot for the
+// fault-injection engine: the entry residency covering the watched
+// timestamp ends ACE iff its last read happened after that timestamp
+// (fill→last-read is the entry's ACE span; read→evict is un-ACE).
+type tlbWatch struct {
+	idx      int
+	cycle    int64
+	resolved bool
+	ace      bool
 }
 
 // NewTLB builds a TLB; the configuration must validate.
@@ -185,6 +200,11 @@ func (t *TLB) Access(now int64, addr uint64) (latency int) {
 }
 
 func (t *TLB) closeEntry(e *tlbEntry, now int64) {
+	if w := t.watch; w != nil && !w.resolved && e == &t.entries[w.idx] &&
+		w.cycle >= e.fillTime && w.cycle < now {
+		w.resolved = true
+		w.ace = e.lastRead > w.cycle
+	}
 	t0 := e.fillTime
 	if t0 < t.windowStart {
 		t0 = t.windowStart
@@ -249,6 +269,33 @@ func (t *TLB) updateHD1(now int64, newIdx int32, newVPN, oldVPN uint64, hadOld b
 	ne.hd1Count = newCount
 }
 
+// ArmWatch arms the fault-injection fate watch on entry slot idx with
+// the given injection timestamp. At most one watch is active; arming
+// replaces any previous watch. Arm before the replay starts; Reset
+// clears the watch. An entry under HammingCAM resolves by the plain
+// lifetime rule (the HD-1 tag refinement is an AVF derating, not a fate
+// change; internal/inject documents the resulting conservatism).
+func (t *TLB) ArmWatch(idx int, cycle int64) error {
+	if idx < 0 || idx >= len(t.entries) {
+		return fmt.Errorf("tlb %s: watch entry %d out of range (%d entries)", t.cfg.Name, idx, len(t.entries))
+	}
+	t.watch = &tlbWatch{idx: idx, cycle: cycle}
+	return nil
+}
+
+// WatchOutcome reports the armed watch's state; an unresolved watch
+// after Finalize means the slot held no translation live at the watched
+// timestamp (masked).
+func (t *TLB) WatchOutcome() (resolved, ace bool) {
+	if t.watch == nil {
+		return false, false
+	}
+	return t.watch.resolved, t.watch.ace
+}
+
+// ClearWatch disarms any fate watch.
+func (t *TLB) ClearWatch() { t.watch = nil }
+
 // Finalize closes all resident entries at time now. Call once at the end
 // of a measurement.
 func (t *TLB) Finalize(now int64) {
@@ -295,6 +342,7 @@ func (t *TLB) Reset() {
 	t.memoValid = false
 	t.aceEntryCycles, t.hd1EntryCycles = 0, 0
 	t.windowStart = 0
+	t.watch = nil
 	t.ResetStats()
 }
 

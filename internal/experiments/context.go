@@ -142,6 +142,7 @@ type Context struct {
 	wl flight[[]*avf.Result]
 	sm flight[*core.SearchResult]
 	pv flight[*avf.Result]
+	fi flight[*InjectionStudy]
 
 	regOnce sync.Once
 	reg     *scenario.Registry

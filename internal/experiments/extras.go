@@ -52,6 +52,7 @@ func (p *PowerContrastResult) maxBy(f func(PowerRow) float64) PowerRow {
 	return best
 }
 
+// String renders the PowerContrastResult as its paper-style report.
 func (p *PowerContrastResult) String() string {
 	var b strings.Builder
 	b.WriteString("§IV-B analysis — power viruses are not AVF stressmarks\n\n")
@@ -154,6 +155,7 @@ type HVFResult struct {
 	Rows []HVFRow
 }
 
+// String renders the HVFResult as its paper-style report.
 func (h *HVFResult) String() string {
 	var b strings.Builder
 	b.WriteString("§VIII analysis — HVF (occupancy) bounds vs measured AVF, ROB\n\n")

@@ -57,6 +57,7 @@ func (f *SERComparison) Advantage(cl avf.Class) float64 {
 	return f.Stressmark.SER[cl] / b
 }
 
+// String renders the SERComparison as its paper-style report.
 func (f *SERComparison) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s — overall SER (units/bit, normalised per class) on %s\n\n", f.Figure, f.Config)
@@ -121,6 +122,7 @@ type Fig5Result struct {
 	Fitness     float64
 }
 
+// String renders the Fig5Result as its paper-style report.
 func (f *Fig5Result) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Figure 5(a) — knob settings of the final GA solution (%s)\n\n%s\n", f.Config, f.Knobs)
@@ -175,6 +177,7 @@ var fig6Structs = []uarch.Structure{
 	uarch.DL1, uarch.DTLB, uarch.L2,
 }
 
+// String renders the Fig6Result as its paper-style report.
 func (f *Fig6Result) String() string {
 	var b strings.Builder
 	headers := []string{"program"}
@@ -246,6 +249,7 @@ type Fig7Part struct {
 	Workloads  []SERRow
 }
 
+// String renders the Fig7Result as its paper-style report.
 func (f *Fig7Result) String() string {
 	var b strings.Builder
 	for i, p := range f.Parts {
@@ -309,6 +313,7 @@ type Fig8Result struct {
 	KnobsRHC, KnobsEDR codegen.Knobs
 }
 
+// String renders the Fig8Result as its paper-style report.
 func (f *Fig8Result) String() string {
 	var b strings.Builder
 	b.WriteString("Figure 8(a) — circuit-level fault rates (units/bit)\n\n")
@@ -376,6 +381,7 @@ type Fig9Result struct {
 	Knobs codegen.Knobs
 }
 
+// String renders the Fig9Result as its paper-style report.
 func (f *Fig9Result) String() string {
 	var b strings.Builder
 	b.WriteString("Figure 9(a) — AVF (%) of queueing and storage structures\n\n")

@@ -1,0 +1,152 @@
+package experiments
+
+// The fault-injection validation experiment (DESIGN.md §9): Monte Carlo
+// statistical fault injection is the standard cross-check for an
+// ACE-based AVF estimator, so the faultinject scenario runs campaigns
+// over a representative workload panel plus the evolved stressmark and
+// reports injection-measured AVF beside ACE-based AVF, flagging any
+// campaign whose 95% confidence interval fails to contain the ACE
+// value.
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"avfstress/internal/inject"
+	"avfstress/internal/pipe"
+	"avfstress/internal/report"
+	"avfstress/internal/scenario"
+	"avfstress/internal/uarch"
+	"avfstress/internal/workloads"
+)
+
+// injectionPanel lists the workload proxies campaigns validate against:
+// one representative per suite. Kept small deliberately — each entry
+// costs Trials replays — while still spanning the three workload
+// families' occupancy regimes.
+var injectionPanel = []string{"403.gcc", "433.milc", "qsort"}
+
+// InjectionStudy is the faultinject scenario's result: one campaign per
+// panel workload plus one on the stressmark, all on one configuration
+// and fault-rate set.
+type InjectionStudy struct {
+	Config    uarch.Config
+	RatesName string
+	Trials    int
+	Campaigns []*inject.Result // panel order, stressmark last
+}
+
+// String renders the cross-campaign summary (bit-weighted, so the
+// outcome counts reconcile with the AVF column), the rate-weighted
+// comparison lines, and the stressmark campaign's per-structure
+// detail.
+func (s *InjectionStudy) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fault-injection validation — %s under %s rates, %d trials per campaign\n\n",
+		s.Config.Name, s.RatesName, s.Trials)
+	rows := make([]report.InjectionRow, 0, len(s.Campaigns))
+	for _, c := range s.Campaigns {
+		rows = append(rows, report.InjectionRow{
+			Label: c.Workload, Bits: c.TotalBits(), Trials: c.Trials,
+			SDC: c.SDC, Detected: c.Detected, Masked: c.Masked,
+			AVF: c.AVF, Lo: c.CI.Lo, Hi: c.CI.Hi, ACE: c.ACEAVF,
+		})
+	}
+	b.WriteString(report.InjectionTable("bit-weighted AVF, injection vs ACE accounting:", rows))
+	b.WriteString("\n")
+	for _, c := range s.Campaigns {
+		fmt.Fprintf(&b, "%-32s %s\n", c.Workload, c.DeratedLine())
+	}
+	if n := len(s.Campaigns); n > 0 {
+		fmt.Fprintf(&b, "\nstressmark campaign, per structure:\n%s", s.Campaigns[n-1])
+	}
+	return b.String()
+}
+
+// injectBudget sizes campaign simulations: the workload budget scaled
+// down 8× — every trial replays the run, so campaigns trade window
+// length for trial count. The golden run and all replays share it.
+func (c *Context) injectBudget() pipe.RunConfig {
+	rc := c.workloadBudget()
+	rc.MaxInstructions /= 8
+	rc.WarmupInstructions /= 8
+	return rc
+}
+
+// FaultInjection runs (once, memoised) the injection validation study
+// for the named configuration and rate set: a campaign of trials
+// replays per panel workload and for the stressmark. The stressmark
+// search is the suite's shared memoised search (declare it as a job
+// dependency); campaigns fan their trials out through internal/sched
+// and memoise per-trial outcomes in the shared simulation store.
+func (c *Context) FaultInjection(ctx context.Context, configName, ratesName string, trials int) (*InjectionStudy, error) {
+	cfg, err := ResolveConfig(configName, c.Opts.Scale)
+	if err != nil {
+		return nil, err
+	}
+	rates, err := ResolveRates(ratesName)
+	if err != nil {
+		return nil, err
+	}
+	if trials <= 0 {
+		trials = 1000
+	}
+	key := fmt.Sprintf("fi\x00%s\x00%s\x00%d", cfg.Fingerprint(), rates.Fingerprint(), trials)
+	return c.fi.do(key, func() (*InjectionStudy, error) {
+		rc := c.injectBudget()
+		study := &InjectionStudy{Config: cfg, RatesName: orDefault(ratesName, "uniform"), Trials: trials}
+		for _, name := range injectionPanel {
+			pf, err := workloads.ByName(name)
+			if err != nil {
+				return nil, err
+			}
+			p, err := pf.Build(cfg, c.Opts.Seed)
+			if err != nil {
+				return nil, err
+			}
+			res, err := inject.Run(ctx, inject.Options{
+				Config: cfg, Program: p, Run: rc, Rates: rates,
+				Trials: trials, Seed: c.Opts.Seed,
+				Parallelism: c.Opts.Parallelism, Cache: c.cache,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("experiments: injection campaign %s: %w", name, err)
+			}
+			c.logf("injection campaign %s: AVF %.4f [%.4f, %.4f] vs ACE %.4f",
+				name, res.DeratedAVF, res.DeratedCI.Lo, res.DeratedCI.Hi, res.DeratedACE)
+			study.Campaigns = append(study.Campaigns, res)
+		}
+		sm, err := c.Stressmark(ctx, SearchKeyFor(configName, ratesName), cfg, rates)
+		if err != nil {
+			return nil, err
+		}
+		res, err := inject.Run(ctx, inject.Options{
+			Config: cfg, Program: sm.Program, Run: rc, Rates: rates,
+			Trials: trials, Seed: c.Opts.Seed,
+			Parallelism: c.Opts.Parallelism, Cache: c.cache,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: injection campaign stressmark: %w", err)
+		}
+		c.logf("injection campaign stressmark: AVF %.4f [%.4f, %.4f] vs ACE %.4f",
+			res.DeratedAVF, res.DeratedCI.Lo, res.DeratedCI.Hi, res.DeratedACE)
+		study.Campaigns = append(study.Campaigns, res)
+		return study, nil
+	})
+}
+
+// faultInjectJob declares one injection study, keyed like the
+// FaultInjection memo.
+func (c *Context) faultInjectJob(configName, ratesName string, trials int, deps []string) scenario.Job {
+	cfg, _ := ResolveConfig(configName, c.Opts.Scale)
+	rates, _ := ResolveRates(ratesName)
+	return scenario.Job{
+		Key:  fmt.Sprintf("fi\x00%s\x00%s\x00%d", cfg.Fingerprint(), rates.Fingerprint(), trials),
+		Deps: deps,
+		Run: func(ctx context.Context) error {
+			_, err := c.FaultInjection(ctx, configName, ratesName, trials)
+			return err
+		},
+	}
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"avfstress/internal/scenario"
+	"avfstress/internal/sched"
+	"avfstress/internal/simcache"
+)
+
+// TestResolveSpecFaultInject: the short form expands with the spec's
+// config/rates/trials, the full form passes through, malformed trial
+// counts are rejected.
+func TestResolveSpecFaultInject(t *testing.T) {
+	names, err := ResolveSpec(scenario.Spec{Scenarios: []string{"faultinject"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if names[0] != "faultinject:baseline:uniform:1000" {
+		t.Errorf("default expansion = %q", names[0])
+	}
+	names, err = ResolveSpec(scenario.Spec{
+		Scenarios: []string{"faultinject"}, Config: "configA", Rates: "edr", InjectTrials: 250,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if names[0] != "faultinject:configA:edr:250" {
+		t.Errorf("parameterised expansion = %q", names[0])
+	}
+	if _, err := ResolveSpec(scenario.Spec{Scenarios: []string{"faultinject:baseline:uniform:250"}}); err != nil {
+		t.Errorf("full form rejected: %v", err)
+	}
+	for _, bad := range []string{
+		"faultinject:baseline:uniform:0",
+		"faultinject:baseline:uniform:x",
+		"faultinject:nope:uniform:10",
+		"faultinject:baseline:nope:10",
+		"faultinject:baseline:uniform",
+	} {
+		if _, err := ResolveSpec(scenario.Spec{Scenarios: []string{bad}}); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}
+
+// TestFaultInjectScenario runs a small faultinject scenario end to end
+// through the scheduler path and checks the declared-jobs purity
+// contract: after the declared jobs have run, rendering replays
+// nothing.
+func TestFaultInjectScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("injection campaigns in -short mode")
+	}
+	store := simcache.New(simcache.Options{})
+	opts := smallOpts()
+	opts.Cache = store
+	c := NewContext(opts)
+	name := "faultinject:baseline:uniform:20"
+	d, err := c.lookup(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Run(bg, d.Jobs(), sched.Options{}); err != nil {
+		t.Fatalf("declared jobs: %v", err)
+	}
+	before := store.Stats().Simulated
+	out, err := d.Render(bg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after := store.Stats().Simulated; after != before {
+		t.Errorf("render simulated %d times beyond the declared jobs", after-before)
+	}
+	for _, want := range []string{
+		"Fault-injection validation", "bit-weighted AVF, injection vs ACE", "derated (rate-weighted)",
+		"403.gcc", "qsort", "stressmark campaign, per structure", "ROB", "overall",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+
+	// Same spec, fresh context sharing the store: byte-identical report,
+	// campaigns replayed entirely from the blob tier.
+	c2 := NewContext(opts)
+	out2, err := c2.Run(bg, name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2 != out {
+		t.Errorf("warm-store report differs:\n%s\nvs\n%s", out2, out)
+	}
+}

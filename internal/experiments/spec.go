@@ -3,6 +3,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"strings"
 
 	"avfstress/internal/avf"
@@ -101,6 +102,13 @@ func ResolveSpec(sp scenario.Spec) ([]string, error) {
 			n = "stressmark:" + orDefault(sp.Config, "baseline") + ":" + orDefault(sp.Rates, "uniform")
 		case "workloads":
 			n = "workloads:" + orDefault(sp.Config, "baseline") + ":" + orDefault(sp.Suite, "all")
+		case "faultinject":
+			trials := sp.InjectTrials
+			if trials <= 0 {
+				trials = 1000
+			}
+			n = fmt.Sprintf("faultinject:%s:%s:%d",
+				orDefault(sp.Config, "baseline"), orDefault(sp.Rates, "uniform"), trials)
 		}
 		if !known[n] {
 			if _, _, err := parseParametric(n, 0); err != nil {
@@ -119,27 +127,35 @@ func orDefault(v, d string) string {
 	return v
 }
 
-// parseParametric recognises the two parametric scenario name forms and
-// validates their arguments. kind is "stressmark" or "workloads".
+// parseParametric recognises the parametric scenario name forms and
+// validates their arguments. kind is "stressmark", "workloads" or
+// "faultinject".
 func parseParametric(name string, scale int) (kind string, args []string, err error) {
 	parts := strings.Split(name, ":")
-	if len(parts) != 3 {
-		return "", nil, fmt.Errorf("experiments: %q is not a parametric scenario", name)
-	}
-	switch parts[0] {
-	case "stressmark":
+	switch {
+	case len(parts) == 3 && parts[0] == "stressmark":
 		if _, err := ResolveConfig(parts[1], scale); err != nil {
 			return "", nil, err
 		}
 		if _, err := ResolveRates(parts[2]); err != nil {
 			return "", nil, err
 		}
-	case "workloads":
+	case len(parts) == 3 && parts[0] == "workloads":
 		if _, err := ResolveConfig(parts[1], scale); err != nil {
 			return "", nil, err
 		}
 		if _, err := resolveSuites(parts[2]); err != nil {
 			return "", nil, err
+		}
+	case len(parts) == 4 && parts[0] == "faultinject":
+		if _, err := ResolveConfig(parts[1], scale); err != nil {
+			return "", nil, err
+		}
+		if _, err := ResolveRates(parts[2]); err != nil {
+			return "", nil, err
+		}
+		if n, err := strconv.Atoi(parts[3]); err != nil || n <= 0 {
+			return "", nil, fmt.Errorf("experiments: faultinject trial count %q must be a positive integer", parts[3])
 		}
 	default:
 		return "", nil, fmt.Errorf("experiments: %q is not a parametric scenario", name)
@@ -221,6 +237,29 @@ func (c *Context) parametricScenario(name string) (scenario.Definition, bool) {
 			},
 			Render: func(ctx context.Context) (string, error) {
 				return c.renderWorkloads(ctx, cfg, suites, orDefault(args[1], "all"))
+			},
+		}, true
+	case "faultinject":
+		cfg, _ := ResolveConfig(args[0], c.Opts.Scale)
+		rates, _ := ResolveRates(args[1])
+		trials, _ := strconv.Atoi(args[2])
+		smKey := SearchKeyFor(args[0], args[1])
+		return scenario.Definition{
+			Name: name,
+			Title: fmt.Sprintf("Fault-injection validation — %s under %s rates, %d trials",
+				cfg.Name, orDefault(args[1], "uniform"), trials),
+			Jobs: func() []scenario.Job {
+				// The study replays against the suite's shared stressmark
+				// search, so the campaign job depends on the search job.
+				sm := c.stressmarkJob(smKey, cfg, rates)
+				return []scenario.Job{sm, c.faultInjectJob(args[0], args[1], trials, []string{sm.Key})}
+			},
+			Render: func(ctx context.Context) (string, error) {
+				st, err := c.FaultInjection(ctx, args[0], args[1], trials)
+				if err != nil {
+					return "", err
+				}
+				return st.String(), nil
 			},
 		}, true
 	}

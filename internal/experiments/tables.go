@@ -55,6 +55,7 @@ type Table3Result struct {
 	Rows []Table3Row
 }
 
+// String renders the Table3Result as its paper-style report.
 func (t *Table3Result) String() string {
 	tb := &report.Table{
 		Title:   "Table III — worst-case core SER estimation methodologies (units/bit)",
@@ -112,6 +113,7 @@ type WorstCaseResult struct {
 	Coverage   []analysis.Coverage
 }
 
+// String renders the WorstCaseResult as its paper-style report.
 func (w *WorstCaseResult) String() string {
 	var b strings.Builder
 	b.WriteString("§VI analysis — instantaneous bound vs sustained stressmark (QS)\n\n")

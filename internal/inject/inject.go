@@ -1,0 +1,433 @@
+// Package inject is the Monte Carlo statistical fault-injection
+// campaign engine (DESIGN.md §9): the standard cross-check for an
+// ACE-based AVF estimator. A campaign samples single-bit fault targets
+// (structure, bit, cycle) uniformly over the bit-cycle space of a
+// golden (fault-free) simulation, replays the run deterministically
+// with each fault injected (internal/pipe.RunFault), classifies every
+// trial as masked, SDC or detected, and aggregates per-structure and
+// derated AVF estimates with 95% binomial confidence intervals — which
+// the ACE-based AVF must fall inside for the estimator to validate.
+//
+// Campaigns are deterministic end to end: targets derive from a
+// splitmix64 stream seeded by (Seed, structure, trial index), replays
+// are pure functions of (config, program, budget, fault), and the
+// rendered report is byte-identical across runs, worker counts and
+// cache states. Trials fan out as deduplicated jobs through
+// internal/sched and memoise their outcomes in internal/simcache keyed
+// by (golden fingerprint, target), so overlapping campaigns and warm
+// re-runs replay only the marginal trials.
+package inject
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+
+	"avfstress/internal/avf"
+	"avfstress/internal/pipe"
+	"avfstress/internal/prog"
+	"avfstress/internal/report"
+	"avfstress/internal/scenario"
+	"avfstress/internal/sched"
+	"avfstress/internal/simcache"
+	"avfstress/internal/uarch"
+)
+
+// Options parameterises one campaign.
+type Options struct {
+	// Config is the microarchitecture under injection.
+	Config uarch.Config
+	// Program is the workload whose golden run defines the sampling
+	// space.
+	Program *prog.Program
+	// Run budgets the golden run and every replay.
+	Run pipe.RunConfig
+	// Rates weight the derated aggregate and define the outcome
+	// taxonomy: a structure with rate zero is detection-protected (EDR),
+	// so its corrupting trials classify as detected (DUE), not SDC. The
+	// zero value means uniform 1 unit/bit.
+	Rates uarch.FaultRates
+	// Trials is the total trial budget, allocated to structures in
+	// proportion to their bit counts (default 1000).
+	Trials int
+	// MinPerStructure floors each structure's allocation so small
+	// structures still get a usable stratum (default 16; the aggregate
+	// estimator is stratified, so allocation affects variance only, not
+	// bias).
+	MinPerStructure int
+	// Seed drives target sampling (default 1).
+	Seed int64
+	// Structures restricts the campaign (default: every SER-tracked
+	// structure).
+	Structures []uarch.Structure
+	// Parallelism bounds concurrent trial replays (0 = GOMAXPROCS).
+	Parallelism int
+	// Cache, when set, memoises per-trial outcomes content-addressed by
+	// (golden fingerprint, target); nil replays every trial.
+	Cache *simcache.Store
+}
+
+func (o Options) withDefaults() Options {
+	var zero uarch.FaultRates
+	if o.Rates == zero {
+		o.Rates = uarch.UniformRates(1)
+	}
+	if o.Trials <= 0 {
+		o.Trials = 1000
+	}
+	if o.MinPerStructure <= 0 {
+		o.MinPerStructure = 16
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if len(o.Structures) == 0 {
+		o.Structures = make([]uarch.Structure, uarch.NumStructures)
+		for s := range o.Structures {
+			o.Structures[s] = uarch.Structure(s)
+		}
+	}
+	return o
+}
+
+// Interval is a confidence interval.
+type Interval struct {
+	Lo, Hi float64
+}
+
+// Contains reports whether x lies inside the interval.
+func (iv Interval) Contains(x float64) bool { return x >= iv.Lo && x <= iv.Hi }
+
+// StructureResult is one campaign stratum.
+type StructureResult struct {
+	Structure uarch.Structure
+	Bits      uint64
+	Trials    int
+	SDC       int
+	Detected  int
+	Masked    int
+	// AVF is the injection-measured vulnerability (SDC+Detected)/Trials
+	// — detection changes the outcome class, not the underlying
+	// vulnerability — with its Wilson 95% confidence interval and the
+	// golden run's ACE-based AVF beside it.
+	AVF float64
+	CI  Interval
+	ACE float64
+}
+
+// Result is the outcome of one campaign.
+type Result struct {
+	Config   string
+	Workload string
+	Seed     int64
+	Trials   int // trials actually run (≥ Options.Trials after flooring)
+
+	// Golden is the fault-free run the campaign validates, GoldenDigest
+	// its committed-state digest (the reference of every replay's
+	// architectural-state diff) and WindowStart/WindowCycles the sampled
+	// cycle space.
+	Golden       *avf.Result
+	GoldenDigest uint64
+	WindowStart  int64
+	WindowCycles int64
+
+	Structures []StructureResult
+
+	// AVF is the bit-weighted injection-measured AVF over the campaign's
+	// structures with its stratified 95% confidence interval; ACEAVF is
+	// the bit-weighted ACE counterpart. Derated* repeat the comparison
+	// under the fault-rate weighting (rate×bits per structure).
+	AVF        float64
+	CI         Interval
+	ACEAVF     float64
+	DeratedAVF float64
+	DeratedCI  Interval
+	DeratedACE float64
+
+	SDC, Detected, Masked int
+}
+
+// rng is a splitmix64 stream: a fixed, documented generator so
+// campaigns are reproducible across platforms and Go versions
+// (math/rand's stream is not part of its compatibility promise).
+// The full sequential construction — golden-gamma counter plus
+// finalizer — is used rather than ad-hoc finalizer hashing of trial
+// indices: the finalizer alone over near-identical inputs leaves
+// measurable structure in the low bits that the modulo reductions
+// consume, enough to push a thousand-trial stratum several sigma off
+// its mean.
+type rng struct{ state uint64 }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// stratumRNG returns the sampling stream of one structure's stratum,
+// decorrelated from the seed and the structure index by one finalizer
+// round each.
+func stratumRNG(seed int64, s uarch.Structure) rng {
+	r := rng{state: uint64(seed)}
+	a := r.next()
+	r.state = a ^ (uint64(s)+1)*0xbf58476d1ce4e5b9
+	b := r.next()
+	return rng{state: a ^ b}
+}
+
+// allocate splits the trial budget across structures proportionally to
+// weight (largest-remainder rounding, ties broken in structure order),
+// then floors every stratum at min. Deterministic.
+func allocate(total, min int, weights []float64) []int {
+	n := make([]int, len(weights))
+	rem := make([]float64, len(weights))
+	allocated := 0
+	for i, w := range weights {
+		exact := float64(total) * w
+		n[i] = int(exact)
+		rem[i] = exact - float64(n[i])
+		allocated += n[i]
+	}
+	for allocated < total {
+		best := -1
+		for i := range rem {
+			if best < 0 || rem[i] > rem[best] {
+				best = i
+			}
+		}
+		n[best]++
+		rem[best] = -1
+		allocated++
+	}
+	for i := range n {
+		if n[i] < min {
+			n[i] = min
+		}
+	}
+	return n
+}
+
+// Run executes the campaign: one golden simulation, then Trials fault
+// replays fanned out as deduplicated jobs on internal/sched. The
+// context cancels between replays.
+func Run(ctx context.Context, o Options) (*Result, error) {
+	o = o.withDefaults()
+	if err := o.Config.Validate(); err != nil {
+		return nil, err
+	}
+	if o.Program == nil {
+		return nil, fmt.Errorf("inject: no program")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	pool, err := pipe.NewPool(o.Config)
+	if err != nil {
+		return nil, err
+	}
+	golden, info, err := pool.SimulateGolden(o.Program, o.Run)
+	if err != nil {
+		return nil, fmt.Errorf("inject: golden run: %w", err)
+	}
+	if info.Cycles <= 0 {
+		return nil, fmt.Errorf("inject: golden run measured no cycles")
+	}
+
+	// Sample every target up front (deterministic), deduplicating
+	// repeated targets into one replay feeding every trial slot.
+	weights := make([]float64, len(o.Structures))
+	var totalBits float64
+	bits := make([]uint64, len(o.Structures))
+	for i, s := range o.Structures {
+		bits[i] = uarch.Bits(o.Config, s)
+		totalBits += float64(bits[i])
+	}
+	if totalBits == 0 {
+		return nil, fmt.Errorf("inject: campaign structures have no bits")
+	}
+	for i := range weights {
+		weights[i] = float64(bits[i]) / totalBits
+	}
+	alloc := allocate(o.Trials, o.MinPerStructure, weights)
+
+	type slot struct{ stratum, idx int }
+	outcomes := make([][]bool, len(o.Structures)) // corrupted per trial
+	targets := map[pipe.Fault][]slot{}
+	var order []pipe.Fault // deterministic job order
+	for i, s := range o.Structures {
+		outcomes[i] = make([]bool, alloc[i])
+		r := stratumRNG(o.Seed, s)
+		for t := 0; t < alloc[i]; t++ {
+			f := pipe.Fault{
+				Structure: s,
+				Bit:       r.next() % bits[i],
+				Cycle:     info.WindowStart + int64(r.next()%uint64(info.Cycles)),
+			}
+			if _, ok := targets[f]; !ok {
+				order = append(order, f)
+			}
+			targets[f] = append(targets[f], slot{i, t})
+		}
+	}
+
+	cfgFP := o.Config.Fingerprint()
+	progFP := "prog:" + o.Program.Fingerprint()
+	rcFP := o.Run.Fingerprint()
+	var mu sync.Mutex
+	jobs := make([]scenario.Job, 0, len(order))
+	for _, f := range order {
+		f, slots := f, targets[f]
+		jobs = append(jobs, scenario.Job{
+			Key: "injtrial\x00" + cfgFP + "\x00" + progFP + "\x00" + rcFP + "\x00" + f.Fingerprint(),
+			Run: func(ctx context.Context) error {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				key := o.Cache.Key(cfgFP, progFP, rcFP, "injtrial:"+f.Fingerprint())
+				b, err := o.Cache.DoBlob(key, func() ([]byte, error) {
+					corrupted, err := pool.SimulateFault(o.Program, o.Run, f)
+					if err != nil {
+						return nil, fmt.Errorf("inject: trial %s: %w", f.Fingerprint(), err)
+					}
+					if corrupted {
+						return []byte{1}, nil
+					}
+					return []byte{0}, nil
+				})
+				if err != nil {
+					return err
+				}
+				corrupted := len(b) == 1 && b[0] == 1
+				mu.Lock()
+				for _, sl := range slots {
+					outcomes[sl.stratum][sl.idx] = corrupted
+				}
+				mu.Unlock()
+				return nil
+			},
+		})
+	}
+	if err := sched.Run(ctx, jobs, sched.Options{Workers: o.Parallelism}); err != nil {
+		return nil, err
+	}
+
+	// Aggregate.
+	res := &Result{
+		Config:       golden.Config,
+		Workload:     golden.Workload,
+		Seed:         o.Seed,
+		Golden:       golden,
+		GoldenDigest: info.Digest,
+		WindowStart:  info.WindowStart,
+		WindowCycles: info.Cycles,
+	}
+	for i, s := range o.Structures {
+		sr := StructureResult{Structure: s, Bits: bits[i], Trials: alloc[i], ACE: golden.AVF[s]}
+		protected := o.Rates[s] == 0
+		for _, corrupted := range outcomes[i] {
+			switch {
+			case !corrupted:
+				sr.Masked++
+			case protected:
+				sr.Detected++
+			default:
+				sr.SDC++
+			}
+		}
+		vuln := sr.SDC + sr.Detected
+		if sr.Trials > 0 {
+			sr.AVF = float64(vuln) / float64(sr.Trials)
+		}
+		sr.CI = wilson(vuln, sr.Trials)
+		res.Structures = append(res.Structures, sr)
+		res.Trials += sr.Trials
+		res.SDC += sr.SDC
+		res.Detected += sr.Detected
+		res.Masked += sr.Masked
+	}
+	res.AVF, res.CI, res.ACEAVF = res.aggregate(func(sr StructureResult) float64 {
+		return float64(sr.Bits)
+	})
+	res.DeratedAVF, res.DeratedCI, res.DeratedACE = res.aggregate(func(sr StructureResult) float64 {
+		return o.Rates[sr.Structure] * float64(sr.Bits)
+	})
+	return res, nil
+}
+
+// aggregate combines the strata under the given weighting into the
+// weighted AVF estimate, its stratified 95% confidence interval, and
+// the weighted ACE counterpart.
+func (r *Result) aggregate(weight func(StructureResult) float64) (est float64, ci Interval, ace float64) {
+	var totalW float64
+	for _, sr := range r.Structures {
+		totalW += weight(sr)
+	}
+	if totalW == 0 {
+		return 0, Interval{}, 0
+	}
+	var v float64 // variance of the stratified estimator
+	for _, sr := range r.Structures {
+		w := weight(sr) / totalW
+		est += w * sr.AVF
+		ace += w * sr.ACE
+		if sr.Trials > 0 {
+			v += w * w * sr.AVF * (1 - sr.AVF) / float64(sr.Trials)
+		}
+	}
+	return est, normalCI(est, v), ace
+}
+
+// TotalBits returns the campaign's sampled bit count.
+func (r *Result) TotalBits() uint64 {
+	var total uint64
+	for _, sr := range r.Structures {
+		total += sr.Bits
+	}
+	return total
+}
+
+// Rows renders the campaign as injection-table rows: one per structure
+// (campaign order) plus the bit-weighted "overall" aggregate, whose
+// outcome counts reconcile exactly with its AVF column. The
+// rate-derated aggregate reweights the same trials per structure, so
+// its value cannot be recomputed from pooled counts — String reports
+// it as a separate line instead of a row with contradictory columns.
+func (r *Result) Rows() []report.InjectionRow {
+	rows := make([]report.InjectionRow, 0, len(r.Structures)+1)
+	for _, sr := range r.Structures {
+		rows = append(rows, report.InjectionRow{
+			Label: sr.Structure.String(), Bits: sr.Bits, Trials: sr.Trials,
+			SDC: sr.SDC, Detected: sr.Detected, Masked: sr.Masked,
+			AVF: sr.AVF, Lo: sr.CI.Lo, Hi: sr.CI.Hi, ACE: sr.ACE,
+		})
+	}
+	rows = append(rows, report.InjectionRow{
+		Label: "overall", Bits: r.TotalBits(), Trials: r.Trials,
+		SDC: r.SDC, Detected: r.Detected, Masked: r.Masked,
+		AVF: r.AVF, Lo: r.CI.Lo, Hi: r.CI.Hi, ACE: r.ACEAVF,
+	})
+	return rows
+}
+
+// DeratedLine renders the rate-weighted comparison as one line.
+func (r *Result) DeratedLine() string {
+	return fmt.Sprintf("derated (rate-weighted): AVF %.4f [%.4f, %.4f] vs ACE %.4f",
+		r.DeratedAVF, r.DeratedCI.Lo, r.DeratedCI.Hi, r.DeratedACE)
+}
+
+// String renders the campaign report.
+func (r *Result) String() string {
+	var b strings.Builder
+	title := fmt.Sprintf("Injection campaign — %s on %s (%d trials, seed %d)",
+		r.Config, r.Workload, r.Trials, r.Seed)
+	b.WriteString(report.InjectionTable(title, r.Rows()))
+	fmt.Fprintf(&b, "%s\ngolden: %d instrs, %d cycles, digest %016x\n",
+		r.DeratedLine(), r.Golden.Instructions, r.WindowCycles, r.GoldenDigest)
+	return b.String()
+}

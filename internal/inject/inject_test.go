@@ -1,0 +1,205 @@
+package inject
+
+import (
+	"context"
+	"testing"
+
+	"avfstress/internal/codegen"
+	"avfstress/internal/pipe"
+	"avfstress/internal/prog"
+	"avfstress/internal/simcache"
+	"avfstress/internal/uarch"
+)
+
+var bg = context.Background()
+
+func testProgram(t *testing.T, cfg uarch.Config) *prog.Program {
+	t.Helper()
+	k := codegen.Knobs{LoopSize: 81, NumLoads: 29, NumStores: 28,
+		NumIndepArith: 5, MissDependent: 7, AvgChainLength: 2.14,
+		DepDistance: 6, FracLongLatency: 0.8, FracRegReg: 0.93, Seed: 42}
+	p, _, err := codegen.Generate(cfg, k, 1<<40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func testOptions(t *testing.T, trials int) Options {
+	t.Helper()
+	cfg := uarch.Scaled(uarch.Baseline(), 32)
+	return Options{
+		Config:  cfg,
+		Program: testProgram(t, cfg),
+		Run:     pipe.RunConfig{MaxInstructions: 6_000, WarmupInstructions: 2_000},
+		Trials:  trials,
+		Seed:    1,
+	}
+}
+
+// TestCampaignValidatesACE is the acceptance experiment: for a fixed
+// seed and ≥1000 trials on the scaled baseline, the injection-measured
+// AVF's 95% confidence interval must contain the ACE-based AVF — both
+// bit-weighted and rate-derated — and every trial must classify (no
+// trial is lost to an error).
+func TestCampaignValidatesACE(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1000-replay campaign in -short mode")
+	}
+	res, err := Run(bg, testOptions(t, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trials < 1000 {
+		t.Fatalf("ran %d trials, want >= 1000", res.Trials)
+	}
+	if got := res.SDC + res.Detected + res.Masked; got != res.Trials {
+		t.Fatalf("outcome counts %d != trials %d", got, res.Trials)
+	}
+	if !res.CI.Contains(res.ACEAVF) {
+		t.Errorf("ACE AVF %.4f outside injection 95%% CI [%.4f, %.4f] (measured %.4f)\n%s",
+			res.ACEAVF, res.CI.Lo, res.CI.Hi, res.AVF, res)
+	}
+	if !res.DeratedCI.Contains(res.DeratedACE) {
+		t.Errorf("derated ACE %.4f outside derated 95%% CI [%.4f, %.4f] (measured %.4f)\n%s",
+			res.DeratedACE, res.DeratedCI.Lo, res.DeratedCI.Hi, res.DeratedAVF, res)
+	}
+	if res.SDC == 0 || res.Masked == 0 {
+		t.Errorf("degenerate campaign: %d SDC / %d masked\n%s", res.SDC, res.Masked, res)
+	}
+	// Uniform rates: nothing is detection-protected, and the derated
+	// aggregate equals the bit-weighted one.
+	if res.Detected != 0 {
+		t.Errorf("%d detected outcomes under uniform rates", res.Detected)
+	}
+	if res.DeratedAVF != res.AVF || res.DeratedACE != res.ACEAVF {
+		t.Error("uniform-rate derated aggregate differs from bit-weighted")
+	}
+}
+
+// TestCampaignDetectedTaxonomy: under EDR rates, corruptions in the
+// protected queues classify as detected (DUE), never SDC, and the
+// protected structures contribute nothing to the derated aggregate.
+func TestCampaignDetectedTaxonomy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign in -short mode")
+	}
+	o := testOptions(t, 60)
+	o.Rates = uarch.EDRRates()
+	o.Structures = []uarch.Structure{uarch.ROB, uarch.SQData, uarch.IQ}
+	res, err := Run(bg, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sr := range res.Structures {
+		protected := o.Rates[sr.Structure] == 0
+		if protected && sr.SDC != 0 {
+			t.Errorf("%s: %d SDC on a detection-protected structure", sr.Structure, sr.SDC)
+		}
+		if !protected && sr.Detected != 0 {
+			t.Errorf("%s: %d detected on an unprotected structure", sr.Structure, sr.Detected)
+		}
+	}
+	if res.Detected == 0 {
+		t.Error("EDR campaign on the ROB found no detected outcomes")
+	}
+	// ROB and SQ are rate-zero; only the IQ stratum carries derated
+	// weight.
+	var iq StructureResult
+	for _, sr := range res.Structures {
+		if sr.Structure == uarch.IQ {
+			iq = sr
+		}
+	}
+	if res.DeratedAVF != iq.AVF {
+		t.Errorf("derated AVF %.4f != IQ stratum %.4f under EDR weights", res.DeratedAVF, iq.AVF)
+	}
+}
+
+// TestCampaignByteDeterministic: same seed ⇒ byte-identical report —
+// across independent runs, across worker counts, and across a cold and
+// a warm disk cache (the warm run must be served from the blob tier
+// without a single replay).
+func TestCampaignByteDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign in -short mode")
+	}
+	dir := t.TempDir()
+	o := testOptions(t, 200)
+
+	o.Cache = simcache.New(simcache.Options{Dir: dir})
+	o.Parallelism = 1
+	cold, err := Run(bg, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Cache.Stats().Simulated == 0 {
+		t.Fatal("cold campaign replayed nothing")
+	}
+
+	// Fresh store, same directory: warm from disk, zero replays.
+	o.Cache = simcache.New(simcache.Options{Dir: dir})
+	o.Parallelism = 4
+	warm, err := Run(bg, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := o.Cache.Stats(); st.Simulated != 0 || st.DiskHits == 0 {
+		t.Errorf("warm campaign stats %v, want 0 simulated and >0 disk hits", st)
+	}
+
+	// No cache at all: every trial replayed, same bytes.
+	o.Cache = nil
+	bare, err := Run(bg, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.String() != warm.String() || cold.String() != bare.String() {
+		t.Errorf("campaign reports differ across cache states:\ncold:\n%s\nwarm:\n%s\nbare:\n%s",
+			cold, warm, bare)
+	}
+}
+
+// TestCampaignCancellation: a cancelled context aborts the campaign
+// with the context's error.
+func TestCampaignCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(bg)
+	cancel()
+	if _, err := Run(ctx, testOptions(t, 50)); err == nil {
+		t.Fatal("cancelled campaign returned nil error")
+	}
+}
+
+func TestAllocate(t *testing.T) {
+	n := allocate(100, 1, []float64{0.5, 0.3, 0.2})
+	if n[0] != 50 || n[1] != 30 || n[2] != 20 {
+		t.Fatalf("allocate = %v", n)
+	}
+	n = allocate(10, 3, []float64{0.94, 0.03, 0.03})
+	if n[0] < 9 || n[1] != 3 || n[2] != 3 {
+		t.Fatalf("allocate with floor = %v", n)
+	}
+	// Largest-remainder rounding hands out every trial.
+	n = allocate(7, 0, []float64{1.0 / 3, 1.0 / 3, 1.0 / 3})
+	if n[0]+n[1]+n[2] != 7 {
+		t.Fatalf("allocate dropped trials: %v", n)
+	}
+}
+
+func TestWilson(t *testing.T) {
+	iv := wilson(0, 50)
+	if iv.Lo != 0 || iv.Hi <= 0 || iv.Hi > 0.2 {
+		t.Errorf("wilson(0,50) = %+v", iv)
+	}
+	iv = wilson(50, 50)
+	if iv.Hi != 1 || iv.Lo >= 1 || iv.Lo < 0.8 {
+		t.Errorf("wilson(50,50) = %+v", iv)
+	}
+	iv = wilson(25, 50)
+	if !iv.Contains(0.5) || iv.Lo < 0.35 || iv.Hi > 0.65 {
+		t.Errorf("wilson(25,50) = %+v", iv)
+	}
+	if iv := wilson(0, 0); iv != (Interval{}) {
+		t.Errorf("wilson(0,0) = %+v", iv)
+	}
+}

@@ -1,0 +1,45 @@
+package inject
+
+import "math"
+
+// z95 is the two-sided 95% normal quantile.
+const z95 = 1.959963984540054
+
+// wilson returns the Wilson score 95% confidence interval for k
+// successes in n Bernoulli trials. Unlike the normal approximation it
+// behaves at the boundaries (k = 0 or k = n never yield a degenerate
+// zero-width interval), which matters for heavily masked or fully ACE
+// strata.
+func wilson(k, n int) Interval {
+	if n <= 0 {
+		return Interval{}
+	}
+	p := float64(k) / float64(n)
+	nn := float64(n)
+	z2 := z95 * z95
+	denom := 1 + z2/nn
+	center := (p + z2/(2*nn)) / denom
+	half := z95 * math.Sqrt(p*(1-p)/nn+z2/(4*nn*nn)) / denom
+	return Interval{Lo: clamp01(center - half), Hi: clamp01(center + half)}
+}
+
+// normalCI returns the normal-approximation 95% interval around est
+// with variance v (the stratified aggregate, where the Wilson form has
+// no closed analogue).
+func normalCI(est, v float64) Interval {
+	if v <= 0 {
+		return Interval{Lo: clamp01(est), Hi: clamp01(est)}
+	}
+	half := z95 * math.Sqrt(v)
+	return Interval{Lo: clamp01(est - half), Hi: clamp01(est + half)}
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

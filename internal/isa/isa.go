@@ -24,6 +24,7 @@ const (
 // Valid reports whether r names an architected register.
 func (r Reg) Valid() bool { return r < NumArchRegs }
 
+// String renders the register name ("r4", "zero").
 func (r Reg) String() string {
 	if r == RZero {
 		return "zero"
@@ -58,6 +59,7 @@ const (
 
 var opNames = [numOps]string{"nop", "addq", "mulq", "ldq", "stq", "br"}
 
+// String renders the mnemonic ("addq", "ldq", ...).
 func (o Op) String() string {
 	if int(o) < len(opNames) {
 		return opNames[o]

@@ -1,0 +1,381 @@
+package pipe
+
+// Fault-injection replay support (DESIGN.md §9). A Fault names one
+// single-bit target — a structure, a bit index inside the structure's
+// SER-relevant bit space, and an injection cycle — and RunFault replays
+// a program deterministically with that fault applied, classifying
+// whether the flipped bit would have reached committed architectural
+// state. The model is value-free, so a flip's visibility is decided by
+// the microarchitectural fate of the entity occupying the flipped bit:
+// the replay observes that fate directly (commit vs flush for queue
+// entries, future reads for register values, the Biswas lifetime
+// transition for cache chunks) and applies exactly the visibility rules
+// the ACE accounting integrates — which is what makes a Monte Carlo
+// campaign over uniform (bit, cycle) targets an unbiased estimator of
+// the ACE-based AVF (internal/inject).
+
+import (
+	"fmt"
+
+	"avfstress/internal/avf"
+	"avfstress/internal/isa"
+	"avfstress/internal/prog"
+	"avfstress/internal/uarch"
+)
+
+// Fault is one single-bit fault target.
+type Fault struct {
+	// Structure is the SER-tracked structure the bit belongs to.
+	Structure uarch.Structure
+	// Bit indexes the structure's bit space [0, uarch.Bits(cfg, s)).
+	// Entry association is canonical: queue structures map bit/entryBits
+	// to the k-th oldest occupant, the register file and DTLB map to the
+	// physical slot, caches map data bits line-major/byte-major and the
+	// remainder to one tag entry per line.
+	Bit uint64
+	// Cycle is the absolute injection cycle. It must lie inside the
+	// measured window of the golden run ([window start, window start +
+	// cycles)).
+	Cycle int64
+}
+
+// Fingerprint returns a canonical description of the fault target for
+// internal/simcache trial keys.
+func (f Fault) Fingerprint() string {
+	return fmt.Sprintf("pipe.Fault{%d %d %d}", int(f.Structure), f.Bit, f.Cycle)
+}
+
+// FaultTrial is the outcome of one injection replay.
+type FaultTrial struct {
+	// Corrupted reports whether the flipped bit reaches committed
+	// architectural state (an SDC before any detection derating);
+	// otherwise the fault was masked.
+	Corrupted bool
+	// Digest is the committed-state digest of the replay with the
+	// fault's corruption folded in, when the replay ran in full mode
+	// (RunFault full=true); zero otherwise. A masked full replay's
+	// digest equals the golden digest bit-exactly; a corrupted one's
+	// differs.
+	Digest uint64
+}
+
+// GoldenInfo carries the replay-relevant facts of a golden (fault-free)
+// run beyond its avf.Result.
+type GoldenInfo struct {
+	// WindowStart is the cycle measurement began (end of warmup).
+	WindowStart int64
+	// Cycles is the measured window length (== Result.Cycles).
+	Cycles int64
+	// Digest is the committed-state digest over the whole run.
+	Digest uint64
+}
+
+// injState tracks one in-flight fault injection during runLoop.
+type injState struct {
+	fault Fault
+	full  bool // run to completion and fold corruption into the digest
+
+	applied   bool // the fault has been applied (or armed, for mem watches)
+	memWatch  bool // fault targets DL1/L2/DTLB (fate watch in internal/cache)
+	resolved  bool
+	corrupted bool
+	watchReg  int16 // armed register-file watch (noReg = none)
+}
+
+// FNV-1a constants for the commit digest, plus the marker folded into a
+// full replay's digest at the point a fault's corruption is resolved to
+// reach architectural state.
+const (
+	fnvOffset64 = 0xcbf29ce484222325
+	fnvPrime64  = 0x100000001b3
+	injMark     = 0x9e3779b97f4a7c15
+)
+
+func mix64(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime64
+		v >>= 8
+	}
+	return h
+}
+
+// digestCommit folds one retiring instruction's architectural effect —
+// opcode, register operands, effective address and branch outcome —
+// into the running commit digest. Only called with digestOn.
+func (pl *Pipeline) digestCommit(u *uop) {
+	w := uint64(u.opc) | uint64(u.static.Dest)<<8 |
+		uint64(u.static.Src1)<<16 | uint64(u.static.Src2)<<24
+	if u.predTaken {
+		w |= 1 << 32
+	}
+	if u.mispred {
+		w |= 1 << 33
+	}
+	pl.digest = mix64(mix64(pl.digest, w), u.addr)
+}
+
+// injResolve records the trial's outcome; in full mode a corrupting
+// fault additionally folds the corruption marker into the digest, so the
+// architectural-state diff against the golden run is what classifies the
+// trial.
+func (pl *Pipeline) injResolve(corrupt bool) {
+	inj := pl.inj
+	if inj.resolved {
+		return
+	}
+	inj.resolved = true
+	inj.corrupted = corrupt
+	if corrupt && pl.digestOn {
+		pl.digest = mix64(pl.digest, injMark)
+	}
+}
+
+// injPoll checks an armed cache/TLB fate watch for resolution. Called
+// once per simulated cycle while an injection replay is unresolved.
+func (pl *Pipeline) injPoll() {
+	var resolved, ace bool
+	switch pl.inj.fault.Structure {
+	case uarch.DL1:
+		resolved, ace = pl.mem.DL1.WatchOutcome()
+	case uarch.L2:
+		resolved, ace = pl.mem.L2.WatchOutcome()
+	case uarch.DTLB:
+		resolved, ace = pl.mem.DTLB.WatchOutcome()
+	default:
+		return
+	}
+	if resolved {
+		pl.injResolve(ace)
+	}
+}
+
+// injRegRelease resolves an armed register-file watch when the watched
+// physical register is released at the overwriting instruction's commit:
+// the flipped value was consumed iff an ACE instruction read it after
+// the injection cycle — the same fill→last-read span the RF accounting
+// integrates.
+func (pl *Pipeline) injRegRelease(p int16) {
+	inj := pl.inj
+	if inj.watchReg != p || inj.resolved {
+		return
+	}
+	inj.watchReg = noReg
+	pl.injResolve(pl.regs[p].lastRead > inj.fault.Cycle)
+}
+
+// uop occupancy predicates for entry association (oldest-first).
+func occIQ(u *uop) bool { return u.inIQ }
+func occLQ(u *uop) bool { return u.inLQ }
+func occSQ(u *uop) bool { return u.inSQ }
+func occFU(u *uop) bool { return (u.opc == isa.OpAdd || u.opc == isa.OpMul) && u.state == sIssued }
+
+// nthOccupant returns the k-th oldest in-flight uop satisfying pred, or
+// nil when fewer than k+1 occupants exist (the sampled entry is empty).
+func (pl *Pipeline) nthOccupant(k int, pred func(*uop) bool) *uop {
+	for seq := pl.head; seq < pl.tail; seq++ {
+		u := pl.at(seq)
+		if pred(u) {
+			if k == 0 {
+				return u
+			}
+			k--
+		}
+	}
+	return nil
+}
+
+// applyFault applies the armed fault at its injection cycle: it locates
+// the occupant of the flipped bit and either resolves the trial
+// immediately (queue structures, whose fate is their occupant's ACEness)
+// or arms a register watch. Empty slots, wrong-path and un-ACE occupants
+// and not-yet-live values resolve masked — exactly the states the ACE
+// accounting excludes.
+func (pl *Pipeline) applyFault() {
+	inj := pl.inj
+	inj.applied = true
+	f := inj.fault
+	core := pl.core
+	switch f.Structure {
+	case uarch.IQ:
+		// Issue-queue entries are vulnerable from dispatch to issue
+		// (entries free at issue, 21264-style).
+		if u := pl.nthOccupant(int(f.Bit/uint64(core.IQEntryBits)), occIQ); u != nil {
+			pl.injResolve(u.ace)
+			return
+		}
+	case uarch.ROB:
+		if k := int64(f.Bit / uint64(core.ROBEntryBits)); k < pl.tail-pl.head {
+			pl.injResolve(pl.at(pl.head + k).ace)
+			return
+		}
+	case uarch.FU:
+		// One stage slot per executing arithmetic operation; an in-flight
+		// result is corrupted iff the operation is ACE (squashed wrong-path
+		// work burns the stage but carries no architectural value).
+		if u := pl.nthOccupant(int(f.Bit/uint64(core.RegBits)), occFU); u != nil {
+			pl.injResolve(u.ace)
+			return
+		}
+	case uarch.RF:
+		p := int16(f.Bit / uint64(core.RegBits))
+		r := &pl.regs[p]
+		if r.written && r.aceValue && r.writeTime <= f.Cycle {
+			// Live ACE value: vulnerable until its last future read.
+			inj.watchReg = p
+			return
+		}
+	case uarch.LQTag:
+		// The address is consumed at issue (which regenerates it from the
+		// register operands); the queued tag serves disambiguation until
+		// retire — vulnerable from issue to commit.
+		if u := pl.nthOccupant(int(f.Bit/uint64(core.LSQEntryBits/2)), occLQ); u != nil {
+			pl.injResolve(u.ace && u.state != sWaiting)
+			return
+		}
+	case uarch.LQData:
+		if u := pl.nthOccupant(int(f.Bit/uint64(core.LSQEntryBits/2)), occLQ); u != nil {
+			pl.injResolve(u.ace && u.state != sWaiting && u.dataReady <= f.Cycle)
+			return
+		}
+	case uarch.SQTag, uarch.SQData:
+		// Store address and data are captured at completion and consumed
+		// by the architectural write at retire.
+		if u := pl.nthOccupant(int(f.Bit/uint64(core.LSQEntryBits/2)), occSQ); u != nil {
+			pl.injResolve(u.ace && u.state == sDone)
+			return
+		}
+	}
+	pl.injResolve(false)
+}
+
+// injFinish resolves a trial still open at the natural end of the run:
+// partially elapsed intervals of still-live state are ACE, exactly as
+// finalize() counts them, and cache/TLB watches resolve through the
+// hierarchy's end-of-run eviction sweep.
+func (pl *Pipeline) injFinish() {
+	inj := pl.inj
+	if inj.resolved {
+		return
+	}
+	if inj.memWatch {
+		pl.mem.Finalize(pl.now)
+		pl.injPoll()
+		if !inj.resolved {
+			// The watched bit held no live state at the injection cycle.
+			pl.injResolve(false)
+		}
+		return
+	}
+	if inj.watchReg != noReg {
+		pl.injResolve(pl.regs[inj.watchReg].lastRead > inj.fault.Cycle)
+		return
+	}
+	pl.injResolve(false)
+}
+
+// RunFault replays the program under rc with fault f injected and
+// returns the trial outcome. Call once per New or Reset, like Run. With
+// full=false the replay stops as soon as the fault's fate is resolved;
+// with full=true it always runs to completion, computing the commit
+// digest with the corruption folded in so the outcome is equivalently
+// readable as an architectural-state diff against the golden digest
+// (TestFaultFullReplayMatchesEarly locks the equivalence).
+//
+// f.Cycle must lie inside the run: a cycle beyond the program's end is
+// an error (it indicates a target sampled against a different golden
+// run).
+func (pl *Pipeline) RunFault(rc RunConfig, f Fault, full bool) (FaultTrial, error) {
+	if f.Structure < 0 || f.Structure >= uarch.NumStructures {
+		return FaultTrial{}, fmt.Errorf("pipe: fault structure %d out of range", int(f.Structure))
+	}
+	if max := uarch.Bits(pl.cfg, f.Structure); f.Bit >= max {
+		return FaultTrial{}, fmt.Errorf("pipe: fault bit %d out of range for %s (%d bits)",
+			f.Bit, f.Structure, max)
+	}
+	if f.Cycle < 0 {
+		return FaultTrial{}, fmt.Errorf("pipe: negative fault cycle %d", f.Cycle)
+	}
+	inj := &injState{fault: f, full: full, watchReg: noReg}
+	pl.inj = inj
+	pl.digestOn = full
+	pl.digest = fnvOffset64
+	defer func() {
+		pl.inj = nil
+		pl.digestOn = false
+		pl.mem.DL1.ClearWatch()
+		pl.mem.L2.ClearWatch()
+		pl.mem.DTLB.ClearWatch()
+	}()
+	// Cache and TLB targets are watched from the start of the replay:
+	// hierarchy accesses carry timestamps ahead of the pipeline's wall
+	// clock, so the lifetime interval containing the injection cycle can
+	// be closed by an access executed wall-earlier.
+	switch f.Structure {
+	case uarch.DL1:
+		if err := pl.mem.DL1.ArmWatch(f.Bit, f.Cycle); err != nil {
+			return FaultTrial{}, err
+		}
+		inj.memWatch, inj.applied = true, true
+	case uarch.L2:
+		if err := pl.mem.L2.ArmWatch(f.Bit, f.Cycle); err != nil {
+			return FaultTrial{}, err
+		}
+		inj.memWatch, inj.applied = true, true
+	case uarch.DTLB:
+		idx := int(f.Bit / uint64(pl.cfg.Mem.DTLB.EntryBits))
+		if err := pl.mem.DTLB.ArmWatch(idx, f.Cycle); err != nil {
+			return FaultTrial{}, err
+		}
+		inj.memWatch, inj.applied = true, true
+	}
+	if err := pl.runLoop(rc); err != nil {
+		return FaultTrial{}, err
+	}
+	if !inj.applied {
+		return FaultTrial{}, fmt.Errorf("pipe: fault cycle %d beyond end of run (cycle %d)", f.Cycle, pl.now)
+	}
+	pl.injFinish()
+	return FaultTrial{Corrupted: inj.corrupted, Digest: pl.digest}, nil
+}
+
+// SimulateGolden runs program p under rc on a pooled pipeline like
+// Simulate, additionally returning the golden-run facts fault-injection
+// campaigns replay against: measurement-window start, window length and
+// the committed-state digest.
+func (pp *Pool) SimulateGolden(p *prog.Program, rc RunConfig) (*avf.Result, GoldenInfo, error) {
+	pl, err := pp.get(p)
+	if err != nil {
+		return nil, GoldenInfo{}, err
+	}
+	pl.digestOn = true
+	pl.digest = fnvOffset64
+	res, err := pl.Run(rc)
+	info := GoldenInfo{Digest: pl.digest}
+	pl.digestOn = false
+	if err == nil {
+		info.WindowStart = pl.acct.windowStart
+		info.Cycles = res.Cycles
+	}
+	pp.pool.Put(pl)
+	if err != nil {
+		return nil, GoldenInfo{}, err
+	}
+	return res, info, nil
+}
+
+// SimulateFault replays program p under rc on a pooled pipeline with
+// fault f injected (early-resolution mode) and reports whether the fault
+// corrupts committed architectural state.
+func (pp *Pool) SimulateFault(p *prog.Program, rc RunConfig, f Fault) (bool, error) {
+	pl, err := pp.get(p)
+	if err != nil {
+		return false, err
+	}
+	trial, err := pl.RunFault(rc, f, false)
+	pp.pool.Put(pl)
+	if err != nil {
+		return false, err
+	}
+	return trial.Corrupted, nil
+}

@@ -30,6 +30,13 @@
 // bitmap over the ROB ring in age order (readyq.go), so per-cycle work
 // is proportional to the number of state changes, not to the ROB size.
 // DESIGN.md §2 states the invariants.
+//
+// Because every run is deterministic, the pipeline also serves as the
+// replay engine for Monte Carlo fault injection (inject.go): RunFault
+// re-runs a program with a single-bit fault applied at a chosen cycle
+// and reports whether the flip reaches committed architectural state,
+// and Pool.SimulateGolden captures the commit digest replays are
+// diffed against (DESIGN.md §9).
 package pipe
 
 import (
@@ -177,6 +184,14 @@ type Pipeline struct {
 	streamDone      bool
 
 	acct accounting
+
+	// Fault-injection replay state (inject.go): inj is non-nil only
+	// inside RunFault; digestOn enables the commit digest (RunFault full
+	// mode and Pool.SimulateGolden). Normal runs pay one predictable
+	// branch per cycle and per commit.
+	inj      *injState
+	digestOn bool
+	digest   uint64
 }
 
 type fetchItem struct {
@@ -292,6 +307,9 @@ func (pl *Pipeline) Reset(p *prog.Program) error {
 		pl.blockedOn[i] = pl.blockedOn[i][:0]
 	}
 	pl.dwStores.clearDW()
+	pl.inj = nil
+	pl.digestOn = false
+	pl.digest = 0
 	// ROB slots and checkpoints are left dirty: dispatch fully overwrites
 	// a slot (preserving only gen) before any field is read.
 	pl.resetArchState()
@@ -307,6 +325,22 @@ func (pl *Pipeline) robCount() int { return int(pl.tail - pl.head) }
 // Run executes the program under the given budget and returns the AVF
 // result. Call once per New or Reset.
 func (pl *Pipeline) Run(rc RunConfig) (*avf.Result, error) {
+	if err := pl.runLoop(rc); err != nil {
+		return nil, err
+	}
+	if !pl.acct.measuring {
+		return nil, errors.New("pipe: program ended inside warmup window")
+	}
+	return pl.finalize(), nil
+}
+
+// runLoop is the shared cycle loop of Run and RunFault: it executes the
+// program under the budget, leaving the pipeline state at end-of-run for
+// the caller to finalize. A fault-injection replay (pl.inj non-nil)
+// applies its fault at the injection cycle, polls its fate watch, and
+// returns as soon as the outcome is resolved unless running in full
+// mode.
+func (pl *Pipeline) runLoop(rc RunConfig) error {
 	if rc.DeadlockCycles <= 0 {
 		rc.DeadlockCycles = 1_000_000
 	}
@@ -325,7 +359,7 @@ func (pl *Pipeline) Run(rc RunConfig) (*avf.Result, error) {
 		}
 	}
 	if rc.WarmupInstructions >= maxInstrs {
-		return nil, fmt.Errorf("pipe: warmup %d >= budget %d", rc.WarmupInstructions, maxInstrs)
+		return fmt.Errorf("pipe: warmup %d >= budget %d", rc.WarmupInstructions, maxInstrs)
 	}
 	pl.acct.warmupLeft = rc.WarmupInstructions
 	if rc.WarmupInstructions == 0 {
@@ -338,7 +372,7 @@ func (pl *Pipeline) Run(rc RunConfig) (*avf.Result, error) {
 			break
 		}
 		if pl.now >= maxCycles {
-			return nil, fmt.Errorf("pipe: cycle budget %d exhausted at %d committed instructions",
+			return fmt.Errorf("pipe: cycle budget %d exhausted at %d committed instructions",
 				maxCycles, pl.acct.committed+pl.acct.warmupDone)
 		}
 		n := pl.commit()
@@ -349,7 +383,7 @@ func (pl *Pipeline) Run(rc RunConfig) (*avf.Result, error) {
 			lastCommitCycle = pl.now
 		}
 		if pl.now-lastCommitCycle > rc.DeadlockCycles {
-			return nil, fmt.Errorf("pipe: deadlock: no commit for %d cycles at cycle %d (rob=%d iq=%d lq=%d sq=%d)",
+			return fmt.Errorf("pipe: deadlock: no commit for %d cycles at cycle %d (rob=%d iq=%d lq=%d sq=%d)",
 				rc.DeadlockCycles, pl.now, pl.robCount(), pl.iqUsed, pl.lqUsed, pl.sqUsed)
 		}
 		step := int64(1)
@@ -364,12 +398,25 @@ func (pl *Pipeline) Run(rc RunConfig) (*avf.Result, error) {
 		if pl.acct.measuring {
 			pl.acct.tickN(pl, step)
 		}
+		if inj := pl.inj; inj != nil {
+			// End-of-cycle injection point: the fault lands after the
+			// stages of its cycle have run, matching the half-open
+			// [start, end) convention of every ACE interval. A frozen
+			// multi-cycle step contains no state change, so applying at
+			// any cycle inside it is equivalent.
+			if !inj.applied && inj.fault.Cycle < pl.now+step {
+				pl.applyFault()
+			}
+			if inj.applied && !inj.resolved {
+				pl.injPoll()
+			}
+			if inj.resolved && !inj.full {
+				return nil
+			}
+		}
 		pl.now += step
 	}
-	if !pl.acct.measuring {
-		return nil, errors.New("pipe: program ended inside warmup window")
-	}
-	return pl.finalize(), nil
+	return nil
 }
 
 // nextEvent returns the earliest future cycle at which pipeline state can

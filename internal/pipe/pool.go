@@ -31,23 +31,27 @@ func NewPool(cfg uarch.Config) (*Pool, error) {
 // Config returns the pool's configuration.
 func (pp *Pool) Config() uarch.Config { return pp.cfg }
 
-// Simulate runs program p under rc on a pooled pipeline, returning the
-// pipeline for reuse afterwards. Results are bit-identical to
-// Simulate(cfg, p, rc) on a fresh pipeline.
-func (pp *Pool) Simulate(p *prog.Program, rc RunConfig) (*avf.Result, error) {
-	var pl *Pipeline
+// get returns a pooled pipeline reset to program p (or a fresh one when
+// the pool is empty). The caller runs it and Puts it back.
+func (pp *Pool) get(p *prog.Program) (*Pipeline, error) {
 	if v := pp.pool.Get(); v != nil {
-		pl = v.(*Pipeline)
+		pl := v.(*Pipeline)
 		if err := pl.Reset(p); err != nil {
 			pp.pool.Put(pl)
 			return nil, err
 		}
-	} else {
-		var err error
-		pl, err = New(pp.cfg, p)
-		if err != nil {
-			return nil, err
-		}
+		return pl, nil
+	}
+	return New(pp.cfg, p)
+}
+
+// Simulate runs program p under rc on a pooled pipeline, returning the
+// pipeline for reuse afterwards. Results are bit-identical to
+// Simulate(cfg, p, rc) on a fresh pipeline.
+func (pp *Pool) Simulate(p *prog.Program, rc RunConfig) (*avf.Result, error) {
+	pl, err := pp.get(p)
+	if err != nil {
+		return nil, err
 	}
 	res, err := pl.Run(rc)
 	pp.pool.Put(pl)

@@ -28,9 +28,15 @@ func (pl *Pipeline) commit() int {
 			pl.dropStore(u.addr>>3, false)
 		}
 		if u.oldPhys != noReg {
+			if pl.inj != nil {
+				pl.injRegRelease(u.oldPhys)
+			}
 			pl.releaseReg(u.oldPhys)
 		}
 		pl.acct.onCommit(pl, u)
+		if pl.digestOn {
+			pl.digestCommit(u)
+		}
 		if u.inLQ {
 			pl.lqUsed--
 		}
@@ -449,7 +455,6 @@ func (pl *Pipeline) dispatch() int {
 	return pl.core.MapWidth
 }
 
-
 // rename maps source registers, counts the not-yet-ready ones (parking
 // the uop on each pending source's waiter list, resolved by broadcast at
 // the producer's completion), and allocates a destination register. The
@@ -554,7 +559,10 @@ func (pl *Pipeline) wpIndexAfter(d *prog.Dyn) int {
 }
 
 // releaseReg frees a physical register at commit of the overwriting
-// instruction, folding its ACE interval into the RF accumulator.
+// instruction, folding its ACE interval into the RF accumulator. An
+// armed register-file fate watch is resolved by the caller *before*
+// this runs (injRegRelease) — hook-free so releaseReg stays inlinable
+// in the commit loop.
 func (pl *Pipeline) releaseReg(p int16) {
 	pl.acct.closeReg(pl, &pl.regs[p])
 	pl.regs[p] = physReg{readyCycle: farAway}

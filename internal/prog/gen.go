@@ -37,6 +37,7 @@ func (g PointerChase) Addr(iter int64) uint64 {
 	return g.Base + wrap(uint64(iter)*g.Stride, g.Region)
 }
 
+// String renders the PointerChase for display.
 func (g PointerChase) String() string {
 	return fmt.Sprintf("chase base=%#x stride=%d region=%d", g.Base, g.Stride, g.Region)
 }
@@ -63,6 +64,7 @@ func (g LineSweep) Addr(iter int64) uint64 {
 	return g.Base + wrap(uint64(i)*g.Stride, g.Region) + g.Offset
 }
 
+// String renders the LineSweep for display.
 func (g LineSweep) String() string {
 	return fmt.Sprintf("sweep base=%#x stride=%d region=%d off=%d lag=%d",
 		g.Base, g.Stride, g.Region, g.Offset, g.Lag)
@@ -74,6 +76,7 @@ type Fixed struct{ Address uint64 }
 // Addr implements AddrGen.
 func (g Fixed) Addr(int64) uint64 { return g.Address }
 
+// String renders the Fixed for display.
 func (g Fixed) String() string { return fmt.Sprintf("fixed %#x", g.Address) }
 
 // RandomWalk produces pseudo-random word-aligned addresses within a
@@ -97,6 +100,7 @@ func (g RandomWalk) Addr(iter int64) uint64 {
 	return g.Base + off
 }
 
+// String renders the RandomWalk for display.
 func (g RandomWalk) String() string {
 	return fmt.Sprintf("rand base=%#x region=%d seed=%d", g.Base, g.Region, g.Seed)
 }
@@ -119,6 +123,7 @@ func (g StridedBlock) Addr(iter int64) uint64 {
 	return g.Base + wrap(g.Phase+uint64(iter)*g.Stride, g.Region)
 }
 
+// String renders the StridedBlock for display.
 func (g StridedBlock) String() string {
 	return fmt.Sprintf("stride base=%#x stride=%d region=%d phase=%d",
 		g.Base, g.Stride, g.Region, g.Phase)
@@ -131,6 +136,7 @@ type LoopBranch struct{ Iterations int64 }
 // Taken implements BranchGen.
 func (g LoopBranch) Taken(iter int64) bool { return iter < g.Iterations-1 }
 
+// String renders the LoopBranch for display.
 func (g LoopBranch) String() string { return fmt.Sprintf("loop n=%d", g.Iterations) }
 
 // Bernoulli is a data-dependent branch taken with probability P,
@@ -150,6 +156,7 @@ func (g Bernoulli) Taken(iter int64) bool {
 	return float64(h%1_000_000) < g.P*1_000_000
 }
 
+// String renders the Bernoulli for display.
 func (g Bernoulli) String() string { return fmt.Sprintf("bernoulli p=%.3f seed=%d", g.P, g.Seed) }
 
 // Periodic is a branch taken on iterations where (iter+Phase)%Period <
@@ -181,6 +188,7 @@ func (g Periodic) Taken(iter int64) bool {
 	return m < g.Duty
 }
 
+// String renders the Periodic for display.
 func (g Periodic) String() string {
 	return fmt.Sprintf("periodic %d/%d+%d", g.Duty, g.Period, g.Phase)
 }

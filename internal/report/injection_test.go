@@ -1,0 +1,65 @@
+package report
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateInjectionGolden = flag.Bool("update", false, "rewrite the injection-table golden file")
+
+// TestInjectionTableGolden locks the rendered injection table against
+// testdata/injection_golden.txt, the same style as the internal/pipe
+// simulator golden: the campaign report is part of the byte-determinism
+// contract (same seed → identical report), so its rendering must not
+// drift silently. Regenerate deliberately with: go test -run Injection -update.
+func TestInjectionTableGolden(t *testing.T) {
+	rows := []InjectionRow{
+		{Label: "IQ", Bits: 640, Trials: 20, SDC: 3, Masked: 17,
+			AVF: 0.15, Lo: 0.0524, Hi: 0.3604, ACE: 0.1482},
+		{Label: "ROB", Bits: 6080, Trials: 180, SDC: 121, Masked: 59,
+			AVF: 0.6722, Lo: 0.6007, Hi: 0.7362, ACE: 0.6641},
+		{Label: "SQ.data", Bits: 2048, Trials: 61, Detected: 14, Masked: 47,
+			AVF: 0.2295, Lo: 0.1416, Hi: 0.3494, ACE: 0.4102},
+		{Label: "L2", Bits: 294912, Trials: 0, ACE: 0.8123},
+		{Label: "overall", Bits: 303680, Trials: 261, SDC: 124, Detected: 14,
+			Masked: 123, AVF: 0.7741, Lo: 0.7562, Hi: 0.792, ACE: 0.7803},
+	}
+	got := InjectionTable("Injection campaign — Baseline/s32 on 403.gcc (seed 1)", rows)
+
+	path := filepath.Join("testdata", "injection_golden.txt")
+	if *updateInjectionGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden file (regenerate with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("injection table drifted from golden:\n got:\n%s\n want:\n%s", got, want)
+	}
+}
+
+// TestInjectionTableFlags: the in-CI flag distinguishes contained,
+// escaped and zero-trial rows.
+func TestInjectionTableFlags(t *testing.T) {
+	s := InjectionTable("t", []InjectionRow{
+		{Label: "in", Trials: 10, AVF: 0.5, Lo: 0.2, Hi: 0.8, ACE: 0.5},
+		{Label: "out", Trials: 10, AVF: 0.5, Lo: 0.2, Hi: 0.8, ACE: 0.9},
+		{Label: "none", ACE: 0.9},
+	})
+	for _, want := range []string{" yes", " NO", " -"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("table missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -153,6 +153,45 @@ func (c *BarChart) String() string {
 	return sb.String()
 }
 
+// InjectionRow is one row of a fault-injection campaign table: the
+// outcome counts of a Monte Carlo campaign stratum (one structure, or
+// one whole campaign) beside the ACE-based AVF it validates.
+type InjectionRow struct {
+	Label    string
+	Bits     uint64 // SER-relevant bit count of the stratum
+	Trials   int
+	SDC      int // silent data corruptions
+	Detected int // corruptions on detection-protected structures (DUE)
+	Masked   int
+	AVF      float64 // injection-measured: (SDC+Detected)/Trials
+	Lo, Hi   float64 // 95% confidence interval on AVF
+	ACE      float64 // the ACE-accounting AVF being validated
+}
+
+// InjectionTable renders campaign rows in the repo's table style: the
+// injection-measured AVF with its 95% confidence interval beside the
+// ACE-based AVF, flagging rows whose ACE value escapes the interval.
+// Zero-trial rows render with an empty interval and no flag.
+func InjectionTable(title string, rows []InjectionRow) string {
+	t := &Table{Title: title, Headers: []string{
+		"target", "bits", "trials", "sdc", "due", "masked",
+		"AVF(inj)", "95% CI", "AVF(ace)", "in CI"}}
+	for _, r := range rows {
+		ci, in := "-", "-"
+		if r.Trials > 0 {
+			ci = fmt.Sprintf("[%.4f, %.4f]", r.Lo, r.Hi)
+			if r.ACE >= r.Lo && r.ACE <= r.Hi {
+				in = "yes"
+			} else {
+				in = "NO"
+			}
+		}
+		t.AddRow(r.Label, r.Bits, r.Trials, r.SDC, r.Detected, r.Masked,
+			fmt.Sprintf("%.4f", r.AVF), ci, fmt.Sprintf("%.4f", r.ACE), in)
+	}
+	return t.String()
+}
+
 // Sparkline renders a sequence of values as a one-line unicode spark
 // chart, used for the GA convergence trace (Figure 5b).
 func Sparkline(values []float64) string {

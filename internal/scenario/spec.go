@@ -14,13 +14,14 @@ import (
 type Spec struct {
 	// Scenarios lists the scenario names to run, in order. Empty means
 	// the full registered suite in paper order. Besides registered names
-	// ("fig3", "table1", ...), two parametric forms are accepted:
+	// ("fig3", "table1", ...), three parametric forms are accepted:
 	//
-	//	stressmark[:<config>:<rates>]  — one stressmark study
-	//	workloads[:<config>:<suite>]   — one workload-suite evaluation
+	//	stressmark[:<config>:<rates>]            — one stressmark study
+	//	workloads[:<config>:<suite>]             — one workload-suite evaluation
+	//	faultinject[:<config>:<rates>:<trials>]  — one fault-injection validation
 	//
-	// The short forms take <config>/<rates>/<suite> from the fields
-	// below.
+	// The short forms take <config>/<rates>/<suite>/<trials> from the
+	// fields below.
 	Scenarios []string `json:"scenarios,omitempty"`
 
 	// Config selects the microarchitecture for parametric scenarios:
@@ -46,6 +47,9 @@ type Spec struct {
 	// WorkloadInstr/WorkloadWarmup budget each workload simulation.
 	WorkloadInstr  int64 `json:"workload_instr,omitempty"`
 	WorkloadWarmup int64 `json:"workload_warmup,omitempty"`
+	// InjectTrials sizes each Monte Carlo fault-injection campaign of
+	// the parametric faultinject scenario (0 = 1000).
+	InjectTrials int `json:"inject_trials,omitempty"`
 	// Parallelism bounds each concurrency layer — scheduled jobs, and
 	// each job's simulations — independently (0 = all cores).
 	Parallelism int `json:"parallelism,omitempty"`
@@ -94,6 +98,8 @@ func (s Spec) Validate() error {
 		return fmt.Errorf("scenario: spec GA sizing (%d×%d) negative", s.GAGens, s.GAPop)
 	case s.WorkloadInstr < 0 || s.WorkloadWarmup < 0:
 		return fmt.Errorf("scenario: spec workload budget negative")
+	case s.InjectTrials < 0:
+		return fmt.Errorf("scenario: spec inject trials %d negative", s.InjectTrials)
 	case s.Parallelism < 0:
 		return fmt.Errorf("scenario: spec parallelism %d negative", s.Parallelism)
 	case s.TimeoutSec < 0:

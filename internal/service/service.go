@@ -13,6 +13,13 @@
 // context is cancelled by DELETE or its spec's timeout, and
 // cancellation propagates through the scheduler, the experiment
 // harness and the GA (DESIGN.md §8).
+//
+// Besides the registered paper experiments, specs may request the
+// parametric scenarios — stressmark, workloads and faultinject (the
+// Monte Carlo fault-injection validation, sized by the spec's
+// inject_trials field; DESIGN.md §9). Fault-injection trials memoise
+// in the shared store like every other result, so repeated campaigns
+// across jobs replay only the marginal trials.
 package service
 
 import (

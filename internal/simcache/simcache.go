@@ -88,6 +88,13 @@ type state struct {
 	mem    map[Key]*avf.Result
 	flight map[Key]*call
 
+	// The blob tier memoises small opaque byte values under the same
+	// versioned content addressing — fault-injection trial outcomes,
+	// keyed by (golden fingerprint, target). It shares the store's
+	// counters, dedup semantics and disk directory (".bin" entries).
+	blobMem    map[Key][]byte
+	blobFlight map[Key]*blobCall
+
 	glob counters
 }
 
@@ -115,6 +122,13 @@ type call struct {
 	err  error
 }
 
+// blobCall is one in-flight blob computation.
+type blobCall struct {
+	done chan struct{}
+	val  []byte
+	err  error
+}
+
 // New returns an empty store. With a non-empty Dir the disk tier is
 // created lazily on first write.
 func New(opts Options) *Store {
@@ -123,9 +137,11 @@ func New(opts Options) *Store {
 		v = EngineVersion
 	}
 	st := &state{
-		version: v,
-		mem:     map[Key]*avf.Result{},
-		flight:  map[Key]*call{},
+		version:    v,
+		mem:        map[Key]*avf.Result{},
+		flight:     map[Key]*call{},
+		blobMem:    map[Key][]byte{},
+		blobFlight: map[Key]*blobCall{},
 	}
 	if opts.Dir != "" {
 		st.dir = filepath.Join(opts.Dir, v)
@@ -220,6 +236,100 @@ func (s *Store) Do(key Key, simulate func() (*avf.Result, error)) (*avf.Result, 
 	return r, err
 }
 
+// DoBlob is Do for small opaque byte values: it returns the cached
+// bytes for key, or runs compute, stores its result in both tiers
+// (".bin" entries beside the ".json" results on disk) and returns it.
+// Callers must treat returned slices as immutable — like results, blobs
+// are shared across all waiters and future hits. The fault-injection
+// campaign engine memoises per-trial outcomes this way, keyed by
+// (golden-run fingerprint, fault target), so overlapping campaigns — and
+// warm re-runs — replay only the marginal trials.
+func (s *Store) DoBlob(key Key, compute func() ([]byte, error)) ([]byte, error) {
+	if s == nil {
+		return compute()
+	}
+	st := s.st
+	st.mu.Lock()
+	if v, ok := st.blobMem[key]; ok {
+		st.mu.Unlock()
+		st.glob.memHits.Add(1)
+		s.loc.memHits.Add(1)
+		return v, nil
+	}
+	if c, ok := st.blobFlight[key]; ok {
+		st.mu.Unlock()
+		st.glob.dedups.Add(1)
+		s.loc.dedups.Add(1)
+		<-c.done
+		return c.val, c.err
+	}
+	c := &blobCall{done: make(chan struct{})}
+	st.blobFlight[key] = c
+	st.mu.Unlock()
+
+	var err error
+	v, ok := s.loadBlob(key)
+	if ok {
+		st.glob.diskHits.Add(1)
+		s.loc.diskHits.Add(1)
+	} else {
+		v, err = compute()
+		st.glob.sims.Add(1)
+		s.loc.sims.Add(1)
+		if err == nil {
+			s.saveBlob(key, v)
+		}
+	}
+	c.val, c.err = v, err
+	st.mu.Lock()
+	delete(st.blobFlight, key)
+	if err == nil {
+		st.blobMem[key] = v
+	}
+	st.mu.Unlock()
+	close(c.done)
+	return v, err
+}
+
+func (s *Store) blobPath(key Key) string { return filepath.Join(s.st.dir, key.Hex()+".bin") }
+
+// loadBlob returns the disk tier's blob for key; unreadable entries are
+// misses (an empty blob is a valid entry, hence the ok bool).
+func (s *Store) loadBlob(key Key) ([]byte, bool) {
+	if s.st.dir == "" {
+		return nil, false
+	}
+	v, err := os.ReadFile(s.blobPath(key))
+	if err != nil {
+		return nil, false
+	}
+	return v, true
+}
+
+// saveBlob writes the blob atomically (temp file + rename), best-effort
+// like saveDisk.
+func (s *Store) saveBlob(key Key, v []byte) {
+	if s.st.dir == "" {
+		return
+	}
+	if err := os.MkdirAll(s.st.dir, 0o755); err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(s.st.dir, key.Hex()+".tmp*")
+	if err != nil {
+		return
+	}
+	name := tmp.Name()
+	_, werr := tmp.Write(v)
+	if cerr := tmp.Close(); werr != nil || cerr != nil {
+		os.Remove(name)
+		return
+	}
+	if err := os.Rename(name, s.blobPath(key)); err != nil {
+		os.Remove(name)
+	}
+}
+
 func (s *Store) path(key Key) string { return filepath.Join(s.st.dir, key.Hex()+".json") }
 
 // loadDisk returns the disk tier's entry for key, or nil. Unreadable or
@@ -295,6 +405,7 @@ func (s *Store) LocalStats() Stats {
 	return s.loc.snapshot()
 }
 
+// String renders the counters as the one-line "mem=… disk=… sim=… dedup=…" summary the CLIs print.
 func (st Stats) String() string {
 	return fmt.Sprintf("mem=%d disk=%d sim=%d dedup=%d",
 		st.MemHits, st.DiskHits, st.Simulated, st.Deduped)

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"avfstress/internal/avf"
 	"avfstress/internal/uarch"
@@ -261,5 +262,83 @@ func TestViewsShareTiersButCountLocally(t *testing.T) {
 	}
 	if nilStore.LocalStats() != (Stats{}) {
 		t.Error("nil store local stats non-zero")
+	}
+}
+
+func TestDoBlob(t *testing.T) {
+	dir := t.TempDir()
+	s := New(Options{Dir: dir})
+	key := s.Key("blob", "target-1")
+	calls := 0
+	compute := func() ([]byte, error) {
+		calls++
+		return []byte{0x01}, nil
+	}
+	v, err := s.DoBlob(key, compute)
+	if err != nil || len(v) != 1 || v[0] != 0x01 {
+		t.Fatalf("DoBlob = %v, %v", v, err)
+	}
+	if v, _ = s.DoBlob(key, compute); v[0] != 0x01 {
+		t.Fatal("memory-tier blob hit wrong")
+	}
+	if calls != 1 {
+		t.Fatalf("compute ran %d times, want 1", calls)
+	}
+	st := s.Stats()
+	if st.MemHits != 1 || st.Simulated != 1 {
+		t.Fatalf("stats %+v, want 1 mem hit / 1 sim", st)
+	}
+
+	// A fresh store sharing the directory serves the blob from disk.
+	s2 := New(Options{Dir: dir})
+	v, err = s2.DoBlob(key, func() ([]byte, error) { t.Fatal("disk tier missed"); return nil, nil })
+	if err != nil || v[0] != 0x01 {
+		t.Fatalf("disk blob = %v, %v", v, err)
+	}
+	if st := s2.Stats(); st.DiskHits != 1 {
+		t.Fatalf("stats %+v, want 1 disk hit", st)
+	}
+
+	// Errors are returned but never cached.
+	ekey := s.Key("blob", "err")
+	if _, err := s.DoBlob(ekey, func() ([]byte, error) { return nil, errors.New("boom") }); err == nil {
+		t.Fatal("error not propagated")
+	}
+	if v, err := s.DoBlob(ekey, func() ([]byte, error) { return []byte{9}, nil }); err != nil || v[0] != 9 {
+		t.Fatalf("retry after error = %v, %v", v, err)
+	}
+
+	// A nil store runs compute directly.
+	var nilStore *Store
+	if v, err := nilStore.DoBlob(key, func() ([]byte, error) { return []byte{7}, nil }); err != nil || v[0] != 7 {
+		t.Fatalf("nil store DoBlob = %v, %v", v, err)
+	}
+}
+
+func TestDoBlobSingleflight(t *testing.T) {
+	s := New(Options{})
+	key := s.Key("blob", "flight")
+	var calls atomic.Int64
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			v, err := s.DoBlob(key, func() ([]byte, error) {
+				calls.Add(1)
+				time.Sleep(5 * time.Millisecond)
+				return []byte{42}, nil
+			})
+			if err != nil || v[0] != 42 {
+				t.Errorf("DoBlob = %v, %v", v, err)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("compute ran %d times, want 1 (singleflight)", n)
 	}
 }

@@ -28,6 +28,7 @@ var structureNames = [NumStructures]string{
 	"DL1", "DTLB", "L2",
 }
 
+// String renders the structure name ("IQ", "LQ.tag", ...).
 func (s Structure) String() string {
 	if s >= 0 && s < NumStructures {
 		return structureNames[s]

@@ -36,6 +36,7 @@ const (
 	MiBench
 )
 
+// String renders the suite name ("SPECint", ...).
 func (s Suite) String() string {
 	switch s {
 	case SPECInt:

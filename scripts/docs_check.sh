@@ -1,0 +1,41 @@
+#!/bin/sh
+# docs_check.sh — the docs job (make docs-check, CI):
+#
+#   1. gofmt -l must be empty (doc comments are code too);
+#   2. go vet ./... must pass;
+#   3. every example must build;
+#   4. intra-repo paths referenced from README.md and DESIGN.md must
+#      exist — renaming a package or deleting a file without sweeping
+#      the docs is exactly how DESIGN sections go stale.
+set -eu
+cd "$(dirname "$0")/.."
+fail=0
+
+fmt=$(gofmt -l .)
+if [ -n "$fmt" ]; then
+	echo "docs-check: gofmt needed on:"
+	echo "$fmt"
+	fail=1
+fi
+
+go vet ./...
+
+go build ./examples/...
+echo "docs-check: examples build"
+
+# Collect referenced repo paths (internal/..., cmd/..., examples/...,
+# scripts/... and *.md names), strip trailing punctuation, and verify
+# each exists.
+refs=$(grep -ohE '\b(internal|cmd|examples|scripts)/[A-Za-z0-9_./-]+|\b[A-Za-z0-9_-]+\.md\b' \
+	README.md DESIGN.md | sed 's/[).,:]*$//' | sort -u)
+for r in $refs; do
+	if [ ! -e "$r" ]; then
+		echo "docs-check: dead reference in README/DESIGN: $r"
+		fail=1
+	fi
+done
+
+if [ "$fail" -eq 0 ]; then
+	echo "docs-check OK"
+fi
+exit "$fail"
