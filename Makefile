@@ -18,10 +18,11 @@ test:
 	$(GO) test ./...
 
 # race runs the concurrency-heavy tiers (DAG scheduler, job service,
-# experiment orchestration, injection campaigns) under the race
-# detector.
+# experiment orchestration, injection campaigns, and the pipeline/cache
+# snapshot-restore paths that fork-replay shares across workers) under
+# the race detector.
 race:
-	$(GO) test -race ./internal/sched ./internal/service ./internal/scenario ./internal/experiments ./internal/inject
+	$(GO) test -race ./internal/sched ./internal/service ./internal/scenario ./internal/experiments ./internal/inject ./internal/pipe ./internal/cache
 
 check: vet build test
 

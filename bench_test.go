@@ -10,12 +10,14 @@ package avfstress_test
 import (
 	"context"
 	"testing"
+	"time"
 
 	"avfstress/internal/avf"
 	"avfstress/internal/codegen"
 	"avfstress/internal/core"
 	"avfstress/internal/experiments"
 	"avfstress/internal/ga"
+	"avfstress/internal/inject"
 	"avfstress/internal/pipe"
 	"avfstress/internal/simcache"
 	"avfstress/internal/uarch"
@@ -249,6 +251,49 @@ func BenchmarkRunAllWarm(b *testing.B) {
 		b.Fatalf("warm pass simulated: %d -> %d", warmed, st.Simulated)
 	}
 	b.ReportMetric(float64(store.Stats().MemHits)/float64(b.N), "hits/run")
+}
+
+// BenchmarkInjectCampaign measures a 1000-trial fault-injection
+// campaign under checkpointed fork-replay (the timed loop) against the
+// same campaign with checkpointing disabled (run once, untimed, for
+// the speedup metric). Both modes must render byte-identical reports;
+// the acceptance target is ≥5x (DESIGN.md §10).
+func BenchmarkInjectCampaign(b *testing.B) {
+	cfg := uarch.Scaled(uarch.Baseline(), 32)
+	k, _ := experiments.ReferenceKnobs("baseline")
+	p, _, err := codegen.Generate(cfg, k, 1<<40)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := inject.Options{
+		Config:  cfg,
+		Program: p,
+		Run:     pipe.RunConfig{MaxInstructions: 6_000, WarmupInstructions: 2_000},
+		Trials:  1000,
+		Seed:    1,
+	}
+	opts.CheckpointInterval = -1
+	start := time.Now()
+	cold, err := inject.Run(context.Background(), opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	coldDur := time.Since(start)
+
+	opts.CheckpointInterval = 0
+	var ckpt *inject.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ckpt, err = inject.Run(context.Background(), opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if cold.String() != ckpt.String() {
+		b.Fatal("checkpointed campaign report differs from cold replay")
+	}
+	b.ReportMetric(coldDur.Seconds()/(b.Elapsed().Seconds()/float64(b.N)), "x-speedup")
+	b.ReportMetric(ckpt.AVF, "avf")
 }
 
 // BenchmarkCodegen measures raw stressmark generation throughput.

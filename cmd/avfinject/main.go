@@ -10,7 +10,7 @@
 //
 //	avfinject [-config baseline|configA] [-rates uniform|rhc|edr]
 //	          [-trials 1000] [-scale 32] [-seed 1] [-mode reference|search]
-//	          [-cache-dir DIR] [-v]
+//	          [-checkpoint-interval N] [-cache-dir DIR] [-v]
 //
 // avfinject is a thin client of the same scenario path avfstressd
 // serves: the flags build a declarative scenario.Spec whose parametric
@@ -42,19 +42,21 @@ func main() {
 		scale    = flag.Int("scale", 32, "cache scale-down factor (1 = paper-exact)")
 		seed     = flag.Int64("seed", 1, "sampling and search seed (campaigns are byte-deterministic per seed)")
 		mode     = flag.String("mode", "reference", "stressmark provenance: reference (published knobs) or search (run the GA)")
+		ckptIval = flag.Int64("checkpoint-interval", 0, "golden-run checkpoint interval in cycles for fork-replay: 0 = auto, <0 = disabled (replay speed only; reports are byte-identical)")
 		cacheDir = flag.String("cache-dir", "", "persist simulations and per-trial outcomes under this directory (shared across runs; results are bit-identical)")
 		verbose  = flag.Bool("v", false, "stream per-campaign progress")
 	)
 	flag.Parse()
 
 	spec := scenario.Spec{
-		Scenarios:    []string{"faultinject"},
-		Config:       *config,
-		Rates:        *rates,
-		InjectTrials: *trials,
-		Mode:         *mode,
-		Scale:        *scale,
-		Seed:         *seed,
+		Scenarios:          []string{"faultinject"},
+		Config:             *config,
+		Rates:              *rates,
+		InjectTrials:       *trials,
+		Mode:               *mode,
+		Scale:              *scale,
+		Seed:               *seed,
+		CheckpointInterval: *ckptIval,
 	}
 	base := experiments.Options{CacheDir: *cacheDir}
 	if *verbose {

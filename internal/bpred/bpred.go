@@ -5,6 +5,12 @@
 // a 4K-entry choice predictor that arbitrates between them.
 package bpred
 
+import "errors"
+
+// errGeometry reports a Restore against a predictor whose table sizes do
+// not match the snapshot's.
+var errGeometry = errors.New("bpred: snapshot geometry mismatch")
+
 // Config sizes the predictor tables. The zero value is not useful;
 // call DefaultConfig for the paper's baseline ("Hybrid, 4K global,
 // 2 level 1K local, 4K choice").
@@ -193,6 +199,54 @@ func (p *Predictor) Reset() {
 	}
 	p.ghist = 0
 	p.ResetStats()
+}
+
+// State is a deep copy of a predictor's trained tables, history and
+// statistics, captured by Snapshot and reinstated by Restore. It exists
+// so pipe checkpoints can include the predictor bit-exactly.
+type State struct {
+	Global []uint8
+	Choice []uint8
+	LocalH []uint16
+	LocalC []uint8
+
+	GHist       uint64
+	Lookups     uint64
+	Mispredicts uint64
+}
+
+// Snapshot copies the predictor's full state into dst (reusing dst's
+// slices when they have the right length) and returns dst. A nil dst
+// allocates a fresh State.
+func (p *Predictor) Snapshot(dst *State) *State {
+	if dst == nil {
+		dst = &State{}
+	}
+	dst.Global = append(dst.Global[:0], p.global...)
+	dst.Choice = append(dst.Choice[:0], p.choice...)
+	dst.LocalH = append(dst.LocalH[:0], p.localH...)
+	dst.LocalC = append(dst.LocalC[:0], p.localC...)
+	dst.GHist = p.ghist
+	dst.Lookups = p.Lookups
+	dst.Mispredicts = p.Mispredicts
+	return dst
+}
+
+// Restore overwrites the predictor's state with a snapshot taken from a
+// predictor of identical geometry.
+func (p *Predictor) Restore(st *State) error {
+	if len(st.Global) != len(p.global) || len(st.Choice) != len(p.choice) ||
+		len(st.LocalH) != len(p.localH) || len(st.LocalC) != len(p.localC) {
+		return errGeometry
+	}
+	copy(p.global, st.Global)
+	copy(p.choice, st.Choice)
+	copy(p.localH, st.LocalH)
+	copy(p.localC, st.LocalC)
+	p.ghist = st.GHist
+	p.Lookups = st.Lookups
+	p.Mispredicts = st.Mispredicts
+	return nil
 }
 
 func (p *Predictor) globalIndex() uint64 {

@@ -163,15 +163,17 @@ type line struct {
 	chunkTime  []int64
 }
 
-// fateWatch observes the microarchitectural fate of one bit for the
+// Watch observes the microarchitectural fate of one bit for the
 // fault-injection engine (internal/inject, DESIGN.md §9): armed before a
 // replay starts, it waits for the first lifetime transition on its target
 // whose interval contains the injection timestamp and records whether
 // that interval closed ACE (the flipped bit would have reached
 // architectural state) or un-ACE (the flip was masked by an overwrite or
 // a clean eviction). Exactly the Biswas rule the ACE accounting applies,
-// observed for a single (line, chunk) or tag entry.
-type fateWatch struct {
+// observed for a single (line, chunk) or tag entry. Watches are pure
+// observers — they never mutate cache state — so any number can ride one
+// replay and each resolves exactly as it would alone.
+type Watch struct {
 	ln    *line // geometric slot identity (stable across fills)
 	ci    int   // chunk index for data watches; unused for tag watches
 	tag   bool
@@ -180,6 +182,13 @@ type fateWatch struct {
 	resolved bool
 	ace      bool
 }
+
+// Outcome reports the watch's state: resolved is true once the fate of
+// the watched bit is known, and ace then tells whether the flip would
+// reach architectural state. Unresolved after Finalize means the watched
+// bit was never live at the watched timestamp — callers treat that as
+// masked.
+func (w *Watch) Outcome() (resolved, ace bool) { return w.resolved, w.ace }
 
 // Cache is a set-associative writeback cache with LRU replacement and
 // chunk-granular lifetime ACE accounting. Not safe for concurrent use.
@@ -210,10 +219,11 @@ type Cache struct {
 	memoAddr  uint64
 	memoEpoch uint64
 
-	// watch is the (at most one) armed fault-injection fate watch; nil on
-	// every normal simulation, so the lifetime hot paths pay a single
-	// predictable nil-check branch.
-	watch *fateWatch
+	// watches holds the armed fault-injection fate watches; nil on every
+	// normal simulation, so the lifetime hot paths pay a single
+	// predictable nil-check branch. Batched campaign replays arm one
+	// watch per co-replayed trial.
+	watches []*Watch
 
 	// Stats since the last ResetStats. Accesses/Misses count demand
 	// traffic (reads and writes issued to this cache); WritebackAccesses
@@ -380,7 +390,7 @@ func (c *Cache) TouchHit(now int64, addr uint64, size int, write bool) (bool, er
 		return false, fmt.Errorf("cache %s: access %#x size %d crosses line boundary", c.cfg.Name, addr, size)
 	}
 	ci, n := c.chunkSpan(addr, size)
-	if c.watch != nil {
+	if c.watches != nil {
 		c.watchSpan(ln, ci, n, now, write)
 	}
 	ln.lru = now
@@ -415,7 +425,7 @@ func (c *Cache) Access(now int64, addr uint64, size int, write bool) bool {
 		}
 	}
 	ci, n := c.chunkSpan(addr, size)
-	if c.watch != nil {
+	if c.watches != nil {
 		c.watchSpan(ln, ci, n, now, write)
 	}
 	ln.lru = now
@@ -460,7 +470,7 @@ func (c *Cache) applyMask(ln *line, now int64, mask uint64) error {
 			return fmt.Errorf("cache %s: writeback mask %#x covers a partial %d-byte chunk",
 				c.cfg.Name, mask, c.chunkBytes)
 		}
-		if c.watch != nil {
+		if c.watches != nil {
 			c.watchSpan(ln, ci, 1, now, true)
 		}
 		c.closeChunkWrite(ln, ci, now)
@@ -506,91 +516,109 @@ func (c *Cache) closeChunkWrite(ln *line, ci int, now int64) {
 	ln.chunkTime[ci] = now
 }
 
-// watchSpan resolves the armed fate watch when an access is about to
+// watchSpan resolves armed fate watches when an access is about to
 // close the chunk intervals [ci, ci+n) of ln at time now: closing by a
 // read is ACE (the flipped bits were consumed), closing by a write is
 // un-ACE (they were overwritten). Callers invoke it before their
 // transition loop, while the interval starts are still the pre-access
-// chunk times, and only behind a c.watch nil check.
+// chunk times, and only behind a c.watches nil check.
 func (c *Cache) watchSpan(ln *line, ci, n int, now int64, write bool) {
-	w := c.watch
-	if w.resolved || w.tag || w.ln != ln || w.ci < ci || w.ci >= ci+n {
-		return
+	for _, w := range c.watches {
+		if w.resolved || w.tag || w.ln != ln || w.ci < ci || w.ci >= ci+n {
+			continue
+		}
+		// The closing interval is [chunkTime, now) of the current
+		// residency; the flip participates only if it lies inside.
+		if w.cycle < ln.chunkTime[w.ci] || w.cycle >= now {
+			continue
+		}
+		w.resolved = true
+		w.ace = !write
 	}
-	// The closing interval is [chunkTime, now) of the current residency;
-	// the flip participates only if it lies inside.
-	if w.cycle < ln.chunkTime[w.ci] || w.cycle >= now {
-		return
-	}
-	w.resolved = true
-	w.ace = !write
 }
 
-// watchEvict resolves the armed fate watch at an eviction of the watched
+// watchEvict resolves armed fate watches at an eviction of the watched
 // line: a dirty watched chunk ends ACE (its writeback is architecturally
 // required), a clean one un-ACE; a tag watch ends ACE iff the line's last
 // ACE interval extends past the watched timestamp. Called after the
 // dirty-chunk walk (which can advance lastAceEnd) and before the dirty
 // mask is cleared.
 func (c *Cache) watchEvict(ln *line, now int64) {
-	w := c.watch
-	if w.resolved || w.ln != ln {
-		return
-	}
-	if w.tag {
-		if w.cycle >= ln.fillTime && w.cycle < now {
-			w.resolved = true
-			w.ace = ln.lastAceEnd > w.cycle
+	for _, w := range c.watches {
+		if w.resolved || w.ln != ln {
+			continue
 		}
-		return
+		if w.tag {
+			if w.cycle >= ln.fillTime && w.cycle < now {
+				w.resolved = true
+				w.ace = ln.lastAceEnd > w.cycle
+			}
+			continue
+		}
+		if w.cycle < ln.chunkTime[w.ci] || w.cycle >= now {
+			continue
+		}
+		w.resolved = true
+		w.ace = ln.dirty>>uint(w.ci)&1 == 1
 	}
-	if w.cycle < ln.chunkTime[w.ci] || w.cycle >= now {
-		return
-	}
-	w.resolved = true
-	w.ace = ln.dirty>>uint(w.ci)&1 == 1
 }
 
-// ArmWatch arms the fault-injection fate watch on one bit of this cache
-// — bits below DataBits address the data array (line-major, byte-major
+// AddWatch arms a fault-injection fate watch on one bit of this cache —
+// bits below DataBits address the data array (line-major, byte-major
 // within the line), the rest the tag array (one tag entry per line) —
-// with the given injection timestamp. At most one watch is active per
-// cache; arming replaces any previous watch. Arm before the replay
-// starts (accesses carry timestamps ahead of the pipeline's wall clock,
-// so the covering lifetime interval may be closed by an access executed
-// before the injection cycle is reached). Reset clears the watch.
-func (c *Cache) ArmWatch(bit uint64, cycle int64) error {
+// with the given injection timestamp, and returns its handle. Any number
+// of watches may be armed at once; each resolves independently. Arm
+// before the replay starts (accesses carry timestamps ahead of the
+// pipeline's wall clock, so the covering lifetime interval may be closed
+// by an access executed before the injection cycle is reached). Reset
+// and ClearWatches disarm all watches; handles stay readable.
+func (c *Cache) AddWatch(bit uint64, cycle int64) (*Watch, error) {
 	if bit >= c.cfg.Bits() {
-		return fmt.Errorf("cache %s: watch bit %d out of range (%d bits)", c.cfg.Name, bit, c.cfg.Bits())
+		return nil, fmt.Errorf("cache %s: watch bit %d out of range (%d bits)", c.cfg.Name, bit, c.cfg.Bits())
 	}
+	var w *Watch
 	if bit < c.cfg.DataBits() {
 		byteIdx := int(bit >> 3)
-		c.watch = &fateWatch{
+		w = &Watch{
 			ln:    &c.lines[byteIdx/c.cfg.LineBytes],
 			ci:    (byteIdx % c.cfg.LineBytes) >> c.chunkBits,
 			cycle: cycle,
 		}
-		return nil
+	} else {
+		lineIdx := int((bit - c.cfg.DataBits()) / c.cfg.TagBitsPerLine())
+		w = &Watch{ln: &c.lines[lineIdx], tag: true, cycle: cycle}
 	}
-	lineIdx := int((bit - c.cfg.DataBits()) / c.cfg.TagBitsPerLine())
-	c.watch = &fateWatch{ln: &c.lines[lineIdx], tag: true, cycle: cycle}
-	return nil
+	c.watches = append(c.watches, w)
+	return w, nil
 }
 
-// WatchOutcome reports the armed watch's state: resolved is true once
-// the fate of the watched bit is known, and ace then tells whether the
-// flip would reach architectural state. An unresolved watch after
-// Finalize means the watched bit was never live at the watched timestamp
-// — callers treat that as masked.
+// ClearWatches disarms all fate watches.
+func (c *Cache) ClearWatches() { c.watches = nil }
+
+// ArmWatch arms a single fate watch, replacing any previously armed
+// ones. It is the one-trial-per-replay convenience over AddWatch.
+func (c *Cache) ArmWatch(bit uint64, cycle int64) error {
+	c.watches = nil
+	_, err := c.AddWatch(bit, cycle)
+	return err
+}
+
+// WatchOutcome reports the state of the watch armed by ArmWatch (the
+// first armed watch): resolved is true once the fate of the watched bit
+// is known, and ace then tells whether the flip would reach
+// architectural state. An unresolved watch after Finalize means the
+// watched bit was never live at the watched timestamp — callers treat
+// that as masked.
 func (c *Cache) WatchOutcome() (resolved, ace bool) {
-	if c.watch == nil {
+	if len(c.watches) == 0 {
 		return false, false
 	}
-	return c.watch.resolved, c.watch.ace
+	return c.watches[0].Outcome()
 }
 
-// ClearWatch disarms any fate watch.
-func (c *Cache) ClearWatch() { c.watch = nil }
+// ClearWatch disarms all fate watches (kept as the single-watch
+// counterpart of ArmWatch).
+func (c *Cache) ClearWatch() { c.watches = nil }
 
 func (c *Cache) addAce(ln *line, t0, t1 int64) {
 	if t0 < c.windowStart {
@@ -658,7 +686,7 @@ func (c *Cache) FillTouch(fillT, touchT int64, addr uint64, size int, write bool
 	c.Misses++
 	c.fillLine(victim, tag, fillT)
 	ci, n := c.chunkSpan(addr, size)
-	if c.watch != nil {
+	if c.watches != nil {
 		c.watchSpan(victim, ci, n, touchT, write)
 	}
 	victim.lru = touchT
@@ -687,7 +715,7 @@ func (c *Cache) ReadLine(tHit, tMiss int64, addr uint64) (hit bool) {
 	for w := 0; w < c.ways; w++ {
 		ln := &c.lines[base+w]
 		if ln.valid && ln.tag == tag {
-			if c.watch != nil {
+			if c.watches != nil {
 				c.watchSpan(ln, 0, c.cpl, tHit, false)
 			}
 			ln.lru = tHit
@@ -753,7 +781,7 @@ func (c *Cache) evictLine(ln *line, now int64, set int) (wb Writeback, dirty boo
 		c.addAce(ln, ln.chunkTime[ci], now)
 		mask |= c.chunkUnit << uint(ci<<c.chunkBits)
 	}
-	if c.watch != nil {
+	if c.watches != nil {
 		c.watchEvict(ln, now)
 	}
 	ln.dirty = 0
@@ -830,7 +858,7 @@ func (c *Cache) Reset() {
 	c.memoLine = nil
 	c.memoEpoch, c.memoAddr = 0, 0
 	c.epoch++
-	c.watch = nil
+	c.watches = nil
 	c.ResetStats()
 }
 

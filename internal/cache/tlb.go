@@ -81,24 +81,30 @@ type TLB struct {
 	hd1EntryCycles uint64
 	windowStart    int64
 
-	// watch is the (at most one) armed fault-injection fate watch
-	// (DESIGN.md §9); nil on every normal simulation.
-	watch *tlbWatch
+	// watches holds the armed fault-injection fate watches (DESIGN.md
+	// §9); nil on every normal simulation. Batched campaign replays arm
+	// one watch per co-replayed trial.
+	watches []*TLBWatch
 
 	Accesses uint64
 	Misses   uint64
 }
 
-// tlbWatch observes the fate of one TLB entry slot for the
+// TLBWatch observes the fate of one TLB entry slot for the
 // fault-injection engine: the entry residency covering the watched
 // timestamp ends ACE iff its last read happened after that timestamp
 // (fill→last-read is the entry's ACE span; read→evict is un-ACE).
-type tlbWatch struct {
+// Watches are pure observers and never perturb TLB state.
+type TLBWatch struct {
 	idx      int
 	cycle    int64
 	resolved bool
 	ace      bool
 }
+
+// Outcome reports the watch's state; unresolved after Finalize means the
+// slot held no translation live at the watched timestamp (masked).
+func (w *TLBWatch) Outcome() (resolved, ace bool) { return w.resolved, w.ace }
 
 // NewTLB builds a TLB; the configuration must validate.
 func NewTLB(cfg TLBConfig) (*TLB, error) {
@@ -200,10 +206,12 @@ func (t *TLB) Access(now int64, addr uint64) (latency int) {
 }
 
 func (t *TLB) closeEntry(e *tlbEntry, now int64) {
-	if w := t.watch; w != nil && !w.resolved && e == &t.entries[w.idx] &&
-		w.cycle >= e.fillTime && w.cycle < now {
-		w.resolved = true
-		w.ace = e.lastRead > w.cycle
+	for _, w := range t.watches {
+		if !w.resolved && e == &t.entries[w.idx] &&
+			w.cycle >= e.fillTime && w.cycle < now {
+			w.resolved = true
+			w.ace = e.lastRead > w.cycle
+		}
 	}
 	t0 := e.fillTime
 	if t0 < t.windowStart {
@@ -269,32 +277,46 @@ func (t *TLB) updateHD1(now int64, newIdx int32, newVPN, oldVPN uint64, hadOld b
 	ne.hd1Count = newCount
 }
 
-// ArmWatch arms the fault-injection fate watch on entry slot idx with
-// the given injection timestamp. At most one watch is active; arming
-// replaces any previous watch. Arm before the replay starts; Reset
-// clears the watch. An entry under HammingCAM resolves by the plain
-// lifetime rule (the HD-1 tag refinement is an AVF derating, not a fate
-// change; internal/inject documents the resulting conservatism).
-func (t *TLB) ArmWatch(idx int, cycle int64) error {
+// AddWatch arms a fault-injection fate watch on entry slot idx with the
+// given injection timestamp and returns its handle. Any number of
+// watches may be armed at once; each resolves independently. Arm before
+// the replay starts; Reset and ClearWatches disarm all watches. An entry
+// under HammingCAM resolves by the plain lifetime rule (the HD-1 tag
+// refinement is an AVF derating, not a fate change; internal/inject
+// documents the resulting conservatism).
+func (t *TLB) AddWatch(idx int, cycle int64) (*TLBWatch, error) {
 	if idx < 0 || idx >= len(t.entries) {
-		return fmt.Errorf("tlb %s: watch entry %d out of range (%d entries)", t.cfg.Name, idx, len(t.entries))
+		return nil, fmt.Errorf("tlb %s: watch entry %d out of range (%d entries)", t.cfg.Name, idx, len(t.entries))
 	}
-	t.watch = &tlbWatch{idx: idx, cycle: cycle}
-	return nil
+	w := &TLBWatch{idx: idx, cycle: cycle}
+	t.watches = append(t.watches, w)
+	return w, nil
 }
 
-// WatchOutcome reports the armed watch's state; an unresolved watch
-// after Finalize means the slot held no translation live at the watched
-// timestamp (masked).
+// ClearWatches disarms all fate watches.
+func (t *TLB) ClearWatches() { t.watches = nil }
+
+// ArmWatch arms a single fate watch, replacing any previously armed
+// ones. It is the one-trial-per-replay convenience over AddWatch.
+func (t *TLB) ArmWatch(idx int, cycle int64) error {
+	t.watches = nil
+	_, err := t.AddWatch(idx, cycle)
+	return err
+}
+
+// WatchOutcome reports the state of the watch armed by ArmWatch (the
+// first armed watch); an unresolved watch after Finalize means the slot
+// held no translation live at the watched timestamp (masked).
 func (t *TLB) WatchOutcome() (resolved, ace bool) {
-	if t.watch == nil {
+	if len(t.watches) == 0 {
 		return false, false
 	}
-	return t.watch.resolved, t.watch.ace
+	return t.watches[0].Outcome()
 }
 
-// ClearWatch disarms any fate watch.
-func (t *TLB) ClearWatch() { t.watch = nil }
+// ClearWatch disarms all fate watches (kept as the single-watch
+// counterpart of ArmWatch).
+func (t *TLB) ClearWatch() { t.watches = nil }
 
 // Finalize closes all resident entries at time now. Call once at the end
 // of a measurement.
@@ -342,7 +364,7 @@ func (t *TLB) Reset() {
 	t.memoValid = false
 	t.aceEntryCycles, t.hd1EntryCycles = 0, 0
 	t.windowStart = 0
-	t.watch = nil
+	t.watches = nil
 	t.ResetStats()
 }
 

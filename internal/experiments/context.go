@@ -42,6 +42,11 @@ type Options struct {
 	// WorkloadInstr/WorkloadWarmup budget each workload simulation;
 	// zero derives them from the scaled configuration.
 	WorkloadInstr, WorkloadWarmup int64
+	// CheckpointInterval tunes fault-injection fork-replay (see
+	// inject.Options.CheckpointInterval): 0 = automatic, >0 = a fixed
+	// cycle interval, <0 = disabled. Replay speed only; results are
+	// identical at any setting.
+	CheckpointInterval int64
 	// Parallelism bounds each concurrency layer independently: the
 	// scheduler's concurrent scenario jobs, a workload suite's
 	// concurrent simulations and a GA search's concurrent evaluations

@@ -109,6 +109,7 @@ func (c *Context) FaultInjection(ctx context.Context, configName, ratesName stri
 				Config: cfg, Program: p, Run: rc, Rates: rates,
 				Trials: trials, Seed: c.Opts.Seed,
 				Parallelism: c.Opts.Parallelism, Cache: c.cache,
+				CheckpointInterval: c.Opts.CheckpointInterval,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("experiments: injection campaign %s: %w", name, err)
@@ -125,6 +126,7 @@ func (c *Context) FaultInjection(ctx context.Context, configName, ratesName stri
 			Config: cfg, Program: sm.Program, Run: rc, Rates: rates,
 			Trials: trials, Seed: c.Opts.Seed,
 			Parallelism: c.Opts.Parallelism, Cache: c.cache,
+			CheckpointInterval: c.Opts.CheckpointInterval,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: injection campaign stressmark: %w", err)

@@ -194,6 +194,9 @@ func NewSpecContext(sp scenario.Spec, base Options) (*Context, []string, error) 
 	if sp.Parallelism > 0 {
 		opts.Parallelism = sp.Parallelism
 	}
+	if sp.CheckpointInterval != 0 {
+		opts.CheckpointInterval = sp.CheckpointInterval
+	}
 	if sp.Mode != "" {
 		opts.UseReferenceKnobs = sp.Mode == "reference"
 	}

@@ -1,0 +1,118 @@
+package inject
+
+// Checkpoint plumbing for the campaign engine: persistence of the
+// golden run's replay facts (GoldenInfo), the checkpoint manifest
+// (capture cycles + validity lead) and the per-index checkpoint blobs
+// in the simcache blob tier, plus the lazy checkpoint source bucket
+// jobs pull from. Checkpoints are pure replay accelerators: every code
+// path here degrades to a from-cycle-zero replay on any miss or decode
+// failure, never to a wrong outcome — which is why none of these keys
+// participate in trial-outcome addressing or in the report.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"avfstress/internal/pipe"
+	"avfstress/internal/prog"
+	"avfstress/internal/simcache"
+)
+
+// encodeGoldenInfo serialises the golden run's replay facts (a small
+// versioned text blob; the report only uses fields replays also need,
+// so caching this beside the result spares warm campaigns the golden
+// re-run entirely).
+func encodeGoldenInfo(gi pipe.GoldenInfo) []byte {
+	return []byte(fmt.Sprintf("goldeninfo v1 %d %d %d", gi.WindowStart, gi.Cycles, gi.Digest))
+}
+
+func decodeGoldenInfo(b []byte) (pipe.GoldenInfo, error) {
+	var gi pipe.GoldenInfo
+	var ver string
+	n, err := fmt.Sscanf(string(b), "goldeninfo %s %d %d %d", &ver, &gi.WindowStart, &gi.Cycles, &gi.Digest)
+	if err != nil || n != 4 || ver != "v1" {
+		return pipe.GoldenInfo{}, fmt.Errorf("inject: bad golden-info blob")
+	}
+	return gi, nil
+}
+
+// ckptManifest is the decoded checkpoint manifest: enough to bucket
+// faults by nearest valid checkpoint without loading any checkpoint.
+type ckptManifest struct {
+	interval int64
+	lead     int64
+	cycles   []int64
+}
+
+func encodeManifest(cs *pipe.CheckpointSet) []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ckptmanifest v1 %d %d %d", cs.Interval, cs.Lead, len(cs.Checkpoints))
+	for _, c := range cs.Cycles() {
+		fmt.Fprintf(&b, " %d", c)
+	}
+	return []byte(b.String())
+}
+
+func decodeManifest(b []byte) (ckptManifest, error) {
+	var m ckptManifest
+	fields := strings.Fields(string(b))
+	if len(fields) < 5 || fields[0] != "ckptmanifest" || fields[1] != "v1" {
+		return m, fmt.Errorf("inject: bad checkpoint manifest")
+	}
+	vals := make([]int64, 0, len(fields)-2)
+	for _, f := range fields[2:] {
+		v, err := strconv.ParseInt(f, 10, 64)
+		if err != nil {
+			return m, fmt.Errorf("inject: bad checkpoint manifest: %w", err)
+		}
+		vals = append(vals, v)
+	}
+	m.interval, m.lead = vals[0], vals[1]
+	n := vals[2]
+	if n < 0 || int64(len(vals)-3) != n {
+		return m, fmt.Errorf("inject: checkpoint manifest count mismatch")
+	}
+	m.cycles = vals[3:]
+	return m, nil
+}
+
+// ckptSource hands out replay checkpoints by manifest index: from the
+// fresh golden run's in-memory set when this process just captured it,
+// otherwise lazily decoded from the blob tier (each index at most once,
+// shared across buckets). A missing or corrupt blob yields nil and the
+// bucket replays from cycle zero — slower, never wrong.
+type ckptSource struct {
+	set   *pipe.CheckpointSet
+	cache *simcache.Store
+	prog  *prog.Program
+	keys  []simcache.Key
+
+	mu      sync.Mutex
+	decoded map[int]*pipe.Checkpoint
+}
+
+func (cs *ckptSource) checkpoint(i int) *pipe.Checkpoint {
+	if cs == nil || i < 0 {
+		return nil
+	}
+	if cs.set != nil {
+		return cs.set.Checkpoints[i]
+	}
+	cs.mu.Lock()
+	ck, ok := cs.decoded[i]
+	cs.mu.Unlock()
+	if ok {
+		return ck
+	}
+	if b, found := cs.cache.GetBlob(cs.keys[i]); found {
+		if dec, err := pipe.UnmarshalCheckpoint(b, cs.prog); err == nil {
+			ck = dec
+		}
+	}
+	cs.mu.Lock()
+	cs.decoded[i] = ck // nil is cached too: one failed load per index
+	cs.mu.Unlock()
+	return ck
+}

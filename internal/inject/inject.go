@@ -12,14 +12,18 @@
 // splitmix64 stream seeded by (Seed, structure, trial index), replays
 // are pure functions of (config, program, budget, fault), and the
 // rendered report is byte-identical across runs, worker counts and
-// cache states. Trials fan out as deduplicated jobs through
-// internal/sched and memoise their outcomes in internal/simcache keyed
-// by (golden fingerprint, target), so overlapping campaigns and warm
-// re-runs replay only the marginal trials.
+// cache states. Trials memoise their outcomes in internal/simcache
+// keyed by (golden fingerprint, target), so overlapping campaigns and
+// warm re-runs replay only the marginal trials; the marginal trials
+// themselves are bucketed by the nearest golden-run checkpoint
+// preceding their injection cycle and fan out as one fork-replay job
+// per bucket through internal/sched, so most replays resume mid-run
+// instead of re-simulating from cycle zero (DESIGN.md §10).
 package inject
 
 import (
 	"context"
+	"crypto/sha256"
 	"fmt"
 	"strings"
 	"sync"
@@ -66,6 +70,14 @@ type Options struct {
 	// Cache, when set, memoises per-trial outcomes content-addressed by
 	// (golden fingerprint, target); nil replays every trial.
 	Cache *simcache.Store
+	// CheckpointInterval controls golden-run checkpoint capture for
+	// fork-replay: 0 (the default) picks the interval automatically, a
+	// positive value checkpoints every that many measured cycles, and a
+	// negative value disables checkpointing so every replay starts from
+	// cycle zero. Checkpoints only accelerate replays — outcomes, trial
+	// cache keys and the rendered report are byte-identical at any
+	// setting.
+	CheckpointInterval int64
 }
 
 func (o Options) withDefaults() Options {
@@ -231,12 +243,91 @@ func Run(ctx context.Context, o Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	golden, info, err := pool.SimulateGolden(o.Program, o.Run)
+	cfgFP := o.Config.Fingerprint()
+	progFP := "prog:" + o.Program.Fingerprint()
+	rcFP := o.Run.Fingerprint()
+
+	// Golden run: checkpoint-capturing and cache-aware. The result key
+	// deliberately matches the workload-simulation key internal/
+	// experiments uses, so campaigns and experiments share one golden
+	// run per (config, program, budget); the replay facts (GoldenInfo)
+	// live in a sibling blob so a warm campaign skips the golden re-run
+	// entirely.
+	var (
+		info     pipe.GoldenInfo
+		haveInfo bool
+		cks      *pipe.CheckpointSet
+	)
+	infoKey := o.Cache.Key(cfgFP, progFP, rcFP, "goldeninfo")
+	if b, ok := o.Cache.GetBlob(infoKey); ok {
+		if gi, derr := decodeGoldenInfo(b); derr == nil {
+			info, haveInfo = gi, true
+		}
+	}
+	golden, err := o.Cache.Do(o.Cache.Key(cfgFP, progFP, rcFP), func() (*avf.Result, error) {
+		res, gi, set, gerr := pool.SimulateGoldenCheckpointed(o.Program, o.Run, o.CheckpointInterval)
+		if gerr != nil {
+			return nil, gerr
+		}
+		info, haveInfo, cks = gi, true, set
+		o.Cache.PutBlob(infoKey, encodeGoldenInfo(gi))
+		return res, nil
+	})
 	if err != nil {
 		return nil, fmt.Errorf("inject: golden run: %w", err)
 	}
+	if !haveInfo {
+		// The result tier was warm but the info blob is gone (e.g. a
+		// partially swept cache directory): one golden re-run rebuilds
+		// both it and the checkpoint set.
+		_, gi, set, gerr := pool.SimulateGoldenCheckpointed(o.Program, o.Run, o.CheckpointInterval)
+		if gerr != nil {
+			return nil, fmt.Errorf("inject: golden run: %w", gerr)
+		}
+		info, cks = gi, set
+		o.Cache.PutBlob(infoKey, encodeGoldenInfo(gi))
+	}
 	if info.Cycles <= 0 {
 		return nil, fmt.Errorf("inject: golden run measured no cycles")
+	}
+
+	// Publish or recover the checkpoint set. Fresh checkpoints are
+	// pushed to the blob tier under keys that include the interval (a
+	// different interval is a different set, not a different answer);
+	// on a warm golden the manifest alone tells us where checkpoints
+	// lie, and each one is decoded lazily only if a bucket needs it.
+	var (
+		src        *ckptSource
+		ckptCycles []int64
+		ckptLead   int64
+	)
+	if o.CheckpointInterval >= 0 {
+		manifestKey := o.Cache.Key(cfgFP, progFP, rcFP, fmt.Sprintf("ckpts:%d", o.CheckpointInterval))
+		switch {
+		case cks != nil:
+			ckptCycles, ckptLead = cks.Cycles(), cks.Lead
+			src = &ckptSource{set: cks}
+			if o.Cache != nil {
+				o.Cache.PutBlob(manifestKey, encodeManifest(cks))
+				for i, ck := range cks.Checkpoints {
+					key := o.Cache.Key(cfgFP, progFP, rcFP, fmt.Sprintf("ckpts:%d:%d", o.CheckpointInterval, i))
+					if b, merr := ck.MarshalBinary(); merr == nil {
+						o.Cache.PutBlob(key, b)
+					}
+				}
+			}
+		default:
+			if b, ok := o.Cache.GetBlob(manifestKey); ok {
+				if m, derr := decodeManifest(b); derr == nil {
+					ckptCycles, ckptLead = m.cycles, m.lead
+					keys := make([]simcache.Key, len(m.cycles))
+					for i := range keys {
+						keys[i] = o.Cache.Key(cfgFP, progFP, rcFP, fmt.Sprintf("ckpts:%d:%d", o.CheckpointInterval, i))
+					}
+					src = &ckptSource{cache: o.Cache, prog: o.Program, keys: keys, decoded: map[int]*pipe.Checkpoint{}}
+				}
+			}
+		}
 	}
 
 	// Sample every target up front (deterministic), deduplicating
@@ -276,37 +367,119 @@ func Run(ctx context.Context, o Options) (*Result, error) {
 		}
 	}
 
-	cfgFP := o.Config.Fingerprint()
-	progFP := "prog:" + o.Program.Fingerprint()
-	rcFP := o.Run.Fingerprint()
-	var mu sync.Mutex
-	jobs := make([]scenario.Job, 0, len(order))
+	// Bucket the unique faults by the nearest checkpoint that is still
+	// valid for their injection cycle (a checkpoint at C can serve a
+	// fault at F only if C + lead ≤ F, the lead covering in-flight
+	// memory timestamps). Each bucket becomes one job: a single restore
+	// (or one cold replay for bucket -1) carries every uncached fault in
+	// it as an independent armed watch, so a thousand-trial campaign
+	// pays for a handful of partial replays instead of a thousand full
+	// ones.
+	buckets := map[int][]pipe.Fault{}
+	var bucketOrder []int // deterministic: first-seen over `order`
 	for _, f := range order {
-		f, slots := f, targets[f]
+		n := pipe.NearestCheckpoint(ckptCycles, ckptLead, f.Cycle)
+		if _, ok := buckets[n]; !ok {
+			bucketOrder = append(bucketOrder, n)
+		}
+		buckets[n] = append(buckets[n], f)
+	}
+
+	trialKey := func(f pipe.Fault) simcache.Key {
+		return o.Cache.Key(cfgFP, progFP, rcFP, "injtrial:"+f.Fingerprint())
+	}
+	var mu sync.Mutex
+	if o.CheckpointInterval < 0 {
+		// Checkpointing disabled: the pre-fork-replay path, one job per
+		// unique fault, each replaying the whole run from cycle zero.
+		// Kept both as the safety fallback and as the baseline
+		// BenchmarkInjectCampaign measures fork-replay against.
+		jobs := make([]scenario.Job, 0, len(order))
+		for _, f := range order {
+			f, slots := f, targets[f]
+			jobs = append(jobs, scenario.Job{
+				Key: "injtrial\x00" + cfgFP + "\x00" + progFP + "\x00" + rcFP + "\x00" + f.Fingerprint(),
+				Run: func(ctx context.Context) error {
+					if err := ctx.Err(); err != nil {
+						return err
+					}
+					b, err := o.Cache.DoBlob(trialKey(f), func() ([]byte, error) {
+						corrupted, err := pool.SimulateFault(o.Program, o.Run, f)
+						if err != nil {
+							return nil, fmt.Errorf("inject: trial %s: %w", f.Fingerprint(), err)
+						}
+						if corrupted {
+							return []byte{1}, nil
+						}
+						return []byte{0}, nil
+					})
+					if err != nil {
+						return err
+					}
+					corrupted := len(b) == 1 && b[0] == 1
+					mu.Lock()
+					for _, sl := range slots {
+						outcomes[sl.stratum][sl.idx] = corrupted
+					}
+					mu.Unlock()
+					return nil
+				},
+			})
+		}
+		if err := sched.Run(ctx, jobs, sched.Options{Workers: o.Parallelism}); err != nil {
+			return nil, err
+		}
+		return aggregateResult(o, golden, info, bits, alloc, outcomes), nil
+	}
+
+	jobs := make([]scenario.Job, 0, len(bucketOrder))
+	for _, bi := range bucketOrder {
+		bi, faults := bi, buckets[bi]
+		// The job key content-addresses the bucket's fault set, not its
+		// index: two campaigns sharing a scheduler dedup only when they
+		// would replay exactly the same faults from the same fork point.
+		h := sha256.New()
+		for _, f := range faults {
+			fmt.Fprintf(h, "%s\x00", f.Fingerprint())
+		}
 		jobs = append(jobs, scenario.Job{
-			Key: "injtrial\x00" + cfgFP + "\x00" + progFP + "\x00" + rcFP + "\x00" + f.Fingerprint(),
+			Key: fmt.Sprintf("injbucket\x00%s\x00%s\x00%s\x00%d\x00%x", cfgFP, progFP, rcFP, bi, h.Sum(nil)),
 			Run: func(ctx context.Context) error {
 				if err := ctx.Err(); err != nil {
 					return err
 				}
-				key := o.Cache.Key(cfgFP, progFP, rcFP, "injtrial:"+f.Fingerprint())
-				b, err := o.Cache.DoBlob(key, func() ([]byte, error) {
-					corrupted, err := pool.SimulateFault(o.Program, o.Run, f)
-					if err != nil {
-						return nil, fmt.Errorf("inject: trial %s: %w", f.Fingerprint(), err)
+				corrupted := make([]bool, len(faults))
+				var missing []int
+				for i, f := range faults {
+					if b, ok := o.Cache.GetBlob(trialKey(f)); ok && len(b) == 1 {
+						corrupted[i] = b[0] == 1
+					} else {
+						missing = append(missing, i)
 					}
-					if corrupted {
-						return []byte{1}, nil
-					}
-					return []byte{0}, nil
-				})
-				if err != nil {
-					return err
 				}
-				corrupted := len(b) == 1 && b[0] == 1
+				if len(missing) > 0 {
+					replay := make([]pipe.Fault, len(missing))
+					for j, i := range missing {
+						replay[j] = faults[i]
+					}
+					out, rerr := pool.SimulateFaultsFrom(o.Program, o.Run, src.checkpoint(bi), replay)
+					if rerr != nil {
+						return fmt.Errorf("inject: bucket %d replay: %w", bi, rerr)
+					}
+					for j, i := range missing {
+						corrupted[i] = out[j]
+						if out[j] {
+							o.Cache.PutBlob(trialKey(faults[i]), []byte{1})
+						} else {
+							o.Cache.PutBlob(trialKey(faults[i]), []byte{0})
+						}
+					}
+				}
 				mu.Lock()
-				for _, sl := range slots {
-					outcomes[sl.stratum][sl.idx] = corrupted
+				for i, f := range faults {
+					for _, sl := range targets[f] {
+						outcomes[sl.stratum][sl.idx] = corrupted[i]
+					}
 				}
 				mu.Unlock()
 				return nil
@@ -316,8 +489,14 @@ func Run(ctx context.Context, o Options) (*Result, error) {
 	if err := sched.Run(ctx, jobs, sched.Options{Workers: o.Parallelism}); err != nil {
 		return nil, err
 	}
+	return aggregateResult(o, golden, info, bits, alloc, outcomes), nil
+}
 
-	// Aggregate.
+// aggregateResult folds the per-trial outcomes into the campaign result:
+// per-stratum counts, Wilson intervals, and the bit-weighted and
+// rate-derated aggregates. Pure, so both replay paths share it and the
+// report cannot depend on which one ran.
+func aggregateResult(o Options, golden *avf.Result, info pipe.GoldenInfo, bits []uint64, alloc []int, outcomes [][]bool) *Result {
 	res := &Result{
 		Config:       golden.Config,
 		Workload:     golden.Workload,
@@ -357,7 +536,7 @@ func Run(ctx context.Context, o Options) (*Result, error) {
 	res.DeratedAVF, res.DeratedCI, res.DeratedACE = res.aggregate(func(sr StructureResult) float64 {
 		return o.Rates[sr.Structure] * float64(sr.Bits)
 	})
-	return res, nil
+	return res
 }
 
 // aggregate combines the strata under the given weighting into the

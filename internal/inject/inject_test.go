@@ -160,6 +160,74 @@ func TestCampaignByteDeterministic(t *testing.T) {
 	}
 }
 
+// TestCampaignCheckpointIntervalInvariance: the checkpoint interval is
+// a pure replay accelerator — the rendered report must be byte-identical
+// with checkpointing disabled, automatic, dense and sparse, and across
+// worker counts, with no cache to hide differences behind.
+func TestCampaignCheckpointIntervalInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign in -short mode")
+	}
+	o := testOptions(t, 200)
+	o.CheckpointInterval = -1
+	o.Parallelism = 1
+	base, err := Run(bg, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		interval int64
+		workers  int
+	}{{0, 1}, {0, 4}, {1024, 2}, {16384, 4}} {
+		o.CheckpointInterval = tc.interval
+		o.Parallelism = tc.workers
+		got, err := Run(bg, o)
+		if err != nil {
+			t.Fatalf("interval %d workers %d: %v", tc.interval, tc.workers, err)
+		}
+		if got.String() != base.String() {
+			t.Errorf("interval %d workers %d: report differs from checkpoint-free run:\n%s\nvs\n%s",
+				tc.interval, tc.workers, got, base)
+		}
+	}
+}
+
+// TestCampaignWarmNoGoldenRerun: a warm cache serves the golden result,
+// its replay facts and every trial outcome from the blob tier — the
+// second campaign simulates nothing, even when it asks for a checkpoint
+// interval the cold run never captured.
+func TestCampaignWarmNoGoldenRerun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign in -short mode")
+	}
+	dir := t.TempDir()
+	o := testOptions(t, 120)
+	o.Cache = simcache.New(simcache.Options{Dir: dir})
+	cold, err := Run(bg, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Cache.Stats().Simulated == 0 {
+		t.Fatal("cold campaign simulated nothing")
+	}
+
+	for _, interval := range []int64{0, 16384, -1} {
+		o.Cache = simcache.New(simcache.Options{Dir: dir})
+		o.CheckpointInterval = interval
+		warm, err := Run(bg, o)
+		if err != nil {
+			t.Fatalf("interval %d: %v", interval, err)
+		}
+		if st := o.Cache.Stats(); st.Simulated != 0 {
+			t.Errorf("interval %d: warm campaign simulated %d golden/replay runs, want 0\nstats: %v",
+				interval, st.Simulated, st)
+		}
+		if warm.String() != cold.String() {
+			t.Errorf("interval %d: warm report differs from cold", interval)
+		}
+	}
+}
+
 // TestCampaignCancellation: a cancelled context aborts the campaign
 // with the context's error.
 func TestCampaignCancellation(t *testing.T) {

@@ -1,0 +1,758 @@
+package pipe
+
+// Binary checkpoint codec, so the simcache blob tier can persist the
+// checkpoints of a golden run and warm campaigns can fork replays
+// without ever re-running the golden simulation. The format is a flat
+// little-endian field dump (version-prefixed, no compression): the
+// decoder re-validates geometry at Restore time, so the codec only has
+// to be self-consistent, not self-describing.
+//
+// Static-instruction pointers are encoded as indices into the bound
+// program (body i ≥ 0, init -(i+1)); pointers that resolve to neither —
+// dead ROB slots still holding uops from a previous pooled program —
+// encode as a nil sentinel, which is sound because dead slots are never
+// read before being fully overwritten by dispatch (only their
+// generation counters matter, and those are preserved exactly).
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"avfstress/internal/cache"
+	"avfstress/internal/isa"
+	"avfstress/internal/prog"
+)
+
+const (
+	ckptMagic   = uint32(0x6b637661) // "avck", little-endian
+	ckptVersion = byte(1)
+	staticNil   = int32(math.MinInt32)
+)
+
+type ckptEnc struct{ b []byte }
+
+func (e *ckptEnc) u8(v byte)    { e.b = append(e.b, v) }
+func (e *ckptEnc) u16(v uint16) { e.b = append(e.b, byte(v), byte(v>>8)) }
+func (e *ckptEnc) u32(v uint32) { e.b = append(e.b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24)) }
+func (e *ckptEnc) u64(v uint64) {
+	e.b = append(e.b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+func (e *ckptEnc) i16(v int16) { e.u16(uint16(v)) }
+func (e *ckptEnc) i32(v int32) { e.u32(uint32(v)) }
+func (e *ckptEnc) i64(v int64) { e.u64(uint64(v)) }
+func (e *ckptEnc) flag(v bool) {
+	if v {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+}
+func (e *ckptEnc) str(s string) {
+	e.u32(uint32(len(s)))
+	e.b = append(e.b, s...)
+}
+func (e *ckptEnc) bytes(s []byte) {
+	e.u32(uint32(len(s)))
+	e.b = append(e.b, s...)
+}
+func (e *ckptEnc) u16s(s []uint16) {
+	e.u32(uint32(len(s)))
+	for _, v := range s {
+		e.u16(v)
+	}
+}
+func (e *ckptEnc) i16s(s []int16) {
+	e.u32(uint32(len(s)))
+	for _, v := range s {
+		e.i16(v)
+	}
+}
+func (e *ckptEnc) i32s(s []int32) {
+	e.u32(uint32(len(s)))
+	for _, v := range s {
+		e.i32(v)
+	}
+}
+func (e *ckptEnc) i64s(s []int64) {
+	e.u32(uint32(len(s)))
+	for _, v := range s {
+		e.i64(v)
+	}
+}
+func (e *ckptEnc) u64s(s []uint64) {
+	e.u32(uint32(len(s)))
+	for _, v := range s {
+		e.u64(v)
+	}
+}
+func (e *ckptEnc) bools(s []bool) {
+	e.u32(uint32(len(s)))
+	for _, v := range s {
+		e.flag(v)
+	}
+}
+
+// ckptDec decodes with a sticky error: after the first failure every
+// read returns zero values, so call sites skip per-field checks.
+type ckptDec struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *ckptDec) fail(msg string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("pipe: checkpoint decode: %s at offset %d", msg, d.off)
+	}
+}
+
+func (d *ckptDec) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || len(d.b)-d.off < n {
+		d.fail("truncated")
+		return nil
+	}
+	s := d.b[d.off : d.off+n]
+	d.off += n
+	return s
+}
+
+func (d *ckptDec) u8() byte {
+	s := d.take(1)
+	if s == nil {
+		return 0
+	}
+	return s[0]
+}
+func (d *ckptDec) u16() uint16 {
+	s := d.take(2)
+	if s == nil {
+		return 0
+	}
+	return uint16(s[0]) | uint16(s[1])<<8
+}
+func (d *ckptDec) u32() uint32 {
+	s := d.take(4)
+	if s == nil {
+		return 0
+	}
+	return uint32(s[0]) | uint32(s[1])<<8 | uint32(s[2])<<16 | uint32(s[3])<<24
+}
+func (d *ckptDec) u64() uint64 {
+	s := d.take(8)
+	if s == nil {
+		return 0
+	}
+	return uint64(s[0]) | uint64(s[1])<<8 | uint64(s[2])<<16 | uint64(s[3])<<24 |
+		uint64(s[4])<<32 | uint64(s[5])<<40 | uint64(s[6])<<48 | uint64(s[7])<<56
+}
+func (d *ckptDec) i16() int16 { return int16(d.u16()) }
+func (d *ckptDec) i32() int32 { return int32(d.u32()) }
+func (d *ckptDec) i64() int64 { return int64(d.u64()) }
+func (d *ckptDec) flag() bool { return d.u8() != 0 }
+
+// count reads a length prefix, refusing counts that cannot fit in the
+// remaining input (elemSize bytes per element) — the allocation guard.
+func (d *ckptDec) count(elemSize int) int {
+	n := int(d.u32())
+	if d.err == nil && n*elemSize > len(d.b)-d.off {
+		d.fail("length prefix exceeds input")
+		return 0
+	}
+	return n
+}
+
+func (d *ckptDec) str() string { return string(d.take(d.count(1))) }
+func (d *ckptDec) bytesv() []byte {
+	s := d.take(d.count(1))
+	if s == nil {
+		return nil
+	}
+	return append([]byte(nil), s...)
+}
+func (d *ckptDec) u16s() []uint16 {
+	n := d.count(2)
+	if d.err != nil {
+		return nil
+	}
+	out := make([]uint16, n)
+	for i := range out {
+		out[i] = d.u16()
+	}
+	return out
+}
+func (d *ckptDec) i16s() []int16 {
+	n := d.count(2)
+	if d.err != nil {
+		return nil
+	}
+	out := make([]int16, n)
+	for i := range out {
+		out[i] = d.i16()
+	}
+	return out
+}
+func (d *ckptDec) i32s() []int32 {
+	n := d.count(4)
+	if d.err != nil {
+		return nil
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = d.i32()
+	}
+	return out
+}
+func (d *ckptDec) i64s() []int64 {
+	n := d.count(8)
+	if d.err != nil {
+		return nil
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = d.i64()
+	}
+	return out
+}
+func (d *ckptDec) u64s() []uint64 {
+	n := d.count(8)
+	if d.err != nil {
+		return nil
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = d.u64()
+	}
+	return out
+}
+func (d *ckptDec) bools() []bool {
+	n := d.count(1)
+	if d.err != nil {
+		return nil
+	}
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = d.flag()
+	}
+	return out
+}
+
+// staticIndex maps a program's static-instruction addresses to codec
+// indices (body i ≥ 0, init -(i+1)).
+func staticIndex(p *prog.Program) map[*isa.Instr]int32 {
+	m := make(map[*isa.Instr]int32, len(p.Init)+len(p.Body))
+	for i := range p.Init {
+		m[&p.Init[i]] = -int32(i) - 1
+	}
+	for i := range p.Body {
+		m[&p.Body[i]] = int32(i)
+	}
+	return m
+}
+
+func encStatic(e *ckptEnc, m map[*isa.Instr]int32, in *isa.Instr) {
+	if in == nil {
+		e.i32(staticNil)
+		return
+	}
+	if idx, ok := m[in]; ok {
+		e.i32(idx)
+		return
+	}
+	e.i32(staticNil) // stale pointer from a previous pooled program
+}
+
+func decStatic(d *ckptDec, p *prog.Program) *isa.Instr {
+	idx := d.i32()
+	switch {
+	case d.err != nil || idx == staticNil:
+		return nil
+	case idx >= 0:
+		if int(idx) >= len(p.Body) {
+			d.fail("static body index out of range")
+			return nil
+		}
+		return &p.Body[idx]
+	default:
+		j := int(-idx - 1)
+		if j >= len(p.Init) {
+			d.fail("static init index out of range")
+			return nil
+		}
+		return &p.Init[j]
+	}
+}
+
+func encUopBody(e *ckptEnc, m map[*isa.Instr]int32, u *uop) {
+	encStatic(e, m, u.static)
+	e.u64(u.addr)
+	e.i64(u.dispatchCycle)
+	e.i64(u.issueCycle)
+	e.i64(u.doneCycle)
+	e.i64(u.dataReady)
+	e.i64(u.execLatency)
+	e.i16(u.destPhys)
+	e.i16(u.oldPhys)
+	e.i16(u.src[0])
+	e.i16(u.src[1])
+	e.u8(byte(u.opc))
+	e.u8(byte(u.state))
+	e.u8(u.pendingSrcs)
+	var f uint8
+	if u.wrongPath {
+		f |= 1 << 0
+	}
+	if u.ace {
+		f |= 1 << 1
+	}
+	if u.inIQ {
+		f |= 1 << 2
+	}
+	if u.inLQ {
+		f |= 1 << 3
+	}
+	if u.inSQ {
+		f |= 1 << 4
+	}
+	if u.forwarded {
+		f |= 1 << 5
+	}
+	if u.predTaken {
+		f |= 1 << 6
+	}
+	if u.mispred {
+		f |= 1 << 7
+	}
+	e.u8(f)
+}
+
+func decUopBody(d *ckptDec, p *prog.Program, u *uop) {
+	u.static = decStatic(d, p)
+	u.addr = d.u64()
+	u.dispatchCycle = d.i64()
+	u.issueCycle = d.i64()
+	u.doneCycle = d.i64()
+	u.dataReady = d.i64()
+	u.execLatency = d.i64()
+	u.destPhys = d.i16()
+	u.oldPhys = d.i16()
+	u.src[0] = d.i16()
+	u.src[1] = d.i16()
+	u.opc = isa.Op(d.u8())
+	u.state = uopState(d.u8())
+	u.pendingSrcs = d.u8()
+	f := d.u8()
+	u.wrongPath = f&(1<<0) != 0
+	u.ace = f&(1<<1) != 0
+	u.inIQ = f&(1<<2) != 0
+	u.inLQ = f&(1<<3) != 0
+	u.inSQ = f&(1<<4) != 0
+	u.forwarded = f&(1<<5) != 0
+	u.predTaken = f&(1<<6) != 0
+	u.mispred = f&(1<<7) != 0
+}
+
+func encEvents(e *ckptEnc, es []event) {
+	e.u32(uint32(len(es)))
+	for _, ev := range es {
+		e.i64(ev.cycle)
+		e.i64(ev.seq)
+		e.u32(ev.gen)
+	}
+}
+
+func decEvents(d *ckptDec) []event {
+	n := d.count(20)
+	if d.err != nil {
+		return nil
+	}
+	out := make([]event, n)
+	for i := range out {
+		out[i] = event{cycle: d.i64(), seq: d.i64(), gen: d.u32()}
+	}
+	return out
+}
+
+func encRefLists(e *ckptEnc, ls []ckptRefList) {
+	e.u32(uint32(len(ls)))
+	for _, l := range ls {
+		e.i32(l.idx)
+		e.u32(uint32(len(l.refs)))
+		for _, r := range l.refs {
+			e.i64(r.seq)
+			e.u32(r.gen)
+		}
+	}
+}
+
+func decRefLists(d *ckptDec) []ckptRefList {
+	n := d.count(8)
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]ckptRefList, 0, n)
+	for i := 0; i < n; i++ {
+		l := ckptRefList{idx: d.i32()}
+		m := d.count(12)
+		if d.err != nil {
+			return nil
+		}
+		l.refs = make([]ckptRef, m)
+		for j := range l.refs {
+			l.refs[j] = ckptRef{seq: d.i64(), gen: d.u32()}
+		}
+		out = append(out, l)
+	}
+	return out
+}
+
+func encCacheState(e *ckptEnc, st *cache.CacheState) {
+	e.u64s(st.Tag)
+	e.bools(st.Valid)
+	e.i64s(st.LRU)
+	e.i64s(st.FillTime)
+	e.i64s(st.LastAceEnd)
+	e.u64s(st.Dirty)
+	e.bytes(st.ChunkState)
+	e.i64s(st.ChunkTime)
+	e.u64(st.AceChunkCycles)
+	e.u64(st.TagAceCycles)
+	e.i64(st.WindowStart)
+	e.u64(st.Accesses)
+	e.u64(st.Misses)
+	e.u64(st.Writebacks)
+	e.u64(st.WritebackAccesses)
+	e.u64(st.WritebackMisses)
+}
+
+func decCacheState(d *ckptDec, st *cache.CacheState) {
+	st.Tag = d.u64s()
+	st.Valid = d.bools()
+	st.LRU = d.i64s()
+	st.FillTime = d.i64s()
+	st.LastAceEnd = d.i64s()
+	st.Dirty = d.u64s()
+	st.ChunkState = d.bytesv()
+	st.ChunkTime = d.i64s()
+	st.AceChunkCycles = d.u64()
+	st.TagAceCycles = d.u64()
+	st.WindowStart = d.i64()
+	st.Accesses = d.u64()
+	st.Misses = d.u64()
+	st.Writebacks = d.u64()
+	st.WritebackAccesses = d.u64()
+	st.WritebackMisses = d.u64()
+}
+
+func encTLBState(e *ckptEnc, st *cache.TLBState) {
+	e.u64s(st.VPN)
+	e.bools(st.Valid)
+	e.i64s(st.FillTime)
+	e.i64s(st.LastRead)
+	e.i64s(st.LRU)
+	e.u64s(st.HD1Cycles)
+	e.i64s(st.HD1Since)
+	e.i32s(st.HD1Count)
+	e.u64(st.AceEntryCycles)
+	e.u64(st.HD1EntryCycles)
+	e.i64(st.WindowStart)
+	e.u64(st.Accesses)
+	e.u64(st.Misses)
+}
+
+func decTLBState(d *ckptDec, st *cache.TLBState) {
+	st.VPN = d.u64s()
+	st.Valid = d.bools()
+	st.FillTime = d.i64s()
+	st.LastRead = d.i64s()
+	st.LRU = d.i64s()
+	st.HD1Cycles = d.u64s()
+	st.HD1Since = d.i64s()
+	st.HD1Count = d.i32s()
+	st.AceEntryCycles = d.u64()
+	st.HD1EntryCycles = d.u64()
+	st.WindowStart = d.i64()
+	st.Accesses = d.u64()
+	st.Misses = d.u64()
+}
+
+// MarshalBinary serialises the checkpoint. The bound program is not
+// embedded — UnmarshalCheckpoint rebinds it, verifying the embedded
+// program fingerprint.
+func (ck *Checkpoint) MarshalBinary() ([]byte, error) {
+	if ck.prog == nil {
+		return nil, errors.New("pipe: cannot marshal checkpoint with no program bound")
+	}
+	m := staticIndex(ck.prog)
+	e := &ckptEnc{b: make([]byte, 0, 64<<10)}
+	e.u32(ckptMagic)
+	e.u8(ckptVersion)
+	e.str(ck.cfgFP)
+	e.str(ck.progFP)
+
+	e.i64(ck.cycle)
+	e.i64(ck.head)
+	e.i64(ck.tail)
+	e.i32(int32(ck.iqUsed))
+	e.i32(int32(ck.lqUsed))
+	e.i32(int32(ck.sqUsed))
+	e.i64(ck.fetchStallUntil)
+	e.i32(int32(ck.wpIdx))
+	var f uint8
+	if ck.wrongPathMode {
+		f |= 1 << 0
+	}
+	if ck.havePending {
+		f |= 1 << 1
+	}
+	if ck.streamDone {
+		f |= 1 << 2
+	}
+	e.u8(f)
+	e.i64(ck.lastCommit)
+	e.u64(ck.digest)
+
+	encStatic(e, m, ck.pending.dyn.Static)
+	e.i64(ck.pending.dyn.Seq)
+	e.i64(ck.pending.dyn.Iter)
+	e.u64(ck.pending.dyn.PC)
+	e.u64(ck.pending.dyn.Addr)
+	e.flag(ck.pending.dyn.Taken)
+	e.flag(ck.pending.wrongPath)
+
+	a := &ck.acct
+	e.flag(a.measuring)
+	for _, v := range []int64{a.windowStart, a.warmupLeft, a.warmupDone,
+		a.committed, a.aceCommitted, a.loads, a.stores, a.branches, a.longArith,
+		a.fetched, a.wrongPathFetched, a.branchesFetched, a.mispredicts, a.flushed,
+		a.issuedALU, a.issuedMul, a.issuedMem, a.issuedBr,
+		a.iqAce, a.robAce, a.lqTagAce, a.lqDataAce, a.sqTagAce, a.sqDataAce,
+		a.fuStage, a.rfRegCyc, a.occROB, a.occIQ, a.occLQ, a.occSQ} {
+		e.i64(v)
+	}
+
+	// ROB ring: generation counters for every slot (dead slots' gens are
+	// live state — dispatch increments them and event references compare
+	// against them), full bodies only for the in-flight window.
+	e.u32(uint32(len(ck.rob)))
+	for i := range ck.rob {
+		e.u32(ck.rob[i].gen)
+	}
+	mask := int64(len(ck.rob) - 1)
+	for seq := ck.head; seq < ck.tail; seq++ {
+		encUopBody(e, m, &ck.rob[seq&mask])
+	}
+	// Rename-map checkpoint rows, likewise window-only (rows are written
+	// at dispatch and only read while their branch is in flight).
+	for seq := ck.head; seq < ck.tail; seq++ {
+		i := seq & mask
+		for _, v := range ck.ckpt[i*int64(isa.NumArchRegs) : (i+1)*int64(isa.NumArchRegs)] {
+			e.i16(v)
+		}
+	}
+
+	e.i16s(ck.archMap)
+	e.i16s(ck.freeList)
+	e.u32(uint32(len(ck.regs)))
+	for i := range ck.regs {
+		r := &ck.regs[i]
+		e.i64(r.readyCycle)
+		e.i64(r.writeTime)
+		e.i64(r.lastRead)
+		var rf uint8
+		if r.written {
+			rf |= 1 << 0
+		}
+		if r.aceValue {
+			rf |= 1 << 1
+		}
+		e.u8(rf)
+	}
+
+	e.i64(ck.wheelHead)
+	encEvents(e, ck.wheelEvents)
+	encEvents(e, ck.wheelDue)
+
+	e.u64s(ck.readyWords)
+	e.i32(int32(ck.readyCount))
+	encRefLists(e, ck.waiters)
+	encRefLists(e, ck.blocked)
+
+	e.u64s(ck.dwKeys)
+	for i, k := range ck.dwKeys {
+		if k != dwEmpty && k != dwTombstone {
+			e.i64s(ck.dwVals[i])
+		}
+	}
+	e.i32(int32(ck.dwLive))
+	e.i32(int32(ck.dwUsed))
+
+	e.flag(ck.stream.InInit)
+	e.i64(int64(ck.stream.Idx))
+	e.i64(ck.stream.Iter)
+	e.i64(ck.stream.Seq)
+
+	e.bytes(ck.bp.Global)
+	e.bytes(ck.bp.Choice)
+	e.u16s(ck.bp.LocalH)
+	e.bytes(ck.bp.LocalC)
+	e.u64(ck.bp.GHist)
+	e.u64(ck.bp.Lookups)
+	e.u64(ck.bp.Mispredicts)
+
+	encCacheState(e, &ck.mem.IL1)
+	encCacheState(e, &ck.mem.DL1)
+	encCacheState(e, &ck.mem.L2)
+	encTLBState(e, &ck.mem.DTLB)
+	return e.b, nil
+}
+
+// UnmarshalCheckpoint decodes a checkpoint and binds it to program p,
+// which must be the program the checkpoint was captured from (verified
+// by fingerprint). The returned checkpoint restores exactly like the
+// in-memory original (TestCheckpointCodecRoundTrip).
+func UnmarshalCheckpoint(data []byte, p *prog.Program) (*Checkpoint, error) {
+	d := &ckptDec{b: data}
+	if d.u32() != ckptMagic {
+		return nil, errors.New("pipe: not a checkpoint blob")
+	}
+	if v := d.u8(); d.err == nil && v != ckptVersion {
+		return nil, fmt.Errorf("pipe: checkpoint version %d unsupported", v)
+	}
+	ck := &Checkpoint{prog: p}
+	ck.cfgFP = d.str()
+	ck.progFP = d.str()
+	if d.err == nil && ck.progFP != p.Fingerprint() {
+		return nil, errors.New("pipe: checkpoint program mismatch")
+	}
+
+	ck.cycle = d.i64()
+	ck.head = d.i64()
+	ck.tail = d.i64()
+	ck.iqUsed = int(d.i32())
+	ck.lqUsed = int(d.i32())
+	ck.sqUsed = int(d.i32())
+	ck.fetchStallUntil = d.i64()
+	ck.wpIdx = int(d.i32())
+	f := d.u8()
+	ck.wrongPathMode = f&(1<<0) != 0
+	ck.havePending = f&(1<<1) != 0
+	ck.streamDone = f&(1<<2) != 0
+	ck.lastCommit = d.i64()
+	ck.digest = d.u64()
+
+	ck.pending.dyn.Static = decStatic(d, p)
+	ck.pending.dyn.Seq = d.i64()
+	ck.pending.dyn.Iter = d.i64()
+	ck.pending.dyn.PC = d.u64()
+	ck.pending.dyn.Addr = d.u64()
+	ck.pending.dyn.Taken = d.flag()
+	ck.pending.wrongPath = d.flag()
+
+	a := &ck.acct
+	a.measuring = d.flag()
+	for _, dst := range []*int64{&a.windowStart, &a.warmupLeft, &a.warmupDone,
+		&a.committed, &a.aceCommitted, &a.loads, &a.stores, &a.branches, &a.longArith,
+		&a.fetched, &a.wrongPathFetched, &a.branchesFetched, &a.mispredicts, &a.flushed,
+		&a.issuedALU, &a.issuedMul, &a.issuedMem, &a.issuedBr,
+		&a.iqAce, &a.robAce, &a.lqTagAce, &a.lqDataAce, &a.sqTagAce, &a.sqDataAce,
+		&a.fuStage, &a.rfRegCyc, &a.occROB, &a.occIQ, &a.occLQ, &a.occSQ} {
+		*dst = d.i64()
+	}
+
+	ring := d.count(4)
+	if d.err == nil && (ring == 0 || ring&(ring-1) != 0) {
+		d.fail("ROB ring size not a power of two")
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	ck.rob = make([]uop, ring)
+	for i := range ck.rob {
+		ck.rob[i].gen = d.u32()
+	}
+	mask := int64(ring - 1)
+	if w := ck.tail - ck.head; w < 0 || w > int64(ring) {
+		d.fail("in-flight window exceeds ring")
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	for seq := ck.head; seq < ck.tail; seq++ {
+		decUopBody(d, p, &ck.rob[seq&mask])
+	}
+	ck.ckpt = make([]int16, ring*isa.NumArchRegs)
+	for seq := ck.head; seq < ck.tail; seq++ {
+		i := seq & mask
+		row := ck.ckpt[i*int64(isa.NumArchRegs) : (i+1)*int64(isa.NumArchRegs)]
+		for j := range row {
+			row[j] = d.i16()
+		}
+	}
+
+	ck.archMap = d.i16s()
+	ck.freeList = d.i16s()
+	nregs := d.count(25)
+	if d.err != nil {
+		return nil, d.err
+	}
+	ck.regs = make([]physReg, nregs)
+	for i := range ck.regs {
+		r := &ck.regs[i]
+		r.readyCycle = d.i64()
+		r.writeTime = d.i64()
+		r.lastRead = d.i64()
+		rf := d.u8()
+		r.written = rf&(1<<0) != 0
+		r.aceValue = rf&(1<<1) != 0
+	}
+
+	ck.wheelHead = d.i64()
+	ck.wheelEvents = decEvents(d)
+	ck.wheelDue = decEvents(d)
+
+	ck.readyWords = d.u64s()
+	ck.readyCount = int(d.i32())
+	ck.waiters = decRefLists(d)
+	ck.blocked = decRefLists(d)
+
+	ck.dwKeys = d.u64s()
+	ck.dwVals = make([][]int64, len(ck.dwKeys))
+	for i, k := range ck.dwKeys {
+		if k != dwEmpty && k != dwTombstone {
+			ck.dwVals[i] = d.i64s()
+		}
+	}
+	ck.dwLive = int(d.i32())
+	ck.dwUsed = int(d.i32())
+
+	ck.stream.InInit = d.flag()
+	ck.stream.Idx = int(d.i64())
+	ck.stream.Iter = d.i64()
+	ck.stream.Seq = d.i64()
+
+	ck.bp.Global = d.bytesv()
+	ck.bp.Choice = d.bytesv()
+	ck.bp.LocalH = d.u16s()
+	ck.bp.LocalC = d.bytesv()
+	ck.bp.GHist = d.u64()
+	ck.bp.Lookups = d.u64()
+	ck.bp.Mispredicts = d.u64()
+
+	decCacheState(d, &ck.mem.IL1)
+	decCacheState(d, &ck.mem.DL1)
+	decCacheState(d, &ck.mem.L2)
+	decTLBState(d, &ck.mem.DTLB)
+
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(d.b) {
+		return nil, fmt.Errorf("pipe: checkpoint decode: %d trailing bytes", len(d.b)-d.off)
+	}
+	return ck, nil
+}

@@ -16,8 +16,10 @@ package pipe
 
 import (
 	"fmt"
+	"sort"
 
 	"avfstress/internal/avf"
+	"avfstress/internal/cache"
 	"avfstress/internal/isa"
 	"avfstress/internal/prog"
 	"avfstress/internal/uarch"
@@ -70,16 +72,31 @@ type GoldenInfo struct {
 	Digest uint64
 }
 
-// injState tracks one in-flight fault injection during runLoop.
-type injState struct {
+// injTrial tracks one fault riding a replay. Faults are pure observers
+// — they never mutate simulator state — so any number of trials can
+// share one replay and each resolves exactly as it would alone
+// (TestFaultBatchMatchesSolo locks that in).
+type injTrial struct {
 	fault Fault
-	full  bool // run to completion and fold corruption into the digest
+	idx   int // caller-order index (trials are cycle-sorted internally)
 
 	applied   bool // the fault has been applied (or armed, for mem watches)
 	memWatch  bool // fault targets DL1/L2/DTLB (fate watch in internal/cache)
 	resolved  bool
 	corrupted bool
-	watchReg  int16 // armed register-file watch (noReg = none)
+	watchReg  int16           // armed register-file watch (noReg = none)
+	cw        *cache.Watch    // armed DL1/L2 fate watch
+	tw        *cache.TLBWatch // armed DTLB fate watch
+}
+
+// injState tracks the in-flight fault trials of one replay during
+// runCycles, sorted by injection cycle.
+type injState struct {
+	trials  []injTrial
+	next    int  // apply cursor over the cycle-sorted trials
+	open    int  // trials not yet resolved
+	memOpen int  // unresolved mem-watch trials (gates per-cycle polling)
+	full    bool // run to completion and fold corruption into the digest
 }
 
 // FNV-1a constants for the commit digest, plus the marker folded into a
@@ -115,53 +132,61 @@ func (pl *Pipeline) digestCommit(u *uop) {
 	pl.digest = mix64(mix64(pl.digest, w), u.addr)
 }
 
-// injResolve records the trial's outcome; in full mode a corrupting
+// injResolve records one trial's outcome; in full mode a corrupting
 // fault additionally folds the corruption marker into the digest, so the
 // architectural-state diff against the golden run is what classifies the
 // trial.
-func (pl *Pipeline) injResolve(corrupt bool) {
-	inj := pl.inj
-	if inj.resolved {
+func (pl *Pipeline) injResolve(t *injTrial, corrupt bool) {
+	if t.resolved {
 		return
 	}
-	inj.resolved = true
-	inj.corrupted = corrupt
+	t.resolved = true
+	t.corrupted = corrupt
+	pl.inj.open--
+	if t.memWatch {
+		pl.inj.memOpen--
+	}
 	if corrupt && pl.digestOn {
 		pl.digest = mix64(pl.digest, injMark)
 	}
 }
 
-// injPoll checks an armed cache/TLB fate watch for resolution. Called
-// once per simulated cycle while an injection replay is unresolved.
+// injPoll checks the armed cache/TLB fate watches for resolution. Called
+// once per simulated cycle while any mem-watch trial is unresolved.
 func (pl *Pipeline) injPoll() {
-	var resolved, ace bool
-	switch pl.inj.fault.Structure {
-	case uarch.DL1:
-		resolved, ace = pl.mem.DL1.WatchOutcome()
-	case uarch.L2:
-		resolved, ace = pl.mem.L2.WatchOutcome()
-	case uarch.DTLB:
-		resolved, ace = pl.mem.DTLB.WatchOutcome()
-	default:
-		return
-	}
-	if resolved {
-		pl.injResolve(ace)
+	inj := pl.inj
+	for i := range inj.trials {
+		t := &inj.trials[i]
+		if !t.memWatch || t.resolved {
+			continue
+		}
+		var resolved, ace bool
+		if t.cw != nil {
+			resolved, ace = t.cw.Outcome()
+		} else {
+			resolved, ace = t.tw.Outcome()
+		}
+		if resolved {
+			pl.injResolve(t, ace)
+		}
 	}
 }
 
-// injRegRelease resolves an armed register-file watch when the watched
+// injRegRelease resolves armed register-file watches when the watched
 // physical register is released at the overwriting instruction's commit:
 // the flipped value was consumed iff an ACE instruction read it after
 // the injection cycle — the same fill→last-read span the RF accounting
 // integrates.
 func (pl *Pipeline) injRegRelease(p int16) {
 	inj := pl.inj
-	if inj.watchReg != p || inj.resolved {
-		return
+	for i := range inj.trials {
+		t := &inj.trials[i]
+		if t.resolved || t.watchReg != p {
+			continue
+		}
+		t.watchReg = noReg
+		pl.injResolve(t, pl.regs[p].lastRead > t.fault.Cycle)
 	}
-	inj.watchReg = noReg
-	pl.injResolve(pl.regs[p].lastRead > inj.fault.Cycle)
 }
 
 // uop occupancy predicates for entry association (oldest-first).
@@ -185,28 +210,27 @@ func (pl *Pipeline) nthOccupant(k int, pred func(*uop) bool) *uop {
 	return nil
 }
 
-// applyFault applies the armed fault at its injection cycle: it locates
+// applyFault applies one armed fault at its injection cycle: it locates
 // the occupant of the flipped bit and either resolves the trial
 // immediately (queue structures, whose fate is their occupant's ACEness)
 // or arms a register watch. Empty slots, wrong-path and un-ACE occupants
 // and not-yet-live values resolve masked — exactly the states the ACE
 // accounting excludes.
-func (pl *Pipeline) applyFault() {
-	inj := pl.inj
-	inj.applied = true
-	f := inj.fault
+func (pl *Pipeline) applyFault(t *injTrial) {
+	t.applied = true
+	f := t.fault
 	core := pl.core
 	switch f.Structure {
 	case uarch.IQ:
 		// Issue-queue entries are vulnerable from dispatch to issue
 		// (entries free at issue, 21264-style).
 		if u := pl.nthOccupant(int(f.Bit/uint64(core.IQEntryBits)), occIQ); u != nil {
-			pl.injResolve(u.ace)
+			pl.injResolve(t, u.ace)
 			return
 		}
 	case uarch.ROB:
 		if k := int64(f.Bit / uint64(core.ROBEntryBits)); k < pl.tail-pl.head {
-			pl.injResolve(pl.at(pl.head + k).ace)
+			pl.injResolve(t, pl.at(pl.head+k).ace)
 			return
 		}
 	case uarch.FU:
@@ -214,7 +238,7 @@ func (pl *Pipeline) applyFault() {
 		// result is corrupted iff the operation is ACE (squashed wrong-path
 		// work burns the stage but carries no architectural value).
 		if u := pl.nthOccupant(int(f.Bit/uint64(core.RegBits)), occFU); u != nil {
-			pl.injResolve(u.ace)
+			pl.injResolve(t, u.ace)
 			return
 		}
 	case uarch.RF:
@@ -222,7 +246,7 @@ func (pl *Pipeline) applyFault() {
 		r := &pl.regs[p]
 		if r.written && r.aceValue && r.writeTime <= f.Cycle {
 			// Live ACE value: vulnerable until its last future read.
-			inj.watchReg = p
+			t.watchReg = p
 			return
 		}
 	case uarch.LQTag:
@@ -230,48 +254,114 @@ func (pl *Pipeline) applyFault() {
 		// register operands); the queued tag serves disambiguation until
 		// retire — vulnerable from issue to commit.
 		if u := pl.nthOccupant(int(f.Bit/uint64(core.LSQEntryBits/2)), occLQ); u != nil {
-			pl.injResolve(u.ace && u.state != sWaiting)
+			pl.injResolve(t, u.ace && u.state != sWaiting)
 			return
 		}
 	case uarch.LQData:
 		if u := pl.nthOccupant(int(f.Bit/uint64(core.LSQEntryBits/2)), occLQ); u != nil {
-			pl.injResolve(u.ace && u.state != sWaiting && u.dataReady <= f.Cycle)
+			pl.injResolve(t, u.ace && u.state != sWaiting && u.dataReady <= f.Cycle)
 			return
 		}
 	case uarch.SQTag, uarch.SQData:
 		// Store address and data are captured at completion and consumed
 		// by the architectural write at retire.
 		if u := pl.nthOccupant(int(f.Bit/uint64(core.LSQEntryBits/2)), occSQ); u != nil {
-			pl.injResolve(u.ace && u.state == sDone)
+			pl.injResolve(t, u.ace && u.state == sDone)
 			return
 		}
 	}
-	pl.injResolve(false)
+	pl.injResolve(t, false)
 }
 
-// injFinish resolves a trial still open at the natural end of the run:
+// finishTrials resolves trials still open at the natural end of the run:
 // partially elapsed intervals of still-live state are ACE, exactly as
 // finalize() counts them, and cache/TLB watches resolve through the
-// hierarchy's end-of-run eviction sweep.
-func (pl *Pipeline) injFinish() {
+// hierarchy's end-of-run eviction sweep (run at most once). A trial
+// whose injection cycle was never reached is an error — it indicates a
+// target sampled against a different golden run.
+func (pl *Pipeline) finishTrials() error {
 	inj := pl.inj
-	if inj.resolved {
-		return
+	for i := range inj.trials {
+		if t := &inj.trials[i]; !t.applied {
+			return fmt.Errorf("pipe: fault cycle %d beyond end of run (cycle %d)", t.fault.Cycle, pl.now)
+		}
 	}
-	if inj.memWatch {
+	if inj.memOpen > 0 {
 		pl.mem.Finalize(pl.now)
 		pl.injPoll()
-		if !inj.resolved {
-			// The watched bit held no live state at the injection cycle.
-			pl.injResolve(false)
+	}
+	for i := range inj.trials {
+		t := &inj.trials[i]
+		if t.resolved {
+			continue
 		}
-		return
+		if t.watchReg != noReg {
+			pl.injResolve(t, pl.regs[t.watchReg].lastRead > t.fault.Cycle)
+			continue
+		}
+		// The flipped bit held no live state at the injection cycle.
+		pl.injResolve(t, false)
 	}
-	if inj.watchReg != noReg {
-		pl.injResolve(pl.regs[inj.watchReg].lastRead > inj.fault.Cycle)
-		return
+	return nil
+}
+
+// armTrials validates the fault targets, builds the cycle-sorted trial
+// state and arms the cache/TLB fate watches. Cache and TLB targets are
+// watched from the start of the replay: hierarchy accesses carry
+// timestamps ahead of the pipeline's wall clock, so the lifetime
+// interval containing the injection cycle can be closed by an access
+// executed wall-earlier.
+func (pl *Pipeline) armTrials(faults []Fault, full bool) (*injState, error) {
+	inj := &injState{trials: make([]injTrial, len(faults)), full: full}
+	for i, f := range faults {
+		if f.Structure < 0 || f.Structure >= uarch.NumStructures {
+			return nil, fmt.Errorf("pipe: fault structure %d out of range", int(f.Structure))
+		}
+		if max := uarch.Bits(pl.cfg, f.Structure); f.Bit >= max {
+			return nil, fmt.Errorf("pipe: fault bit %d out of range for %s (%d bits)",
+				f.Bit, f.Structure, max)
+		}
+		if f.Cycle < 0 {
+			return nil, fmt.Errorf("pipe: negative fault cycle %d", f.Cycle)
+		}
+		inj.trials[i] = injTrial{fault: f, idx: i, watchReg: noReg}
 	}
-	pl.injResolve(false)
+	sort.SliceStable(inj.trials, func(a, b int) bool {
+		return inj.trials[a].fault.Cycle < inj.trials[b].fault.Cycle
+	})
+	inj.open = len(inj.trials)
+	for i := range inj.trials {
+		t := &inj.trials[i]
+		f := t.fault
+		var err error
+		switch f.Structure {
+		case uarch.DL1:
+			t.cw, err = pl.mem.DL1.AddWatch(f.Bit, f.Cycle)
+		case uarch.L2:
+			t.cw, err = pl.mem.L2.AddWatch(f.Bit, f.Cycle)
+		case uarch.DTLB:
+			idx := int(f.Bit / uint64(pl.cfg.Mem.DTLB.EntryBits))
+			t.tw, err = pl.mem.DTLB.AddWatch(idx, f.Cycle)
+		default:
+			continue
+		}
+		if err != nil {
+			pl.clearInj()
+			return nil, err
+		}
+		t.memWatch, t.applied = true, true
+		inj.memOpen++
+	}
+	return inj, nil
+}
+
+// clearInj tears down injection state after a replay.
+func (pl *Pipeline) clearInj() {
+	pl.inj = nil
+	pl.digestOn = false
+	pl.mem.DL1.ClearWatches()
+	pl.mem.L2.ClearWatches()
+	pl.mem.DTLB.ClearWatches()
 }
 
 // RunFault replays the program under rc with fault f injected and
@@ -286,57 +376,61 @@ func (pl *Pipeline) injFinish() {
 // an error (it indicates a target sampled against a different golden
 // run).
 func (pl *Pipeline) RunFault(rc RunConfig, f Fault, full bool) (FaultTrial, error) {
-	if f.Structure < 0 || f.Structure >= uarch.NumStructures {
-		return FaultTrial{}, fmt.Errorf("pipe: fault structure %d out of range", int(f.Structure))
+	inj, err := pl.armTrials([]Fault{f}, full)
+	if err != nil {
+		return FaultTrial{}, err
 	}
-	if max := uarch.Bits(pl.cfg, f.Structure); f.Bit >= max {
-		return FaultTrial{}, fmt.Errorf("pipe: fault bit %d out of range for %s (%d bits)",
-			f.Bit, f.Structure, max)
-	}
-	if f.Cycle < 0 {
-		return FaultTrial{}, fmt.Errorf("pipe: negative fault cycle %d", f.Cycle)
-	}
-	inj := &injState{fault: f, full: full, watchReg: noReg}
 	pl.inj = inj
 	pl.digestOn = full
 	pl.digest = fnvOffset64
-	defer func() {
-		pl.inj = nil
-		pl.digestOn = false
-		pl.mem.DL1.ClearWatch()
-		pl.mem.L2.ClearWatch()
-		pl.mem.DTLB.ClearWatch()
-	}()
-	// Cache and TLB targets are watched from the start of the replay:
-	// hierarchy accesses carry timestamps ahead of the pipeline's wall
-	// clock, so the lifetime interval containing the injection cycle can
-	// be closed by an access executed wall-earlier.
-	switch f.Structure {
-	case uarch.DL1:
-		if err := pl.mem.DL1.ArmWatch(f.Bit, f.Cycle); err != nil {
-			return FaultTrial{}, err
-		}
-		inj.memWatch, inj.applied = true, true
-	case uarch.L2:
-		if err := pl.mem.L2.ArmWatch(f.Bit, f.Cycle); err != nil {
-			return FaultTrial{}, err
-		}
-		inj.memWatch, inj.applied = true, true
-	case uarch.DTLB:
-		idx := int(f.Bit / uint64(pl.cfg.Mem.DTLB.EntryBits))
-		if err := pl.mem.DTLB.ArmWatch(idx, f.Cycle); err != nil {
-			return FaultTrial{}, err
-		}
-		inj.memWatch, inj.applied = true, true
-	}
+	defer pl.clearInj()
 	if err := pl.runLoop(rc); err != nil {
 		return FaultTrial{}, err
 	}
-	if !inj.applied {
-		return FaultTrial{}, fmt.Errorf("pipe: fault cycle %d beyond end of run (cycle %d)", f.Cycle, pl.now)
+	if err := pl.finishTrials(); err != nil {
+		return FaultTrial{}, err
 	}
-	pl.injFinish()
-	return FaultTrial{Corrupted: inj.corrupted, Digest: pl.digest}, nil
+	return FaultTrial{Corrupted: inj.trials[0].corrupted, Digest: pl.digest}, nil
+}
+
+// RunFaults replays the program under rc once with every fault in
+// faults armed as an independent observer (early-resolution mode) and
+// returns per-fault corruption outcomes in caller order. When ck is
+// non-nil the replay forks from the checkpoint instead of cycle zero;
+// every fault must then satisfy ck.Cycle()+lead ≤ fault.Cycle for the
+// hierarchy's timestamp lead (CheckpointSet.Nearest enforces this), so
+// every lifetime transition that can resolve a watch happens after the
+// fork point. Call once per New, Reset or Restore.
+func (pl *Pipeline) RunFaults(rc RunConfig, faults []Fault) ([]bool, error) {
+	return pl.runFaults(rc, faults, false)
+}
+
+func (pl *Pipeline) runFaults(rc RunConfig, faults []Fault, resume bool) ([]bool, error) {
+	if len(faults) == 0 {
+		return nil, nil
+	}
+	inj, err := pl.armTrials(faults, false)
+	if err != nil {
+		return nil, err
+	}
+	pl.inj = inj
+	defer pl.clearInj()
+	if resume {
+		err = pl.resumeLoop(rc)
+	} else {
+		err = pl.runLoop(rc)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := pl.finishTrials(); err != nil {
+		return nil, err
+	}
+	out := make([]bool, len(faults))
+	for i := range inj.trials {
+		out[inj.trials[i].idx] = inj.trials[i].corrupted
+	}
+	return out, nil
 }
 
 // SimulateGolden runs program p under rc on a pooled pipeline like

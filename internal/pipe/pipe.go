@@ -185,13 +185,21 @@ type Pipeline struct {
 
 	acct accounting
 
+	// lastCommit is the cycle of the most recent commit, feeding the
+	// deadlock detector. It is part of checkpoints so a restored run
+	// resumes with the same deadlock headroom.
+	lastCommit int64
+
 	// Fault-injection replay state (inject.go): inj is non-nil only
-	// inside RunFault; digestOn enables the commit digest (RunFault full
-	// mode and Pool.SimulateGolden). Normal runs pay one predictable
-	// branch per cycle and per commit.
+	// inside fault replays; digestOn enables the commit digest (RunFault
+	// full mode and Pool.SimulateGolden). ckptRec, non-nil only inside
+	// SimulateGoldenCheckpointed, captures fork-replay checkpoints at the
+	// top of the cycle loop (snapshot.go). Normal runs pay one
+	// predictable branch per cycle and per commit.
 	inj      *injState
 	digestOn bool
 	digest   uint64
+	ckptRec  *ckptRecorder
 }
 
 type fetchItem struct {
@@ -307,9 +315,11 @@ func (pl *Pipeline) Reset(p *prog.Program) error {
 		pl.blockedOn[i] = pl.blockedOn[i][:0]
 	}
 	pl.dwStores.clearDW()
+	pl.lastCommit = 0
 	pl.inj = nil
 	pl.digestOn = false
 	pl.digest = 0
+	pl.ckptRec = nil
 	// ROB slots and checkpoints are left dirty: dispatch fully overwrites
 	// a slot (preserving only gen) before any field is read.
 	pl.resetArchState()
@@ -334,57 +344,99 @@ func (pl *Pipeline) Run(rc RunConfig) (*avf.Result, error) {
 	return pl.finalize(), nil
 }
 
-// runLoop is the shared cycle loop of Run and RunFault: it executes the
-// program under the budget, leaving the pipeline state at end-of-run for
-// the caller to finalize. A fault-injection replay (pl.inj non-nil)
-// applies its fault at the injection cycle, polls its fate watch, and
-// returns as soon as the outcome is resolved unless running in full
-// mode.
-func (pl *Pipeline) runLoop(rc RunConfig) error {
-	if rc.DeadlockCycles <= 0 {
-		rc.DeadlockCycles = 1_000_000
+// runBudget holds the normalised cycle-loop limits derived from a
+// RunConfig. Deriving them is deterministic, so a replay resumed from a
+// checkpoint recomputes the identical budget from the same RunConfig.
+type runBudget struct {
+	maxInstrs int64
+	maxCycles int64
+	deadlock  int64
+}
+
+// budget normalises rc into hard loop limits.
+func (pl *Pipeline) budget(rc RunConfig) (runBudget, error) {
+	b := runBudget{
+		maxInstrs: rc.MaxInstructions,
+		maxCycles: rc.MaxCycles,
+		deadlock:  rc.DeadlockCycles,
 	}
-	maxInstrs := rc.MaxInstructions
-	if maxInstrs <= 0 {
-		maxInstrs = math.MaxInt64
+	if b.deadlock <= 0 {
+		b.deadlock = 1_000_000
 	}
-	maxCycles := rc.MaxCycles
-	if maxCycles <= 0 {
+	if b.maxInstrs <= 0 {
+		b.maxInstrs = math.MaxInt64
+	}
+	if b.maxCycles <= 0 {
 		if rc.MaxInstructions > 0 {
 			// Generous bound: every instruction fully serialised through
 			// main memory would still finish within this.
-			maxCycles = rc.MaxInstructions*int64(pl.cfg.Mem.MemLatency+pl.cfg.Mem.DTLB.WalkLatency+32) + 10_000
+			b.maxCycles = rc.MaxInstructions*int64(pl.cfg.Mem.MemLatency+pl.cfg.Mem.DTLB.WalkLatency+32) + 10_000
 		} else {
-			maxCycles = math.MaxInt64 / 2
+			b.maxCycles = math.MaxInt64 / 2
 		}
 	}
-	if rc.WarmupInstructions >= maxInstrs {
-		return fmt.Errorf("pipe: warmup %d >= budget %d", rc.WarmupInstructions, maxInstrs)
+	if rc.WarmupInstructions >= b.maxInstrs {
+		return b, fmt.Errorf("pipe: warmup %d >= budget %d", rc.WarmupInstructions, b.maxInstrs)
+	}
+	return b, nil
+}
+
+// runLoop executes the program under the budget from cycle zero, leaving
+// the pipeline state at end-of-run for the caller to finalize.
+func (pl *Pipeline) runLoop(rc RunConfig) error {
+	b, err := pl.budget(rc)
+	if err != nil {
+		return err
 	}
 	pl.acct.warmupLeft = rc.WarmupInstructions
 	if rc.WarmupInstructions == 0 {
 		pl.startMeasurement()
 	}
+	pl.lastCommit = 0
+	return pl.runCycles(b)
+}
 
-	lastCommitCycle := int64(0)
-	for pl.acct.committed+pl.acct.warmupDone < maxInstrs {
+// resumeLoop continues a run restored from a checkpoint under the same
+// RunConfig the golden run used: warmup state, commit counts and the
+// deadlock watermark all live in the restored state, so only the budget
+// is recomputed.
+func (pl *Pipeline) resumeLoop(rc RunConfig) error {
+	b, err := pl.budget(rc)
+	if err != nil {
+		return err
+	}
+	return pl.runCycles(b)
+}
+
+// runCycles is the shared cycle loop of golden runs, fault replays and
+// checkpoint-resumed replays. A fault-injection replay (pl.inj non-nil)
+// applies each of its faults at that fault's injection cycle, polls the
+// fate watches, and returns as soon as every outcome is resolved unless
+// running in full mode. A checkpointing golden run (pl.ckptRec non-nil)
+// snapshots the full simulator state at the top of the loop whenever the
+// recorder's next capture cycle is reached.
+func (pl *Pipeline) runCycles(b runBudget) error {
+	for pl.acct.committed+pl.acct.warmupDone < b.maxInstrs {
 		if pl.streamDone && pl.robCount() == 0 && !pl.havePending {
 			break
 		}
-		if pl.now >= maxCycles {
+		if pl.now >= b.maxCycles {
 			return fmt.Errorf("pipe: cycle budget %d exhausted at %d committed instructions",
-				maxCycles, pl.acct.committed+pl.acct.warmupDone)
+				b.maxCycles, pl.acct.committed+pl.acct.warmupDone)
+		}
+		if rec := pl.ckptRec; rec != nil && pl.acct.measuring && pl.now >= rec.nextAt {
+			rec.take(pl)
 		}
 		n := pl.commit()
 		c := pl.complete()
 		i := pl.issue()
 		d := pl.dispatch()
 		if n > 0 {
-			lastCommitCycle = pl.now
+			pl.lastCommit = pl.now
 		}
-		if pl.now-lastCommitCycle > rc.DeadlockCycles {
+		if pl.now-pl.lastCommit > b.deadlock {
 			return fmt.Errorf("pipe: deadlock: no commit for %d cycles at cycle %d (rob=%d iq=%d lq=%d sq=%d)",
-				rc.DeadlockCycles, pl.now, pl.robCount(), pl.iqUsed, pl.lqUsed, pl.sqUsed)
+				b.deadlock, pl.now, pl.robCount(), pl.iqUsed, pl.lqUsed, pl.sqUsed)
 		}
 		step := int64(1)
 		if n+c+i+d == 0 {
@@ -399,18 +451,27 @@ func (pl *Pipeline) runLoop(rc RunConfig) error {
 			pl.acct.tickN(pl, step)
 		}
 		if inj := pl.inj; inj != nil {
-			// End-of-cycle injection point: the fault lands after the
+			// End-of-cycle injection point: each fault lands after the
 			// stages of its cycle have run, matching the half-open
 			// [start, end) convention of every ACE interval. A frozen
 			// multi-cycle step contains no state change, so applying at
-			// any cycle inside it is equivalent.
-			if !inj.applied && inj.fault.Cycle < pl.now+step {
-				pl.applyFault()
+			// any cycle inside it is equivalent. Faults are pure
+			// observers, so co-replayed trials resolve exactly as they
+			// would alone.
+			for inj.next < len(inj.trials) {
+				t := &inj.trials[inj.next]
+				if t.fault.Cycle >= pl.now+step {
+					break
+				}
+				if !t.applied {
+					pl.applyFault(t)
+				}
+				inj.next++
 			}
-			if inj.applied && !inj.resolved {
+			if inj.memOpen > 0 {
 				pl.injPoll()
 			}
-			if inj.resolved && !inj.full {
+			if inj.open == 0 && !inj.full {
 				return nil
 			}
 		}

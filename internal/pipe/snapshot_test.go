@@ -1,0 +1,328 @@
+package pipe_test
+
+import (
+	"testing"
+
+	"avfstress/internal/codegen"
+	"avfstress/internal/pipe"
+	"avfstress/internal/uarch"
+)
+
+func checkpointFixture(t *testing.T) (uarch.Config, *pipe.Pool, pipe.RunConfig, *codegen.Knobs) {
+	t.Helper()
+	cfg := uarch.Scaled(uarch.Baseline(), 32)
+	pool, err := pipe.NewPool(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := pipe.RunConfig{MaxInstructions: 6_000, WarmupInstructions: 2_000}
+	k := &codegen.Knobs{LoopSize: 81, NumLoads: 29, NumStores: 28,
+		NumIndepArith: 5, MissDependent: 7, AvgChainLength: 2.14,
+		DepDistance: 6, FracLongLatency: 0.8, FracRegReg: 0.93, Seed: 42}
+	return cfg, pool, rc, k
+}
+
+// TestResumeGoldenMatchesUninterrupted is the core restore-equivalence
+// differential: resuming from every checkpoint of a golden run must
+// reproduce the uninterrupted run's result, window and commit digest
+// bit-exactly. The digest folds every committed instruction's opcode,
+// operands, address and branch outcome, and the result folds every ACE
+// accumulator of every structure — so any drift in any restored
+// structure (ROB, wheel, rename state, caches, TLB, predictor, stream
+// cursor) shows up here.
+func TestResumeGoldenMatchesUninterrupted(t *testing.T) {
+	cfg, pool, rc, k := checkpointFixture(t)
+	p, _, err := codegen.Generate(cfg, *k, 1<<40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, wantInfo, err := pool.SimulateGolden(p, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, info, cks, err := pool.SimulateGoldenCheckpointed(p, rc, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *res != *want || info != wantInfo {
+		t.Fatal("checkpointed golden run drifted from plain golden run")
+	}
+	if len(cks.Checkpoints) < 2 {
+		t.Fatalf("only %d checkpoints captured; fixture too small to test", len(cks.Checkpoints))
+	}
+	if cks.Lead <= 0 {
+		t.Fatalf("timestamp lead %d, want positive", cks.Lead)
+	}
+	prev := int64(-1)
+	for i, ck := range cks.Checkpoints {
+		if ck.Cycle() <= prev {
+			t.Fatalf("checkpoint %d at cycle %d not after previous (%d)", i, ck.Cycle(), prev)
+		}
+		prev = ck.Cycle()
+		got, gotInfo, err := pool.ResumeGolden(ck, rc)
+		if err != nil {
+			t.Fatalf("resume from checkpoint %d (cycle %d): %v", i, ck.Cycle(), err)
+		}
+		if *got != *want {
+			t.Fatalf("resume from checkpoint %d (cycle %d): result drifted\n got %+v\nwant %+v",
+				i, ck.Cycle(), got, want)
+		}
+		if gotInfo != wantInfo {
+			t.Fatalf("resume from checkpoint %d (cycle %d): info drifted: %+v vs %+v",
+				i, ck.Cycle(), gotInfo, wantInfo)
+		}
+	}
+}
+
+// TestCheckpointedGoldenDisabled: a negative interval degrades to plain
+// SimulateGolden with no checkpoint set.
+func TestCheckpointedGoldenDisabled(t *testing.T) {
+	cfg, pool, rc, k := checkpointFixture(t)
+	p, _, err := codegen.Generate(cfg, *k, 1<<40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, wantInfo, err := pool.SimulateGolden(p, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, info, cks, err := pool.SimulateGoldenCheckpointed(p, rc, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cks != nil {
+		t.Fatalf("disabled capture returned %d checkpoints", len(cks.Checkpoints))
+	}
+	if *res != *want || info != wantInfo {
+		t.Fatal("disabled-capture golden run drifted")
+	}
+}
+
+// TestFaultBatchMatchesSolo: a single replay carrying many armed faults
+// resolves each exactly as a dedicated per-fault replay would — faults
+// are pure observers. Samples every structure.
+func TestFaultBatchMatchesSolo(t *testing.T) {
+	cfg, pool, rc, k := checkpointFixture(t)
+	p, _, err := codegen.Generate(cfg, *k, 1<<40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, info, err := pool.SimulateGolden(p, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := lcg(11)
+	var faults []pipe.Fault
+	for s := uarch.Structure(0); s < uarch.NumStructures; s++ {
+		bits := uarch.Bits(cfg, s)
+		for i := 0; i < 8; i++ {
+			faults = append(faults, pipe.Fault{
+				Structure: s,
+				Bit:       rng.next() % bits,
+				Cycle:     info.WindowStart + int64(rng.next()%uint64(info.Cycles)),
+			})
+		}
+	}
+	batch, err := pool.SimulateFaultsFrom(p, rc, nil, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupted := 0
+	for i, f := range faults {
+		solo, err := pool.SimulateFault(p, rc, f)
+		if err != nil {
+			t.Fatalf("solo replay %+v: %v", f, err)
+		}
+		if batch[i] != solo {
+			t.Errorf("%s %+v: batch says corrupted=%v, solo says %v", f.Structure, f, batch[i], solo)
+		}
+		if solo {
+			corrupted++
+		}
+	}
+	if corrupted == 0 || corrupted == len(faults) {
+		t.Errorf("degenerate outcome mix: %d/%d corrupted", corrupted, len(faults))
+	}
+}
+
+// TestFaultForkMatchesCold: forking a fault replay from the nearest
+// valid checkpoint yields the same classification as replaying from
+// cycle zero, for every structure and for bucketed multi-fault batches
+// — the property the campaign engine's speedup rests on.
+func TestFaultForkMatchesCold(t *testing.T) {
+	cfg, pool, rc, k := checkpointFixture(t)
+	p, _, err := codegen.Generate(cfg, *k, 1<<40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, info, cks, err := pool.SimulateGoldenCheckpointed(p, rc, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := lcg(23)
+	var faults []pipe.Fault
+	for s := uarch.Structure(0); s < uarch.NumStructures; s++ {
+		bits := uarch.Bits(cfg, s)
+		for i := 0; i < 8; i++ {
+			faults = append(faults, pipe.Fault{
+				Structure: s,
+				Bit:       rng.next() % bits,
+				Cycle:     info.WindowStart + int64(rng.next()%uint64(info.Cycles)),
+			})
+		}
+	}
+	// Bucket by nearest valid checkpoint, exactly as the campaign does.
+	buckets := make(map[int][]pipe.Fault)
+	for _, f := range faults {
+		buckets[cks.Nearest(f.Cycle)] = append(buckets[cks.Nearest(f.Cycle)], f)
+	}
+	forked := 0
+	for idx, bucket := range buckets {
+		var ck *pipe.Checkpoint
+		if idx >= 0 {
+			ck = cks.Checkpoints[idx]
+			forked += len(bucket)
+			for _, f := range bucket {
+				if ck.Cycle()+cks.Lead > f.Cycle {
+					t.Fatalf("Nearest violated the lead margin: ck cycle %d + lead %d > fault cycle %d",
+						ck.Cycle(), cks.Lead, f.Cycle)
+				}
+			}
+		}
+		got, err := pool.SimulateFaultsFrom(p, rc, ck, bucket)
+		if err != nil {
+			t.Fatalf("bucket %d: %v", idx, err)
+		}
+		for i, f := range bucket {
+			cold, err := pool.SimulateFault(p, rc, f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got[i] != cold {
+				t.Errorf("%s %+v (ck %d): forked says corrupted=%v, cold says %v",
+					f.Structure, f, idx, got[i], cold)
+			}
+		}
+	}
+	if forked == 0 {
+		t.Fatal("no fault forked from a checkpoint; fixture exercises nothing")
+	}
+}
+
+// TestCheckpointCodecRoundTrip: a checkpoint survives
+// marshal→unmarshal, proven behaviourally — resuming the golden run
+// from the decoded copy reproduces the uninterrupted result bit-exactly
+// (a field-by-field compare would miss semantic drift; this cannot).
+func TestCheckpointCodecRoundTrip(t *testing.T) {
+	cfg, pool, rc, k := checkpointFixture(t)
+	p, _, err := codegen.Generate(cfg, *k, 1<<40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, wantInfo, cks, err := pool.SimulateGoldenCheckpointed(p, rc, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ck := range cks.Checkpoints {
+		blob, err := ck.MarshalBinary()
+		if err != nil {
+			t.Fatalf("marshal checkpoint %d: %v", i, err)
+		}
+		dec, err := pipe.UnmarshalCheckpoint(blob, p)
+		if err != nil {
+			t.Fatalf("unmarshal checkpoint %d: %v", i, err)
+		}
+		if dec.Cycle() != ck.Cycle() {
+			t.Fatalf("checkpoint %d cycle %d decoded as %d", i, ck.Cycle(), dec.Cycle())
+		}
+		got, gotInfo, err := pool.ResumeGolden(dec, rc)
+		if err != nil {
+			t.Fatalf("resume from decoded checkpoint %d: %v", i, err)
+		}
+		if *got != *want || gotInfo != wantInfo {
+			t.Fatalf("decoded checkpoint %d: resumed run drifted", i)
+		}
+	}
+
+	// Error paths: truncation, corruption of the magic, wrong program.
+	blob, err := cks.Checkpoints[0].MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pipe.UnmarshalCheckpoint(blob[:len(blob)/2], p); err == nil {
+		t.Error("truncated blob accepted")
+	}
+	bad := append([]byte(nil), blob...)
+	bad[0] ^= 0xff
+	if _, err := pipe.UnmarshalCheckpoint(bad, p); err == nil {
+		t.Error("corrupted magic accepted")
+	}
+	k2 := *k
+	k2.Seed = 43
+	p2, _, err := codegen.Generate(cfg, k2, 1<<40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pipe.UnmarshalCheckpoint(blob, p2); err == nil {
+		t.Error("checkpoint bound to the wrong program accepted")
+	}
+}
+
+// TestRestoreOntoDirtyPipeline: a pooled pipeline left dirty by a
+// different program is a valid restore target — Restore overwrites
+// every live field without an intervening Reset.
+func TestRestoreOntoDirtyPipeline(t *testing.T) {
+	cfg, pool, rc, k := checkpointFixture(t)
+	p, _, err := codegen.Generate(cfg, *k, 1<<40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2 := *k
+	k2.Seed = 99
+	k2.LoopSize = 40
+	other, _, err := codegen.Generate(cfg, k2, 1<<40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, wantInfo, cks, err := pool.SimulateGoldenCheckpointed(p, rc, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dirty the pool's pipeline with a different program mid-flight, then
+	// resume p's checkpoint on it.
+	if _, err := pool.Simulate(other, rc); err != nil {
+		t.Fatal(err)
+	}
+	ck := cks.Checkpoints[len(cks.Checkpoints)/2]
+	got, gotInfo, err := pool.ResumeGolden(ck, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *want || gotInfo != wantInfo {
+		t.Fatal("resume on a pool dirtied by another program drifted")
+	}
+}
+
+// TestNearestCheckpoint pins the bucketing rule: largest index whose
+// cycle+lead ≤ fault cycle, -1 when none qualifies.
+func TestNearestCheckpoint(t *testing.T) {
+	cycles := []int64{100, 200, 300}
+	const lead = 50
+	cases := []struct {
+		cycle int64
+		want  int
+	}{
+		{0, -1}, {100, -1}, {149, -1},
+		{150, 0}, {249, 0},
+		{250, 1}, {349, 1},
+		{350, 2}, {10_000, 2},
+	}
+	for _, c := range cases {
+		if got := pipe.NearestCheckpoint(cycles, lead, c.cycle); got != c.want {
+			t.Errorf("NearestCheckpoint(%d) = %d, want %d", c.cycle, got, c.want)
+		}
+	}
+	if got := pipe.NearestCheckpoint(nil, lead, 1000); got != -1 {
+		t.Errorf("empty manifest: got %d, want -1", got)
+	}
+}

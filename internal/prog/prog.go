@@ -214,6 +214,31 @@ func (s *Stream) ResetTo(p *Program) {
 // Program returns the underlying program.
 func (s *Stream) Program() *Program { return s.p }
 
+// StreamState is the resumable cursor of a Stream: everything beyond the
+// program itself that determines the remaining dynamic sequence. It is a
+// plain value so pipe checkpoints can capture and serialise it.
+type StreamState struct {
+	InInit bool
+	Idx    int
+	Iter   int64
+	Seq    int64
+}
+
+// State returns the stream's current cursor.
+func (s *Stream) State() StreamState {
+	return StreamState{InInit: s.inInit, Idx: s.idx, Iter: s.iter, Seq: s.seq}
+}
+
+// SetState repositions the stream at a previously captured cursor. The
+// stream must already be bound (via NewStream or ResetTo) to the same
+// program the state was captured from.
+func (s *Stream) SetState(st StreamState) {
+	s.inInit = st.InInit
+	s.idx = st.Idx
+	s.iter = st.Iter
+	s.seq = st.Seq
+}
+
 // Next returns the next dynamic instruction. ok is false once the
 // program's iteration count is exhausted.
 func (s *Stream) Next() (d Dyn, ok bool) {

@@ -50,6 +50,13 @@ type Spec struct {
 	// InjectTrials sizes each Monte Carlo fault-injection campaign of
 	// the parametric faultinject scenario (0 = 1000).
 	InjectTrials int `json:"inject_trials,omitempty"`
+	// CheckpointInterval tunes golden-run checkpoint capture for
+	// fault-injection fork-replay: 0 = automatic, >0 = checkpoint every
+	// that many measured cycles, <0 = disabled (replays start at cycle
+	// zero). A replay-speed knob only — campaign reports are
+	// byte-identical at any setting, so it is deliberately absent from
+	// all result cache keys.
+	CheckpointInterval int64 `json:"checkpoint_interval,omitempty"`
 	// Parallelism bounds each concurrency layer — scheduled jobs, and
 	// each job's simulations — independently (0 = all cores).
 	Parallelism int `json:"parallelism,omitempty"`

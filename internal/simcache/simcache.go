@@ -62,7 +62,18 @@ type Options struct {
 	Dir string
 	// Version overrides EngineVersion (tests only).
 	Version string
+	// BlobCapBytes caps the in-memory blob tier (checkpoints can be
+	// hundreds of KB each, unlike the small trial-outcome blobs). Past
+	// the cap, least-recently-used blobs are evicted from memory —
+	// counted in Stats.Evicted — while their disk entries remain, so an
+	// eviction degrades a future hit from memory to disk, never to a
+	// re-simulation. 0 selects the default (1 GiB); negative = unlimited.
+	BlobCapBytes int64
 }
+
+// defaultBlobCapBytes bounds the in-memory blob tier when the caller
+// does not choose (Options.BlobCapBytes == 0).
+const defaultBlobCapBytes int64 = 1 << 30
 
 // Store is a handle on the two-tier result cache. The zero value is not
 // usable; construct with New. A nil *Store is valid everywhere and
@@ -88,12 +99,19 @@ type state struct {
 	mem    map[Key]*avf.Result
 	flight map[Key]*call
 
-	// The blob tier memoises small opaque byte values under the same
-	// versioned content addressing — fault-injection trial outcomes,
-	// keyed by (golden fingerprint, target). It shares the store's
-	// counters, dedup semantics and disk directory (".bin" entries).
+	// The blob tier memoises opaque byte values under the same versioned
+	// content addressing — fault-injection trial outcomes and replay
+	// checkpoints, keyed by (golden fingerprint, target). It shares the
+	// store's counters, dedup semantics and disk directory (".bin"
+	// entries). The memory side is LRU-bounded by blobCap (0 =
+	// unlimited): blobLRU holds a last-touch tick per resident key and
+	// blobBytes the resident payload total.
 	blobMem    map[Key][]byte
 	blobFlight map[Key]*blobCall
+	blobLRU    map[Key]int64
+	blobTick   int64
+	blobBytes  int64
+	blobCap    int64
 
 	glob counters
 }
@@ -104,6 +122,8 @@ type counters struct {
 	diskHits atomic.Int64
 	sims     atomic.Int64
 	dedups   atomic.Int64
+	misses   atomic.Int64
+	evicted  atomic.Int64
 }
 
 func (c *counters) snapshot() Stats {
@@ -112,6 +132,8 @@ func (c *counters) snapshot() Stats {
 		DiskHits:  c.diskHits.Load(),
 		Simulated: c.sims.Load(),
 		Deduped:   c.dedups.Load(),
+		Misses:    c.misses.Load(),
+		Evicted:   c.evicted.Load(),
 	}
 }
 
@@ -136,12 +158,20 @@ func New(opts Options) *Store {
 	if v == "" {
 		v = EngineVersion
 	}
+	blobCap := opts.BlobCapBytes
+	if blobCap == 0 {
+		blobCap = defaultBlobCapBytes
+	} else if blobCap < 0 {
+		blobCap = 0 // unlimited
+	}
 	st := &state{
 		version:    v,
 		mem:        map[Key]*avf.Result{},
 		flight:     map[Key]*call{},
 		blobMem:    map[Key][]byte{},
 		blobFlight: map[Key]*blobCall{},
+		blobLRU:    map[Key]int64{},
+		blobCap:    blobCap,
 	}
 	if opts.Dir != "" {
 		st.dir = filepath.Join(opts.Dir, v)
@@ -251,6 +281,7 @@ func (s *Store) DoBlob(key Key, compute func() ([]byte, error)) ([]byte, error) 
 	st := s.st
 	st.mu.Lock()
 	if v, ok := st.blobMem[key]; ok {
+		st.touchBlob(key)
 		st.mu.Unlock()
 		st.glob.memHits.Add(1)
 		s.loc.memHits.Add(1)
@@ -284,11 +315,97 @@ func (s *Store) DoBlob(key Key, compute func() ([]byte, error)) ([]byte, error) 
 	st.mu.Lock()
 	delete(st.blobFlight, key)
 	if err == nil {
-		st.blobMem[key] = v
+		st.insertBlob(key, v, &s.loc)
 	}
 	st.mu.Unlock()
 	close(c.done)
 	return v, err
+}
+
+// GetBlob returns the cached blob for key from either tier, or (nil,
+// false) — counted in Stats.Misses — leaving the computation to the
+// caller (pair with PutBlob). Unlike DoBlob it never blocks on an
+// in-flight computation: campaign code uses it for probe-then-batch
+// patterns where a miss changes what gets computed, not just who
+// computes it. Always a miss on a nil store.
+func (s *Store) GetBlob(key Key) ([]byte, bool) {
+	if s == nil {
+		return nil, false
+	}
+	st := s.st
+	st.mu.Lock()
+	if v, ok := st.blobMem[key]; ok {
+		st.touchBlob(key)
+		st.mu.Unlock()
+		st.glob.memHits.Add(1)
+		s.loc.memHits.Add(1)
+		return v, true
+	}
+	st.mu.Unlock()
+	if v, ok := s.loadBlob(key); ok {
+		st.glob.diskHits.Add(1)
+		s.loc.diskHits.Add(1)
+		st.mu.Lock()
+		st.insertBlob(key, v, &s.loc)
+		st.mu.Unlock()
+		return v, true
+	}
+	st.glob.misses.Add(1)
+	s.loc.misses.Add(1)
+	return nil, false
+}
+
+// PutBlob stores a blob computed outside DoBlob in both tiers. The
+// caller must treat v as immutable afterwards (it is shared with every
+// future hit). No-op on a nil store.
+func (s *Store) PutBlob(key Key, v []byte) {
+	if s == nil {
+		return
+	}
+	st := s.st
+	st.mu.Lock()
+	st.insertBlob(key, v, &s.loc)
+	st.mu.Unlock()
+	s.saveBlob(key, v)
+}
+
+// touchBlob marks key most-recently-used. Caller holds mu.
+func (st *state) touchBlob(key Key) {
+	st.blobTick++
+	st.blobLRU[key] = st.blobTick
+}
+
+// insertBlob adds (or replaces) a resident blob, then evicts
+// least-recently-used entries until the memory tier fits the cap again.
+// Evicted entries keep their disk copies, so the worst case of an
+// eviction is a future disk hit. Caller holds mu.
+func (st *state) insertBlob(key Key, v []byte, loc *counters) {
+	if old, ok := st.blobMem[key]; ok {
+		st.blobBytes -= int64(len(old))
+	}
+	st.blobMem[key] = v
+	st.blobBytes += int64(len(v))
+	st.touchBlob(key)
+	if st.blobCap <= 0 {
+		return
+	}
+	for st.blobBytes > st.blobCap && len(st.blobMem) > 1 {
+		var victim Key
+		best := st.blobTick + 1
+		for k, tick := range st.blobLRU {
+			if tick < best {
+				best, victim = tick, k
+			}
+		}
+		if victim == key {
+			break // never evict the entry being inserted
+		}
+		st.blobBytes -= int64(len(st.blobMem[victim]))
+		delete(st.blobMem, victim)
+		delete(st.blobLRU, victim)
+		st.glob.evicted.Add(1)
+		loc.evicted.Add(1)
+	}
 }
 
 func (s *Store) blobPath(key Key) string { return filepath.Join(s.st.dir, key.Hex()+".bin") }
@@ -381,6 +498,11 @@ type Stats struct {
 	DiskHits  int64 `json:"disk_hits"`
 	Simulated int64 `json:"simulated"`
 	Deduped   int64 `json:"deduped"`
+	// Misses counts GetBlob probes that found neither tier populated;
+	// Evicted counts blobs dropped from the memory tier by the
+	// BlobCapBytes LRU cap (their disk entries survive).
+	Misses  int64 `json:"misses,omitempty"`
+	Evicted int64 `json:"evicted,omitempty"`
 }
 
 // Hits is the total traffic served without running a simulation.
@@ -405,8 +527,10 @@ func (s *Store) LocalStats() Stats {
 	return s.loc.snapshot()
 }
 
-// String renders the counters as the one-line "mem=… disk=… sim=… dedup=…" summary the CLIs print.
+// String renders the counters as the one-line "mem=… disk=… sim=… dedup=…"
+// summary the CLIs print. The blob-probe fields are appended (the prefix
+// is load-bearing: scripts anchor on the first four fields).
 func (st Stats) String() string {
-	return fmt.Sprintf("mem=%d disk=%d sim=%d dedup=%d",
-		st.MemHits, st.DiskHits, st.Simulated, st.Deduped)
+	return fmt.Sprintf("mem=%d disk=%d sim=%d dedup=%d miss=%d evict=%d",
+		st.MemHits, st.DiskHits, st.Simulated, st.Deduped, st.Misses, st.Evicted)
 }

@@ -342,3 +342,75 @@ func TestDoBlobSingleflight(t *testing.T) {
 		t.Fatalf("compute ran %d times, want 1 (singleflight)", n)
 	}
 }
+
+func TestGetPutBlob(t *testing.T) {
+	dir := t.TempDir()
+	s := New(Options{Dir: dir})
+	k := s.Key("blob")
+	if _, ok := s.GetBlob(k); ok {
+		t.Fatal("empty store reported a blob hit")
+	}
+	if st := s.Stats(); st.Misses != 1 {
+		t.Errorf("stats %+v, want 1 miss", st)
+	}
+	s.PutBlob(k, []byte("payload"))
+	if v, ok := s.GetBlob(k); !ok || string(v) != "payload" {
+		t.Fatalf("memory tier lost the blob: %q %v", v, ok)
+	}
+	// A fresh store on the same directory serves the blob from disk.
+	s2 := New(Options{Dir: dir})
+	if v, ok := s2.GetBlob(k); !ok || string(v) != "payload" {
+		t.Fatalf("disk tier lost the blob: %q %v", v, ok)
+	}
+	if st := s2.Stats(); st.DiskHits != 1 || st.Misses != 0 {
+		t.Errorf("stats %+v, want 1 disk hit and no misses", st)
+	}
+	// Nil store: always a miss, PutBlob a no-op.
+	var nils *Store
+	nils.PutBlob(k, []byte("x"))
+	if _, ok := nils.GetBlob(k); ok {
+		t.Error("nil store reported a hit")
+	}
+}
+
+func TestBlobCapEvictsLRU(t *testing.T) {
+	dir := t.TempDir()
+	s := New(Options{Dir: dir, BlobCapBytes: 100})
+	pay := make([]byte, 40)
+	ka, kb, kc := s.Key("a"), s.Key("b"), s.Key("c")
+	s.PutBlob(ka, pay)
+	s.PutBlob(kb, pay)
+	// Touch a so b is the least recently used.
+	if _, ok := s.GetBlob(ka); !ok {
+		t.Fatal("a missing before cap hit")
+	}
+	s.PutBlob(kc, pay) // 120 bytes resident -> evict b
+	if st := s.Stats(); st.Evicted != 1 {
+		t.Fatalf("stats %+v, want exactly 1 eviction", st)
+	}
+	if _, ok := s.GetBlob(ka); !ok {
+		t.Error("recently used blob a evicted")
+	}
+	if _, ok := s.GetBlob(kc); !ok {
+		t.Error("just-inserted blob c evicted")
+	}
+	// b fell out of memory but survives on disk: a hit, not a miss.
+	before := s.Stats()
+	if _, ok := s.GetBlob(kb); !ok {
+		t.Fatal("evicted blob lost its disk entry")
+	}
+	if st := s.Stats(); st.DiskHits != before.DiskHits+1 {
+		t.Errorf("stats %+v, want the reload counted as a disk hit", st)
+	}
+}
+
+func TestBlobCapUnlimited(t *testing.T) {
+	s := New(Options{BlobCapBytes: -1})
+	pay := make([]byte, 1<<10)
+	for i := 0; i < 64; i++ {
+		s.PutBlob(s.Key("k", string(rune('a'+i))), pay)
+	}
+	if st := s.Stats(); st.Evicted != 0 {
+		t.Errorf("unlimited cap evicted %d blobs", st.Evicted)
+	}
+}
