@@ -4,7 +4,7 @@ GO ?= go
 # lifetime-engine microbenchmarks.
 BENCH_PKGS = . ./internal/cache
 
-.PHONY: all build vet test race check bench bench-compare bench-smoke cache-smoke serve-smoke docs-check
+.PHONY: all build vet test race check bench bench-compare bench-smoke cache-smoke serve-smoke chaos-smoke docs-check
 
 all: check
 
@@ -17,12 +17,13 @@ vet:
 test:
 	$(GO) test ./...
 
-# race runs the concurrency-heavy tiers (DAG scheduler, job service,
-# experiment orchestration, injection campaigns, and the pipeline/cache
-# snapshot-restore paths that fork-replay shares across workers) under
-# the race detector.
+# race runs the concurrency-heavy tiers (DAG scheduler with its
+# retry/panic-containment paths, job service with journal replay,
+# experiment orchestration, injection campaigns, the simcache/persist
+# quarantine paths, and the pipeline/cache snapshot-restore paths that
+# fork-replay shares across workers) under the race detector.
 race:
-	$(GO) test -race ./internal/sched ./internal/service ./internal/scenario ./internal/experiments ./internal/inject ./internal/pipe ./internal/cache
+	$(GO) test -race ./internal/sched ./internal/service ./internal/scenario ./internal/experiments ./internal/inject ./internal/simcache ./internal/persist ./internal/pipe ./internal/cache
 
 check: vet build test
 
@@ -73,6 +74,14 @@ cache-smoke:
 # contract, end to end over real HTTP.
 serve-smoke:
 	sh scripts/serve_smoke.sh
+
+# chaos-smoke proves the crash-safety contract over a real SIGKILL:
+# a daemon killed mid-campaign and restarted on the same journal+cache
+# resubmits the interrupted job and reproduces its report
+# byte-identically (warm); a flipped byte in a cached entry is
+# quarantined and re-simulated, never a crash or a changed report.
+chaos-smoke:
+	sh scripts/chaos_smoke.sh
 
 # docs-check keeps the documentation honest: gofmt, vet, every example
 # builds, and no README/DESIGN reference points at a repo path that no

@@ -12,6 +12,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"avfstress/internal/avf"
 	"avfstress/internal/codegen"
@@ -20,6 +21,7 @@ import (
 	"avfstress/internal/pipe"
 	"avfstress/internal/prog"
 	"avfstress/internal/scenario"
+	"avfstress/internal/sched"
 	"avfstress/internal/simcache"
 	"avfstress/internal/uarch"
 	"avfstress/internal/workloads"
@@ -55,6 +57,16 @@ type Options struct {
 	Parallelism int
 	// Logf, when set, receives progress lines.
 	Logf func(format string, args ...interface{})
+
+	// Retry bounds scheduler retries of transiently failing jobs
+	// (sched.IsTransient; zero value: no retries). Retries and
+	// deadlines never change results — every job is deterministic and
+	// memoised — only whether and when a run fails.
+	Retry sched.RetryPolicy
+	// OnRetry, when set, observes every scheduler retry decision.
+	OnRetry func(key string, attempt int, err error, backoff time.Duration)
+	// JobTimeout deadlines each scheduled job attempt (0 = none).
+	JobTimeout time.Duration
 
 	// Cache supplies the content-addressed simulation store shared by
 	// every experiment (nil: the context builds its own, with a disk

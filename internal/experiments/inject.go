@@ -110,6 +110,7 @@ func (c *Context) FaultInjection(ctx context.Context, configName, ratesName stri
 				Trials: trials, Seed: c.Opts.Seed,
 				Parallelism: c.Opts.Parallelism, Cache: c.cache,
 				CheckpointInterval: c.Opts.CheckpointInterval,
+				Retry:              c.Opts.Retry,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("experiments: injection campaign %s: %w", name, err)
@@ -127,6 +128,7 @@ func (c *Context) FaultInjection(ctx context.Context, configName, ratesName stri
 			Trials: trials, Seed: c.Opts.Seed,
 			Parallelism: c.Opts.Parallelism, Cache: c.cache,
 			CheckpointInterval: c.Opts.CheckpointInterval,
+			Retry:              c.Opts.Retry,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: injection campaign stressmark: %w", err)

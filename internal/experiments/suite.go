@@ -268,7 +268,12 @@ func (c *Context) runDefs(ctx context.Context, defs []scenario.Definition) ([]st
 			},
 		})
 	}
-	if err := sched.Run(ctx, jobs, sched.Options{Workers: c.workers()}); err != nil {
+	if err := sched.Run(ctx, jobs, sched.Options{
+		Workers:    c.workers(),
+		Retry:      c.Opts.Retry,
+		OnRetry:    c.Opts.OnRetry,
+		JobTimeout: c.Opts.JobTimeout,
+	}); err != nil {
 		return nil, err
 	}
 	return outs, nil

@@ -78,6 +78,10 @@ type Options struct {
 	// cache keys and the rendered report are byte-identical at any
 	// setting.
 	CheckpointInterval int64
+	// Retry bounds scheduler retries of transiently failing trial jobs
+	// (zero value: no retries). Retries change wall-clock only, never
+	// outcomes — trials are deterministic and memoised.
+	Retry sched.RetryPolicy
 }
 
 func (o Options) withDefaults() Options {
@@ -262,6 +266,10 @@ func Run(ctx context.Context, o Options) (*Result, error) {
 	if b, ok := o.Cache.GetBlob(infoKey); ok {
 		if gi, derr := decodeGoldenInfo(b); derr == nil {
 			info, haveInfo = gi, true
+		} else {
+			// The frame validated but the decoder rejects it: discard so
+			// the rebuild below writes a clean entry.
+			o.Cache.DiscardBlob(infoKey)
 		}
 	}
 	golden, err := o.Cache.Do(o.Cache.Key(cfgFP, progFP, rcFP), func() (*avf.Result, error) {
@@ -325,6 +333,11 @@ func Run(ctx context.Context, o Options) (*Result, error) {
 						keys[i] = o.Cache.Key(cfgFP, progFP, rcFP, fmt.Sprintf("ckpts:%d:%d", o.CheckpointInterval, i))
 					}
 					src = &ckptSource{cache: o.Cache, prog: o.Program, keys: keys, decoded: map[int]*pipe.Checkpoint{}}
+				} else {
+					// Undecodable manifest: discard it and run this
+					// campaign without checkpoints (replays from cycle
+					// zero — slower, never wrong).
+					o.Cache.DiscardBlob(manifestKey)
 				}
 			}
 		}
@@ -416,7 +429,14 @@ func Run(ctx context.Context, o Options) (*Result, error) {
 					if err != nil {
 						return err
 					}
-					corrupted := len(b) == 1 && b[0] == 1
+					if len(b) != 1 {
+						// A trial blob must be exactly one byte. Discard
+						// the malformed entry and fail transiently — the
+						// retry recomputes through a now-clean miss.
+						o.Cache.DiscardBlob(trialKey(f))
+						return sched.Transient(fmt.Errorf("inject: trial %s: malformed outcome blob (%d bytes)", f.Fingerprint(), len(b)))
+					}
+					corrupted := b[0] == 1
 					mu.Lock()
 					for _, sl := range slots {
 						outcomes[sl.stratum][sl.idx] = corrupted
@@ -426,7 +446,7 @@ func Run(ctx context.Context, o Options) (*Result, error) {
 				},
 			})
 		}
-		if err := sched.Run(ctx, jobs, sched.Options{Workers: o.Parallelism}); err != nil {
+		if err := sched.Run(ctx, jobs, sched.Options{Workers: o.Parallelism, Retry: o.Retry}); err != nil {
 			return nil, err
 		}
 		return aggregateResult(o, golden, info, bits, alloc, outcomes), nil
@@ -454,6 +474,11 @@ func Run(ctx context.Context, o Options) (*Result, error) {
 					if b, ok := o.Cache.GetBlob(trialKey(f)); ok && len(b) == 1 {
 						corrupted[i] = b[0] == 1
 					} else {
+						if ok {
+							// Present but malformed: quarantine so the
+							// replay below overwrites a clean entry.
+							o.Cache.DiscardBlob(trialKey(f))
+						}
 						missing = append(missing, i)
 					}
 				}
@@ -486,7 +511,7 @@ func Run(ctx context.Context, o Options) (*Result, error) {
 			},
 		})
 	}
-	if err := sched.Run(ctx, jobs, sched.Options{Workers: o.Parallelism}); err != nil {
+	if err := sched.Run(ctx, jobs, sched.Options{Workers: o.Parallelism, Retry: o.Retry}); err != nil {
 		return nil, err
 	}
 	return aggregateResult(o, golden, info, bits, alloc, outcomes), nil

@@ -1,0 +1,112 @@
+package persist
+
+// The CRC frame is the corruption boundary of every on-disk cache
+// entry (DESIGN.md §11): a fixed magic, the payload length and a
+// CRC-32C over the payload, followed by the payload bytes. Readers
+// validate the whole frame before handing a single payload byte to a
+// decoder, so a torn write, a truncated file or an arbitrary bit flip
+// anywhere in the entry surfaces as ErrCorrupt — which internal/simcache
+// turns into quarantine-plus-miss, never a wrong result.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// frameMagic opens every framed entry. Any change to the frame layout
+// must change the magic (readers treat unknown layouts as corrupt).
+var frameMagic = [8]byte{'A', 'V', 'F', 'C', 'R', 'C', '0', '1'}
+
+// frameHeaderSize is magic + uint64 payload length + uint32 CRC-32C.
+const frameHeaderSize = 8 + 8 + 4
+
+// castagnoli is the CRC-32C table shared by all frame operations.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorrupt reports a framed entry that failed validation: missing or
+// unknown magic, an impossible length, a checksum mismatch, or trailing
+// garbage. Callers should treat the entry as absent (and quarantine the
+// file), never as data.
+var ErrCorrupt = errors.New("persist: corrupt framed entry")
+
+// EncodeFramed wraps payload in the CRC frame.
+func EncodeFramed(payload []byte) []byte {
+	out := make([]byte, frameHeaderSize+len(payload))
+	copy(out, frameMagic[:])
+	binary.LittleEndian.PutUint64(out[8:], uint64(len(payload)))
+	binary.LittleEndian.PutUint32(out[16:], crc32.Checksum(payload, castagnoli))
+	copy(out[frameHeaderSize:], payload)
+	return out
+}
+
+// DecodeFramed validates the frame and returns the payload (aliasing
+// b's memory). Every failure mode — short input, wrong magic, length
+// mismatch, checksum mismatch — returns an error wrapping ErrCorrupt.
+func DecodeFramed(b []byte) ([]byte, error) {
+	if len(b) < frameHeaderSize {
+		return nil, fmt.Errorf("%w: %d bytes, want at least %d", ErrCorrupt, len(b), frameHeaderSize)
+	}
+	if [8]byte(b[:8]) != frameMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	n := binary.LittleEndian.Uint64(b[8:])
+	if n != uint64(len(b)-frameHeaderSize) {
+		return nil, fmt.Errorf("%w: payload length %d, have %d bytes", ErrCorrupt, n, len(b)-frameHeaderSize)
+	}
+	payload := b[frameHeaderSize:]
+	if got, want := crc32.Checksum(payload, castagnoli), binary.LittleEndian.Uint32(b[16:]); got != want {
+		return nil, fmt.Errorf("%w: checksum %08x, want %08x", ErrCorrupt, got, want)
+	}
+	return payload, nil
+}
+
+// WriteFileAtomic writes data to path via a temp file in the same
+// directory plus rename, so concurrent readers (and a crash at any
+// instant) observe either the old entry or the complete new one, never
+// a partial write — the atomic-write discipline every durable artefact
+// in this repository shares.
+func WriteFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	name := tmp.Name()
+	_, werr := tmp.Write(data)
+	if serr := tmp.Sync(); werr == nil {
+		werr = serr
+	}
+	if cerr := tmp.Close(); werr != nil || cerr != nil {
+		os.Remove(name)
+		if werr == nil {
+			werr = cerr
+		}
+		return fmt.Errorf("persist: %w", werr)
+	}
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("persist: %w", err)
+	}
+	return nil
+}
+
+// WriteFramedFile atomically writes payload to path inside the CRC
+// frame.
+func WriteFramedFile(path string, payload []byte) error {
+	return WriteFileAtomic(path, EncodeFramed(payload))
+}
+
+// ReadFramedFile reads path and validates its frame, returning the
+// payload. Read errors pass through; validation failures wrap
+// ErrCorrupt.
+func ReadFramedFile(path string) ([]byte, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeFramed(b)
+}

@@ -1,0 +1,118 @@
+package persist
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestFramedRoundTrip(t *testing.T) {
+	for _, payload := range [][]byte{nil, {}, {0}, []byte("hello"), bytes.Repeat([]byte{0xA5}, 4096)} {
+		enc := EncodeFramed(payload)
+		got, err := DecodeFramed(enc)
+		if err != nil {
+			t.Fatalf("decode(%d bytes): %v", len(payload), err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("round trip lost data: %d bytes in, %d out", len(payload), len(got))
+		}
+	}
+}
+
+// TestFramedEveryBitFlipIsCorrupt: flipping any single bit anywhere in
+// a framed entry — magic, length, checksum or payload — must fail
+// validation with ErrCorrupt. This is the property the simcache
+// quarantine tier relies on.
+func TestFramedEveryBitFlipIsCorrupt(t *testing.T) {
+	enc := EncodeFramed([]byte("the golden run's replay facts"))
+	for i := 0; i < len(enc)*8; i++ {
+		mut := append([]byte(nil), enc...)
+		mut[i/8] ^= 1 << (i % 8)
+		if _, err := DecodeFramed(mut); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("bit flip at %d accepted (err=%v)", i, err)
+		}
+	}
+}
+
+func TestFramedTruncationAndGarbage(t *testing.T) {
+	enc := EncodeFramed([]byte("payload"))
+	for _, mut := range [][]byte{
+		enc[:0], enc[:5], enc[:frameHeaderSize-1], enc[:len(enc)-1],
+		append(append([]byte(nil), enc...), 'x'),
+		[]byte("not a frame at all"),
+	} {
+		if _, err := DecodeFramed(mut); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("%d-byte mutation accepted (err=%v)", len(mut), err)
+		}
+	}
+}
+
+func TestFramedFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "entry.bin")
+	if err := WriteFramedFile(path, []byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFramedFile(path)
+	if err != nil || string(got) != "abc" {
+		t.Fatalf("read back %q, %v", got, err)
+	}
+	// A missing file is a plain read error, not corruption.
+	if _, err := ReadFramedFile(filepath.Join(t.TempDir(), "absent")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("missing file: %v", err)
+	}
+	// Truncating the file on disk surfaces as ErrCorrupt.
+	if err := os.Truncate(path, 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFramedFile(path); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("truncated file: %v", err)
+	}
+}
+
+func TestWriteFileAtomicLeavesNoTemp(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out")
+	if err := WriteFileAtomic(path, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileAtomic(path, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil || string(b) != "v2" {
+		t.Fatalf("read back %q, %v", b, err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("temp files left behind: %v", ents)
+	}
+}
+
+// FuzzDecodeFramed: arbitrary bytes must never panic, and anything the
+// decoder accepts must re-encode to the identical entry (the frame is
+// canonical).
+func FuzzDecodeFramed(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(EncodeFramed(nil))
+	f.Add(EncodeFramed([]byte("seed payload")))
+	enc := EncodeFramed([]byte("flip me"))
+	enc[len(enc)-1] ^= 0x40
+	f.Add(enc)
+	f.Fuzz(func(t *testing.T, b []byte) {
+		payload, err := DecodeFramed(b)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("non-ErrCorrupt failure: %v", err)
+			}
+			return
+		}
+		if !bytes.Equal(EncodeFramed(payload), b) {
+			t.Fatalf("accepted non-canonical frame (%d bytes)", len(b))
+		}
+	})
+}

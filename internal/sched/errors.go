@@ -1,0 +1,105 @@
+package sched
+
+// Error classification (DESIGN.md §11): every job failure is either
+// transient — worth retrying under the run's RetryPolicy — or
+// permanent. The default is permanent: simulations in this repository
+// are deterministic pure functions, so an unclassified failure would
+// fail identically on every retry. Code that hits genuinely transient
+// conditions (disk I/O, a blob a decoder rejected and discarded, an
+// exceeded per-job deadline) marks the error with Transient, and the
+// scheduler's retry loop consults IsTransient.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// transientError marks a failure as retryable.
+type transientError struct{ err error }
+
+func (e *transientError) Error() string { return e.err.Error() }
+func (e *transientError) Unwrap() error { return e.err }
+
+// Transient marks err as retryable under the scheduler's RetryPolicy.
+// A nil err stays nil. Context cancellation is never retryable, even
+// wrapped: cancellation means the run is over.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientError{err: err}
+}
+
+// IsTransient reports whether err is marked retryable anywhere in its
+// chain. Cancellation of the surrounding run always wins: an error
+// carrying context.Canceled or context.DeadlineExceeded is not
+// transient regardless of marks.
+func IsTransient(err error) bool {
+	if err == nil || isCancellation(err) {
+		return false
+	}
+	var te *transientError
+	if errors.As(err, &te) {
+		return true
+	}
+	var de *DeadlineError
+	return errors.As(err, &de)
+}
+
+// PanicError is a panic captured inside a scheduled job: the job fails
+// with the panic value and stack, the process — and every other job —
+// keeps running. Panics are permanent: a deterministic job panics
+// identically on every retry.
+type PanicError struct {
+	// Key identifies the job (possibly elided; keys are dedup
+	// identities and can be fingerprint blobs).
+	Key string
+	// Value is the recovered panic value.
+	Value interface{}
+	// Stack is the goroutine stack at recovery time.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("sched: job %s panicked: %v\n%s", elideKey(e.Key), e.Value, e.Stack)
+}
+
+// DeadlineError reports a job that exceeded the run's per-job deadline
+// (Options.JobTimeout). It is deliberately distinct from
+// context.DeadlineExceeded — a job deadline fails that job (and is
+// transient: slow I/O may clear), it does not mean the caller's request
+// timed out.
+type DeadlineError struct {
+	Key     string
+	Timeout time.Duration
+}
+
+func (e *DeadlineError) Error() string {
+	return fmt.Sprintf("sched: job %s exceeded its %v deadline", elideKey(e.Key), e.Timeout)
+}
+
+// isCancellation reports whether err carries the surrounding context's
+// cancellation.
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// elideKey trims job keys for error messages: keys are dedup
+// identities, often containing NUL-separated fingerprint blobs, not
+// display strings.
+func elideKey(key string) string {
+	clean := make([]rune, 0, len(key))
+	for _, r := range key {
+		if r == 0 {
+			r = '·'
+		}
+		clean = append(clean, r)
+	}
+	const max = 48
+	if len(clean) > max {
+		return fmt.Sprintf("%q…", string(clean[:max]))
+	}
+	return fmt.Sprintf("%q", string(clean))
+}

@@ -12,17 +12,64 @@
 // content-addressed (internal/simcache), a cancelled run leaves only
 // complete, valid entries behind — re-running after a cancellation
 // resumes from what finished.
+//
+// Faults are contained per job (DESIGN.md §11): a panicking job fails
+// with a *PanicError carrying its stack — never the process; transient
+// failures (IsTransient) retry with exponential backoff and jitter
+// under Options.Retry; and Options.JobTimeout deadlines each attempt,
+// failing runaway jobs with a *DeadlineError instead of hanging the
+// run.
 package sched
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"math/rand/v2"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 
 	"avfstress/internal/scenario"
 )
+
+// RetryPolicy bounds the scheduler's handling of transient job
+// failures (IsTransient): exponential backoff with full jitter,
+// capped. The zero value disables retries.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts per job, including
+	// the first (0 or 1 = no retries).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry (default 50ms
+	// when retries are enabled); attempt n waits BaseDelay·2^(n-1)
+	// plus up to 50% jitter, capped at MaxDelay.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff (default 5s).
+	MaxDelay time.Duration
+}
+
+// backoff computes the wait before retry number retry (1-based).
+func (p RetryPolicy) backoff(retry int) time.Duration {
+	base := p.BaseDelay
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	maxd := p.MaxDelay
+	if maxd <= 0 {
+		maxd = 5 * time.Second
+	}
+	d := base
+	for i := 1; i < retry && d < maxd; i++ {
+		d *= 2
+	}
+	if d > maxd {
+		d = maxd
+	}
+	// Full 0–50% jitter decorrelates retries across workers hammering
+	// one recovering resource (a shared cache disk).
+	return d + time.Duration(rand.Int64N(int64(d)/2+1))
+}
 
 // Options configures one Run.
 type Options struct {
@@ -31,6 +78,19 @@ type Options struct {
 	// OnDone, when set, observes every job completion (progress
 	// streams). It may be called from multiple goroutines.
 	OnDone func(key string, d time.Duration, err error)
+	// Retry bounds retries of transiently failing jobs (zero value:
+	// no retries). Permanent failures — the default classification —
+	// fail the run on the first attempt.
+	Retry RetryPolicy
+	// OnRetry, when set, observes every retry decision (job key,
+	// attempt number that failed, its error, and the backoff chosen).
+	// It may be called from multiple goroutines.
+	OnRetry func(key string, attempt int, err error, backoff time.Duration)
+	// JobTimeout deadlines each job attempt (0 = none). An expired
+	// attempt fails with a transient *DeadlineError — retried under
+	// Retry, then failing only that job, never masquerading as a
+	// cancellation of the whole run.
+	JobTimeout time.Duration
 }
 
 // node is one deduplicated job in the DAG.
@@ -82,10 +142,7 @@ func Run(ctx context.Context, jobs []scenario.Job, opts Options) error {
 		defer wg.Done()
 		sem <- struct{}{}
 		start := time.Now()
-		err := cctx.Err()
-		if err == nil && n.run != nil {
-			err = n.run(cctx)
-		}
+		err := runAttempts(cctx, n, opts)
 		<-sem
 		if err != nil {
 			// Job errors are propagated as-is: keys are dedup
@@ -134,6 +191,64 @@ func Run(ctx context.Context, jobs []scenario.Job, opts Options) error {
 		return err
 	}
 	return ctx.Err()
+}
+
+// runAttempts executes one job under the run's fault-containment
+// policy: each attempt is panic-recovered and deadline-bounded, and
+// transient failures retry with backoff up to Retry.MaxAttempts. The
+// surrounding run's cancellation always ends the loop immediately.
+func runAttempts(ctx context.Context, n *node, opts Options) error {
+	attempts := opts.Retry.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	for attempt := 1; ; attempt++ {
+		err := runOnce(ctx, n, opts.JobTimeout)
+		if err == nil || attempt >= attempts || !IsTransient(err) || ctx.Err() != nil {
+			return err
+		}
+		delay := opts.Retry.backoff(attempt)
+		if opts.OnRetry != nil {
+			opts.OnRetry(n.key, attempt, err, delay)
+		}
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return err
+		}
+	}
+}
+
+// runOnce is a single panic-contained, deadline-bounded job attempt. A
+// panicking job fails with a *PanicError carrying its stack — the
+// worker goroutine (and the process) survives. An attempt that exceeds
+// timeout while the surrounding run is still live fails with a
+// *DeadlineError instead of a bare context.DeadlineExceeded, so a slow
+// job cannot impersonate a caller timeout.
+func runOnce(ctx context.Context, n *node, timeout time.Duration) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Key: n.key, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if n.run == nil {
+		return nil
+	}
+	jctx := ctx
+	var cancel context.CancelFunc
+	if timeout > 0 {
+		jctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	err = n.run(jctx)
+	if timeout > 0 && err != nil && errors.Is(err, context.DeadlineExceeded) &&
+		jctx.Err() == context.DeadlineExceeded && ctx.Err() == nil {
+		err = &DeadlineError{Key: n.key, Timeout: timeout}
+	}
+	return err
 }
 
 // build deduplicates jobs by Key, wires the dependency edges and

@@ -1,0 +1,159 @@
+package service
+
+// Unit tests for the journal container itself: CRC framing, torn-tail
+// tolerance, corrupt-line skipping and compaction (DESIGN.md §11).
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"avfstress/internal/scenario"
+)
+
+func journalPath(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "jobs.journal")
+}
+
+func submitRec(id string) journalRecord {
+	return journalRecord{
+		Op: journalOpSubmit, ID: id,
+		Spec: &scenario.Spec{Scenarios: []string{"table1"}},
+		Time: time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC),
+	}
+}
+
+func endRec(id string, st Status) journalRecord {
+	return journalRecord{Op: journalOpEnd, ID: id, Status: st,
+		Time: time.Date(2026, 8, 8, 12, 1, 0, 0, time.UTC)}
+}
+
+func TestJournalLineEveryByteFlipDetected(t *testing.T) {
+	line, err := encodeJournalLine(submitRec("job-1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := decodeJournalLine(strings.TrimSuffix(string(line), "\n")); err != nil {
+		t.Fatalf("pristine line rejected: %v", err)
+	}
+	for i := 0; i < len(line)-1; i++ { // skip the trailing newline
+		for bit := 0; bit < 8; bit++ {
+			mut := append([]byte(nil), line...)
+			mut[i] ^= 1 << bit
+			s := strings.TrimSuffix(string(mut), "\n")
+			if _, err := decodeJournalLine(s); err == nil {
+				t.Fatalf("flip byte %d bit %d accepted: %q", i, bit, s)
+			}
+		}
+	}
+}
+
+func TestJournalTornTailAndCorruptMiddle(t *testing.T) {
+	path := journalPath(t)
+	l1, _ := encodeJournalLine(submitRec("job-1"))
+	l2, _ := encodeJournalLine(endRec("job-1", StatusDone))
+	l3, _ := encodeJournalLine(submitRec("job-2"))
+
+	// Corrupt the middle line, tear the final one mid-write.
+	bad := append([]byte(nil), l2...)
+	bad[len(bad)/2] ^= 0x40
+	var file []byte
+	file = append(file, l1...)
+	file = append(file, bad...)
+	file = append(file, l3[:len(l3)-5]...)
+	if err := os.WriteFile(path, file, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	jl, recs, err := openJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jl.close()
+	if len(recs) != 1 || recs[0].ID != "job-1" || recs[0].Op != journalOpSubmit {
+		t.Fatalf("surviving records %+v, want just job-1 submit", recs)
+	}
+	if _, corrupt, _ := jl.health(); corrupt != 2 {
+		t.Errorf("corrupt lines %d, want 2", corrupt)
+	}
+}
+
+func TestJournalAppendReloadCompact(t *testing.T) {
+	path := journalPath(t)
+	jl, recs, err := openJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("fresh journal has %d records", len(recs))
+	}
+	for _, rec := range []journalRecord{
+		submitRec("job-1"), submitRec("job-2"), endRec("job-1", StatusDone),
+	} {
+		if err := jl.append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	jl.close()
+
+	jl2, recs, err := openJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("reloaded %d records, want 3", len(recs))
+	}
+	if recs[0].ID != "job-1" || recs[1].ID != "job-2" || recs[2].Status != StatusDone {
+		t.Errorf("records out of order or lossy: %+v", recs)
+	}
+	if recs[0].Spec == nil || len(recs[0].Spec.Scenarios) != 1 {
+		t.Errorf("spec did not round-trip: %+v", recs[0].Spec)
+	}
+
+	// Compaction rewrites atomically and appends keep working after.
+	if err := jl2.rewrite([]journalRecord{submitRec("job-2")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := jl2.append(endRec("job-2", StatusFailed)); err != nil {
+		t.Fatal(err)
+	}
+	jl2.close()
+	_, recs, err = openJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].ID != "job-2" || recs[1].Status != StatusFailed {
+		t.Errorf("post-compaction records %+v", recs)
+	}
+	// No temp files left behind by compaction.
+	entries, _ := os.ReadDir(filepath.Dir(path))
+	for _, e := range entries {
+		if e.Name() != filepath.Base(path) {
+			t.Errorf("stray file after compaction: %s", e.Name())
+		}
+	}
+}
+
+func TestJournalClosedAppendsAreNoOps(t *testing.T) {
+	path := journalPath(t)
+	jl, _, err := openJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jl.close()
+	if err := jl.append(submitRec("job-1")); err != nil {
+		t.Fatalf("append after close errored: %v", err)
+	}
+	if data, _ := os.ReadFile(path); len(data) != 0 {
+		t.Errorf("closed journal grew: %q", data)
+	}
+	// nil journal (journalling disabled) is inert too.
+	var nilJl *journal
+	if err := nilJl.append(submitRec("x")); err != nil {
+		t.Errorf("nil journal append: %v", err)
+	}
+	nilJl.close()
+}

@@ -15,7 +15,10 @@ import (
 // cache attribution) and returns it with its HTTP front end.
 func testServer(t *testing.T) (*Server, *httptest.Server) {
 	t.Helper()
-	srv := New(Options{MaxJobs: 1, Parallelism: 1})
+	srv, err := New(Options{MaxJobs: 1, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	hs := httptest.NewServer(srv)
 	t.Cleanup(hs.Close)
 	return srv, hs
@@ -315,7 +318,10 @@ func TestShutdownDrains(t *testing.T) {
 // TestHistoryEviction: MaxHistory bounds retained jobs; the oldest
 // terminal jobs are evicted, running jobs never are.
 func TestHistoryEviction(t *testing.T) {
-	srv := New(Options{MaxJobs: 1, MaxHistory: 2})
+	srv, err := New(Options{MaxJobs: 1, MaxHistory: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	hs := httptest.NewServer(srv)
 	defer hs.Close()
 	var ids []string

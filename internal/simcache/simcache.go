@@ -11,8 +11,12 @@
 //   - an in-memory map, shared by every experiment and GA search in the
 //     process (duplicate genomes across generations, the 33-workload
 //     suite shared by Figures 3/4/6/7, Table III, ...);
-//   - an optional on-disk tier (one JSON file per key, written via
-//     internal/persist), shared across processes and runs.
+//   - an optional on-disk tier (one CRC-framed file per key, written
+//     atomically via internal/persist), shared across processes and
+//     runs. Reads validate the frame before decoding: a torn, truncated
+//     or bit-flipped entry is quarantined to <dir>/quarantine/ and
+//     served as a miss — corruption costs a re-simulation, never a
+//     crash and never a wrong result (DESIGN.md §11).
 //
 // Concurrent requests for the same key are deduplicated (singleflight):
 // the first caller simulates, the rest wait and share the result.
@@ -28,6 +32,8 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
+	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -118,22 +124,24 @@ type state struct {
 
 // counters is one set of traffic counters.
 type counters struct {
-	memHits  atomic.Int64
-	diskHits atomic.Int64
-	sims     atomic.Int64
-	dedups   atomic.Int64
-	misses   atomic.Int64
-	evicted  atomic.Int64
+	memHits     atomic.Int64
+	diskHits    atomic.Int64
+	sims        atomic.Int64
+	dedups      atomic.Int64
+	misses      atomic.Int64
+	evicted     atomic.Int64
+	quarantined atomic.Int64
 }
 
 func (c *counters) snapshot() Stats {
 	return Stats{
-		MemHits:   c.memHits.Load(),
-		DiskHits:  c.diskHits.Load(),
-		Simulated: c.sims.Load(),
-		Deduped:   c.dedups.Load(),
-		Misses:    c.misses.Load(),
-		Evicted:   c.evicted.Load(),
+		MemHits:     c.memHits.Load(),
+		DiskHits:    c.diskHits.Load(),
+		Simulated:   c.sims.Load(),
+		Deduped:     c.dedups.Load(),
+		Misses:      c.misses.Load(),
+		Evicted:     c.evicted.Load(),
+		Quarantined: c.quarantined.Load(),
 	}
 }
 
@@ -410,83 +418,134 @@ func (st *state) insertBlob(key Key, v []byte, loc *counters) {
 
 func (s *Store) blobPath(key Key) string { return filepath.Join(s.st.dir, key.Hex()+".bin") }
 
+// QuarantineDirName is the subdirectory of the disk tier's version
+// directory that corrupt entries are moved into.
+const QuarantineDirName = "quarantine"
+
+// quarantine moves a corrupt disk entry out of the live tier into
+// <dir>/quarantine/ (preserving the bytes for post-mortem) and counts
+// it. If the move fails the entry is deleted instead — a corrupt entry
+// must never be offered to a future read. Best-effort, like every disk
+// operation in the store.
+func (s *Store) quarantine(path string) {
+	qdir := filepath.Join(s.st.dir, QuarantineDirName)
+	if err := os.MkdirAll(qdir, 0o755); err != nil || os.Rename(path, filepath.Join(qdir, filepath.Base(path))) != nil {
+		os.Remove(path)
+	}
+	s.st.glob.quarantined.Add(1)
+	s.loc.quarantined.Add(1)
+}
+
+// readEntry reads one CRC-framed disk entry and returns its payload.
+// A missing (or unreadable) file is a plain miss; an entry that fails
+// frame validation — torn write, truncation, any flipped bit, or a
+// pre-frame legacy entry — is quarantined and reported as a miss, so
+// corruption costs a re-computation, never a crash or a wrong result.
+func (s *Store) readEntry(path string) ([]byte, bool) {
+	payload, err := persist.ReadFramedFile(path)
+	if err == nil {
+		return payload, true
+	}
+	if errors.Is(err, persist.ErrCorrupt) {
+		s.quarantine(path)
+	}
+	return nil, false
+}
+
+// writeEntry frames and atomically writes one disk entry, best-effort:
+// write failures degrade to memory-only caching.
+func (s *Store) writeEntry(path string, payload []byte) {
+	if err := os.MkdirAll(s.st.dir, 0o755); err != nil {
+		return
+	}
+	_ = persist.WriteFramedFile(path, payload)
+}
+
 // loadBlob returns the disk tier's blob for key; unreadable entries are
-// misses (an empty blob is a valid entry, hence the ok bool).
+// misses (an empty blob is a valid entry, hence the ok bool) and
+// corrupt entries are quarantined misses.
 func (s *Store) loadBlob(key Key) ([]byte, bool) {
 	if s.st.dir == "" {
 		return nil, false
 	}
-	v, err := os.ReadFile(s.blobPath(key))
-	if err != nil {
-		return nil, false
-	}
-	return v, true
+	return s.readEntry(s.blobPath(key))
 }
 
-// saveBlob writes the blob atomically (temp file + rename), best-effort
-// like saveDisk.
+// saveBlob writes the blob as a framed entry, best-effort like saveDisk.
 func (s *Store) saveBlob(key Key, v []byte) {
 	if s.st.dir == "" {
 		return
 	}
-	if err := os.MkdirAll(s.st.dir, 0o755); err != nil {
+	s.writeEntry(s.blobPath(key), v)
+}
+
+// DiscardBlob removes key from the blob tier: the memory entry is
+// dropped and the disk entry quarantined. It is the caller-side half of
+// the corruption contract — when a decoder rejects a blob the store's
+// checksum accepted (a stale or truncated-by-an-old-writer payload),
+// discarding it turns the next read into a clean miss instead of a
+// repeating decode failure. No-op on a nil store.
+func (s *Store) DiscardBlob(key Key) {
+	if s == nil {
 		return
 	}
-	tmp, err := os.CreateTemp(s.st.dir, key.Hex()+".tmp*")
-	if err != nil {
+	st := s.st
+	st.mu.Lock()
+	if old, ok := st.blobMem[key]; ok {
+		st.blobBytes -= int64(len(old))
+		delete(st.blobMem, key)
+		delete(st.blobLRU, key)
+	}
+	st.mu.Unlock()
+	if st.dir == "" {
 		return
 	}
-	name := tmp.Name()
-	_, werr := tmp.Write(v)
-	if cerr := tmp.Close(); werr != nil || cerr != nil {
-		os.Remove(name)
-		return
-	}
-	if err := os.Rename(name, s.blobPath(key)); err != nil {
-		os.Remove(name)
+	path := s.blobPath(key)
+	if _, err := os.Stat(path); err == nil {
+		s.quarantine(path)
 	}
 }
 
 func (s *Store) path(key Key) string { return filepath.Join(s.st.dir, key.Hex()+".json") }
 
-// loadDisk returns the disk tier's entry for key, or nil. Unreadable or
-// corrupt entries are treated as misses (the re-simulated result
-// overwrites them).
+// loadDisk returns the disk tier's entry for key, or nil. A missing
+// file is a miss; an entry failing frame validation or JSON decode is
+// quarantined and treated as a miss (the re-simulated result writes a
+// fresh entry).
 func (s *Store) loadDisk(key Key) *avf.Result {
 	if s.st.dir == "" {
 		return nil
 	}
-	r, err := persist.LoadResult(s.path(key))
-	if err != nil {
+	path := s.path(key)
+	payload, ok := s.readEntry(path)
+	if !ok {
+		return nil
+	}
+	r := &avf.Result{}
+	if err := json.Unmarshal(payload, r); err != nil {
+		// The frame validated but the payload does not decode — a
+		// writer-side bug or an entry from a divergent build. Same
+		// treatment: out of the live tier, miss, re-simulate.
+		s.quarantine(path)
 		return nil
 	}
 	return r
 }
 
-// saveDisk writes the entry atomically (temp file + rename), so
-// concurrent processes sharing one cache directory never observe partial
-// writes — and since entries are content-addressed, a lost race
-// overwrites identical bytes. The disk tier is best-effort: write
-// failures degrade to memory-only caching.
+// saveDisk writes the entry atomically (temp file + rename, CRC-framed
+// JSON payload), so concurrent processes sharing one cache directory
+// never observe partial writes — and since entries are content-
+// addressed, a lost race overwrites identical bytes. The disk tier is
+// best-effort: write failures degrade to memory-only caching.
 func (s *Store) saveDisk(key Key, r *avf.Result) {
 	if s.st.dir == "" {
 		return
 	}
-	if err := os.MkdirAll(s.st.dir, 0o755); err != nil {
-		return
-	}
-	tmp, err := os.CreateTemp(s.st.dir, key.Hex()+".tmp*")
+	payload, err := json.Marshal(r)
 	if err != nil {
 		return
 	}
-	tmp.Close()
-	if err := persist.SaveResult(tmp.Name(), r); err != nil {
-		os.Remove(tmp.Name())
-		return
-	}
-	if err := os.Rename(tmp.Name(), s.path(key)); err != nil {
-		os.Remove(tmp.Name())
-	}
+	s.writeEntry(s.path(key), payload)
 }
 
 // Stats is a snapshot of a set of traffic counters.
@@ -503,6 +562,10 @@ type Stats struct {
 	// BlobCapBytes LRU cap (their disk entries survive).
 	Misses  int64 `json:"misses,omitempty"`
 	Evicted int64 `json:"evicted,omitempty"`
+	// Quarantined counts disk entries that failed frame validation or
+	// decode and were moved to the quarantine directory (each one costs
+	// a re-computation, never a wrong result — DESIGN.md §11).
+	Quarantined int64 `json:"quarantined,omitempty"`
 }
 
 // Hits is the total traffic served without running a simulation.
@@ -528,9 +591,10 @@ func (s *Store) LocalStats() Stats {
 }
 
 // String renders the counters as the one-line "mem=… disk=… sim=… dedup=…"
-// summary the CLIs print. The blob-probe fields are appended (the prefix
-// is load-bearing: scripts anchor on the first four fields).
+// summary the CLIs print. The blob-probe and quarantine fields are
+// appended (the prefix is load-bearing: scripts anchor on the first
+// four fields).
 func (st Stats) String() string {
-	return fmt.Sprintf("mem=%d disk=%d sim=%d dedup=%d miss=%d evict=%d",
-		st.MemHits, st.DiskHits, st.Simulated, st.Deduped, st.Misses, st.Evicted)
+	return fmt.Sprintf("mem=%d disk=%d sim=%d dedup=%d miss=%d evict=%d quar=%d",
+		st.MemHits, st.DiskHits, st.Simulated, st.Deduped, st.Misses, st.Evicted, st.Quarantined)
 }

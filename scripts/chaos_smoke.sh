@@ -1,0 +1,149 @@
+#!/bin/sh
+# chaos_smoke proves the daemon's crash-safety contract end to end
+# (DESIGN.md §11), across three daemon lives on one journal + cache:
+#
+#  1. Baseline: an uninterrupted run of the spec; its report is the
+#     byte-exact reference.
+#  2. Crash: the same spec on fresh state, SIGKILLed mid-campaign once
+#     at least one result is durably cached. The restarted daemon must
+#     resubmit the journalled job and reproduce the baseline report
+#     byte-identically — warm, with cache hits from the first life.
+#  3. Corruption: a byte of a cached result is flipped on disk. The
+#     next run must quarantine the damaged entry, re-simulate, and
+#     still render the baseline report byte-identically.
+set -eu
+
+DIR=${CHAOS_SMOKE_DIR:-$PWD/.chaos-smoke}
+ADDR=${CHAOS_SMOKE_ADDR:-127.0.0.1:18735}
+BASE="http://$ADDR"
+SPEC='{"scenarios":["fig3"],"mode":"reference","workload_instr":100000,"workload_warmup":20000}'
+
+rm -rf "$DIR"
+mkdir -p "$DIR"
+go build -o "$DIR/avfstressd" ./cmd/avfstressd
+
+PID=
+start_daemon() { # $1 = state dir, $2 = log tag
+    "$DIR/avfstressd" -addr "$ADDR" -cache-dir "$1/cache" -journal "$1/jobs.journal" \
+        -max-jobs 1 >>"$DIR/$2.log" 2>&1 &
+    PID=$!
+    i=0
+    until curl -fsS "$BASE/healthz" >/dev/null 2>&1; do
+        i=$((i + 1))
+        if [ "$i" -ge 100 ]; then
+            echo "chaos-smoke: daemon ($2) never became healthy" >&2
+            cat "$DIR/$2.log" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+}
+stop_daemon() { # graceful
+    kill "$PID" 2>/dev/null || true
+    wait "$PID" 2>/dev/null || true
+    PID=
+}
+cleanup() { [ -n "$PID" ] && kill -9 "$PID" 2>/dev/null || true; }
+trap cleanup EXIT
+
+submit() { curl -fsS -X POST -d "$SPEC" "$BASE/v1/jobs" | grep -o '"id": *"job-[0-9]*"' | head -1 | grep -o 'job-[0-9]*'; }
+job_status() { curl -fsS "$BASE/v1/jobs/$1" | grep -o '"status": *"[a-z]*"' | head -1 | cut -d'"' -f4; }
+field() { curl -fsS "$BASE/v1/results/$1" | grep -o "\"$2\": *[0-9]*" | head -1 | grep -o '[0-9]*$'; }
+
+wait_done() {
+    i=0
+    while :; do
+        st=$(job_status "$1")
+        case "$st" in
+        done) return 0 ;;
+        failed | canceled)
+            echo "chaos-smoke: job $1 ended $st" >&2
+            curl -fsS "$BASE/v1/jobs/$1" >&2 || true
+            exit 1
+            ;;
+        esac
+        i=$((i + 1))
+        if [ "$i" -ge 1200 ]; then
+            echo "chaos-smoke: job $1 never finished" >&2
+            exit 1
+        fi
+        sleep 0.2
+    done
+}
+
+# --- Life 0: the uninterrupted baseline -----------------------------
+start_daemon "$DIR/base" base
+idb=$(submit)
+wait_done "$idb"
+curl -fsS "$BASE/v1/results/$idb?format=text" >"$DIR/base_report.txt"
+stop_daemon
+echo "chaos-smoke: baseline $idb done ($(wc -c <"$DIR/base_report.txt") report bytes)"
+
+# --- Life 1: SIGKILL mid-campaign -----------------------------------
+start_daemon "$DIR/chaos" chaos
+idc=$(submit)
+# Wait until at least one simulation result is durably cached, so the
+# recovered run is provably warm — then kill without warning.
+i=0
+until find "$DIR/chaos/cache" -name '*.json' -type f 2>/dev/null | grep -q .; do
+    if [ "$(job_status "$idc")" = done ]; then
+        echo "chaos-smoke: job finished before it could be killed (spec too small)" >&2
+        exit 1
+    fi
+    i=$((i + 1))
+    if [ "$i" -ge 600 ]; then
+        echo "chaos-smoke: no result ever reached the disk cache" >&2
+        exit 1
+    fi
+    sleep 0.05
+done
+kill -9 "$PID"
+wait "$PID" 2>/dev/null || true
+PID=
+echo "chaos-smoke: killed the daemon mid-campaign ($idc running)"
+
+# --- Life 2: restart, recover, compare ------------------------------
+start_daemon "$DIR/chaos" chaos2
+if ! grep -q 'resubmitted 1 unfinished' "$DIR/chaos2.log"; then
+    echo "chaos-smoke: restarted daemon did not resubmit the journalled job" >&2
+    cat "$DIR/chaos2.log" >&2
+    exit 1
+fi
+wait_done "$idc"
+curl -fsS "$BASE/v1/results/$idc?format=text" >"$DIR/recovered_report.txt"
+cmp "$DIR/base_report.txt" "$DIR/recovered_report.txt"
+mem=$(field "$idc" mem_hits)
+disk=$(field "$idc" disk_hits)
+dedup=$(field "$idc" deduped)
+hits=$((${mem:-0} + ${disk:-0} + ${dedup:-0}))
+if [ "$hits" -le 0 ]; then
+    echo "chaos-smoke: recovery was cold (no cache hits)" >&2
+    exit 1
+fi
+echo "chaos-smoke: $idc recovered byte-identical with $hits cache hits"
+
+# --- Life 3: flip a cached byte, expect quarantine not corruption ----
+victim=$(find "$DIR/chaos/cache" -name '*.json' -type f | head -1)
+printf '\377' | dd of="$victim" bs=1 seek=24 count=1 conv=notrunc 2>/dev/null
+stop_daemon
+start_daemon "$DIR/chaos" chaos3
+idq=$(submit)
+wait_done "$idq"
+curl -fsS "$BASE/v1/results/$idq?format=text" >"$DIR/quarantine_report.txt"
+cmp "$DIR/base_report.txt" "$DIR/quarantine_report.txt"
+if ! find "$DIR/chaos/cache" -path '*/quarantine/*' -type f | grep -q .; then
+    echo "chaos-smoke: corrupted entry was not quarantined" >&2
+    exit 1
+fi
+quar=$(field "$idq" quarantined)
+if [ "${quar:-0}" -le 0 ]; then
+    echo "chaos-smoke: job stats carry no quarantine count" >&2
+    exit 1
+fi
+curl -fsS "$BASE/v1/healthz" | grep -q '"status": "ok"' || {
+    echo "chaos-smoke: daemon unhealthy after quarantine" >&2
+    exit 1
+}
+echo "chaos-smoke OK: recovery byte-identical and warm; corruption quarantined (${quar:-0} entries), report unchanged"
+stop_daemon
+rm -rf "$DIR"
