@@ -23,7 +23,7 @@ test:
 # quarantine paths, and the pipeline/cache snapshot-restore paths that
 # fork-replay shares across workers) under the race detector.
 race:
-	$(GO) test -race ./internal/sched ./internal/service ./internal/scenario ./internal/experiments ./internal/inject ./internal/simcache ./internal/persist ./internal/pipe ./internal/cache
+	$(GO) test -race ./internal/sched ./internal/service ./internal/scenario ./internal/experiments ./internal/inject ./internal/liveness ./internal/simcache ./internal/persist ./internal/pipe ./internal/cache
 
 check: vet build test
 

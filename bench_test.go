@@ -296,6 +296,60 @@ func BenchmarkInjectCampaign(b *testing.B) {
 	b.ReportMetric(ckpt.AVF, "avf")
 }
 
+// BenchmarkInjectCampaignPruned measures a 1000-trial campaign with
+// static liveness pruning (the timed loop) against the same campaign
+// with pruning disabled (run once, untimed). Pruning must not change
+// any replayed outcome: per stratum, the baseline's outcome counts must
+// equal the pruned campaign's phase-1 counts, with the pruned targets
+// accounting exactly for the baseline's extra masked trials. Reported
+// metrics: the pruned fraction of sampled targets and the effective
+// trial throughput (analytic prunes included — they are free).
+func BenchmarkInjectCampaignPruned(b *testing.B) {
+	cfg := uarch.Scaled(uarch.Baseline(), 32)
+	k, _ := experiments.ReferenceKnobs("baseline")
+	p, _, err := codegen.Generate(cfg, k, 1<<40)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := inject.Options{
+		Config:  cfg,
+		Program: p,
+		Run:     pipe.RunConfig{MaxInstructions: 6_000, WarmupInstructions: 2_000},
+		Trials:  1000,
+		Seed:    1,
+	}
+	opts.PruneStatic = -1
+	base, err := inject.Run(context.Background(), opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	opts.PruneStatic = 0
+	var pruned *inject.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if pruned, err = inject.Run(context.Background(), opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if pruned.Pruned == 0 {
+		b.Fatal("pruned campaign pruned no targets")
+	}
+	for i, bs := range base.Structures {
+		ps := pruned.Structures[i]
+		if bs.SDC != ps.Phase1SDC || bs.Detected != ps.Phase1Detected ||
+			bs.Masked != ps.Phase1Masked+ps.Pruned {
+			b.Fatalf("%s: baseline outcomes %d/%d/%d != pruned phase-1 %d/%d/%d+%d — pruning changed a replay outcome",
+				bs.Structure, bs.SDC, bs.Detected, bs.Masked,
+				ps.Phase1SDC, ps.Phase1Detected, ps.Phase1Masked, ps.Pruned)
+		}
+	}
+	b.ReportMetric(float64(pruned.Pruned)/float64(pruned.Trials), "x-prune-frac")
+	b.ReportMetric(float64(pruned.Trials)*float64(b.N)/b.Elapsed().Seconds(), "trials/s")
+	b.ReportMetric(pruned.AVF, "avf")
+}
+
 // BenchmarkCodegen measures raw stressmark generation throughput.
 func BenchmarkCodegen(b *testing.B) {
 	cfg := uarch.Baseline()

@@ -10,7 +10,7 @@
 //
 //	avfinject [-config baseline|configA] [-rates uniform|rhc|edr]
 //	          [-trials 1000] [-scale 32] [-seed 1] [-mode reference|search]
-//	          [-checkpoint-interval N] [-cache-dir DIR] [-v]
+//	          [-checkpoint-interval N] [-prune-static N] [-cache-dir DIR] [-v]
 //
 // avfinject is a thin client of the same scenario path avfstressd
 // serves: the flags build a declarative scenario.Spec whose parametric
@@ -43,6 +43,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "sampling and search seed (campaigns are byte-deterministic per seed)")
 		mode     = flag.String("mode", "reference", "stressmark provenance: reference (published knobs) or search (run the GA)")
 		ckptIval = flag.Int64("checkpoint-interval", 0, "golden-run checkpoint interval in cycles for fork-replay: 0 = auto, <0 = disabled (replay speed only; reports are byte-identical)")
+		pruneSt  = flag.Int("prune-static", 0, "static liveness pruning of the injection space: 0 or >0 = enabled, <0 = disabled (pruned targets classify as masked analytically, freeing their replays for the live subspace)")
 		cacheDir = flag.String("cache-dir", "", "persist simulations and per-trial outcomes under this directory (shared across runs; results are bit-identical)")
 		verbose  = flag.Bool("v", false, "stream per-campaign progress")
 	)
@@ -57,6 +58,7 @@ func main() {
 		Scale:              *scale,
 		Seed:               *seed,
 		CheckpointInterval: *ckptIval,
+		PruneStatic:        *pruneSt,
 	}
 	base := experiments.Options{CacheDir: *cacheDir}
 	if *verbose {

@@ -49,6 +49,10 @@ type Options struct {
 	// cycle interval, <0 = disabled. Replay speed only; results are
 	// identical at any setting.
 	CheckpointInterval int64
+	// PruneStatic toggles static liveness pruning of fault-injection
+	// campaigns (see inject.Options.PruneStatic): ≥0 = enabled (0 is
+	// the default), <0 = disabled.
+	PruneStatic int
 	// Parallelism bounds each concurrency layer independently: the
 	// scheduler's concurrent scenario jobs, a workload suite's
 	// concurrent simulations and a GA search's concurrent evaluations

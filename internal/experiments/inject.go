@@ -49,7 +49,7 @@ func (s *InjectionStudy) String() string {
 	for _, c := range s.Campaigns {
 		rows = append(rows, report.InjectionRow{
 			Label: c.Workload, Bits: c.TotalBits(), Trials: c.Trials,
-			SDC: c.SDC, Detected: c.Detected, Masked: c.Masked,
+			SDC: c.SDC, Detected: c.Detected, Masked: c.Masked, Pruned: c.Pruned,
 			AVF: c.AVF, Lo: c.CI.Lo, Hi: c.CI.Hi, ACE: c.ACEAVF,
 		})
 	}
@@ -110,6 +110,7 @@ func (c *Context) FaultInjection(ctx context.Context, configName, ratesName stri
 				Trials: trials, Seed: c.Opts.Seed,
 				Parallelism: c.Opts.Parallelism, Cache: c.cache,
 				CheckpointInterval: c.Opts.CheckpointInterval,
+				PruneStatic:        c.Opts.PruneStatic,
 				Retry:              c.Opts.Retry,
 			})
 			if err != nil {
@@ -117,6 +118,7 @@ func (c *Context) FaultInjection(ctx context.Context, configName, ratesName stri
 			}
 			c.logf("injection campaign %s: AVF %.4f [%.4f, %.4f] vs ACE %.4f",
 				name, res.DeratedAVF, res.DeratedCI.Lo, res.DeratedCI.Hi, res.DeratedACE)
+			c.logf("injection campaign %s: %s", name, res.PruneLine())
 			study.Campaigns = append(study.Campaigns, res)
 		}
 		sm, err := c.Stressmark(ctx, SearchKeyFor(configName, ratesName), cfg, rates)
@@ -128,6 +130,7 @@ func (c *Context) FaultInjection(ctx context.Context, configName, ratesName stri
 			Trials: trials, Seed: c.Opts.Seed,
 			Parallelism: c.Opts.Parallelism, Cache: c.cache,
 			CheckpointInterval: c.Opts.CheckpointInterval,
+			PruneStatic:        c.Opts.PruneStatic,
 			Retry:              c.Opts.Retry,
 		})
 		if err != nil {
@@ -135,6 +138,7 @@ func (c *Context) FaultInjection(ctx context.Context, configName, ratesName stri
 		}
 		c.logf("injection campaign stressmark: AVF %.4f [%.4f, %.4f] vs ACE %.4f",
 			res.DeratedAVF, res.DeratedCI.Lo, res.DeratedCI.Hi, res.DeratedACE)
+		c.logf("injection campaign stressmark: %s", res.PruneLine())
 		study.Campaigns = append(study.Campaigns, res)
 		return study, nil
 	})

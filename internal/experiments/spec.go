@@ -197,6 +197,9 @@ func NewSpecContext(sp scenario.Spec, base Options) (*Context, []string, error) 
 	if sp.CheckpointInterval != 0 {
 		opts.CheckpointInterval = sp.CheckpointInterval
 	}
+	if sp.PruneStatic != 0 {
+		opts.PruneStatic = sp.PruneStatic
+	}
 	if sp.Mode != "" {
 		opts.UseReferenceKnobs = sp.Mode == "reference"
 	}

@@ -23,17 +23,54 @@ import (
 // encodeGoldenInfo serialises the golden run's replay facts (a small
 // versioned text blob; the report only uses fields replays also need,
 // so caching this beside the result spares warm campaigns the golden
-// re-run entirely).
+// re-run entirely). v2 appends the recorded register-file dead
+// intervals, which the target pruner needs; v1 blobs from older runs
+// fail decode and ride the existing discard-and-rebuild path. The
+// intervals are always recorded and always encoded — blob content is
+// independent of the producing campaign's PruneStatic setting, so warm
+// and cold campaigns see identical prune inputs.
 func encodeGoldenInfo(gi pipe.GoldenInfo) []byte {
-	return []byte(fmt.Sprintf("goldeninfo v1 %d %d %d", gi.WindowStart, gi.Cycles, gi.Digest))
+	var b strings.Builder
+	fmt.Fprintf(&b, "goldeninfo v2 %d %d %d %d", gi.WindowStart, gi.Cycles, gi.Digest, len(gi.RFDead))
+	for _, iv := range gi.RFDead {
+		fmt.Fprintf(&b, " %d %d %d", iv.Slot, iv.Start, iv.End)
+	}
+	return []byte(b.String())
 }
 
 func decodeGoldenInfo(b []byte) (pipe.GoldenInfo, error) {
 	var gi pipe.GoldenInfo
-	var ver string
-	n, err := fmt.Sscanf(string(b), "goldeninfo %s %d %d %d", &ver, &gi.WindowStart, &gi.Cycles, &gi.Digest)
-	if err != nil || n != 4 || ver != "v1" {
+	fields := strings.Fields(string(b))
+	if len(fields) < 6 || fields[0] != "goldeninfo" || fields[1] != "v2" {
 		return pipe.GoldenInfo{}, fmt.Errorf("inject: bad golden-info blob")
+	}
+	vals := make([]int64, 0, len(fields)-2)
+	for _, f := range fields[2:] {
+		v, err := strconv.ParseInt(f, 10, 64)
+		if err != nil {
+			// Digest is unsigned and may exceed int64.
+			u, uerr := strconv.ParseUint(f, 10, 64)
+			if uerr != nil {
+				return pipe.GoldenInfo{}, fmt.Errorf("inject: bad golden-info blob: %w", err)
+			}
+			v = int64(u)
+		}
+		vals = append(vals, v)
+	}
+	gi.WindowStart, gi.Cycles, gi.Digest = vals[0], vals[1], uint64(vals[2])
+	n := vals[3]
+	if n < 0 || int64(len(vals)-4) != 3*n {
+		return pipe.GoldenInfo{}, fmt.Errorf("inject: golden-info interval count mismatch")
+	}
+	if n > 0 {
+		gi.RFDead = make([]pipe.RFDeadInterval, n)
+		for i := int64(0); i < n; i++ {
+			gi.RFDead[i] = pipe.RFDeadInterval{
+				Slot:  int16(vals[4+3*i]),
+				Start: vals[4+3*i+1],
+				End:   vals[4+3*i+2],
+			}
+		}
 	}
 	return gi, nil
 }

@@ -29,6 +29,7 @@ import (
 	"sync"
 
 	"avfstress/internal/avf"
+	"avfstress/internal/liveness"
 	"avfstress/internal/pipe"
 	"avfstress/internal/prog"
 	"avfstress/internal/report"
@@ -78,6 +79,19 @@ type Options struct {
 	// cache keys and the rendered report are byte-identical at any
 	// setting.
 	CheckpointInterval int64
+	// PruneStatic controls static liveness pruning of the injection
+	// space (DESIGN.md §12): 0 (the default) and any positive value
+	// enable it, a negative value disables it (the benchmark baseline,
+	// mirroring CheckpointInterval). When enabled, campaign setup
+	// intersects every sampled target with the statically proven dead
+	// set — capped queue entries, never-popped physical registers and
+	// recorded dead-definition occupancies — classifies those targets
+	// as masked analytically with zero replays, and re-allocates the
+	// freed trial budget across the live subspace, so the same budget
+	// buys a tighter confidence interval. Pruning changes which targets
+	// replay, never any replay's outcome; with it disabled the campaign
+	// is byte-identical to the legacy sampler.
+	PruneStatic int
 	// Retry bounds scheduler retries of transiently failing trial jobs
 	// (zero value: no retries). Retries change wall-clock only, never
 	// outcomes — trials are deterministic and memoised.
@@ -119,17 +133,39 @@ func (iv Interval) Contains(x float64) bool { return x >= iv.Lo && x <= iv.Hi }
 type StructureResult struct {
 	Structure uarch.Structure
 	Bits      uint64
-	Trials    int
-	SDC       int
-	Detected  int
-	Masked    int
-	// AVF is the injection-measured vulnerability (SDC+Detected)/Trials
-	// — detection changes the outcome class, not the underlying
-	// vulnerability — with its Wilson 95% confidence interval and the
-	// golden run's ACE-based AVF beside it.
-	AVF float64
-	CI  Interval
-	ACE float64
+	// Trials counts the stratum's trial slots: replayed trials plus
+	// statically pruned targets, so SDC+Detected+Masked+Pruned always
+	// reconciles with Trials.
+	Trials   int
+	SDC      int
+	Detected int
+	Masked   int
+	// Pruned counts targets the static liveness filter classified
+	// masked analytically (zero replays). PruneFrac is the dead
+	// fraction of the stratum's bit-cycle space the estimator corrects
+	// for (exactly zero when pruning is disabled), and StaticBound the
+	// tightened static ACE upper bound: the paper's all-bits bound 1.0
+	// minus the statically proven dead fraction (reported even when
+	// pruning is disabled — it is a static fact of the workload).
+	Pruned      int
+	PruneFrac   float64
+	StaticBound float64
+	// AVF is the injection-measured vulnerability: the corrupted
+	// fraction over replayed trials (SampleAVF) scaled by the live
+	// fraction 1−PruneFrac, since replays sample only the live
+	// subspace — detection changes the outcome class, not the
+	// underlying vulnerability — with its similarly scaled Wilson 95%
+	// confidence interval and the golden run's ACE-based AVF beside
+	// it. Phase1* split out the outcome counts of the first sampling
+	// phase, whose draws are stream-identical to an unpruned
+	// campaign's; the pruned-campaign benchmark reconciles them
+	// against the baseline's counts.
+	AVF       float64
+	SampleAVF float64
+	CI        Interval
+	ACE       float64
+
+	Phase1SDC, Phase1Detected, Phase1Masked int
 }
 
 // Result is the outcome of one campaign.
@@ -137,7 +173,7 @@ type Result struct {
 	Config   string
 	Workload string
 	Seed     int64
-	Trials   int // trials actually run (≥ Options.Trials after flooring)
+	Trials   int // trial slots: replays plus pruned targets (≥ Options.Trials after flooring)
 
 	// Golden is the fault-free run the campaign validates, GoldenDigest
 	// its committed-state digest (the reference of every replay's
@@ -162,6 +198,13 @@ type Result struct {
 	DeratedACE float64
 
 	SDC, Detected, Masked int
+
+	// Pruned totals the statically pruned targets across strata,
+	// StaticBound is the bit-weighted tightened static ACE upper bound
+	// and PruneEnabled records whether the filter was active.
+	Pruned       int
+	StaticBound  float64
+	PruneEnabled bool
 }
 
 // rng is a splitmix64 stream: a fixed, documented generator so
@@ -247,6 +290,11 @@ func Run(ctx context.Context, o Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The static liveness pass runs unconditionally: its dead-definition
+	// set drives the golden run's interval recording, and the recorded
+	// facts are cached — blob content must not depend on the producing
+	// campaign's PruneStatic setting.
+	live := liveness.Analyze(o.Program, o.Config.Core)
 	cfgFP := o.Config.Fingerprint()
 	progFP := "prog:" + o.Program.Fingerprint()
 	rcFP := o.Run.Fingerprint()
@@ -273,7 +321,7 @@ func Run(ctx context.Context, o Options) (*Result, error) {
 		}
 	}
 	golden, err := o.Cache.Do(o.Cache.Key(cfgFP, progFP, rcFP), func() (*avf.Result, error) {
-		res, gi, set, gerr := pool.SimulateGoldenCheckpointed(o.Program, o.Run, o.CheckpointInterval)
+		res, gi, set, gerr := pool.SimulateGoldenRecorded(o.Program, o.Run, o.CheckpointInterval, live.DeadDefs)
 		if gerr != nil {
 			return nil, gerr
 		}
@@ -288,7 +336,7 @@ func Run(ctx context.Context, o Options) (*Result, error) {
 		// The result tier was warm but the info blob is gone (e.g. a
 		// partially swept cache directory): one golden re-run rebuilds
 		// both it and the checkpoint set.
-		_, gi, set, gerr := pool.SimulateGoldenCheckpointed(o.Program, o.Run, o.CheckpointInterval)
+		_, gi, set, gerr := pool.SimulateGoldenRecorded(o.Program, o.Run, o.CheckpointInterval, live.DeadDefs)
 		if gerr != nil {
 			return nil, fmt.Errorf("inject: golden run: %w", gerr)
 		}
@@ -343,8 +391,13 @@ func Run(ctx context.Context, o Options) (*Result, error) {
 		}
 	}
 
-	// Sample every target up front (deterministic), deduplicating
-	// repeated targets into one replay feeding every trial slot.
+	// Build the static target filter from the liveness summary and the
+	// golden run's recorded dead intervals. All sampling below is
+	// up-front and single-threaded, and the pruner's inputs are static
+	// (or cached alongside the golden result), so pruned campaigns stay
+	// byte-deterministic across runs, worker counts and cache states.
+	pr := newPruner(o.PruneStatic >= 0, o.Config, live, info)
+
 	weights := make([]float64, len(o.Structures))
 	var totalBits float64
 	bits := make([]uint64, len(o.Structures))
@@ -360,12 +413,17 @@ func Run(ctx context.Context, o Options) (*Result, error) {
 	}
 	alloc := allocate(o.Trials, o.MinPerStructure, weights)
 
-	type slot struct{ stratum, idx int }
-	outcomes := make([][]bool, len(o.Structures)) // corrupted per trial
-	targets := map[pipe.Fault][]slot{}
-	var order []pipe.Fault // deterministic job order
+	// Phase 1: draw every stratum's baseline allocation from its
+	// deterministic stream. Statically pruned draws are classified
+	// analytically and replay nothing; the rest fill the stratum's
+	// replay list in draw order. With pruning disabled this phase is
+	// the legacy sampler verbatim — same streams, same targets, same
+	// order.
+	prunedCnt := make([]int, len(o.Structures))
+	faultsPer := make([][]pipe.Fault, len(o.Structures))
+	rngs := make([]rng, len(o.Structures))
+	freed := 0
 	for i, s := range o.Structures {
-		outcomes[i] = make([]bool, alloc[i])
 		r := stratumRNG(o.Seed, s)
 		for t := 0; t < alloc[i]; t++ {
 			f := pipe.Fault{
@@ -373,6 +431,66 @@ func Run(ctx context.Context, o Options) (*Result, error) {
 				Bit:       r.next() % bits[i],
 				Cycle:     info.WindowStart + int64(r.next()%uint64(info.Cycles)),
 			}
+			if pr.pruned(f) {
+				prunedCnt[i]++
+				freed++
+				continue
+			}
+			faultsPer[i] = append(faultsPer[i], f)
+		}
+		rngs[i] = r
+	}
+	phase1 := make([]int, len(o.Structures))
+	for i := range faultsPer {
+		phase1[i] = len(faultsPer[i])
+	}
+
+	// Phase 2: re-allocate the freed budget across strata in proportion
+	// to their live bit counts (largest-remainder again), continuing
+	// each stratum's stream with rejection of pruned draws, so the
+	// topped-up trials concentrate where uncertainty remains. The
+	// attempt bound only guards a pathological all-dead stratum; budget
+	// not placeable within it is dropped, deterministically.
+	if pr.enabled && freed > 0 {
+		w2 := make([]float64, len(o.Structures))
+		var tw float64
+		for i, s := range o.Structures {
+			w2[i] = float64(bits[i]) * (1 - pr.staticFrac[s])
+			tw += w2[i]
+		}
+		if tw > 0 {
+			for i := range w2 {
+				w2[i] /= tw
+			}
+			alloc2 := allocate(freed, 0, w2)
+			for i, s := range o.Structures {
+				r := rngs[i]
+				drawn := 0
+				for att := 0; drawn < alloc2[i] && att < 64*alloc2[i]+64; att++ {
+					f := pipe.Fault{
+						Structure: s,
+						Bit:       r.next() % bits[i],
+						Cycle:     info.WindowStart + int64(r.next()%uint64(info.Cycles)),
+					}
+					if pr.pruned(f) {
+						continue
+					}
+					faultsPer[i] = append(faultsPer[i], f)
+					drawn++
+				}
+			}
+		}
+	}
+
+	// Deduplicate repeated targets into one replay feeding every trial
+	// slot.
+	type slot struct{ stratum, idx int }
+	outcomes := make([][]bool, len(o.Structures)) // corrupted per replayed trial
+	targets := map[pipe.Fault][]slot{}
+	var order []pipe.Fault // deterministic job order
+	for i := range o.Structures {
+		outcomes[i] = make([]bool, len(faultsPer[i]))
+		for t, f := range faultsPer[i] {
 			if _, ok := targets[f]; !ok {
 				order = append(order, f)
 			}
@@ -449,7 +567,7 @@ func Run(ctx context.Context, o Options) (*Result, error) {
 		if err := sched.Run(ctx, jobs, sched.Options{Workers: o.Parallelism, Retry: o.Retry}); err != nil {
 			return nil, err
 		}
-		return aggregateResult(o, golden, info, bits, alloc, outcomes), nil
+		return aggregateResult(o, golden, info, bits, pr, prunedCnt, phase1, outcomes), nil
 	}
 
 	jobs := make([]scenario.Job, 0, len(bucketOrder))
@@ -514,14 +632,14 @@ func Run(ctx context.Context, o Options) (*Result, error) {
 	if err := sched.Run(ctx, jobs, sched.Options{Workers: o.Parallelism, Retry: o.Retry}); err != nil {
 		return nil, err
 	}
-	return aggregateResult(o, golden, info, bits, alloc, outcomes), nil
+	return aggregateResult(o, golden, info, bits, pr, prunedCnt, phase1, outcomes), nil
 }
 
 // aggregateResult folds the per-trial outcomes into the campaign result:
 // per-stratum counts, Wilson intervals, and the bit-weighted and
 // rate-derated aggregates. Pure, so both replay paths share it and the
 // report cannot depend on which one ran.
-func aggregateResult(o Options, golden *avf.Result, info pipe.GoldenInfo, bits []uint64, alloc []int, outcomes [][]bool) *Result {
+func aggregateResult(o Options, golden *avf.Result, info pipe.GoldenInfo, bits []uint64, pr *pruner, pruned, phase1 []int, outcomes [][]bool) *Result {
 	res := &Result{
 		Config:       golden.Config,
 		Workload:     golden.Workload,
@@ -530,30 +648,56 @@ func aggregateResult(o Options, golden *avf.Result, info pipe.GoldenInfo, bits [
 		GoldenDigest: info.Digest,
 		WindowStart:  info.WindowStart,
 		WindowCycles: info.Cycles,
+		PruneEnabled: pr.enabled,
 	}
 	for i, s := range o.Structures {
-		sr := StructureResult{Structure: s, Bits: bits[i], Trials: alloc[i], ACE: golden.AVF[s]}
+		replayed := len(outcomes[i])
+		sr := StructureResult{
+			Structure: s, Bits: bits[i],
+			Trials: replayed + pruned[i], Pruned: pruned[i],
+			PruneFrac: pr.frac(s), StaticBound: pr.bound(s),
+			ACE: golden.AVF[s],
+		}
 		protected := o.Rates[s] == 0
-		for _, corrupted := range outcomes[i] {
+		for t, corrupted := range outcomes[i] {
+			p1 := t < phase1[i]
 			switch {
 			case !corrupted:
 				sr.Masked++
+				if p1 {
+					sr.Phase1Masked++
+				}
 			case protected:
 				sr.Detected++
+				if p1 {
+					sr.Phase1Detected++
+				}
 			default:
 				sr.SDC++
+				if p1 {
+					sr.Phase1SDC++
+				}
 			}
 		}
+		// The estimator samples the live subspace only, so the raw
+		// corrupted fraction and its Wilson interval scale by the live
+		// fraction. With pruning disabled the fraction is exactly zero
+		// and the multiplications by 1.0 are IEEE-exact identities —
+		// the legacy numbers, bit for bit.
 		vuln := sr.SDC + sr.Detected
-		if sr.Trials > 0 {
-			sr.AVF = float64(vuln) / float64(sr.Trials)
+		liveFrac := 1 - sr.PruneFrac
+		if replayed > 0 {
+			sr.SampleAVF = float64(vuln) / float64(replayed)
+			sr.AVF = liveFrac * sr.SampleAVF
+			w := wilson(vuln, replayed)
+			sr.CI = Interval{Lo: liveFrac * w.Lo, Hi: liveFrac * w.Hi}
 		}
-		sr.CI = wilson(vuln, sr.Trials)
 		res.Structures = append(res.Structures, sr)
 		res.Trials += sr.Trials
 		res.SDC += sr.SDC
 		res.Detected += sr.Detected
 		res.Masked += sr.Masked
+		res.Pruned += sr.Pruned
 	}
 	res.AVF, res.CI, res.ACEAVF = res.aggregate(func(sr StructureResult) float64 {
 		return float64(sr.Bits)
@@ -561,6 +705,15 @@ func aggregateResult(o Options, golden *avf.Result, info pipe.GoldenInfo, bits [
 	res.DeratedAVF, res.DeratedCI, res.DeratedACE = res.aggregate(func(sr StructureResult) float64 {
 		return o.Rates[sr.Structure] * float64(sr.Bits)
 	})
+	var totalW float64
+	for _, sr := range res.Structures {
+		totalW += float64(sr.Bits)
+	}
+	if totalW > 0 {
+		for _, sr := range res.Structures {
+			res.StaticBound += float64(sr.Bits) / totalW * sr.StaticBound
+		}
+	}
 	return res
 }
 
@@ -580,8 +733,14 @@ func (r *Result) aggregate(weight func(StructureResult) float64) (est float64, c
 		w := weight(sr) / totalW
 		est += w * sr.AVF
 		ace += w * sr.ACE
-		if sr.Trials > 0 {
-			v += w * w * sr.AVF * (1 - sr.AVF) / float64(sr.Trials)
+		// Pruned slots carry no sampling variance (they are analytic
+		// constants), so each stratum contributes the binomial variance
+		// of its replayed trials scaled by the squared live fraction.
+		// With pruning disabled both factors are exactly 1.0 and this
+		// is the legacy expression bit for bit.
+		if n := sr.Trials - sr.Pruned; n > 0 {
+			liveFrac := 1 - sr.PruneFrac
+			v += w * w * liveFrac * liveFrac * sr.SampleAVF * (1 - sr.SampleAVF) / float64(n)
 		}
 	}
 	return est, normalCI(est, v), ace
@@ -607,13 +766,13 @@ func (r *Result) Rows() []report.InjectionRow {
 	for _, sr := range r.Structures {
 		rows = append(rows, report.InjectionRow{
 			Label: sr.Structure.String(), Bits: sr.Bits, Trials: sr.Trials,
-			SDC: sr.SDC, Detected: sr.Detected, Masked: sr.Masked,
+			SDC: sr.SDC, Detected: sr.Detected, Masked: sr.Masked, Pruned: sr.Pruned,
 			AVF: sr.AVF, Lo: sr.CI.Lo, Hi: sr.CI.Hi, ACE: sr.ACE,
 		})
 	}
 	rows = append(rows, report.InjectionRow{
 		Label: "overall", Bits: r.TotalBits(), Trials: r.Trials,
-		SDC: r.SDC, Detected: r.Detected, Masked: r.Masked,
+		SDC: r.SDC, Detected: r.Detected, Masked: r.Masked, Pruned: r.Pruned,
 		AVF: r.AVF, Lo: r.CI.Lo, Hi: r.CI.Hi, ACE: r.ACEAVF,
 	})
 	return rows
@@ -625,13 +784,30 @@ func (r *Result) DeratedLine() string {
 		r.DeratedAVF, r.DeratedCI.Lo, r.DeratedCI.Hi, r.DeratedACE)
 }
 
+// PruneLine renders the static-pruning summary as one stats line:
+// pruned target counts (total, then per structure with a nonzero
+// count) and the bit-weighted tightened static ACE upper bound.
+func (r *Result) PruneLine() string {
+	if !r.PruneEnabled {
+		return "prune: disabled"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "prune: targets=%d/%d bound=%.4f", r.Pruned, r.Trials, r.StaticBound)
+	for _, sr := range r.Structures {
+		if sr.Pruned > 0 {
+			fmt.Fprintf(&b, " %s=%d", sr.Structure, sr.Pruned)
+		}
+	}
+	return b.String()
+}
+
 // String renders the campaign report.
 func (r *Result) String() string {
 	var b strings.Builder
 	title := fmt.Sprintf("Injection campaign — %s on %s (%d trials, seed %d)",
 		r.Config, r.Workload, r.Trials, r.Seed)
 	b.WriteString(report.InjectionTable(title, r.Rows()))
-	fmt.Fprintf(&b, "%s\ngolden: %d instrs, %d cycles, digest %016x\n",
-		r.DeratedLine(), r.Golden.Instructions, r.WindowCycles, r.GoldenDigest)
+	fmt.Fprintf(&b, "%s\n%s\ngolden: %d instrs, %d cycles, digest %016x\n",
+		r.PruneLine(), r.DeratedLine(), r.Golden.Instructions, r.WindowCycles, r.GoldenDigest)
 	return b.String()
 }

@@ -53,8 +53,13 @@ func TestCampaignValidatesACE(t *testing.T) {
 	if res.Trials < 1000 {
 		t.Fatalf("ran %d trials, want >= 1000", res.Trials)
 	}
-	if got := res.SDC + res.Detected + res.Masked; got != res.Trials {
+	if got := res.SDC + res.Detected + res.Masked + res.Pruned; got != res.Trials {
 		t.Fatalf("outcome counts %d != trials %d", got, res.Trials)
+	}
+	for _, sr := range res.Structures {
+		if got := sr.SDC + sr.Detected + sr.Masked + sr.Pruned; got != sr.Trials {
+			t.Fatalf("%s: outcome counts %d != trials %d", sr.Structure, got, sr.Trials)
+		}
 	}
 	if !res.CI.Contains(res.ACEAVF) {
 		t.Errorf("ACE AVF %.4f outside injection 95%% CI [%.4f, %.4f] (measured %.4f)\n%s",

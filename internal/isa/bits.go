@@ -1,0 +1,68 @@
+package isa
+
+// Per-opcode bit-transfer functions for static backward bit-liveness
+// (internal/liveness, DESIGN.md §12). For each instruction class the
+// table answers: given a demand mask over the destination value's bits,
+// which bits of each register source can influence the demanded bits?
+// The rules are deliberately conservative in the "more bits demanded"
+// direction — over-approximating demand only ever keeps more bits live,
+// which is the sound side for pruning.
+
+// DownClose returns the downward closure of a bit mask: every position
+// at or below the mask's highest set bit. Ripple carries (addition) and
+// partial products (multiplication) propagate influence strictly
+// upward, so bit i of a sum or product depends on bits 0..i of both
+// operands — the transfer of a demanded bit set is the closure below
+// its top bit.
+func DownClose(m uint64) uint64 {
+	if m == 0 {
+		return 0
+	}
+	// Smear the top set bit downward.
+	m |= m >> 1
+	m |= m >> 2
+	m |= m >> 4
+	m |= m >> 8
+	m |= m >> 16
+	m |= m >> 32
+	return m
+}
+
+// AllBits is the full 64-bit register demand mask.
+const AllBits = ^uint64(0)
+
+// SrcDemand returns the bit-level demand each register source of in
+// inherits from a demand of destDemand on its destination value
+// (src1 maps to Src1, src2 to Src2; zero for sources the instruction
+// does not read). Root consumers that leave the register file — the
+// store's address and data, the branch's compare operand, the load's
+// address generation — demand full words: their consumption is
+// architectural (or decides control flow), not a bit-sliced dataflow
+// edge. An UnACE instruction's result is discarded by definition, so it
+// propagates no demand at all.
+func SrcDemand(in *Instr, destDemand uint64) (src1, src2 uint64) {
+	if in.UnACE {
+		return 0, 0
+	}
+	switch in.Op {
+	case OpAdd, OpMul:
+		d := DownClose(destDemand)
+		src1 = d
+		if in.RegReg {
+			src2 = d
+		}
+	case OpLoad:
+		// The base register feeds address generation; any demanded
+		// result bit makes the whole address relevant.
+		if destDemand != 0 {
+			src1 = AllBits
+		}
+	case OpStore:
+		// Address and data both reach memory at retire.
+		src1, src2 = AllBits, AllBits
+	case OpBranch:
+		// The compare operand decides the direction; all bits count.
+		src1 = AllBits
+	}
+	return src1, src2
+}

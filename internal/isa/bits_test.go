@@ -1,0 +1,61 @@
+package isa
+
+import "testing"
+
+func TestDownClose(t *testing.T) {
+	cases := []struct{ in, want uint64 }{
+		{0, 0},
+		{1, 1},
+		{0x80, 0xff},
+		{0x100, 0x1ff},
+		{0x8000000000000000, AllBits},
+		{0x0000000000000011, 0x1f},
+	}
+	for _, c := range cases {
+		if got := DownClose(c.in); got != c.want {
+			t.Errorf("DownClose(%#x) = %#x, want %#x", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSrcDemand(t *testing.T) {
+	// Arithmetic: demand smears downward, src2 only for RegReg forms.
+	add := &Instr{Op: OpAdd, Dest: 3, Src1: 1, Imm: 7}
+	s1, s2 := SrcDemand(add, 0x100)
+	if s1 != 0x1ff || s2 != 0 {
+		t.Errorf("imm add demand = %#x/%#x, want 0x1ff/0", s1, s2)
+	}
+	mul := &Instr{Op: OpMul, Dest: 3, Src1: 1, Src2: 2, RegReg: true}
+	s1, s2 = SrcDemand(mul, 0x100)
+	if s1 != 0x1ff || s2 != 0x1ff {
+		t.Errorf("reg-reg mul demand = %#x/%#x, want 0x1ff/0x1ff", s1, s2)
+	}
+	// Zero demand on the destination propagates nothing through
+	// arithmetic.
+	if s1, s2 = SrcDemand(add, 0); s1 != 0 || s2 != 0 {
+		t.Errorf("zero-demand add = %#x/%#x, want 0/0", s1, s2)
+	}
+	// Loads demand the full address iff any result bit is demanded.
+	ld := &Instr{Op: OpLoad, Dest: 4, Src1: 5, AddrGen: 0}
+	if s1, _ = SrcDemand(ld, 1); s1 != AllBits {
+		t.Errorf("demanded load address = %#x, want all bits", s1)
+	}
+	if s1, _ = SrcDemand(ld, 0); s1 != 0 {
+		t.Errorf("undemanded load address = %#x, want 0", s1)
+	}
+	// Stores and branches are root consumers: full-word demand
+	// regardless of destination demand.
+	st := &Instr{Op: OpStore, Src1: 6, Src2: 7}
+	if s1, s2 = SrcDemand(st, 0); s1 != AllBits || s2 != AllBits {
+		t.Errorf("store demand = %#x/%#x, want all/all", s1, s2)
+	}
+	br := &Instr{Op: OpBranch, Src1: 8}
+	if s1, _ = SrcDemand(br, 0); s1 != AllBits {
+		t.Errorf("branch demand = %#x, want all bits", s1)
+	}
+	// UnACE results are discarded by definition.
+	dead := &Instr{Op: OpStore, Src1: 6, Src2: 7, UnACE: true}
+	if s1, s2 = SrcDemand(dead, AllBits); s1 != 0 || s2 != 0 {
+		t.Errorf("un-ACE demand = %#x/%#x, want 0/0", s1, s2)
+	}
+}

@@ -70,6 +70,11 @@ type GoldenInfo struct {
 	Cycles int64
 	// Digest is the committed-state digest over the whole run.
 	Digest uint64
+	// RFDead is the register-file dead-occupancy interval set recorded
+	// by SimulateGoldenRecorded (nil for unrecorded golden runs): the
+	// dynamic footprint of the statically dead definitions, which the
+	// campaign's target pruner intersects fault targets against.
+	RFDead []RFDeadInterval
 }
 
 // injTrial tracks one fault riding a replay. Faults are pure observers

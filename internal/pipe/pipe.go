@@ -200,6 +200,11 @@ type Pipeline struct {
 	digestOn bool
 	digest   uint64
 	ckptRec  *ckptRecorder
+	// liveRec, non-nil only inside SimulateGoldenRecorded, observes
+	// correct-path destination writes and slot releases to map
+	// statically dead definitions onto physical-register occupancy
+	// intervals (liverec.go).
+	liveRec *liveRecorder
 }
 
 type fetchItem struct {
@@ -320,6 +325,7 @@ func (pl *Pipeline) Reset(p *prog.Program) error {
 	pl.digestOn = false
 	pl.digest = 0
 	pl.ckptRec = nil
+	pl.liveRec = nil
 	// ROB slots and checkpoints are left dirty: dispatch fully overwrites
 	// a slot (preserving only gen) before any field is read.
 	pl.resetArchState()

@@ -293,6 +293,7 @@ func (pl *Pipeline) Restore(ck *Checkpoint) error {
 	pl.digestOn = false
 	pl.digest = ck.digest
 	pl.ckptRec = nil
+	pl.liveRec = nil
 	return nil
 }
 

@@ -44,7 +44,7 @@ func TestResumeGoldenMatchesUninterrupted(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if *res != *want || info != wantInfo {
+	if *res != *want || !sameGoldenInfo(info, wantInfo) {
 		t.Fatal("checkpointed golden run drifted from plain golden run")
 	}
 	if len(cks.Checkpoints) < 2 {
@@ -67,7 +67,7 @@ func TestResumeGoldenMatchesUninterrupted(t *testing.T) {
 			t.Fatalf("resume from checkpoint %d (cycle %d): result drifted\n got %+v\nwant %+v",
 				i, ck.Cycle(), got, want)
 		}
-		if gotInfo != wantInfo {
+		if !sameGoldenInfo(gotInfo, wantInfo) {
 			t.Fatalf("resume from checkpoint %d (cycle %d): info drifted: %+v vs %+v",
 				i, ck.Cycle(), gotInfo, wantInfo)
 		}
@@ -93,7 +93,7 @@ func TestCheckpointedGoldenDisabled(t *testing.T) {
 	if cks != nil {
 		t.Fatalf("disabled capture returned %d checkpoints", len(cks.Checkpoints))
 	}
-	if *res != *want || info != wantInfo {
+	if *res != *want || !sameGoldenInfo(info, wantInfo) {
 		t.Fatal("disabled-capture golden run drifted")
 	}
 }
@@ -239,7 +239,7 @@ func TestCheckpointCodecRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatalf("resume from decoded checkpoint %d: %v", i, err)
 		}
-		if *got != *want || gotInfo != wantInfo {
+		if *got != *want || !sameGoldenInfo(gotInfo, wantInfo) {
 			t.Fatalf("decoded checkpoint %d: resumed run drifted", i)
 		}
 	}
@@ -298,7 +298,7 @@ func TestRestoreOntoDirtyPipeline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if *got != *want || gotInfo != wantInfo {
+	if *got != *want || !sameGoldenInfo(gotInfo, wantInfo) {
 		t.Fatal("resume on a pool dirtied by another program drifted")
 	}
 }

@@ -31,6 +31,9 @@ func (pl *Pipeline) commit() int {
 			if pl.inj != nil {
 				pl.injRegRelease(u.oldPhys)
 			}
+			if pl.liveRec != nil {
+				pl.liveRec.onRelease(u.oldPhys, pl.now)
+			}
 			pl.releaseReg(u.oldPhys)
 		}
 		pl.acct.onCommit(pl, u)
@@ -303,6 +306,9 @@ func (pl *Pipeline) issue() int {
 				reg.aceValue = u.ace
 				reg.writeTime = u.doneCycle
 				reg.lastRead = u.doneCycle
+				if pl.liveRec != nil && !u.wrongPath {
+					pl.liveRec.onWrite(u.destPhys, pl.now, u.static)
+				}
 			}
 		}
 		k++

@@ -163,7 +163,8 @@ type InjectionRow struct {
 	SDC      int // silent data corruptions
 	Detected int // corruptions on detection-protected structures (DUE)
 	Masked   int
-	AVF      float64 // injection-measured: (SDC+Detected)/Trials
+	Pruned   int     // targets proven masked statically (no replay)
+	AVF      float64 // injection-measured, scaled to the sampled live subspace
 	Lo, Hi   float64 // 95% confidence interval on AVF
 	ACE      float64 // the ACE-accounting AVF being validated
 }
@@ -174,7 +175,7 @@ type InjectionRow struct {
 // Zero-trial rows render with an empty interval and no flag.
 func InjectionTable(title string, rows []InjectionRow) string {
 	t := &Table{Title: title, Headers: []string{
-		"target", "bits", "trials", "sdc", "due", "masked",
+		"target", "bits", "trials", "sdc", "due", "masked", "pruned",
 		"AVF(inj)", "95% CI", "AVF(ace)", "in CI"}}
 	for _, r := range rows {
 		ci, in := "-", "-"
@@ -186,7 +187,7 @@ func InjectionTable(title string, rows []InjectionRow) string {
 				in = "NO"
 			}
 		}
-		t.AddRow(r.Label, r.Bits, r.Trials, r.SDC, r.Detected, r.Masked,
+		t.AddRow(r.Label, r.Bits, r.Trials, r.SDC, r.Detected, r.Masked, r.Pruned,
 			fmt.Sprintf("%.4f", r.AVF), ci, fmt.Sprintf("%.4f", r.ACE), in)
 	}
 	return t.String()

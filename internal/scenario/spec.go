@@ -57,6 +57,13 @@ type Spec struct {
 	// byte-identical at any setting, so it is deliberately absent from
 	// all result cache keys.
 	CheckpointInterval int64 `json:"checkpoint_interval,omitempty"`
+	// PruneStatic toggles static liveness pruning of each campaign's
+	// injection space: 0 or >0 = enabled (the default), <0 = disabled.
+	// Pruned targets classify as masked analytically and their trial
+	// budget moves to the live subspace, so the knob changes which
+	// targets replay and how the budget is spent — reports carry a
+	// separate pruned outcome column that keeps totals reconciling.
+	PruneStatic int `json:"prune_static,omitempty"`
 	// Parallelism bounds each concurrency layer — scheduled jobs, and
 	// each job's simulations — independently (0 = all cores).
 	Parallelism int `json:"parallelism,omitempty"`

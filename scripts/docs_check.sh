@@ -6,7 +6,10 @@
 #   3. every example must build;
 #   4. intra-repo paths referenced from README.md and DESIGN.md must
 #      exist — renaming a package or deleting a file without sweeping
-#      the docs is exactly how DESIGN sections go stale.
+#      the docs is exactly how DESIGN sections go stale;
+#   5. the reverse: every internal/ package must be referenced from
+#      README.md or DESIGN.md, so a new subsystem (internal/liveness
+#      being the latest) cannot land undocumented.
 set -eu
 cd "$(dirname "$0")/.."
 fail=0
@@ -31,6 +34,14 @@ refs=$(grep -ohE '\b(internal|cmd|examples|scripts)/[A-Za-z0-9_./-]+|\b[A-Za-z0-
 for r in $refs; do
 	if [ ! -e "$r" ]; then
 		echo "docs-check: dead reference in README/DESIGN: $r"
+		fail=1
+	fi
+done
+
+for d in internal/*/; do
+	pkg=${d%/}
+	if ! grep -q "$pkg" README.md DESIGN.md; then
+		echo "docs-check: package $pkg not referenced from README/DESIGN"
 		fail=1
 	fi
 done
