@@ -4,7 +4,7 @@ GO ?= go
 # lifetime-engine microbenchmarks.
 BENCH_PKGS = . ./internal/cache
 
-.PHONY: all build vet test race check bench bench-compare bench-smoke cache-smoke serve-smoke chaos-smoke docs-check
+.PHONY: all build vet test race check bench bench-compare bench-smoke cache-smoke serve-smoke chaos-smoke cluster-smoke docs-check
 
 all: check
 
@@ -82,6 +82,15 @@ serve-smoke:
 # quarantined and re-simulated, never a crash or a changed report.
 chaos-smoke:
 	sh scripts/chaos_smoke.sh
+
+# cluster-smoke proves the campaign-fabric contract over real
+# processes: a coordinator plus two runner daemons shard one campaign,
+# one runner is SIGKILLed while holding job leases, and the final
+# report must still match a solo daemon's byte-for-byte, with the dead
+# runner's leases stolen. Speedup is asserted only on hosts with
+# enough cores to shard across (see DESIGN.md §13).
+cluster-smoke:
+	sh scripts/cluster_smoke.sh
 
 # docs-check keeps the documentation honest: gofmt, vet, every example
 # builds, and no README/DESIGN reference points at a repo path that no

@@ -112,6 +112,7 @@ func (c *Context) FaultInjection(ctx context.Context, configName, ratesName stri
 				CheckpointInterval: c.Opts.CheckpointInterval,
 				PruneStatic:        c.Opts.PruneStatic,
 				Retry:              c.Opts.Retry,
+				Executor:           c.Opts.Executor,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("experiments: injection campaign %s: %w", name, err)
@@ -132,6 +133,7 @@ func (c *Context) FaultInjection(ctx context.Context, configName, ratesName stri
 			CheckpointInterval: c.Opts.CheckpointInterval,
 			PruneStatic:        c.Opts.PruneStatic,
 			Retry:              c.Opts.Retry,
+			Executor:           c.Opts.Executor,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: injection campaign stressmark: %w", err)

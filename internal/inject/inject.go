@@ -96,6 +96,13 @@ type Options struct {
 	// (zero value: no retries). Retries change wall-clock only, never
 	// outcomes — trials are deterministic and memoised.
 	Retry sched.RetryPolicy
+	// Executor, when set, arbitrates bucket and trial jobs across
+	// campaign-fabric nodes (DESIGN.md §13): every node derives the
+	// same buckets, exactly one runs each cold, the rest assemble from
+	// the shared store. Nil runs the whole campaign locally. Sharding
+	// changes wall-clock only — sampling is up-front and outcomes are
+	// content-addressed, so reports stay byte-identical.
+	Executor sched.Executor
 }
 
 func (o Options) withDefaults() Options {
@@ -311,6 +318,25 @@ func Run(ctx context.Context, o Options) (*Result, error) {
 		cks      *pipe.CheckpointSet
 	)
 	infoKey := o.Cache.Key(cfgFP, progFP, rcFP, "goldeninfo")
+	// publishCheckpoints pushes a freshly captured checkpoint set to the
+	// blob tier: the manifest plus one blob per checkpoint, keyed by the
+	// interval (a different interval is a different set, not a different
+	// answer). Called inside the golden compute — before any fabric
+	// claim on the golden result resolves — so a node that waited on a
+	// peer's golden run finds the checkpoints already published.
+	publishCheckpoints := func(set *pipe.CheckpointSet) {
+		if o.CheckpointInterval < 0 || set == nil || o.Cache == nil {
+			return
+		}
+		manifestKey := o.Cache.Key(cfgFP, progFP, rcFP, fmt.Sprintf("ckpts:%d", o.CheckpointInterval))
+		o.Cache.PutBlob(manifestKey, encodeManifest(set))
+		for i, ck := range set.Checkpoints {
+			key := o.Cache.Key(cfgFP, progFP, rcFP, fmt.Sprintf("ckpts:%d:%d", o.CheckpointInterval, i))
+			if b, merr := ck.MarshalBinary(); merr == nil {
+				o.Cache.PutBlob(key, b)
+			}
+		}
+	}
 	if b, ok := o.Cache.GetBlob(infoKey); ok {
 		if gi, derr := decodeGoldenInfo(b); derr == nil {
 			info, haveInfo = gi, true
@@ -327,10 +353,21 @@ func Run(ctx context.Context, o Options) (*Result, error) {
 		}
 		info, haveInfo, cks = gi, true, set
 		o.Cache.PutBlob(infoKey, encodeGoldenInfo(gi))
+		publishCheckpoints(set)
 		return res, nil
 	})
 	if err != nil {
 		return nil, fmt.Errorf("inject: golden run: %w", err)
+	}
+	if !haveInfo {
+		// A fabric peer may have run the golden while we waited on its
+		// claim: it publishes the info blob before the claim resolves,
+		// so one re-probe avoids a duplicate golden re-run.
+		if b, ok := o.Cache.GetBlob(infoKey); ok {
+			if gi, derr := decodeGoldenInfo(b); derr == nil {
+				info, haveInfo = gi, true
+			}
+		}
 	}
 	if !haveInfo {
 		// The result tier was warm but the info blob is gone (e.g. a
@@ -342,16 +379,16 @@ func Run(ctx context.Context, o Options) (*Result, error) {
 		}
 		info, cks = gi, set
 		o.Cache.PutBlob(infoKey, encodeGoldenInfo(gi))
+		publishCheckpoints(set)
 	}
 	if info.Cycles <= 0 {
 		return nil, fmt.Errorf("inject: golden run measured no cycles")
 	}
 
-	// Publish or recover the checkpoint set. Fresh checkpoints are
-	// pushed to the blob tier under keys that include the interval (a
-	// different interval is a different set, not a different answer);
-	// on a warm golden the manifest alone tells us where checkpoints
-	// lie, and each one is decoded lazily only if a bucket needs it.
+	// Recover the checkpoint set (fresh sets were already published by
+	// publishCheckpoints inside the golden compute): on a warm golden
+	// the manifest alone tells us where checkpoints lie, and each one
+	// is decoded lazily only if a bucket needs it.
 	var (
 		src        *ckptSource
 		ckptCycles []int64
@@ -363,15 +400,6 @@ func Run(ctx context.Context, o Options) (*Result, error) {
 		case cks != nil:
 			ckptCycles, ckptLead = cks.Cycles(), cks.Lead
 			src = &ckptSource{set: cks}
-			if o.Cache != nil {
-				o.Cache.PutBlob(manifestKey, encodeManifest(cks))
-				for i, ck := range cks.Checkpoints {
-					key := o.Cache.Key(cfgFP, progFP, rcFP, fmt.Sprintf("ckpts:%d:%d", o.CheckpointInterval, i))
-					if b, merr := ck.MarshalBinary(); merr == nil {
-						o.Cache.PutBlob(key, b)
-					}
-				}
-			}
 		default:
 			if b, ok := o.Cache.GetBlob(manifestKey); ok {
 				if m, derr := decodeManifest(b); derr == nil {
@@ -529,7 +557,8 @@ func Run(ctx context.Context, o Options) (*Result, error) {
 		for _, f := range order {
 			f, slots := f, targets[f]
 			jobs = append(jobs, scenario.Job{
-				Key: "injtrial\x00" + cfgFP + "\x00" + progFP + "\x00" + rcFP + "\x00" + f.Fingerprint(),
+				Key:   "injtrial\x00" + cfgFP + "\x00" + progFP + "\x00" + rcFP + "\x00" + f.Fingerprint(),
+				Lease: true,
 				Run: func(ctx context.Context) error {
 					if err := ctx.Err(); err != nil {
 						return err
@@ -564,7 +593,7 @@ func Run(ctx context.Context, o Options) (*Result, error) {
 				},
 			})
 		}
-		if err := sched.Run(ctx, jobs, sched.Options{Workers: o.Parallelism, Retry: o.Retry}); err != nil {
+		if err := sched.Run(ctx, jobs, sched.Options{Workers: o.Parallelism, Retry: o.Retry, Executor: o.Executor}); err != nil {
 			return nil, err
 		}
 		return aggregateResult(o, golden, info, bits, pr, prunedCnt, phase1, outcomes), nil
@@ -581,7 +610,8 @@ func Run(ctx context.Context, o Options) (*Result, error) {
 			fmt.Fprintf(h, "%s\x00", f.Fingerprint())
 		}
 		jobs = append(jobs, scenario.Job{
-			Key: fmt.Sprintf("injbucket\x00%s\x00%s\x00%s\x00%d\x00%x", cfgFP, progFP, rcFP, bi, h.Sum(nil)),
+			Key:   fmt.Sprintf("injbucket\x00%s\x00%s\x00%s\x00%d\x00%x", cfgFP, progFP, rcFP, bi, h.Sum(nil)),
+			Lease: true,
 			Run: func(ctx context.Context) error {
 				if err := ctx.Err(); err != nil {
 					return err
@@ -629,7 +659,7 @@ func Run(ctx context.Context, o Options) (*Result, error) {
 			},
 		})
 	}
-	if err := sched.Run(ctx, jobs, sched.Options{Workers: o.Parallelism, Retry: o.Retry}); err != nil {
+	if err := sched.Run(ctx, jobs, sched.Options{Workers: o.Parallelism, Retry: o.Retry, Executor: o.Executor}); err != nil {
 		return nil, err
 	}
 	return aggregateResult(o, golden, info, bits, pr, prunedCnt, phase1, outcomes), nil

@@ -1,0 +1,89 @@
+package sched
+
+// Remote execution support for the federated campaign fabric
+// (DESIGN.md §13). The scheduler stays a local worker pool; an Executor
+// is a claim arbiter layered on top of it. Every fabric node derives
+// the same DAG from the same spec and runs it; for jobs marked
+// scenario.Job.Lease the executor decides which node runs the closure
+// cold. The losers park (off the worker pool) until the winner's claim
+// resolves, then run the closure anyway — by the declared-jobs purity
+// contract all of its work is memoised in the shared content-addressed
+// store, so the re-run is a warm assembly pass that populates local
+// in-process state without redoing simulation.
+
+import "context"
+
+// ClaimState is an Executor's verdict on a job claim.
+type ClaimState int
+
+const (
+	// ClaimOwn: this node holds the claim and must run the job cold,
+	// then Release it.
+	ClaimOwn ClaimState = iota
+	// ClaimWait: another live node holds the claim; Await its outcome.
+	ClaimWait
+	// ClaimDone: a node already completed the job; run the closure
+	// warm (no Release — the caller never held the claim).
+	ClaimDone
+)
+
+// Executor arbitrates leased jobs across fabric nodes. Implementations
+// must be safe for concurrent use, and Release must be a no-op for a
+// key the caller does not currently own (a claim may have been stolen
+// while the job ran).
+//
+// Executor failures are never fatal to a run: on any error the
+// scheduler falls back to running the job locally, unarbitrated —
+// duplicated work at worst, never a missing result.
+type Executor interface {
+	// TryAcquire attempts to claim key without blocking.
+	TryAcquire(key string) (ClaimState, error)
+	// Await blocks until the current claim on key resolves and then
+	// re-attempts acquisition, so a claim forfeited by a dead node
+	// transfers to a waiter (work stealing): ClaimOwn means this node
+	// took the claim over and must run the job cold.
+	Await(ctx context.Context, key string) (ClaimState, error)
+	// Release resolves a claim this node holds; err reports whether the
+	// job succeeded (nil) so waiters know whether its results exist.
+	Release(key string, err error)
+}
+
+// claimAndRun wraps runAttempts with the executor protocol for leased
+// nodes. sem is the run's worker semaphore, held by the caller: a node
+// waiting on a peer's claim parks off the pool (releasing its slot) so
+// remote waits never starve local jobs of workers, and re-acquires a
+// slot before running.
+func claimAndRun(ctx context.Context, n *node, opts Options, sem chan struct{}) error {
+	ex := opts.Executor
+	if ex == nil || !n.lease {
+		return runAttempts(ctx, n, opts)
+	}
+	st, err := ex.TryAcquire(n.key)
+	if err != nil {
+		return runAttempts(ctx, n, opts) // fabric unreachable: run local
+	}
+	if st == ClaimWait {
+		<-sem
+		st, err = ex.Await(ctx, n.key)
+		// Unconditionally re-acquire so the caller's release stays
+		// balanced; on cancellation running jobs drain and free slots,
+		// so this always terminates.
+		sem <- struct{}{}
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			// Await failed but the fabric may still think a peer holds
+			// the claim; running locally is safe (duplicated at worst).
+			return runAttempts(ctx, n, opts)
+		}
+	}
+	if st == ClaimOwn {
+		rerr := runAttempts(ctx, n, opts)
+		ex.Release(n.key, rerr)
+		return rerr
+	}
+	// ClaimDone: a peer ran the job cold; run it warm to assemble this
+	// node's in-process state from the shared store.
+	return runAttempts(ctx, n, opts)
+}

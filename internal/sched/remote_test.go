@@ -1,0 +1,227 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"avfstress/internal/scenario"
+)
+
+// scriptedExec is a fake Executor with per-key scripted behaviour and
+// a call log.
+type scriptedExec struct {
+	mu       sync.Mutex
+	try      map[string]ClaimState // TryAcquire answer (default ClaimOwn)
+	await    map[string]ClaimState // Await answer after a ClaimWait
+	tryErr   error
+	awaitErr error
+	released map[string]error
+	awaits   int
+}
+
+func newScriptedExec() *scriptedExec {
+	return &scriptedExec{
+		try:      map[string]ClaimState{},
+		await:    map[string]ClaimState{},
+		released: map[string]error{},
+	}
+}
+
+func (e *scriptedExec) TryAcquire(key string) (ClaimState, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.tryErr != nil {
+		return ClaimWait, e.tryErr
+	}
+	if st, ok := e.try[key]; ok {
+		return st, nil
+	}
+	return ClaimOwn, nil
+}
+
+func (e *scriptedExec) Await(ctx context.Context, key string) (ClaimState, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.awaits++
+	if e.awaitErr != nil {
+		return ClaimWait, e.awaitErr
+	}
+	if st, ok := e.await[key]; ok {
+		return st, nil
+	}
+	return ClaimDone, nil
+}
+
+func (e *scriptedExec) Release(key string, err error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.released[key] = err
+}
+
+func (e *scriptedExec) releasedWith(key string) (error, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	err, ok := e.released[key]
+	return err, ok
+}
+
+func leasedJob(key string, runs *int32, mu *sync.Mutex) scenario.Job {
+	return scenario.Job{
+		Key:   key,
+		Lease: true,
+		Run: func(context.Context) error {
+			mu.Lock()
+			*runs++
+			mu.Unlock()
+			return nil
+		},
+	}
+}
+
+// TestExecutorGrantRunsAndReleases: a granted claim runs the job and
+// releases with its outcome.
+func TestExecutorGrantRunsAndReleases(t *testing.T) {
+	ex := newScriptedExec()
+	var mu sync.Mutex
+	var runs int32
+	if err := Run(context.Background(), []scenario.Job{leasedJob("a", &runs, &mu)}, Options{Executor: ex}); err != nil {
+		t.Fatal(err)
+	}
+	if runs != 1 {
+		t.Errorf("job ran %d times, want 1", runs)
+	}
+	if err, ok := ex.releasedWith("a"); !ok || err != nil {
+		t.Errorf("released(a) = (%v, %v), want a nil-error release", err, ok)
+	}
+}
+
+// TestExecutorFailureReleasesError: a failing owned job releases the
+// claim with its error so peers re-arbitrate instead of waiting on a
+// completion that never happened.
+func TestExecutorFailureReleasesError(t *testing.T) {
+	ex := newScriptedExec()
+	boom := errors.New("boom")
+	jobs := []scenario.Job{{Key: "f", Lease: true, Run: func(context.Context) error { return boom }}}
+	if err := Run(context.Background(), jobs, Options{Executor: ex}); !errors.Is(err, boom) {
+		t.Fatalf("Run = %v, want the job error", err)
+	}
+	if rerr, ok := ex.releasedWith("f"); !ok || !errors.Is(rerr, boom) {
+		t.Errorf("released(f) = (%v, %v), want the job error", rerr, ok)
+	}
+}
+
+// TestExecutorDoneStillRunsWarm: when a peer already completed the
+// job, the closure still runs locally (warm assembly populates the
+// in-process memo state) but nothing is released.
+func TestExecutorDoneStillRunsWarm(t *testing.T) {
+	ex := newScriptedExec()
+	ex.try["w"] = ClaimDone
+	var mu sync.Mutex
+	var runs int32
+	if err := Run(context.Background(), []scenario.Job{leasedJob("w", &runs, &mu)}, Options{Executor: ex}); err != nil {
+		t.Fatal(err)
+	}
+	if runs != 1 {
+		t.Errorf("warm job ran %d times, want 1", runs)
+	}
+	if _, ok := ex.releasedWith("w"); ok {
+		t.Error("released a claim this node never owned")
+	}
+}
+
+// TestExecutorWaitThenTakeover: a parked waiter whose Await answers
+// ClaimOwn (the owner died; the claim was stolen) runs the job cold
+// and releases it.
+func TestExecutorWaitThenTakeover(t *testing.T) {
+	ex := newScriptedExec()
+	ex.try["s"] = ClaimWait
+	ex.await["s"] = ClaimOwn
+	var mu sync.Mutex
+	var runs int32
+	if err := Run(context.Background(), []scenario.Job{leasedJob("s", &runs, &mu)}, Options{Executor: ex}); err != nil {
+		t.Fatal(err)
+	}
+	if runs != 1 {
+		t.Errorf("stolen job ran %d times, want 1", runs)
+	}
+	if err, ok := ex.releasedWith("s"); !ok || err != nil {
+		t.Errorf("released(s) = (%v, %v), want a nil-error release after takeover", err, ok)
+	}
+}
+
+// TestExecutorErrorFallsBackLocal: arbitration failures never fail the
+// run — the job executes locally, unarbitrated.
+func TestExecutorErrorFallsBackLocal(t *testing.T) {
+	for name, setup := range map[string]func(*scriptedExec){
+		"try-error":   func(e *scriptedExec) { e.tryErr = errors.New("fabric down") },
+		"await-error": func(e *scriptedExec) { e.try["l"] = ClaimWait; e.awaitErr = errors.New("fabric down") },
+	} {
+		ex := newScriptedExec()
+		setup(ex)
+		var mu sync.Mutex
+		var runs int32
+		if err := Run(context.Background(), []scenario.Job{leasedJob("l", &runs, &mu)}, Options{Executor: ex}); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if runs != 1 {
+			t.Errorf("%s: job ran %d times, want a local fallback run", name, runs)
+		}
+		if _, ok := ex.releasedWith("l"); ok {
+			t.Errorf("%s: released a claim the executor never granted", name)
+		}
+	}
+}
+
+// TestExecutorIgnoresUnleasedJobs: only Lease jobs are arbitrated.
+func TestExecutorIgnoresUnleasedJobs(t *testing.T) {
+	ex := newScriptedExec()
+	ex.try["u"] = ClaimWait // would park if consulted
+	jobs := []scenario.Job{{Key: "u", Run: func(context.Context) error { return nil }}}
+	done := make(chan error, 1)
+	go func() { done <- Run(context.Background(), jobs, Options{Executor: ex}) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("unleased job consulted the executor and parked")
+	}
+	if ex.awaits != 0 {
+		t.Errorf("executor Await called %d times for an unleased job", ex.awaits)
+	}
+}
+
+// TestExecutorParkedWaitersKeepSemaphoreBalanced floods a 2-worker run
+// with leased jobs that all park before resolving warm: if a parked
+// waiter failed to re-acquire its worker slot the pool would deadlock
+// or over-admit; completion within the timeout with every job run once
+// pins the balance.
+func TestExecutorParkedWaitersKeepSemaphoreBalanced(t *testing.T) {
+	ex := newScriptedExec()
+	var mu sync.Mutex
+	var runs int32
+	var jobs []scenario.Job
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("park-%d", i)
+		ex.try[key] = ClaimWait // every job parks, Await answers ClaimDone
+		jobs = append(jobs, leasedJob(key, &runs, &mu))
+	}
+	done := make(chan error, 1)
+	go func() { done <- Run(context.Background(), jobs, Options{Workers: 2, Executor: ex}) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("run deadlocked: parked waiters corrupted the worker semaphore")
+	}
+	if runs != 50 {
+		t.Errorf("ran %d jobs, want 50", runs)
+	}
+}

@@ -1,0 +1,184 @@
+package service
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// testFabric returns a fabric with a fast lease clock and a captured
+// journal stream.
+func testFabric(hb, ttl time.Duration) (*fabric, *capturedJournal) {
+	cj := &capturedJournal{}
+	f := newFabric(hb, ttl, nil)
+	f.journalAppend = cj.append
+	return f, cj
+}
+
+type capturedJournal struct {
+	mu   sync.Mutex
+	recs []journalRecord
+}
+
+func (c *capturedJournal) append(rec journalRecord) {
+	c.mu.Lock()
+	c.recs = append(c.recs, rec)
+	c.mu.Unlock()
+}
+
+func (c *capturedJournal) count(op string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, r := range c.recs {
+		if r.Op == op {
+			n++
+		}
+	}
+	return n
+}
+
+func TestFabricClaimLifecycle(t *testing.T) {
+	f, cj := testFabric(10*time.Millisecond, time.Second)
+	r1 := f.join("one", 1)
+	r2 := f.join("two", 1)
+
+	st, _, err := f.tryAcquire(r1, kindJob, "job-x")
+	if err != nil || st != claimGranted {
+		t.Fatalf("first claim = (%s, %v), want granted", st, err)
+	}
+	// Idempotent re-claim by the owner.
+	if st, _, _ := f.tryAcquire(r1, kindJob, "job-x"); st != claimGranted {
+		t.Fatalf("owner re-claim = %s, want granted", st)
+	}
+	// A peer waits.
+	st, ch, _ := f.tryAcquire(r2, kindJob, "job-x")
+	if st != claimWait || ch == nil {
+		t.Fatalf("peer claim = %s, want wait with a channel", st)
+	}
+	// Successful release resolves the waiter as done.
+	f.release(r1, kindJob, "job-x", true)
+	select {
+	case <-ch:
+	default:
+		t.Fatal("release did not resolve the wait channel")
+	}
+	if st, _, _ := f.tryAcquire(r2, kindJob, "job-x"); st != claimDone {
+		t.Fatalf("post-release claim = %s, want done", st)
+	}
+	// Exactly the one grant was journalled; a completed claim is not a
+	// steal.
+	if got := cj.count(journalOpLease); got != 1 {
+		t.Errorf("lease records = %d, want 1", got)
+	}
+	if got := cj.count(journalOpSteal); got != 0 {
+		t.Errorf("steal records = %d, want 0", got)
+	}
+}
+
+func TestFabricFailedReleaseFreesClaim(t *testing.T) {
+	f, _ := testFabric(10*time.Millisecond, time.Second)
+	r1 := f.join("one", 1)
+	r2 := f.join("two", 1)
+	if st, _, _ := f.tryAcquire(r1, kindJob, "k"); st != claimGranted {
+		t.Fatal("first claim not granted")
+	}
+	f.release(r1, kindJob, "k", false)
+	// The next claimer is granted (not done): the work never happened.
+	if st, _, _ := f.tryAcquire(r2, kindJob, "k"); st != claimGranted {
+		t.Fatal("claim after a failed release should be granted to the next taker")
+	}
+}
+
+func TestFabricDoneAppliesToCacheKinds(t *testing.T) {
+	f, cj := testFabric(10*time.Millisecond, time.Second)
+	r1 := f.join("one", 1)
+	if st, _, _ := f.tryAcquire(r1, "result", "aabbcc"); st != claimGranted {
+		t.Fatal("cache claim not granted")
+	}
+	f.release(r1, "result", "aabbcc", true)
+	if st, _, _ := f.tryAcquire("", "result", "aabbcc"); st != claimDone {
+		t.Fatal("resolved cache claim must answer done, or waiters would recompute")
+	}
+	// Cache-kind claims are never journalled (fsync volume).
+	if got := cj.count(journalOpLease); got != 0 {
+		t.Errorf("cache claim journalled %d lease records", got)
+	}
+}
+
+func TestFabricStealsClaimsOfSilentRunner(t *testing.T) {
+	// ttl floors at 2*hb.
+	f, cj := testFabric(5*time.Millisecond, time.Millisecond)
+	victim := f.join("victim", 1)
+	if st, _, _ := f.tryAcquire(victim, kindJob, "stolen-job"); st != claimGranted {
+		t.Fatal("victim claim not granted")
+	}
+	if st, _, _ := f.tryAcquire(victim, "blob", "ddeeff"); st != claimGranted {
+		t.Fatal("victim cache claim not granted")
+	}
+	time.Sleep(3 * f.ttl)
+
+	// The coordinator's own next acquire sweeps the dead runner and wins
+	// both claims.
+	if st, _, _ := f.tryAcquire("", kindJob, "stolen-job"); st != claimGranted {
+		t.Fatal("stolen job claim was not re-granted")
+	}
+	if st, _, _ := f.tryAcquire("", "blob", "ddeeff"); st != claimGranted {
+		t.Fatal("stolen cache claim was not re-granted")
+	}
+	h := f.clusterHealth()
+	if h.StolenJobs != 1 {
+		t.Errorf("stolen jobs = %d, want 1 (cache claims are freed but not counted as job steals)", h.StolenJobs)
+	}
+	if h.ConnectedRunners != 0 {
+		t.Errorf("connected runners = %d, want 0", h.ConnectedRunners)
+	}
+	// Only the job claim produced a steal record.
+	if got := cj.count(journalOpSteal); got != 1 {
+		t.Errorf("steal records = %d, want 1", got)
+	}
+	// The dead runner's late release must not disturb the new owner.
+	f.release(victim, kindJob, "stolen-job", true)
+	if st, _, _ := f.tryAcquire("", kindJob, "stolen-job"); st != claimGranted {
+		t.Error("a dead runner's late release disturbed the re-granted claim")
+	}
+	// And its heartbeat answers unknown — the runner rejoins.
+	if _, err := f.heartbeat(victim); err == nil {
+		t.Error("dead runner heartbeat should be rejected")
+	}
+}
+
+func TestFabricAwaitTakesOverAfterOwnerDeath(t *testing.T) {
+	f, _ := testFabric(5*time.Millisecond, time.Millisecond)
+	victim := f.join("victim", 1)
+	if st, _, _ := f.tryAcquire(victim, kindJob, "j"); st != claimGranted {
+		t.Fatal("victim claim not granted")
+	}
+	// The coordinator parks on the claim; the victim never heartbeats,
+	// so within a few TTLs await re-acquires and is granted — takeover.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	st, err := f.await(ctx, "", kindJob, "j", 2*time.Second)
+	if err != nil || st != claimGranted {
+		t.Fatalf("await after owner death = (%s, %v), want granted", st, err)
+	}
+}
+
+func TestFabricHeartbeatListsAnnouncedRuns(t *testing.T) {
+	f, _ := testFabric(10*time.Millisecond, time.Second)
+	r1 := f.join("one", 2)
+	f.announce("job-1", specOf(t, `{"scenarios":["table1"]}`))
+	runs, err := f.heartbeat(r1)
+	if err != nil || len(runs) != 1 || runs[0].ID != "job-1" {
+		t.Fatalf("heartbeat = (%v, %v), want the announced run", runs, err)
+	}
+	f.withdraw("job-1")
+	runs, err = f.heartbeat(r1)
+	if err != nil || len(runs) != 0 {
+		t.Fatalf("heartbeat after withdraw = (%v, %v), want no runs", runs, err)
+	}
+	if _, err := f.heartbeat("runner-999"); err == nil {
+		t.Error("unknown runner heartbeat should be rejected")
+	}
+}

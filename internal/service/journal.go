@@ -37,9 +37,15 @@ import (
 const (
 	journalOpSubmit = "submit" // a job was accepted
 	journalOpEnd    = "end"    // a job reached a terminal state
+	journalOpLease  = "lease"  // a fabric job claim was granted to a runner
+	journalOpSteal  = "steal"  // a dead runner's job claims were freed
 )
 
-// journalRecord is one journal line.
+// journalRecord is one journal line. Lease/steal records carry the
+// runner id in ID and the (hashed) claim key in Key; only job-level
+// claims are journalled — cache-compute claims resolve far too often
+// to fsync each one, and their outcomes are already durable in the
+// content-addressed store.
 type journalRecord struct {
 	Op string `json:"op"`
 	ID string `json:"id"`
@@ -49,6 +55,8 @@ type journalRecord struct {
 	// End fields.
 	Status Status `json:"status,omitempty"`
 	Error  string `json:"error,omitempty"`
+	// Lease/steal fields.
+	Key string `json:"key,omitempty"`
 
 	Time time.Time `json:"time"`
 }
@@ -85,7 +93,9 @@ func decodeJournalLine(line string) (journalRecord, error) {
 	if err := json.Unmarshal([]byte(data), &rec); err != nil {
 		return rec, fmt.Errorf("service: journal decode: %w", err)
 	}
-	if rec.Op != journalOpSubmit && rec.Op != journalOpEnd {
+	switch rec.Op {
+	case journalOpSubmit, journalOpEnd, journalOpLease, journalOpSteal:
+	default:
 		return rec, fmt.Errorf("service: journal op %q unknown", rec.Op)
 	}
 	if rec.ID == "" {

@@ -1,0 +1,444 @@
+package service
+
+// The federated campaign fabric, runner side (DESIGN.md §13). A runner
+// joins a coordinator (`avfstressd -join <url>`), heartbeats for
+// liveness and work discovery, and executes every announced run: it
+// derives the same deterministic job DAG from the same spec as the
+// coordinator and every sibling runner, and races them claim-by-claim
+// through the coordinator's claim table — leased sched jobs via the
+// sched.Executor adapter, individual simulation computes via the
+// simcache.RemoteTier adapter. Results it computes are pushed to the
+// coordinator's content-addressed store as CRC-framed entries; results
+// a sibling computed first are pulled the same way and frame-validated
+// on receipt (a corrupt body is quarantined, never installed — the
+// runner recomputes instead). The runner's own rendered report is
+// discarded: the coordinator's report is the deliverable, and it is
+// byte-identical no matter how the work was sharded.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"avfstress/internal/experiments"
+	"avfstress/internal/persist"
+	"avfstress/internal/scenario"
+	"avfstress/internal/sched"
+	"avfstress/internal/simcache"
+)
+
+// RunnerOptions configures a fabric runner.
+type RunnerOptions struct {
+	// Coordinator is the coordinator daemon's base URL.
+	Coordinator string
+	// Name labels this runner in coordinator logs and health output.
+	Name string
+	// Workers bounds the runner's concurrent jobs/simulations
+	// (0 = GOMAXPROCS). Sharding changes wall-clock only, never bytes.
+	Workers int
+	// CacheDir enables the runner's local disk tier ("" = memory only).
+	// Runners must not share a cache directory with the coordinator or
+	// each other; the shared tier is the coordinator's store over HTTP.
+	CacheDir string
+	// Client overrides the HTTP client (tests). The default keeps
+	// enough idle connections for claim long-polls and cache traffic.
+	Client *http.Client
+	// Logf, when set, receives runner-side log lines.
+	Logf func(format string, args ...interface{})
+}
+
+var errGone = errors.New("service: runner registration expired")
+
+// Runner executes announced runs against a coordinator's fabric.
+type Runner struct {
+	opts  RunnerOptions
+	base  string
+	hc    *http.Client
+	store *simcache.Store
+
+	mu    sync.Mutex
+	id    string
+	scale int
+	hb    time.Duration
+	execs map[string]*runnerExec
+	wg    sync.WaitGroup
+}
+
+// runnerExec tracks one announced run's execution goroutine.
+type runnerExec struct {
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+// NewRunner builds a runner. Call Run to join and serve.
+func NewRunner(opts RunnerOptions) *Runner {
+	if opts.Name == "" {
+		opts.Name = "runner"
+	}
+	hc := opts.Client
+	if hc == nil {
+		tr := http.DefaultTransport.(*http.Transport).Clone()
+		tr.MaxIdleConnsPerHost = 64
+		hc = &http.Client{Transport: tr}
+	}
+	r := &Runner{
+		opts:  opts,
+		base:  strings.TrimRight(opts.Coordinator, "/"),
+		hc:    hc,
+		hb:    heartbeatDefault,
+		execs: map[string]*runnerExec{},
+	}
+	r.store = simcache.New(simcache.Options{Dir: opts.CacheDir, Remote: runnerRemote{r}})
+	return r
+}
+
+// Store exposes the runner's local store (tests, stats).
+func (r *Runner) Store() *simcache.Store { return r.store }
+
+func (r *Runner) logf(format string, args ...interface{}) {
+	if r.opts.Logf != nil {
+		r.opts.Logf(format, args...)
+	}
+}
+
+// Run joins the coordinator and serves until ctx is cancelled,
+// rejoining on 410 (coordinator restart, missed heartbeats) and
+// retrying on transport errors. It returns ctx.Err().
+func (r *Runner) Run(ctx context.Context) error {
+	defer r.stopAll()
+	for {
+		if err := r.join(ctx); err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			r.logf("fabric: join %s: %v; retrying", r.base, err)
+			if !sleepCtx(ctx, time.Second) {
+				return ctx.Err()
+			}
+			continue
+		}
+		err := r.heartbeatLoop(ctx)
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		r.logf("fabric: %v; rejoining", err)
+	}
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// join performs the handshake and adopts the coordinator's heartbeat
+// cadence and cache scale (the scale must match or fingerprints — and
+// with them every cache key — would diverge).
+func (r *Runner) join(ctx context.Context) error {
+	var resp joinResponse
+	err := r.postFramed(ctx, "/v1/fabric/join",
+		joinRequest{Name: r.opts.Name, Workers: r.opts.Workers}, &resp)
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	r.id = resp.Runner
+	r.scale = resp.Scale
+	if resp.HeartbeatMS > 0 {
+		r.hb = time.Duration(resp.HeartbeatMS) * time.Millisecond
+	}
+	r.mu.Unlock()
+	r.logf("fabric: joined %s as %s (scale %d, heartbeat %v)", r.base, resp.Runner, resp.Scale, r.hb)
+	return nil
+}
+
+// heartbeatLoop beats until ctx ends or the coordinator answers 410.
+// Each beat doubles as work discovery: the response lists the active
+// runs, and reconcile starts executions for new ones and cancels
+// executions whose run was withdrawn.
+func (r *Runner) heartbeatLoop(ctx context.Context) error {
+	r.mu.Lock()
+	hb := r.hb
+	r.mu.Unlock()
+	tick := time.NewTicker(hb)
+	defer tick.Stop()
+	for {
+		var resp heartbeatResponse
+		err := r.postFramed(ctx, "/v1/fabric/heartbeat", heartbeatRequest{Runner: r.runnerID()}, &resp)
+		switch {
+		case errors.Is(err, errGone):
+			return err
+		case err != nil:
+			// Transient coordinator trouble: keep beating until the
+			// coordinator forgets us (410) or ctx ends.
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+		default:
+			r.reconcile(ctx, resp.Runs)
+		}
+		select {
+		case <-tick.C:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+func (r *Runner) runnerID() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.id
+}
+
+// reconcile aligns local executions with the announced runs.
+func (r *Runner) reconcile(ctx context.Context, runs []runAnnouncement) {
+	active := map[string]bool{}
+	r.mu.Lock()
+	scale := r.scale
+	for _, run := range runs {
+		active[run.ID] = true
+		if _, ok := r.execs[run.ID]; ok {
+			continue
+		}
+		cctx, cancel := context.WithCancel(ctx)
+		ex := &runnerExec{cancel: cancel, done: make(chan struct{})}
+		r.execs[run.ID] = ex
+		r.wg.Add(1)
+		go func(id string, spec scenario.Spec) {
+			defer r.wg.Done()
+			defer close(ex.done)
+			r.execute(cctx, id, spec, scale)
+		}(run.ID, run.Spec)
+	}
+	for id, ex := range r.execs {
+		if !active[id] {
+			ex.cancel()
+			delete(r.execs, id)
+		}
+	}
+	r.mu.Unlock()
+}
+
+func (r *Runner) stopAll() {
+	r.mu.Lock()
+	for id, ex := range r.execs {
+		ex.cancel()
+		delete(r.execs, id)
+	}
+	r.mu.Unlock()
+	r.wg.Wait()
+}
+
+// execute runs one announced spec to completion. The experiment options
+// mirror the coordinator's result-affecting settings exactly — Scale
+// from the handshake, everything else from the spec — so the runner's
+// DAG, fingerprints and cache keys are identical to every other
+// node's. Only wall-clock knobs (Workers, retries) are local.
+func (r *Runner) execute(ctx context.Context, id string, spec scenario.Spec, scale int) {
+	r.logf("fabric: executing %s: %v", id, spec.Scenarios)
+	base := experiments.Options{
+		Scale:       scale,
+		Parallelism: r.opts.Workers,
+		Cache:       r.store.View(),
+		Logf:        func(format string, args ...interface{}) { r.logf("%s: "+format, append([]interface{}{id}, args...)...) },
+		Retry:       sched.RetryPolicy{MaxAttempts: 3, BaseDelay: 100 * time.Millisecond, MaxDelay: 2 * time.Second},
+		Executor:    runnerExecutor{r},
+	}
+	c, names, err := experiments.NewSpecContext(spec, base)
+	if err != nil {
+		r.logf("fabric: %s does not resolve here: %v", id, err)
+		return
+	}
+	// The report is discarded: the runner's contribution is the claims
+	// it won and the results it pushed, not the rendering.
+	if _, err := c.RunScenarios(ctx, names); err != nil && ctx.Err() == nil {
+		r.logf("fabric: %s: %v", id, err)
+		return
+	}
+	if ctx.Err() == nil {
+		r.logf("fabric: %s complete", id)
+	}
+}
+
+// --- wire helpers -------------------------------------------------------
+
+// postFramed exchanges CRC-framed JSON with a fabric endpoint.
+func (r *Runner) postFramed(ctx context.Context, path string, reqBody, respBody interface{}) error {
+	payload, err := json.Marshal(reqBody)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, r.base+path,
+		bytes.NewReader(persist.EncodeFramed(payload)))
+	if err != nil {
+		return err
+	}
+	res, err := r.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer res.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(res.Body, 4<<20))
+	if err != nil {
+		return err
+	}
+	switch {
+	case res.StatusCode == http.StatusGone:
+		return errGone
+	case res.StatusCode != http.StatusOK:
+		return fmt.Errorf("service: %s: %s: %s", path, res.Status, strings.TrimSpace(string(body)))
+	}
+	data, err := persist.DecodeFramed(body)
+	if err != nil {
+		return fmt.Errorf("service: %s response frame: %w", path, err)
+	}
+	return json.Unmarshal(data, respBody)
+}
+
+// claim asks the coordinator for (kind, key), long-polling waitMS.
+func (r *Runner) claim(ctx context.Context, kind, key string, wait time.Duration) (string, error) {
+	cctx, cancel := context.WithTimeout(ctx, wait+10*time.Second)
+	defer cancel()
+	var resp claimResponse
+	err := r.postFramed(cctx, "/v1/fabric/claim", claimRequest{
+		Runner: r.runnerID(), Kind: kind, Key: key, WaitMS: wait.Milliseconds(),
+	}, &resp)
+	if err != nil {
+		return "", err
+	}
+	return resp.State, nil
+}
+
+// releaseClaim resolves a claim this runner holds. It runs on a short
+// background context so graceful cancellation still releases.
+func (r *Runner) releaseClaim(kind, key string, ok bool) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	var resp struct{}
+	if err := r.postFramed(ctx, "/v1/fabric/release", releaseRequest{
+		Runner: r.runnerID(), Kind: kind, Key: key, OK: ok,
+	}, &resp); err != nil {
+		// The coordinator's lease TTL reclaims the claim anyway.
+		r.logf("fabric: release %s: %v", kind, err)
+	}
+}
+
+// runnerExecutor adapts the claim protocol to sched.Executor.
+type runnerExecutor struct{ r *Runner }
+
+func (e runnerExecutor) TryAcquire(key string) (sched.ClaimState, error) {
+	st, err := e.r.claim(context.Background(), kindJob, key, 0)
+	if err != nil {
+		return sched.ClaimWait, err
+	}
+	return stateOf(st), nil
+}
+
+func (e runnerExecutor) Await(ctx context.Context, key string) (sched.ClaimState, error) {
+	for {
+		st, err := e.r.claim(ctx, kindJob, key, 5*time.Second)
+		if err != nil {
+			return sched.ClaimWait, err
+		}
+		if st != claimWait {
+			return stateOf(st), nil
+		}
+		if err := ctx.Err(); err != nil {
+			return sched.ClaimWait, err
+		}
+	}
+}
+
+func (e runnerExecutor) Release(key string, err error) {
+	e.r.releaseClaim(kindJob, key, err == nil)
+}
+
+// runnerRemote adapts the coordinator's cache and claim endpoints to
+// simcache.RemoteTier.
+type runnerRemote struct{ r *Runner }
+
+func (t runnerRemote) url(kind string, key simcache.Key) string {
+	return fmt.Sprintf("%s/v1/cache/%s/%s", t.r.base, kind, key.Hex())
+}
+
+// Get fetches one framed entry; the store validates the frame on
+// receipt, so a body corrupted anywhere in flight is rejected there.
+func (t runnerRemote) Get(kind string, key simcache.Key) ([]byte, bool) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, t.url(kind, key), nil)
+	if err != nil {
+		return nil, false
+	}
+	res, err := t.r.hc.Do(req)
+	if err != nil {
+		return nil, false
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(res.Body, 4<<10))
+		return nil, false
+	}
+	framed, err := io.ReadAll(io.LimitReader(res.Body, 256<<20))
+	if err != nil {
+		return nil, false
+	}
+	return framed, true
+}
+
+// Put pushes one framed entry; failures are tolerated (the entry stays
+// in the runner's local tiers and any node can recompute).
+func (t runnerRemote) Put(kind string, key simcache.Key, framed []byte) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, t.url(kind, key), bytes.NewReader(framed))
+	if err != nil {
+		return
+	}
+	res, err := t.r.hc.Do(req)
+	if err != nil {
+		t.r.logf("fabric: cache put %s/%s: %v", kind, key.Hex(), err)
+		return
+	}
+	defer res.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(res.Body, 4<<10))
+	if res.StatusCode != http.StatusNoContent && res.StatusCode != http.StatusOK {
+		t.r.logf("fabric: cache put %s/%s: %s", kind, key.Hex(), res.Status)
+	}
+}
+
+// Acquire claims the compute for (kind, key), parking while another
+// node owns it. True means this node computes; false means a sibling
+// finished (the store re-probes the shared tier). Arbitration failures
+// fall back to computing locally — duplicated at worst, never wrong.
+func (t runnerRemote) Acquire(kind string, key simcache.Key) bool {
+	for {
+		st, err := t.r.claim(context.Background(), kind, key.Hex(), 2*time.Second)
+		if err != nil {
+			return true
+		}
+		switch st {
+		case claimGranted:
+			return true
+		case claimDone:
+			return false
+		}
+	}
+}
+
+func (t runnerRemote) Release(kind string, key simcache.Key, ok bool) {
+	t.r.releaseClaim(kind, key.Hex(), ok)
+}

@@ -1,0 +1,340 @@
+package simcache
+
+// The campaign-fabric tier (DESIGN.md §13). A RemoteTier sits behind
+// the local memory and disk tiers and makes the store cluster-aware:
+// on a local miss the store first asks the fabric for the entry, then
+// claims the right to compute it, so each content address is simulated
+// once across all nodes. Entries cross the tier in the same CRC-framed
+// wire form the disk tier uses, and are validated on receipt exactly
+// like disk reads — a bit flipped in transit is counted as a
+// quarantine and costs a recompute, never a wrong result.
+//
+// Two implementations exist in internal/service: the coordinator's
+// (claims against its in-process table; Get/Put are no-ops because its
+// store IS the authoritative tier, peers push entries into it via
+// Import) and the runner's (claims and entries over HTTP).
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"avfstress/internal/avf"
+	"avfstress/internal/persist"
+)
+
+// Entry kinds on the fabric wire: result entries carry framed JSON
+// (*avf.Result), blob entries framed opaque bytes — mirroring the
+// ".json"/".bin" split of the disk tier.
+const (
+	KindResult = "result"
+	KindBlob   = "blob"
+)
+
+// RemoteTier is the store's view of the campaign fabric.
+// Implementations must be safe for concurrent use and entirely
+// best-effort: any of these may fail silently (the store falls back to
+// computing locally — duplicated work at worst, never a missing or
+// wrong result).
+type RemoteTier interface {
+	// Get fetches the framed entry for key, if a node has published it.
+	Get(kind string, key Key) (framed []byte, ok bool)
+	// Put publishes a framed entry this node computed.
+	Put(kind string, key Key, framed []byte)
+	// Acquire claims the right to compute key. It may block while a
+	// peer holds the claim; true means this node must compute (and then
+	// Release), false that a peer resolved the key (re-Get it).
+	Acquire(kind string, key Key) bool
+	// Release resolves a claim this node holds; ok reports whether the
+	// entry now exists.
+	Release(kind string, key Key, ok bool)
+}
+
+// ParseKey parses the hex form produced by Key.Hex — the fabric wire
+// format for content addresses.
+func ParseKey(s string) (Key, error) {
+	var k Key
+	b, err := hex.DecodeString(s)
+	if err != nil || len(b) != len(k) {
+		return Key{}, fmt.Errorf("simcache: malformed key %q", s)
+	}
+	copy(k[:], b)
+	return k, nil
+}
+
+// remoteAttempts bounds the Get→Acquire→wait loop. Each failed pass
+// means a peer's claim resolved without the entry becoming visible
+// (its publish was lost, or it died and the claim moved on); after the
+// bound the store computes unclaimed rather than loop forever.
+const remoteAttempts = 4
+
+// countQuarantine records a rejected fabric entry — same counter as a
+// corrupt disk entry, there is just no local file to move.
+func (s *Store) countQuarantine() {
+	s.st.glob.quarantined.Add(1)
+	s.loc.quarantined.Add(1)
+}
+
+// decodeRemoteResult validates and decodes a framed result entry
+// received from the fabric, counting a quarantine on rejection.
+func (s *Store) decodeRemoteResult(framed []byte) (*avf.Result, bool) {
+	payload, err := persist.DecodeFramed(framed)
+	if err != nil {
+		s.countQuarantine()
+		return nil, false
+	}
+	r := &avf.Result{}
+	if err := json.Unmarshal(payload, r); err != nil {
+		s.countQuarantine()
+		return nil, false
+	}
+	return r, true
+}
+
+// remoteResult resolves a result miss through the fabric: re-probe the
+// local tiers (a peer's publish may have landed in them), fetch from
+// the fabric, or claim the compute right and simulate. The caller
+// holds the key's singleflight slot; the caller stores the returned
+// result into the memory tier.
+func (s *Store) remoteResult(key Key, simulate func() (*avf.Result, error)) (*avf.Result, error) {
+	st := s.st
+	for attempt := 0; attempt < remoteAttempts; attempt++ {
+		if attempt > 0 {
+			// A peer's claim resolved while we waited. On the
+			// coordinator its publish landed directly in our tiers (the
+			// fabric Get below is a no-op there); on runners the next
+			// Get fetches it. Either way, check locally first.
+			st.mu.Lock()
+			r, ok := st.mem[key]
+			st.mu.Unlock()
+			if !ok {
+				if dr := s.loadDisk(key); dr != nil {
+					r, ok = dr, true
+				}
+			}
+			if ok {
+				st.glob.remoteHits.Add(1)
+				s.loc.remoteHits.Add(1)
+				return r, nil
+			}
+		}
+		if framed, ok := st.remote.Get(KindResult, key); ok {
+			if r, ok := s.decodeRemoteResult(framed); ok {
+				st.glob.remoteHits.Add(1)
+				s.loc.remoteHits.Add(1)
+				if payload, err := json.Marshal(r); err == nil && st.dir != "" {
+					s.writeEntry(s.path(key), payload)
+				}
+				return r, nil
+			}
+			// Rejected in transit: fall through and claim the compute —
+			// our clean Put below heals the fabric copy.
+		} else if attempt == 0 {
+			st.glob.remoteMisses.Add(1)
+			s.loc.remoteMisses.Add(1)
+		}
+		if st.remote.Acquire(KindResult, key) {
+			r, err := s.simulateResult(key, simulate)
+			st.remote.Release(KindResult, key, err == nil)
+			return r, err
+		}
+	}
+	// The fabric never produced a usable entry; compute unclaimed.
+	return s.simulateResult(key, simulate)
+}
+
+// simulateResult runs the simulation, counts it, and publishes the
+// entry to disk and the fabric.
+func (s *Store) simulateResult(key Key, simulate func() (*avf.Result, error)) (*avf.Result, error) {
+	st := s.st
+	r, err := simulate()
+	st.glob.sims.Add(1)
+	s.loc.sims.Add(1)
+	if err != nil {
+		return r, err
+	}
+	s.saveDisk(key, r)
+	if payload, merr := json.Marshal(r); merr == nil {
+		st.remote.Put(KindResult, key, persist.EncodeFramed(payload))
+	}
+	return r, nil
+}
+
+// remoteBlob is remoteResult for the blob tier. The caller holds the
+// key's blob singleflight slot and inserts the returned value into the
+// memory tier.
+func (s *Store) remoteBlob(key Key, compute func() ([]byte, error)) ([]byte, error) {
+	st := s.st
+	for attempt := 0; attempt < remoteAttempts; attempt++ {
+		if attempt > 0 {
+			st.mu.Lock()
+			v, ok := st.blobMem[key]
+			if ok {
+				st.touchBlob(key)
+			}
+			st.mu.Unlock()
+			if !ok {
+				v, ok = s.loadBlob(key)
+			}
+			if ok {
+				st.glob.remoteHits.Add(1)
+				s.loc.remoteHits.Add(1)
+				st.glob.blobHits.Add(1)
+				s.loc.blobHits.Add(1)
+				return v, nil
+			}
+		}
+		if framed, ok := st.remote.Get(KindBlob, key); ok {
+			if v, err := persist.DecodeFramed(framed); err == nil {
+				st.glob.remoteHits.Add(1)
+				s.loc.remoteHits.Add(1)
+				st.glob.blobHits.Add(1)
+				s.loc.blobHits.Add(1)
+				s.saveBlob(key, v)
+				return v, nil
+			}
+			s.countQuarantine()
+		} else if attempt == 0 {
+			st.glob.remoteMisses.Add(1)
+			s.loc.remoteMisses.Add(1)
+		}
+		if st.remote.Acquire(KindBlob, key) {
+			v, err := s.computeBlob(key, compute)
+			st.remote.Release(KindBlob, key, err == nil)
+			return v, err
+		}
+	}
+	return s.computeBlob(key, compute)
+}
+
+// computeBlob runs the computation, counts it, and publishes the entry
+// to disk and the fabric.
+func (s *Store) computeBlob(key Key, compute func() ([]byte, error)) ([]byte, error) {
+	st := s.st
+	v, err := compute()
+	st.glob.sims.Add(1)
+	s.loc.sims.Add(1)
+	if err != nil {
+		return v, err
+	}
+	s.saveBlob(key, v)
+	st.remote.Put(KindBlob, key, persist.EncodeFramed(v))
+	return v, nil
+}
+
+// remoteProbeBlob is GetBlob's single non-blocking fabric probe: fetch
+// and validate, never claim or wait. A hit is installed in the local
+// tiers like a disk hit.
+func (s *Store) remoteProbeBlob(key Key) ([]byte, bool) {
+	st := s.st
+	framed, ok := st.remote.Get(KindBlob, key)
+	if !ok {
+		st.glob.remoteMisses.Add(1)
+		s.loc.remoteMisses.Add(1)
+		return nil, false
+	}
+	v, err := persist.DecodeFramed(framed)
+	if err != nil {
+		s.countQuarantine()
+		return nil, false
+	}
+	st.glob.remoteHits.Add(1)
+	s.loc.remoteHits.Add(1)
+	st.glob.blobHits.Add(1)
+	s.loc.blobHits.Add(1)
+	st.mu.Lock()
+	st.insertBlob(key, v, &s.loc)
+	st.mu.Unlock()
+	s.saveBlob(key, v)
+	return v, true
+}
+
+// ExportResult returns the framed wire form of the result entry for
+// key, if present in the local tiers — the coordinator serves fabric
+// cache fetches with it. Export traffic is not counted in Stats (it is
+// a peer's hit, not this store's).
+func (s *Store) ExportResult(key Key) ([]byte, bool) {
+	if s == nil {
+		return nil, false
+	}
+	st := s.st
+	st.mu.Lock()
+	r, ok := st.mem[key]
+	st.mu.Unlock()
+	if !ok {
+		if r = s.loadDisk(key); r == nil {
+			return nil, false
+		}
+	}
+	payload, err := json.Marshal(r)
+	if err != nil {
+		return nil, false
+	}
+	return persist.EncodeFramed(payload), true
+}
+
+// ExportBlob is ExportResult for the blob tier.
+func (s *Store) ExportBlob(key Key) ([]byte, bool) {
+	if s == nil {
+		return nil, false
+	}
+	st := s.st
+	st.mu.Lock()
+	v, ok := st.blobMem[key]
+	if ok {
+		st.touchBlob(key)
+	}
+	st.mu.Unlock()
+	if !ok {
+		if v, ok = s.loadBlob(key); !ok {
+			return nil, false
+		}
+	}
+	return persist.EncodeFramed(v), true
+}
+
+// ImportResult installs a framed result entry a fabric peer pushed,
+// after the same frame-on-receipt validation disk reads get: a corrupt
+// frame or undecodable payload counts a quarantine and is rejected.
+// No-op on a nil store.
+func (s *Store) ImportResult(key Key, framed []byte) error {
+	if s == nil {
+		return nil
+	}
+	st := s.st
+	payload, err := persist.DecodeFramed(framed)
+	if err != nil {
+		s.countQuarantine()
+		return fmt.Errorf("simcache: import %s: %w", key.Hex(), err)
+	}
+	r := &avf.Result{}
+	if err := json.Unmarshal(payload, r); err != nil {
+		s.countQuarantine()
+		return fmt.Errorf("simcache: import %s: undecodable payload: %w", key.Hex(), err)
+	}
+	st.mu.Lock()
+	st.mem[key] = r
+	st.mu.Unlock()
+	if st.dir != "" {
+		s.writeEntry(s.path(key), payload)
+	}
+	return nil
+}
+
+// ImportBlob is ImportResult for the blob tier.
+func (s *Store) ImportBlob(key Key, framed []byte) error {
+	if s == nil {
+		return nil
+	}
+	st := s.st
+	v, err := persist.DecodeFramed(framed)
+	if err != nil {
+		s.countQuarantine()
+		return fmt.Errorf("simcache: import blob %s: %w", key.Hex(), err)
+	}
+	st.mu.Lock()
+	st.insertBlob(key, v, &s.loc)
+	st.mu.Unlock()
+	s.saveBlob(key, v)
+	return nil
+}

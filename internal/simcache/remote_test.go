@@ -1,0 +1,321 @@
+package simcache
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+
+	"avfstress/internal/avf"
+	"avfstress/internal/persist"
+)
+
+// fakeTier is an in-memory RemoteTier: a shared map of framed entries
+// plus a claim table, standing in for the coordinator in store tests.
+type fakeTier struct {
+	mu      sync.Mutex
+	entries map[string][]byte
+	claimed map[string]bool
+	done    map[string]bool
+	gets    int
+	puts    int
+	// corrupt, when set, transforms every Get response (bit-flip
+	// injection for the frame-on-receipt tests).
+	corrupt func(framed []byte) []byte
+}
+
+func newFakeTier() *fakeTier {
+	return &fakeTier{entries: map[string][]byte{}, claimed: map[string]bool{}, done: map[string]bool{}}
+}
+
+func (f *fakeTier) addr(kind string, key Key) string { return kind + "/" + key.Hex() }
+
+func (f *fakeTier) Get(kind string, key Key) ([]byte, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.gets++
+	framed, ok := f.entries[f.addr(kind, key)]
+	if !ok {
+		return nil, false
+	}
+	if f.corrupt != nil {
+		framed = f.corrupt(framed)
+	}
+	return framed, true
+}
+
+func (f *fakeTier) Put(kind string, key Key, framed []byte) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.puts++
+	f.entries[f.addr(kind, key)] = append([]byte(nil), framed...)
+}
+
+func (f *fakeTier) Acquire(kind string, key Key) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	a := f.addr(kind, key)
+	if f.done[a] || f.claimed[a] {
+		return false
+	}
+	f.claimed[a] = true
+	return true
+}
+
+func (f *fakeTier) Release(kind string, key Key, ok bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	a := f.addr(kind, key)
+	delete(f.claimed, a)
+	if ok {
+		f.done[a] = true
+	}
+}
+
+// TestRemoteTierSharesResults checks the basic fabric flow: the first
+// store computes and publishes, a second store with the same tier
+// serves the entry remotely without simulating, and both attribute the
+// traffic to the remote counters.
+func TestRemoteTierSharesResults(t *testing.T) {
+	tier := newFakeTier()
+	a := New(Options{Remote: tier})
+	key := a.Key("shared")
+	want := sampleResult("shared")
+	sims := 0
+	if _, err := a.Do(key, func() (*avf.Result, error) { sims++; return want, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if sims != 1 {
+		t.Fatalf("first store simulated %d times, want 1", sims)
+	}
+	if st := a.Stats(); st.RemoteMisses != 1 {
+		t.Errorf("first store remote misses = %d, want 1 (it computed after a fabric miss)", st.RemoteMisses)
+	}
+
+	b := New(Options{Remote: tier})
+	got, err := b.Do(key, func() (*avf.Result, error) { sims++; return nil, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sims != 1 {
+		t.Fatalf("second store simulated (total %d), want a remote hit", sims)
+	}
+	wantJSON, _ := json.Marshal(want)
+	gotJSON, _ := json.Marshal(got)
+	if !bytes.Equal(wantJSON, gotJSON) {
+		t.Errorf("remote result differs:\n%s\nvs\n%s", gotJSON, wantJSON)
+	}
+	if st := b.Stats(); st.RemoteHits != 1 || st.Simulated != 0 {
+		t.Errorf("second store stats = %+v, want one remote hit and zero sims", st)
+	}
+
+	// Blob flow, same shape.
+	bkey := a.Key("shared-blob")
+	val := []byte("checkpoint bytes")
+	if _, err := a.DoBlob(bkey, func() ([]byte, error) { return val, nil }); err != nil {
+		t.Fatal(err)
+	}
+	v, err := b.DoBlob(bkey, func() ([]byte, error) { t.Error("second store recomputed the blob"); return nil, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(v, val) {
+		t.Errorf("remote blob = %q, want %q", v, val)
+	}
+	if st := b.Stats(); st.BlobHits != 1 || st.RemoteHits != 2 {
+		t.Errorf("second store stats after blob = %+v, want blob and remote hits counted", st)
+	}
+}
+
+// TestRemoteAcquireDoneRechecksLocally covers the coordinator-shaped
+// tier (Get is a no-op; a peer's publish lands in the local tiers via
+// Import): when Acquire answers "a peer resolved it", the store must
+// re-probe its own tiers before computing.
+func TestRemoteAcquireDoneRechecksLocally(t *testing.T) {
+	tier := newFakeTier()
+	s := New(Options{Remote: tier})
+	key := s.Key("peer-computed")
+	want := sampleResult("peer")
+
+	// Simulate the peer: claim resolved, entry imported locally, but the
+	// tier itself serves nothing (coordinator Get is a no-op).
+	tier.done[tier.addr(KindResult, key)] = true
+	payload, _ := json.Marshal(want)
+	if err := s.ImportResult(key, persist.EncodeFramed(payload)); err != nil {
+		t.Fatal(err)
+	}
+	tier.entries = map[string][]byte{} // Get finds nothing
+
+	// A view (fresh local counters) resolves the key without simulating:
+	// memory tier was populated by the import. Use a view to keep the
+	// import's counters separate.
+	v := s.View()
+	got, err := v.Do(key, func() (*avf.Result, error) {
+		t.Error("simulated although a peer resolved the key")
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Workload != want.Workload {
+		t.Errorf("got workload %q, want %q", got.Workload, want.Workload)
+	}
+	if st := v.LocalStats(); st.MemHits != 1 {
+		t.Errorf("view stats = %+v, want the imported entry served from memory", st)
+	}
+}
+
+// TestRemoteResultBitFlipEveryOffset flips every bit position of the
+// framed result entry the fabric serves, one Get at a time, and
+// demands each corruption is rejected (quarantined, recomputed, never
+// decoded into a wrong result) — the frame-on-receipt discipline of
+// the disk tier (corrupt_test.go) applied to the wire.
+func TestRemoteResultBitFlipEveryOffset(t *testing.T) {
+	tier := newFakeTier()
+	seed := New(Options{Remote: tier})
+	key := seed.Key("flip-result")
+	want := sampleResult("flip")
+	if _, err := seed.Do(key, func() (*avf.Result, error) { return want, nil }); err != nil {
+		t.Fatal(err)
+	}
+	framed := tier.entries[tier.addr(KindResult, key)]
+	if len(framed) == 0 {
+		t.Fatal("seed store published no framed entry")
+	}
+	wantJSON, _ := json.Marshal(want)
+
+	for off := 0; off < len(framed); off++ {
+		off := off
+		tier.corrupt = func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[off] ^= 0x10
+			return c
+		}
+		// Each receiving store is cold and the claim table is reset so
+		// the corrupt fetch is followed by a local recompute.
+		tier.claimed, tier.done = map[string]bool{}, map[string]bool{}
+		cold := New(Options{Remote: tier})
+		sims := 0
+		got, err := cold.Do(key, func() (*avf.Result, error) { sims++; return sampleResult("flip"), nil })
+		if err != nil {
+			t.Fatalf("offset %d: %v", off, err)
+		}
+		gotJSON, _ := json.Marshal(got)
+		if !bytes.Equal(gotJSON, wantJSON) {
+			t.Fatalf("offset %d: corrupt entry decoded into a different result", off)
+		}
+		if sims != 1 {
+			t.Fatalf("offset %d: simulated %d times, want 1 (corrupt fabric entry must be recomputed)", off, sims)
+		}
+		if q := cold.Stats().Quarantined; q != 1 {
+			t.Fatalf("offset %d: quarantined = %d, want 1", off, q)
+		}
+	}
+	// The recomputing stores heal the fabric copy with clean Puts: the
+	// final published entry round-trips.
+	tier.corrupt = nil
+	if _, err := persist.DecodeFramed(tier.entries[tier.addr(KindResult, key)]); err != nil {
+		t.Errorf("healed fabric entry does not validate: %v", err)
+	}
+}
+
+// TestRemoteBlobBitFlipEveryOffset is the blob-tier half of the wire
+// corruption contract.
+func TestRemoteBlobBitFlipEveryOffset(t *testing.T) {
+	tier := newFakeTier()
+	seed := New(Options{Remote: tier})
+	key := seed.Key("flip-blob")
+	val := []byte("blob payload under test")
+	if _, err := seed.DoBlob(key, func() ([]byte, error) { return val, nil }); err != nil {
+		t.Fatal(err)
+	}
+	framed := tier.entries[tier.addr(KindBlob, key)]
+	if len(framed) == 0 {
+		t.Fatal("seed store published no framed blob")
+	}
+
+	for off := 0; off < len(framed); off++ {
+		off := off
+		tier.corrupt = func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[off] ^= 0x01
+			return c
+		}
+		tier.claimed, tier.done = map[string]bool{}, map[string]bool{}
+		cold := New(Options{Remote: tier})
+		sims := 0
+		got, err := cold.DoBlob(key, func() ([]byte, error) { sims++; return append([]byte(nil), val...), nil })
+		if err != nil {
+			t.Fatalf("offset %d: %v", off, err)
+		}
+		if !bytes.Equal(got, val) {
+			t.Fatalf("offset %d: corrupt blob accepted", off)
+		}
+		if sims != 1 || cold.Stats().Quarantined != 1 {
+			t.Fatalf("offset %d: sims=%d quarantined=%d, want 1 and 1", off, sims, cold.Stats().Quarantined)
+		}
+	}
+}
+
+// TestBlobStatsPerViewAttribution pins the per-handle blob/remote
+// attribution contract: two views of one store see only their own
+// blob-tier and fabric traffic in LocalStats, while store-wide Stats
+// aggregates both.
+func TestBlobStatsPerViewAttribution(t *testing.T) {
+	tier := newFakeTier()
+	s := New(Options{Remote: tier})
+	busy, idle := s.View(), s.View()
+
+	bkey := s.Key("attr-blob")
+	if _, err := busy.DoBlob(bkey, func() ([]byte, error) { return []byte("v"), nil }); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := busy.GetBlob(bkey); !ok { // memory hit
+		t.Fatal("warm GetBlob missed")
+	}
+	if _, ok := busy.GetBlob(s.Key("absent")); ok { // miss through the fabric probe
+		t.Fatal("absent key hit")
+	}
+
+	bs := busy.LocalStats()
+	if bs.BlobHits != 1 || bs.BlobMisses != 1 {
+		t.Errorf("busy view blob attribution = %d/%d, want 1/1 (stats %+v)", bs.BlobHits, bs.BlobMisses, bs)
+	}
+	// The cold DoBlob probed the fabric (miss), the absent GetBlob probe
+	// did too.
+	if bs.RemoteMisses != 2 {
+		t.Errorf("busy view remote misses = %d, want 2", bs.RemoteMisses)
+	}
+	is := idle.LocalStats()
+	if is != (Stats{}) {
+		t.Errorf("idle view attributed traffic it never issued: %+v", is)
+	}
+	gs := s.Stats()
+	if gs.BlobHits != bs.BlobHits || gs.BlobMisses != bs.BlobMisses || gs.RemoteMisses != bs.RemoteMisses {
+		t.Errorf("store-wide stats %+v do not aggregate the busy view's %+v", gs, bs)
+	}
+
+	// A second view hitting the same blob attributes to itself only.
+	if _, ok := idle.GetBlob(bkey); !ok {
+		t.Fatal("second view missed the shared blob")
+	}
+	if is := idle.LocalStats(); is.BlobHits != 1 || is.MemHits != 1 {
+		t.Errorf("second view stats = %+v, want its own mem+blob hit", is)
+	}
+	if bs2 := busy.LocalStats(); bs2.BlobHits != bs.BlobHits {
+		t.Errorf("first view's counters moved (%d -> %d) on the second view's traffic", bs.BlobHits, bs2.BlobHits)
+	}
+}
+
+// TestStatsStringKeepsAnchoredPrefix pins the CLI stats line: scripts
+// grep the first four fields, so the fabric/blob fields must append,
+// never reshape.
+func TestStatsStringKeepsAnchoredPrefix(t *testing.T) {
+	st := Stats{MemHits: 1, DiskHits: 2, Simulated: 3, Deduped: 4,
+		Misses: 5, Evicted: 6, Quarantined: 7,
+		BlobHits: 8, BlobMisses: 9, RemoteHits: 10, RemoteMisses: 11}
+	want := "mem=1 disk=2 sim=3 dedup=4 miss=5 evict=6 quar=7 blob=8/9 remote=10/11"
+	if got := st.String(); got != want {
+		t.Errorf("Stats.String() = %q, want %q", got, want)
+	}
+}

@@ -75,6 +75,13 @@ type Options struct {
 	// eviction degrades a future hit from memory to disk, never to a
 	// re-simulation. 0 selects the default (1 GiB); negative = unlimited.
 	BlobCapBytes int64
+	// Remote attaches a campaign-fabric tier behind the local ones
+	// (DESIGN.md §13): on a local miss the store consults it before
+	// simulating, and claims the compute right through it so each key
+	// is simulated once across the whole cluster. Entries received from
+	// it get the same frame-on-receipt validation as disk entries. Nil
+	// (the default) keeps the store purely local.
+	Remote RemoteTier
 }
 
 // defaultBlobCapBytes bounds the in-memory blob tier when the caller
@@ -100,6 +107,7 @@ type Store struct {
 type state struct {
 	version string
 	dir     string // "" = memory only
+	remote  RemoteTier
 
 	mu     sync.Mutex
 	mem    map[Key]*avf.Result
@@ -131,17 +139,29 @@ type counters struct {
 	misses      atomic.Int64
 	evicted     atomic.Int64
 	quarantined atomic.Int64
+	// Tier-attribution counters: blobHits/blobMisses are the blob-tier
+	// share of the hit/miss traffic above (so per-handle attribution
+	// distinguishes result entries from blob entries), remoteHits/
+	// remoteMisses count lookups resolved (or not) by the fabric tier.
+	blobHits     atomic.Int64
+	blobMisses   atomic.Int64
+	remoteHits   atomic.Int64
+	remoteMisses atomic.Int64
 }
 
 func (c *counters) snapshot() Stats {
 	return Stats{
-		MemHits:     c.memHits.Load(),
-		DiskHits:    c.diskHits.Load(),
-		Simulated:   c.sims.Load(),
-		Deduped:     c.dedups.Load(),
-		Misses:      c.misses.Load(),
-		Evicted:     c.evicted.Load(),
-		Quarantined: c.quarantined.Load(),
+		MemHits:      c.memHits.Load(),
+		DiskHits:     c.diskHits.Load(),
+		Simulated:    c.sims.Load(),
+		Deduped:      c.dedups.Load(),
+		Misses:       c.misses.Load(),
+		Evicted:      c.evicted.Load(),
+		Quarantined:  c.quarantined.Load(),
+		BlobHits:     c.blobHits.Load(),
+		BlobMisses:   c.blobMisses.Load(),
+		RemoteHits:   c.remoteHits.Load(),
+		RemoteMisses: c.remoteMisses.Load(),
 	}
 }
 
@@ -184,6 +204,7 @@ func New(opts Options) *Store {
 	if opts.Dir != "" {
 		st.dir = filepath.Join(opts.Dir, v)
 	}
+	st.remote = opts.Remote
 	return &Store{st: st}
 }
 
@@ -252,10 +273,13 @@ func (s *Store) Do(key Key, simulate func() (*avf.Result, error)) (*avf.Result, 
 
 	var err error
 	r := s.loadDisk(key)
-	if r != nil {
+	switch {
+	case r != nil:
 		st.glob.diskHits.Add(1)
 		s.loc.diskHits.Add(1)
-	} else {
+	case st.remote != nil:
+		r, err = s.remoteResult(key, simulate)
+	default:
 		r, err = simulate()
 		st.glob.sims.Add(1)
 		s.loc.sims.Add(1)
@@ -293,6 +317,8 @@ func (s *Store) DoBlob(key Key, compute func() ([]byte, error)) ([]byte, error) 
 		st.mu.Unlock()
 		st.glob.memHits.Add(1)
 		s.loc.memHits.Add(1)
+		st.glob.blobHits.Add(1)
+		s.loc.blobHits.Add(1)
 		return v, nil
 	}
 	if c, ok := st.blobFlight[key]; ok {
@@ -308,10 +334,15 @@ func (s *Store) DoBlob(key Key, compute func() ([]byte, error)) ([]byte, error) 
 
 	var err error
 	v, ok := s.loadBlob(key)
-	if ok {
+	switch {
+	case ok:
 		st.glob.diskHits.Add(1)
 		s.loc.diskHits.Add(1)
-	} else {
+		st.glob.blobHits.Add(1)
+		s.loc.blobHits.Add(1)
+	case st.remote != nil:
+		v, err = s.remoteBlob(key, compute)
+	default:
 		v, err = compute()
 		st.glob.sims.Add(1)
 		s.loc.sims.Add(1)
@@ -347,19 +378,33 @@ func (s *Store) GetBlob(key Key) ([]byte, bool) {
 		st.mu.Unlock()
 		st.glob.memHits.Add(1)
 		s.loc.memHits.Add(1)
+		st.glob.blobHits.Add(1)
+		s.loc.blobHits.Add(1)
 		return v, true
 	}
 	st.mu.Unlock()
 	if v, ok := s.loadBlob(key); ok {
 		st.glob.diskHits.Add(1)
 		s.loc.diskHits.Add(1)
+		st.glob.blobHits.Add(1)
+		s.loc.blobHits.Add(1)
 		st.mu.Lock()
 		st.insertBlob(key, v, &s.loc)
 		st.mu.Unlock()
 		return v, true
 	}
+	// One non-blocking fabric probe: GetBlob's probe-then-batch contract
+	// (a miss changes what gets computed) forbids waiting on a peer's
+	// claim here, but a resolved remote entry is still a hit.
+	if st.remote != nil {
+		if v, ok := s.remoteProbeBlob(key); ok {
+			return v, true
+		}
+	}
 	st.glob.misses.Add(1)
 	s.loc.misses.Add(1)
+	st.glob.blobMisses.Add(1)
+	s.loc.blobMisses.Add(1)
 	return nil, false
 }
 
@@ -375,6 +420,9 @@ func (s *Store) PutBlob(key Key, v []byte) {
 	st.insertBlob(key, v, &s.loc)
 	st.mu.Unlock()
 	s.saveBlob(key, v)
+	if st.remote != nil {
+		st.remote.Put(KindBlob, key, persist.EncodeFramed(v))
+	}
 }
 
 // touchBlob marks key most-recently-used. Caller holds mu.
@@ -563,9 +611,18 @@ type Stats struct {
 	Misses  int64 `json:"misses,omitempty"`
 	Evicted int64 `json:"evicted,omitempty"`
 	// Quarantined counts disk entries that failed frame validation or
-	// decode and were moved to the quarantine directory (each one costs
-	// a re-computation, never a wrong result — DESIGN.md §11).
+	// decode and were moved to the quarantine directory — and fabric
+	// entries rejected by the same frame-on-receipt check (each one
+	// costs a re-computation, never a wrong result — DESIGN.md §11).
 	Quarantined int64 `json:"quarantined,omitempty"`
+	// BlobHits and BlobMisses are the blob-tier share of the hit and
+	// miss traffic above (results vs. blobs attribution per handle);
+	// RemoteHits and RemoteMisses count lookups the campaign-fabric
+	// tier resolved or failed to resolve (DESIGN.md §13).
+	BlobHits     int64 `json:"blob_hits,omitempty"`
+	BlobMisses   int64 `json:"blob_misses,omitempty"`
+	RemoteHits   int64 `json:"remote_hits,omitempty"`
+	RemoteMisses int64 `json:"remote_misses,omitempty"`
 }
 
 // Hits is the total traffic served without running a simulation.
@@ -591,10 +648,11 @@ func (s *Store) LocalStats() Stats {
 }
 
 // String renders the counters as the one-line "mem=… disk=… sim=… dedup=…"
-// summary the CLIs print. The blob-probe and quarantine fields are
-// appended (the prefix is load-bearing: scripts anchor on the first
-// four fields).
+// summary the CLIs print. The blob-probe, quarantine, blob-attribution
+// and fabric fields are appended (the prefix is load-bearing: scripts
+// anchor on the first four fields).
 func (st Stats) String() string {
-	return fmt.Sprintf("mem=%d disk=%d sim=%d dedup=%d miss=%d evict=%d quar=%d",
-		st.MemHits, st.DiskHits, st.Simulated, st.Deduped, st.Misses, st.Evicted, st.Quarantined)
+	return fmt.Sprintf("mem=%d disk=%d sim=%d dedup=%d miss=%d evict=%d quar=%d blob=%d/%d remote=%d/%d",
+		st.MemHits, st.DiskHits, st.Simulated, st.Deduped, st.Misses, st.Evicted, st.Quarantined,
+		st.BlobHits, st.BlobMisses, st.RemoteHits, st.RemoteMisses)
 }
