@@ -4,7 +4,7 @@ GO ?= go
 # lifetime-engine microbenchmarks.
 BENCH_PKGS = . ./internal/cache
 
-.PHONY: all build vet test race check bench bench-compare bench-smoke cache-smoke serve-smoke chaos-smoke cluster-smoke docs-check
+.PHONY: all build vet test race rootcause-diff check bench bench-compare bench-smoke cache-smoke serve-smoke chaos-smoke cluster-smoke docs-check
 
 all: check
 
@@ -19,11 +19,20 @@ test:
 
 # race runs the concurrency-heavy tiers (DAG scheduler with its
 # retry/panic-containment paths, job service with journal replay,
-# experiment orchestration, injection campaigns, the simcache/persist
-# quarantine paths, and the pipeline/cache snapshot-restore paths that
-# fork-replay shares across workers) under the race detector.
+# experiment orchestration, injection campaigns, root-cause
+# attribution, the simcache/persist quarantine paths, and the
+# pipeline/cache snapshot-restore paths that fork-replay shares across
+# workers) under the race detector.
 race:
-	$(GO) test -race ./internal/sched ./internal/service ./internal/scenario ./internal/experiments ./internal/inject ./internal/liveness ./internal/simcache ./internal/persist ./internal/pipe ./internal/cache
+	$(GO) test -race ./internal/sched ./internal/service ./internal/scenario ./internal/experiments ./internal/inject ./internal/rootcause ./internal/liveness ./internal/simcache ./internal/persist ./internal/pipe ./internal/cache
+
+# rootcause-diff runs the attribution differential suite twice over
+# (DESIGN.md §14): the replay-vs-static soundness sweep plus the
+# byte-determinism matrix, -count=2 so any map-order nondeterminism in
+# the aggregation tables shows up as a report diff between the runs.
+rootcause-diff:
+	$(GO) test ./internal/inject -run 'TestRootCause' -count=2
+	$(GO) test ./internal/rootcause -count=2
 
 check: vet build test
 

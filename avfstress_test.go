@@ -42,7 +42,7 @@ func TestFacadeEndToEnd(t *testing.T) {
 	if n := len(avfstress.Workloads()); n != 33 {
 		t.Errorf("workload count %d", n)
 	}
-	if n := len(avfstress.ExperimentNames()); n != 13 {
+	if n := len(avfstress.ExperimentNames()); n != 14 {
 		t.Errorf("experiment count %d", n)
 	}
 }

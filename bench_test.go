@@ -219,11 +219,11 @@ func BenchmarkWorstCase_SectionVI(b *testing.B) {
 	b.ReportMetric(bound, "instant-bound")
 }
 
-// BenchmarkRunAll regenerates the complete evaluation (all 13
+// BenchmarkRunAll regenerates the complete evaluation (all 14
 // experiments) on one shared context with a cold cache — the
 // cross-experiment sharing case: Fig3/Fig4/Fig6/Fig7, Table III, the
-// worst-case and power studies all reuse the same 33-workload baseline
-// suite and stressmark evaluations.
+// worst-case, power and root-cause studies all reuse the same
+// 33-workload baseline suite and stressmark evaluations.
 func BenchmarkRunAll(b *testing.B) {
 	var sims int64
 	for i := 0; i < b.N; i++ {

@@ -10,7 +10,8 @@
 //
 //	avfinject [-config baseline|configA] [-rates uniform|rhc|edr]
 //	          [-trials 1000] [-scale 32] [-seed 1] [-mode reference|search]
-//	          [-checkpoint-interval N] [-prune-static N] [-cache-dir DIR] [-v]
+//	          [-checkpoint-interval N] [-prune-static N] [-root-cause]
+//	          [-cache-dir DIR] [-v]
 //
 // avfinject is a thin client of the same scenario path avfstressd
 // serves: the flags build a declarative scenario.Spec whose parametric
@@ -18,7 +19,10 @@
 // campaign shares the suite's stressmark search, per-trial memoisation
 // and cancellation semantics with the daemon (POST /v1/jobs with
 // {"scenarios": ["faultinject"], ...} runs the identical study).
-// Ctrl-C cancels between replays.
+// -root-cause appends the rootcause view of the same study — per-
+// instruction and per-class attribution tables built from each SDC/DUE
+// trial's first divergent commit (DESIGN.md §14) — at no extra replay
+// cost. Ctrl-C cancels between replays.
 package main
 
 import (
@@ -36,21 +40,28 @@ import (
 
 func main() {
 	var (
-		config   = flag.String("config", "baseline", "configuration: baseline or configA")
-		rates    = flag.String("rates", "uniform", "fault rates: uniform, rhc or edr")
-		trials   = flag.Int("trials", 1000, "Monte Carlo trials per campaign")
-		scale    = flag.Int("scale", 32, "cache scale-down factor (1 = paper-exact)")
-		seed     = flag.Int64("seed", 1, "sampling and search seed (campaigns are byte-deterministic per seed)")
-		mode     = flag.String("mode", "reference", "stressmark provenance: reference (published knobs) or search (run the GA)")
-		ckptIval = flag.Int64("checkpoint-interval", 0, "golden-run checkpoint interval in cycles for fork-replay: 0 = auto, <0 = disabled (replay speed only; reports are byte-identical)")
-		pruneSt  = flag.Int("prune-static", 0, "static liveness pruning of the injection space: 0 or >0 = enabled, <0 = disabled (pruned targets classify as masked analytically, freeing their replays for the live subspace)")
-		cacheDir = flag.String("cache-dir", "", "persist simulations and per-trial outcomes under this directory (shared across runs; results are bit-identical)")
-		verbose  = flag.Bool("v", false, "stream per-campaign progress")
+		config    = flag.String("config", "baseline", "configuration: baseline or configA")
+		rates     = flag.String("rates", "uniform", "fault rates: uniform, rhc or edr")
+		trials    = flag.Int("trials", 1000, "Monte Carlo trials per campaign")
+		scale     = flag.Int("scale", 32, "cache scale-down factor (1 = paper-exact)")
+		seed      = flag.Int64("seed", 1, "sampling and search seed (campaigns are byte-deterministic per seed)")
+		mode      = flag.String("mode", "reference", "stressmark provenance: reference (published knobs) or search (run the GA)")
+		ckptIval  = flag.Int64("checkpoint-interval", 0, "golden-run checkpoint interval in cycles for fork-replay: 0 = auto, <0 = disabled (replay speed only; reports are byte-identical)")
+		pruneSt   = flag.Int("prune-static", 0, "static liveness pruning of the injection space: 0 or >0 = enabled, <0 = disabled (pruned targets classify as masked analytically, freeing their replays for the live subspace)")
+		rootCause = flag.Bool("root-cause", false, "also report root-cause attribution tables: the instructions whose values SDC/DUE trials corrupted, ranked (shares the campaign's replays)")
+		cacheDir  = flag.String("cache-dir", "", "persist simulations and per-trial outcomes under this directory (shared across runs; results are bit-identical)")
+		verbose   = flag.Bool("v", false, "stream per-campaign progress")
 	)
 	flag.Parse()
 
+	scenarios := []string{"faultinject"}
+	if *rootCause {
+		// The rootcause view shares the faultinject study's memoised
+		// campaigns — the second scenario costs zero extra replays.
+		scenarios = append(scenarios, "rootcause")
+	}
 	spec := scenario.Spec{
-		Scenarios:          []string{"faultinject"},
+		Scenarios:          scenarios,
 		Config:             *config,
 		Rates:              *rates,
 		InjectTrials:       *trials,
@@ -77,7 +88,12 @@ func main() {
 
 	fmt.Fprintf(os.Stderr, "# injecting %s / %s rates, %d trials per campaign\n",
 		*config, *rates, *trials)
-	out, err := ctx.Run(cctx, names[0])
+	var out string
+	if len(names) == 1 {
+		out, err = ctx.Run(cctx, names[0])
+	} else {
+		out, err = ctx.RunScenarios(cctx, names)
+	}
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
 			fmt.Fprintln(os.Stderr, "avfinject: interrupted")

@@ -26,8 +26,10 @@
 //
 // The README documents every route with an example curl session.
 // Specs may request registered experiments or the parametric
-// stressmark / workloads / faultinject scenarios (the latter runs the
-// Monte Carlo fault-injection validation, DESIGN.md §9).
+// stressmark / workloads / faultinject / rootcause scenarios
+// (faultinject runs the Monte Carlo fault-injection validation,
+// DESIGN.md §9; rootcause renders the same study's per-instruction
+// attribution tables, DESIGN.md §14).
 //
 // With -journal, every accepted submission and terminal outcome is
 // durably journalled: a killed daemon restarted on the same journal

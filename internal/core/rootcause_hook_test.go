@@ -1,0 +1,77 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"avfstress/internal/ga"
+	"avfstress/internal/pipe"
+	"avfstress/internal/prog"
+	"avfstress/internal/rootcause"
+)
+
+// TestSearchRootCauseRank: the diagnostic hook runs exactly once, after
+// the final evaluation, with the winning program, and its result lands
+// on SearchResult.RootCause; a hook error fails the search.
+func TestSearchRootCauseRank(t *testing.T) {
+	if testing.Short() {
+		t.Skip("GA search in -short mode")
+	}
+	cfg := testCfg()
+	eval := pipe.RunConfig{MaxInstructions: 50_000, WarmupInstructions: 25_000}
+	want := &rootcause.Result{Corrupted: 7, Attributed: 5, Unattributed: 2}
+	calls := 0
+	var seen *prog.Program
+	spec := SearchSpec{
+		Config: cfg,
+		Eval:   eval,
+		Final:  eval,
+		GA:     ga.Config{PopSize: 4, Generations: 2, Seed: 3},
+		RootCauseRank: func(ctx context.Context, p *prog.Program) (*rootcause.Result, error) {
+			calls++
+			seen = p
+			return want, nil
+		},
+	}
+	res, err := Search(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Errorf("hook ran %d times, want 1", calls)
+	}
+	if seen != res.Program {
+		t.Error("hook saw a different program than the search returned")
+	}
+	if res.RootCause != want {
+		t.Errorf("RootCause = %+v, want the hook's result", res.RootCause)
+	}
+
+	boom := errors.New("campaign exploded")
+	spec.RootCauseRank = func(context.Context, *prog.Program) (*rootcause.Result, error) {
+		return nil, boom
+	}
+	if _, err := Search(context.Background(), spec); !errors.Is(err, boom) {
+		t.Errorf("hook error not propagated: %v", err)
+	}
+}
+
+// TestSearchNoRootCauseRank: without the hook the field stays nil.
+func TestSearchNoRootCauseRank(t *testing.T) {
+	if testing.Short() {
+		t.Skip("GA search in -short mode")
+	}
+	res, err := Search(context.Background(), SearchSpec{
+		Config: testCfg(),
+		Eval:   pipe.RunConfig{MaxInstructions: 50_000, WarmupInstructions: 25_000},
+		Final:  pipe.RunConfig{MaxInstructions: 50_000, WarmupInstructions: 25_000},
+		GA:     ga.Config{PopSize: 4, Generations: 2, Seed: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RootCause != nil {
+		t.Error("RootCause set without a hook")
+	}
+}

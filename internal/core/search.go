@@ -25,6 +25,7 @@ import (
 	"avfstress/internal/ga"
 	"avfstress/internal/pipe"
 	"avfstress/internal/prog"
+	"avfstress/internal/rootcause"
 	"avfstress/internal/simcache"
 	"avfstress/internal/uarch"
 )
@@ -133,6 +134,16 @@ type SearchSpec struct {
 	// searches, GA generations and — with a disk tier — processes. Nil
 	// disables sharing; results are bit-identical either way.
 	Cache *simcache.Store
+
+	// RootCauseRank, when set, runs once after the final evaluation with
+	// the winning stressmark: a diagnostic hook producing the
+	// instruction-level root-cause ranking of the program the search
+	// converged on (typically a thin closure over inject.Run with
+	// Options.RootCause — DESIGN.md §14). Its result lands in
+	// SearchResult.RootCause. A hook error fails the search: the hook is
+	// opt-in, so a failing diagnostic is a configuration bug, not noise
+	// to swallow.
+	RootCauseRank func(context.Context, *prog.Program) (*rootcause.Result, error)
 }
 
 // DefaultEvalBudget sizes a fitness run for cfg: warmup long enough to
@@ -188,6 +199,10 @@ type SearchResult struct {
 	Evaluations int64
 	FailedEvals int64
 	Cataclysms  int
+	// RootCause is the instruction-level attribution of the winning
+	// stressmark, produced by SearchSpec.RootCauseRank; nil when no hook
+	// was set.
+	RootCause *rootcause.Result
 }
 
 // Search runs the full methodology of Figure 2 and returns the
@@ -265,6 +280,12 @@ func Search(ctx context.Context, spec SearchSpec) (*SearchResult, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: final evaluation: %w", err)
 	}
+	var rc *rootcause.Result
+	if spec.RootCauseRank != nil {
+		if rc, err = spec.RootCauseRank(ctx, p); err != nil {
+			return nil, fmt.Errorf("core: root-cause ranking: %w", err)
+		}
+	}
 	return &SearchResult{
 		Knobs:       best,
 		Program:     p,
@@ -274,6 +295,7 @@ func Search(ctx context.Context, spec SearchSpec) (*SearchResult, error) {
 		Evaluations: evals.Load(),
 		FailedEvals: fails.Load(),
 		Cataclysms:  gres.Cataclysms,
+		RootCause:   rc,
 	}, nil
 }
 

@@ -52,8 +52,8 @@ func TestConfigTables(t *testing.T) {
 }
 
 func TestNamesAndUnknown(t *testing.T) {
-	if len(Names()) != 13 {
-		t.Errorf("experiment count %d, want 13", len(Names()))
+	if len(Names()) != 14 {
+		t.Errorf("experiment count %d, want 14", len(Names()))
 	}
 	if _, err := fastCtx.Run(bg, "bogus"); err == nil {
 		t.Error("unknown experiment accepted")
@@ -336,7 +336,7 @@ func TestRunAllNamesIncludeExtras(t *testing.T) {
 	for _, n := range names {
 		has[n] = true
 	}
-	if !has["powercontrast"] || !has["hvf"] {
+	if !has["powercontrast"] || !has["hvf"] || !has["rootcause"] {
 		t.Errorf("extras missing from experiment list: %v", names)
 	}
 }

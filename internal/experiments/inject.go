@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"strings"
 
+	"avfstress/internal/analysis"
 	"avfstress/internal/inject"
 	"avfstress/internal/pipe"
 	"avfstress/internal/report"
@@ -64,6 +65,28 @@ func (s *InjectionStudy) String() string {
 	return b.String()
 }
 
+// RootCauseReport renders the study's attribution view: per campaign,
+// the root-cause instruction and instruction-class tables plus the SDC
+// density diagnostic, headed by the configuration's §VI instantaneous
+// worst-case bound so the ranking reads against the occupancy ceiling
+// the stressmark chases. The campaigns are the same memoised results as
+// String() — attribution adds zero extra replays.
+func (s *InjectionStudy) RootCauseReport() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Root-cause instruction analysis — %s under %s rates, %d trials per campaign\n\n",
+		s.Config.Name, s.RatesName, s.Trials)
+	fmt.Fprintf(&b, "%s\n\n", analysis.InstantaneousWorstCase(s.Config))
+	for _, c := range s.Campaigns {
+		if c.RootCause == nil {
+			fmt.Fprintf(&b, "%s: campaign carries no attribution tables\n\n", c.Workload)
+			continue
+		}
+		fmt.Fprintf(&b, "%s — SDC density %.4f per corrupting trial\n%s\n",
+			c.Workload, c.RootCause.SDCDensity(), c.RootCause)
+	}
+	return strings.TrimRight(b.String(), "\n") + "\n"
+}
+
 // injectBudget sizes campaign simulations: the workload budget scaled
 // down 8× — every trial replays the run, so campaigns trade window
 // length for trial count. The golden run and all replays share it.
@@ -90,7 +113,7 @@ func (c *Context) FaultInjection(ctx context.Context, configName, ratesName stri
 		return nil, err
 	}
 	if trials <= 0 {
-		trials = 1000
+		trials = defaultInjectTrials
 	}
 	key := fmt.Sprintf("fi\x00%s\x00%s\x00%d", cfg.Fingerprint(), rates.Fingerprint(), trials)
 	return c.fi.do(key, func() (*InjectionStudy, error) {
@@ -111,6 +134,7 @@ func (c *Context) FaultInjection(ctx context.Context, configName, ratesName stri
 				Parallelism: c.Opts.Parallelism, Cache: c.cache,
 				CheckpointInterval: c.Opts.CheckpointInterval,
 				PruneStatic:        c.Opts.PruneStatic,
+				RootCause:          true,
 				Retry:              c.Opts.Retry,
 				Executor:           c.Opts.Executor,
 			})
@@ -132,6 +156,7 @@ func (c *Context) FaultInjection(ctx context.Context, configName, ratesName stri
 			Parallelism: c.Opts.Parallelism, Cache: c.cache,
 			CheckpointInterval: c.Opts.CheckpointInterval,
 			PruneStatic:        c.Opts.PruneStatic,
+			RootCause:          true,
 			Retry:              c.Opts.Retry,
 			Executor:           c.Opts.Executor,
 		})

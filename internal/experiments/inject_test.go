@@ -38,10 +38,47 @@ func TestResolveSpecFaultInject(t *testing.T) {
 		"faultinject:nope:uniform:10",
 		"faultinject:baseline:nope:10",
 		"faultinject:baseline:uniform",
+		"rootcause:baseline:uniform:0",
+		"rootcause:nope:uniform:10",
+		"rootcause:baseline:uniform",
 	} {
 		if _, err := ResolveSpec(scenario.Spec{Scenarios: []string{bad}}); err == nil {
 			t.Errorf("%q accepted", bad)
 		}
+	}
+}
+
+// TestResolveSpecRootCause: the rootcause short form expands exactly
+// like faultinject (the two views share one study), with the spec's
+// config/rates/trials or their defaults.
+func TestResolveSpecRootCause(t *testing.T) {
+	names, err := ResolveSpec(scenario.Spec{
+		Scenarios: []string{"rootcause"}, Config: "configA", Rates: "edr", InjectTrials: 250,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if names[0] != "rootcause:configA:edr:250" {
+		t.Errorf("parameterised expansion = %q", names[0])
+	}
+	// Unparameterised, the bare name is the registered default
+	// experiment and passes through verbatim.
+	names, err = ResolveSpec(scenario.Spec{Scenarios: []string{"rootcause"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if names[0] != "rootcause" {
+		t.Errorf("bare name resolved to %q, want the registered experiment", names[0])
+	}
+	names, err = ResolveSpec(scenario.Spec{Scenarios: []string{"rootcause"}, InjectTrials: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if names[0] != "rootcause:baseline:uniform:40" {
+		t.Errorf("trial-count expansion = %q", names[0])
+	}
+	if _, err := ResolveSpec(scenario.Spec{Scenarios: []string{"rootcause:baseline:rhc:40"}}); err != nil {
+		t.Errorf("full form rejected: %v", err)
 	}
 }
 
@@ -91,5 +128,30 @@ func TestFaultInjectScenario(t *testing.T) {
 	}
 	if out2 != out {
 		t.Errorf("warm-store report differs:\n%s\nvs\n%s", out2, out)
+	}
+
+	// The rootcause view of the same parameters shares the memoised
+	// study: rendering it on the warm context replays nothing and emits
+	// the attribution tables.
+	rd, err := c2.lookup("rootcause:baseline:uniform:20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	before = store.Stats().Simulated
+	rout, err := rd.Render(bg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after := store.Stats().Simulated; after != before {
+		t.Errorf("rootcause render simulated %d times beyond the shared study", after-before)
+	}
+	for _, want := range []string{
+		"Root-cause instruction analysis", "instantaneous worst case",
+		"Root-cause instructions", "Root-cause instruction classes",
+		"SDC density", "403.gcc",
+	} {
+		if !strings.Contains(rout, want) {
+			t.Errorf("rootcause report missing %q:\n%s", want, rout)
+		}
 	}
 }

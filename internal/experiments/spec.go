@@ -102,13 +102,20 @@ func ResolveSpec(sp scenario.Spec) ([]string, error) {
 			n = "stressmark:" + orDefault(sp.Config, "baseline") + ":" + orDefault(sp.Rates, "uniform")
 		case "workloads":
 			n = "workloads:" + orDefault(sp.Config, "baseline") + ":" + orDefault(sp.Suite, "all")
-		case "faultinject":
+		case "faultinject", "rootcause":
+			// "rootcause" is also a registered experiment (the default
+			// view); the bare name only expands when the spec actually
+			// parameterises it, so an empty spec still resolves to the
+			// registered suite verbatim.
+			if n == "rootcause" && sp.Config == "" && sp.Rates == "" && sp.InjectTrials <= 0 {
+				break
+			}
 			trials := sp.InjectTrials
 			if trials <= 0 {
-				trials = 1000
+				trials = defaultInjectTrials
 			}
-			n = fmt.Sprintf("faultinject:%s:%s:%d",
-				orDefault(sp.Config, "baseline"), orDefault(sp.Rates, "uniform"), trials)
+			n = fmt.Sprintf("%s:%s:%s:%d",
+				n, orDefault(sp.Config, "baseline"), orDefault(sp.Rates, "uniform"), trials)
 		}
 		if !known[n] {
 			if _, _, err := parseParametric(n, 0); err != nil {
@@ -128,8 +135,8 @@ func orDefault(v, d string) string {
 }
 
 // parseParametric recognises the parametric scenario name forms and
-// validates their arguments. kind is "stressmark", "workloads" or
-// "faultinject".
+// validates their arguments. kind is "stressmark", "workloads",
+// "faultinject" or "rootcause".
 func parseParametric(name string, scale int) (kind string, args []string, err error) {
 	parts := strings.Split(name, ":")
 	switch {
@@ -147,7 +154,7 @@ func parseParametric(name string, scale int) (kind string, args []string, err er
 		if _, err := resolveSuites(parts[2]); err != nil {
 			return "", nil, err
 		}
-	case len(parts) == 4 && parts[0] == "faultinject":
+	case len(parts) == 4 && (parts[0] == "faultinject" || parts[0] == "rootcause"):
 		if _, err := ResolveConfig(parts[1], scale); err != nil {
 			return "", nil, err
 		}
@@ -155,7 +162,7 @@ func parseParametric(name string, scale int) (kind string, args []string, err er
 			return "", nil, err
 		}
 		if n, err := strconv.Atoi(parts[3]); err != nil || n <= 0 {
-			return "", nil, fmt.Errorf("experiments: faultinject trial count %q must be a positive integer", parts[3])
+			return "", nil, fmt.Errorf("experiments: %s trial count %q must be a positive integer", parts[0], parts[3])
 		}
 	default:
 		return "", nil, fmt.Errorf("experiments: %q is not a parametric scenario", name)
@@ -245,18 +252,25 @@ func (c *Context) parametricScenario(name string) (scenario.Definition, bool) {
 				return c.renderWorkloads(ctx, cfg, suites, orDefault(args[1], "all"))
 			},
 		}, true
-	case "faultinject":
+	case "faultinject", "rootcause":
 		cfg, _ := ResolveConfig(args[0], c.Opts.Scale)
 		rates, _ := ResolveRates(args[1])
 		trials, _ := strconv.Atoi(args[2])
 		smKey := SearchKeyFor(args[0], args[1])
+		title := fmt.Sprintf("Fault-injection validation — %s under %s rates, %d trials",
+			cfg.Name, orDefault(args[1], "uniform"), trials)
+		if kind == "rootcause" {
+			title = fmt.Sprintf("Root-cause instruction analysis — %s under %s rates, %d trials",
+				cfg.Name, orDefault(args[1], "uniform"), trials)
+		}
 		return scenario.Definition{
-			Name: name,
-			Title: fmt.Sprintf("Fault-injection validation — %s under %s rates, %d trials",
-				cfg.Name, orDefault(args[1], "uniform"), trials),
+			Name:  name,
+			Title: title,
 			Jobs: func() []scenario.Job {
-				// The study replays against the suite's shared stressmark
+				// Both views replay against the suite's shared stressmark
 				// search, so the campaign job depends on the search job.
+				// The rootcause scenario shares the faultinject study's
+				// memoised campaigns — requesting both runs one study.
 				sm := c.stressmarkJob(smKey, cfg, rates)
 				return []scenario.Job{sm, c.faultInjectJob(args[0], args[1], trials, []string{sm.Key})}
 			},
@@ -264,6 +278,9 @@ func (c *Context) parametricScenario(name string) (scenario.Definition, bool) {
 				st, err := c.FaultInjection(ctx, args[0], args[1], trials)
 				if err != nil {
 					return "", err
+				}
+				if kind == "rootcause" {
+					return st.RootCauseReport(), nil
 				}
 				return st.String(), nil
 			},

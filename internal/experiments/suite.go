@@ -10,10 +10,13 @@ import (
 	"avfstress/internal/uarch"
 )
 
-// Names lists the runnable experiments in paper order.
+// Names lists the runnable experiments: the paper figures/tables in
+// paper order, then the harness extras (worst-case bound, power
+// contrast, HVF bounds, root-cause attribution).
 func Names() []string {
 	return []string{"table1", "table2", "fig3", "fig4", "fig5", "fig6",
-		"fig7", "fig8", "fig9", "table3", "worstcase", "powercontrast", "hvf"}
+		"fig7", "fig8", "fig9", "table3", "worstcase", "powercontrast", "hvf",
+		"rootcause"}
 }
 
 func unknownExperiment(name string) error {
@@ -203,8 +206,32 @@ func (c *Context) buildRegistry() *scenario.Registry {
 			return render(r, err)
 		},
 	})
+	r.MustRegister(scenario.Definition{
+		Name:  "rootcause",
+		Title: "Root-cause instruction analysis — baseline under uniform rates",
+		Jobs: func() []scenario.Job {
+			// The default view of the parametric rootcause:<config>:
+			// <rates>:<trials> form. It shares the faultinject study's
+			// memoised campaigns, so running both scenarios costs one
+			// set of replays.
+			sm := smBase()
+			return []scenario.Job{sm,
+				c.faultInjectJob("baseline", "uniform", defaultInjectTrials, []string{sm.Key})}
+		},
+		Render: func(ctx context.Context) (string, error) {
+			st, err := c.FaultInjection(ctx, "baseline", "uniform", defaultInjectTrials)
+			if err != nil {
+				return "", err
+			}
+			return st.RootCauseReport(), nil
+		},
+	})
 	return r
 }
+
+// defaultInjectTrials sizes the default fault-injection campaigns (the
+// registered rootcause experiment and the short parametric forms).
+const defaultInjectTrials = 1000
 
 // lookup resolves a scenario name: registered experiments first, then
 // the parametric forms; unknown names keep the historical descriptive

@@ -33,6 +33,7 @@ import (
 	"avfstress/internal/pipe"
 	"avfstress/internal/prog"
 	"avfstress/internal/report"
+	"avfstress/internal/rootcause"
 	"avfstress/internal/scenario"
 	"avfstress/internal/sched"
 	"avfstress/internal/simcache"
@@ -103,6 +104,14 @@ type Options struct {
 	// changes wall-clock only — sampling is up-front and outcomes are
 	// content-addressed, so reports stay byte-identical.
 	Executor sched.Executor
+	// RootCause, when set, attributes every corrupting trial to the
+	// program instruction whose value the flipped bit held
+	// (internal/rootcause, DESIGN.md §14) and attaches the
+	// per-instruction and per-class vulnerability tables to the result.
+	// Attribution reuses the first-divergent-commit records every trial
+	// replay already produces, so enabling it adds zero replays and
+	// trial cache blobs stay shared with non-attributing campaigns.
+	RootCause bool
 }
 
 func (o Options) withDefaults() Options {
@@ -212,6 +221,11 @@ type Result struct {
 	Pruned       int
 	StaticBound  float64
 	PruneEnabled bool
+
+	// RootCause holds the instruction-level attribution of the
+	// campaign's corrupted trials when Options.RootCause was set; nil
+	// otherwise.
+	RootCause *rootcause.Result
 }
 
 // rng is a splitmix64 stream: a fixed, documented generator so
@@ -513,11 +527,11 @@ func Run(ctx context.Context, o Options) (*Result, error) {
 	// Deduplicate repeated targets into one replay feeding every trial
 	// slot.
 	type slot struct{ stratum, idx int }
-	outcomes := make([][]bool, len(o.Structures)) // corrupted per replayed trial
+	outcomes := make([][]pipe.FaultTrial, len(o.Structures)) // per replayed trial
 	targets := map[pipe.Fault][]slot{}
 	var order []pipe.Fault // deterministic job order
 	for i := range o.Structures {
-		outcomes[i] = make([]bool, len(faultsPer[i]))
+		outcomes[i] = make([]pipe.FaultTrial, len(faultsPer[i]))
 		for t, f := range faultsPer[i] {
 			if _, ok := targets[f]; !ok {
 				order = append(order, f)
@@ -564,29 +578,26 @@ func Run(ctx context.Context, o Options) (*Result, error) {
 						return err
 					}
 					b, err := o.Cache.DoBlob(trialKey(f), func() ([]byte, error) {
-						corrupted, err := pool.SimulateFault(o.Program, o.Run, f)
+						trial, err := pool.SimulateFaultDetail(o.Program, o.Run, f)
 						if err != nil {
 							return nil, fmt.Errorf("inject: trial %s: %w", f.Fingerprint(), err)
 						}
-						if corrupted {
-							return []byte{1}, nil
-						}
-						return []byte{0}, nil
+						return encodeTrial(trial), nil
 					})
 					if err != nil {
 						return err
 					}
-					if len(b) != 1 {
-						// A trial blob must be exactly one byte. Discard
-						// the malformed entry and fail transiently — the
-						// retry recomputes through a now-clean miss.
+					trial, derr := decodeTrial(b)
+					if derr != nil {
+						// Undecodable (a legacy v1 outcome byte, or a
+						// malformed entry): discard and fail transiently —
+						// the retry recomputes through a now-clean miss.
 						o.Cache.DiscardBlob(trialKey(f))
-						return sched.Transient(fmt.Errorf("inject: trial %s: malformed outcome blob (%d bytes)", f.Fingerprint(), len(b)))
+						return sched.Transient(fmt.Errorf("inject: trial %s: %w", f.Fingerprint(), derr))
 					}
-					corrupted := b[0] == 1
 					mu.Lock()
 					for _, sl := range slots {
-						outcomes[sl.stratum][sl.idx] = corrupted
+						outcomes[sl.stratum][sl.idx] = trial
 					}
 					mu.Unlock()
 					return nil
@@ -596,7 +607,7 @@ func Run(ctx context.Context, o Options) (*Result, error) {
 		if err := sched.Run(ctx, jobs, sched.Options{Workers: o.Parallelism, Retry: o.Retry, Executor: o.Executor}); err != nil {
 			return nil, err
 		}
-		return aggregateResult(o, golden, info, bits, pr, prunedCnt, phase1, outcomes), nil
+		return aggregateResult(o, golden, info, bits, pr, prunedCnt, phase1, faultsPer, outcomes), nil
 	}
 
 	jobs := make([]scenario.Job, 0, len(bucketOrder))
@@ -616,42 +627,39 @@ func Run(ctx context.Context, o Options) (*Result, error) {
 				if err := ctx.Err(); err != nil {
 					return err
 				}
-				corrupted := make([]bool, len(faults))
+				trials := make([]pipe.FaultTrial, len(faults))
 				var missing []int
 				for i, f := range faults {
-					if b, ok := o.Cache.GetBlob(trialKey(f)); ok && len(b) == 1 {
-						corrupted[i] = b[0] == 1
-					} else {
-						if ok {
-							// Present but malformed: quarantine so the
-							// replay below overwrites a clean entry.
-							o.Cache.DiscardBlob(trialKey(f))
+					if b, ok := o.Cache.GetBlob(trialKey(f)); ok {
+						if t, derr := decodeTrial(b); derr == nil {
+							trials[i] = t
+							continue
 						}
-						missing = append(missing, i)
+						// Present but undecodable (legacy v1 outcome byte,
+						// or malformed): quarantine so the replay below
+						// overwrites a clean entry.
+						o.Cache.DiscardBlob(trialKey(f))
 					}
+					missing = append(missing, i)
 				}
 				if len(missing) > 0 {
 					replay := make([]pipe.Fault, len(missing))
 					for j, i := range missing {
 						replay[j] = faults[i]
 					}
-					out, rerr := pool.SimulateFaultsFrom(o.Program, o.Run, src.checkpoint(bi), replay)
+					out, rerr := pool.SimulateFaultsDetailFrom(o.Program, o.Run, src.checkpoint(bi), replay)
 					if rerr != nil {
 						return fmt.Errorf("inject: bucket %d replay: %w", bi, rerr)
 					}
 					for j, i := range missing {
-						corrupted[i] = out[j]
-						if out[j] {
-							o.Cache.PutBlob(trialKey(faults[i]), []byte{1})
-						} else {
-							o.Cache.PutBlob(trialKey(faults[i]), []byte{0})
-						}
+						trials[i] = out[j]
+						o.Cache.PutBlob(trialKey(faults[i]), encodeTrial(out[j]))
 					}
 				}
 				mu.Lock()
 				for i, f := range faults {
 					for _, sl := range targets[f] {
-						outcomes[sl.stratum][sl.idx] = corrupted[i]
+						outcomes[sl.stratum][sl.idx] = trials[i]
 					}
 				}
 				mu.Unlock()
@@ -662,14 +670,15 @@ func Run(ctx context.Context, o Options) (*Result, error) {
 	if err := sched.Run(ctx, jobs, sched.Options{Workers: o.Parallelism, Retry: o.Retry, Executor: o.Executor}); err != nil {
 		return nil, err
 	}
-	return aggregateResult(o, golden, info, bits, pr, prunedCnt, phase1, outcomes), nil
+	return aggregateResult(o, golden, info, bits, pr, prunedCnt, phase1, faultsPer, outcomes), nil
 }
 
 // aggregateResult folds the per-trial outcomes into the campaign result:
-// per-stratum counts, Wilson intervals, and the bit-weighted and
-// rate-derated aggregates. Pure, so both replay paths share it and the
+// per-stratum counts, Wilson intervals, the bit-weighted and
+// rate-derated aggregates, and (when requested) the root-cause
+// attribution tables. Pure, so both replay paths share it and the
 // report cannot depend on which one ran.
-func aggregateResult(o Options, golden *avf.Result, info pipe.GoldenInfo, bits []uint64, pr *pruner, pruned, phase1 []int, outcomes [][]bool) *Result {
+func aggregateResult(o Options, golden *avf.Result, info pipe.GoldenInfo, bits []uint64, pr *pruner, pruned, phase1 []int, faultsPer [][]pipe.Fault, outcomes [][]pipe.FaultTrial) *Result {
 	res := &Result{
 		Config:       golden.Config,
 		Workload:     golden.Workload,
@@ -680,6 +689,10 @@ func aggregateResult(o Options, golden *avf.Result, info pipe.GoldenInfo, bits [
 		WindowCycles: info.Cycles,
 		PruneEnabled: pr.enabled,
 	}
+	var (
+		rcTrials  []rootcause.Trial
+		rcSampled = map[uarch.Structure]int{}
+	)
 	for i, s := range o.Structures {
 		replayed := len(outcomes[i])
 		sr := StructureResult{
@@ -689,10 +702,10 @@ func aggregateResult(o Options, golden *avf.Result, info pipe.GoldenInfo, bits [
 			ACE: golden.AVF[s],
 		}
 		protected := o.Rates[s] == 0
-		for t, corrupted := range outcomes[i] {
+		for t, trial := range outcomes[i] {
 			p1 := t < phase1[i]
 			switch {
-			case !corrupted:
+			case !trial.Corrupted:
 				sr.Masked++
 				if p1 {
 					sr.Phase1Masked++
@@ -708,6 +721,14 @@ func aggregateResult(o Options, golden *avf.Result, info pipe.GoldenInfo, bits [
 					sr.Phase1SDC++
 				}
 			}
+			if trial.Corrupted && o.RootCause {
+				rcTrials = append(rcTrials, rootcause.Trial{
+					Fault: faultsPer[i][t], Diverge: trial.Diverge, DUE: protected,
+				})
+			}
+		}
+		if o.RootCause {
+			rcSampled[s] = len(outcomes[i])
 		}
 		// The estimator samples the live subspace only, so the raw
 		// corrupted fraction and its Wilson interval scale by the live
@@ -743,6 +764,9 @@ func aggregateResult(o Options, golden *avf.Result, info pipe.GoldenInfo, bits [
 		for _, sr := range res.Structures {
 			res.StaticBound += float64(sr.Bits) / totalW * sr.StaticBound
 		}
+	}
+	if o.RootCause {
+		res.RootCause = rootcause.Aggregate(o.Program, o.Config, rcTrials, rcSampled)
 	}
 	return res
 }
@@ -839,5 +863,8 @@ func (r *Result) String() string {
 	b.WriteString(report.InjectionTable(title, r.Rows()))
 	fmt.Fprintf(&b, "%s\n%s\ngolden: %d instrs, %d cycles, digest %016x\n",
 		r.PruneLine(), r.DeratedLine(), r.Golden.Instructions, r.WindowCycles, r.GoldenDigest)
+	if r.RootCause != nil {
+		b.WriteString(r.RootCause.String())
+	}
 	return b.String()
 }

@@ -1,0 +1,53 @@
+package inject
+
+import (
+	"fmt"
+
+	"avfstress/internal/isa"
+	"avfstress/internal/pipe"
+)
+
+// Trial outcome blob codec. v1 blobs were a single outcome byte
+// ({0}|{1}); v2 records the full trial outcome — corrupted flag plus the
+// first-divergent-commit identity root-cause attribution consumes — as
+// one self-describing text line at the same cache keys. The decoder is
+// strict (exact canonical re-encode), so a legacy v1 blob, a truncated
+// write or any other undecodable entry fails decode and takes the
+// discard-and-rebuild path; bit flips inside the blob body never survive
+// to decoding at all — the persist layer's CRC framing quarantines them
+// as cache misses first.
+
+// encodeTrial renders a trial record as its canonical v2 blob.
+func encodeTrial(t pipe.FaultTrial) []byte {
+	c := 0
+	if t.Corrupted {
+		c = 1
+	}
+	return []byte(fmt.Sprintf("injtrial v2 %d %d %x %d %d",
+		c, t.Diverge.Seq, t.Diverge.PC, uint8(t.Diverge.Op), t.Diverge.SrcSlot))
+}
+
+// decodeTrial parses a v2 trial blob, rejecting anything that does not
+// re-encode to the identical bytes.
+func decodeTrial(b []byte) (pipe.FaultTrial, error) {
+	var (
+		c, op int
+		seq   int64
+		pc    uint64
+		slot  int8
+		t     pipe.FaultTrial
+	)
+	n, err := fmt.Sscanf(string(b), "injtrial v2 %d %d %x %d %d", &c, &seq, &pc, &op, &slot)
+	if err != nil || n != 5 {
+		return t, fmt.Errorf("inject: undecodable trial blob (%d bytes)", len(b))
+	}
+	if c != 0 && c != 1 || op > int(isa.OpBranch) {
+		return t, fmt.Errorf("inject: trial blob field out of range")
+	}
+	t.Corrupted = c == 1
+	t.Diverge = pipe.Diverge{Seq: seq, PC: pc, Op: isa.Op(op), SrcSlot: slot}
+	if string(encodeTrial(t)) != string(b) {
+		return pipe.FaultTrial{}, fmt.Errorf("inject: non-canonical trial blob")
+	}
+	return t, nil
+}

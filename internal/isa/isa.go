@@ -151,6 +151,37 @@ func (in Instr) NumSrcRegs() int {
 	return 0
 }
 
+// SrcRegAt returns the architected register read through physical
+// source-operand slot i of in — the pipeline's renaming order: slot 0
+// is Src1 for every reading op, slot 1 is Src2 for register-register
+// arithmetic and for the store's data operand. RZero when the slot is
+// unused. Fault-injection replays report a corrupted register value's
+// consumer as (instruction, slot); this maps the slot back to the
+// architected register the root-cause walk follows.
+func SrcRegAt(in *Instr, i int) Reg {
+	switch in.Op {
+	case OpAdd, OpMul:
+		if i == 0 {
+			return in.Src1
+		}
+		if i == 1 && in.RegReg {
+			return in.Src2
+		}
+	case OpLoad, OpBranch:
+		if i == 0 {
+			return in.Src1
+		}
+	case OpStore:
+		if i == 0 {
+			return in.Src1
+		}
+		if i == 1 {
+			return in.Src2
+		}
+	}
+	return RZero
+}
+
 // SrcRegs appends the source registers that create true dependences
 // (RZero excluded) to dst and returns it.
 func (in Instr) SrcRegs(dst []Reg) []Reg {

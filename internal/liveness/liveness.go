@@ -336,6 +336,44 @@ func (s *Summary) String() string {
 	return b.String()
 }
 
+// LastWriter returns the static instruction whose definition of
+// register r is visible on entry to instruction position idx of p
+// (inBody selects Body vs Init indexing) under the program's
+// init·body^ω execution order, walking the static def-use chain
+// backward: first the earlier body instructions of the current
+// iteration, then the previous iteration's tail (including idx itself —
+// self-redefining chains like the pointer chase read their own previous
+// definition), and only then Init. When the body redefines r at all,
+// the cyclic body writer is the visible one at every iteration past the
+// first — the steady state every measurement window samples. Returns
+// false for RZero (hardwired, no producer) and for registers no
+// instruction defines.
+func LastWriter(p *prog.Program, inBody bool, idx int, r isa.Reg) (*isa.Instr, bool) {
+	if r == isa.RZero {
+		return nil, false
+	}
+	writes := func(in *isa.Instr) bool { return isa.WritesDest(in) && in.Dest == r }
+	if inBody {
+		for i := idx - 1; i >= 0; i-- {
+			if writes(&p.Body[i]) {
+				return &p.Body[i], true
+			}
+		}
+		for i := len(p.Body) - 1; i >= idx; i-- {
+			if writes(&p.Body[i]) {
+				return &p.Body[i], true
+			}
+		}
+		idx = len(p.Init)
+	}
+	for i := idx - 1; i >= 0 && i < len(p.Init); i-- {
+		if writes(&p.Init[i]) {
+			return &p.Init[i], true
+		}
+	}
+	return nil, false
+}
+
 func min(a, b int) int {
 	if a < b {
 		return a

@@ -25,8 +25,12 @@ import (
 )
 
 const (
-	ckptMagic   = uint32(0x6b637661) // "avck", little-endian
-	ckptVersion = byte(1)
+	ckptMagic = uint32(0x6b637661) // "avck", little-endian
+	// ckptVersion gates checkpoint-blob decoding; v2 added the per-uop
+	// dynamic stream sequence number (first-divergent-commit capture).
+	// Older cached blobs fail decode and the campaign falls back to
+	// replaying the affected buckets from cycle zero.
+	ckptVersion = byte(2)
 	staticNil   = int32(math.MinInt32)
 )
 
@@ -290,6 +294,7 @@ func decStatic(d *ckptDec, p *prog.Program) *isa.Instr {
 func encUopBody(e *ckptEnc, m map[*isa.Instr]int32, u *uop) {
 	encStatic(e, m, u.static)
 	e.u64(u.addr)
+	e.i64(u.dynSeq)
 	e.i64(u.dispatchCycle)
 	e.i64(u.issueCycle)
 	e.i64(u.doneCycle)
@@ -333,6 +338,7 @@ func encUopBody(e *ckptEnc, m map[*isa.Instr]int32, u *uop) {
 func decUopBody(d *ckptDec, p *prog.Program, u *uop) {
 	u.static = decStatic(d, p)
 	u.addr = d.u64()
+	u.dynSeq = d.i64()
 	u.dispatchCycle = d.i64()
 	u.issueCycle = d.i64()
 	u.doneCycle = d.i64()

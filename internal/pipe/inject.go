@@ -59,6 +59,32 @@ type FaultTrial struct {
 	// digest equals the golden digest bit-exactly; a corrupted one's
 	// differs.
 	Digest uint64
+	// Diverge identifies the first divergent commit of a corrupted
+	// replay (Seq -1 when the trial was masked or the corruption has no
+	// consuming instruction — the cache/TLB fate watches track lifetime
+	// transitions, not instruction identity).
+	Diverge Diverge
+}
+
+// Diverge names the first divergent commit of a corrupted replay: the
+// earliest-committing instruction whose architectural effect consumed
+// the flipped bit. In full mode the corruption marker is folded into
+// exactly this instruction's commit digest, so the replay's digest
+// stream deviates from the golden stream first at this commit; the
+// identity recorded here is what internal/rootcause walks back from.
+type Diverge struct {
+	// Seq is the consuming instruction's dynamic stream sequence number
+	// (prog.Dyn.Seq), or -1 when there is no consuming instruction.
+	Seq int64
+	// PC is the consuming instruction's static program counter.
+	PC uint64
+	// Op is the consuming instruction's opcode.
+	Op isa.Op
+	// SrcSlot is the physical source-operand slot through which the
+	// flipped register value reached the consumer (register-file faults
+	// only; -1 when the flipped bit is part of the consumer's own
+	// in-flight state and the operand is structure-implied).
+	SrcSlot int8
 }
 
 // GoldenInfo carries the replay-relevant facts of a golden (fault-free)
@@ -89,9 +115,20 @@ type injTrial struct {
 	memWatch  bool // fault targets DL1/L2/DTLB (fate watch in internal/cache)
 	resolved  bool
 	corrupted bool
+	marked    bool            // corruption marker folded into the digest
 	watchReg  int16           // armed register-file watch (noReg = none)
 	cw        *cache.Watch    // armed DL1/L2 fate watch
 	tw        *cache.TLBWatch // armed DTLB fate watch
+
+	// First-divergent-commit capture: the consuming instruction of a
+	// corrupting flip. Queue-structure trials record their occupant at
+	// fault application; register-file trials track the minimum-sequence
+	// ACE reader past the injection cycle (in-order commit makes the
+	// min-seq reader the first divergent commit). consStatic is only
+	// ever set once the trial's corruption is certain.
+	consStatic *isa.Instr
+	consSeq    int64
+	consSlot   int8
 }
 
 // injState tracks the in-flight fault trials of one replay during
@@ -101,6 +138,7 @@ type injState struct {
 	next    int  // apply cursor over the cycle-sorted trials
 	open    int  // trials not yet resolved
 	memOpen int  // unresolved mem-watch trials (gates per-cycle polling)
+	rfOpen  int  // armed unresolved register watches (gates the read hook)
 	full    bool // run to completion and fold corruption into the digest
 }
 
@@ -140,7 +178,11 @@ func (pl *Pipeline) digestCommit(u *uop) {
 // injResolve records one trial's outcome; in full mode a corrupting
 // fault additionally folds the corruption marker into the digest, so the
 // architectural-state diff against the golden run is what classifies the
-// trial.
+// trial. A trial with a recorded consuming instruction defers the fold
+// to that instruction's commit (injMarkCommit), which is by construction
+// the first commit whose digest contribution deviates from the golden
+// stream; only consumer-less corruption (the cache/TLB fate watches)
+// folds the marker here, between commits.
 func (pl *Pipeline) injResolve(t *injTrial, corrupt bool) {
 	if t.resolved {
 		return
@@ -151,8 +193,48 @@ func (pl *Pipeline) injResolve(t *injTrial, corrupt bool) {
 	if t.memWatch {
 		pl.inj.memOpen--
 	}
-	if corrupt && pl.digestOn {
+	if t.watchReg != noReg {
+		t.watchReg = noReg
+		pl.inj.rfOpen--
+	}
+	if corrupt && pl.digestOn && t.consStatic == nil && !t.marked {
+		t.marked = true
 		pl.digest = mix64(pl.digest, injMark)
+	}
+}
+
+// injNoteRead records an ACE read of a watched physical register past a
+// trial's injection cycle: the reading instruction consumed the flipped
+// value, so the trial is certain to resolve corrupted and its first
+// divergent commit is the minimum-sequence such reader (commit is in
+// order, so once the current minimum commits no smaller reader can
+// appear). Called from issue for every lastRead-advancing operand read
+// while any register watch is armed.
+func (pl *Pipeline) injNoteRead(p int16, u *uop, slot int8) {
+	inj := pl.inj
+	for i := range inj.trials {
+		t := &inj.trials[i]
+		if t.resolved || t.watchReg != p || pl.now <= t.fault.Cycle {
+			continue
+		}
+		if t.consStatic == nil || u.dynSeq < t.consSeq {
+			t.consStatic, t.consSeq, t.consSlot = u.static, u.dynSeq, slot
+		}
+	}
+}
+
+// injMarkCommit folds the corruption marker of any trial whose consuming
+// instruction is retiring right now, making this commit the first whose
+// digest contribution differs from the golden run's. Called from commit
+// after digestCommit while a replay is armed in full mode.
+func (pl *Pipeline) injMarkCommit(u *uop) {
+	inj := pl.inj
+	for i := range inj.trials {
+		t := &inj.trials[i]
+		if t.consStatic != nil && !t.marked && t.consSeq == u.dynSeq && t.consStatic == u.static {
+			t.marked = true
+			pl.digest = mix64(pl.digest, injMark)
+		}
 	}
 }
 
@@ -189,7 +271,6 @@ func (pl *Pipeline) injRegRelease(p int16) {
 		if t.resolved || t.watchReg != p {
 			continue
 		}
-		t.watchReg = noReg
 		pl.injResolve(t, pl.regs[p].lastRead > t.fault.Cycle)
 	}
 }
@@ -215,6 +296,18 @@ func (pl *Pipeline) nthOccupant(k int, pred func(*uop) bool) *uop {
 	return nil
 }
 
+// injResolveOccupant resolves a queue-structure trial whose fate is its
+// occupant's ACEness, recording the occupant as the consuming
+// instruction of a corrupting flip: the flipped bit is part of the
+// occupant's own in-flight state, so the occupant's commit is the first
+// divergent one.
+func (pl *Pipeline) injResolveOccupant(t *injTrial, corrupt bool, u *uop) {
+	if corrupt {
+		t.consStatic, t.consSeq, t.consSlot = u.static, u.dynSeq, -1
+	}
+	pl.injResolve(t, corrupt)
+}
+
 // applyFault applies one armed fault at its injection cycle: it locates
 // the occupant of the flipped bit and either resolves the trial
 // immediately (queue structures, whose fate is their occupant's ACEness)
@@ -230,12 +323,13 @@ func (pl *Pipeline) applyFault(t *injTrial) {
 		// Issue-queue entries are vulnerable from dispatch to issue
 		// (entries free at issue, 21264-style).
 		if u := pl.nthOccupant(int(f.Bit/uint64(core.IQEntryBits)), occIQ); u != nil {
-			pl.injResolve(t, u.ace)
+			pl.injResolveOccupant(t, u.ace, u)
 			return
 		}
 	case uarch.ROB:
 		if k := int64(f.Bit / uint64(core.ROBEntryBits)); k < pl.tail-pl.head {
-			pl.injResolve(t, pl.at(pl.head+k).ace)
+			u := pl.at(pl.head + k)
+			pl.injResolveOccupant(t, u.ace, u)
 			return
 		}
 	case uarch.FU:
@@ -243,7 +337,7 @@ func (pl *Pipeline) applyFault(t *injTrial) {
 		// result is corrupted iff the operation is ACE (squashed wrong-path
 		// work burns the stage but carries no architectural value).
 		if u := pl.nthOccupant(int(f.Bit/uint64(core.RegBits)), occFU); u != nil {
-			pl.injResolve(t, u.ace)
+			pl.injResolveOccupant(t, u.ace, u)
 			return
 		}
 	case uarch.RF:
@@ -252,6 +346,7 @@ func (pl *Pipeline) applyFault(t *injTrial) {
 		if r.written && r.aceValue && r.writeTime <= f.Cycle {
 			// Live ACE value: vulnerable until its last future read.
 			t.watchReg = p
+			pl.inj.rfOpen++
 			return
 		}
 	case uarch.LQTag:
@@ -259,19 +354,19 @@ func (pl *Pipeline) applyFault(t *injTrial) {
 		// register operands); the queued tag serves disambiguation until
 		// retire — vulnerable from issue to commit.
 		if u := pl.nthOccupant(int(f.Bit/uint64(core.LSQEntryBits/2)), occLQ); u != nil {
-			pl.injResolve(t, u.ace && u.state != sWaiting)
+			pl.injResolveOccupant(t, u.ace && u.state != sWaiting, u)
 			return
 		}
 	case uarch.LQData:
 		if u := pl.nthOccupant(int(f.Bit/uint64(core.LSQEntryBits/2)), occLQ); u != nil {
-			pl.injResolve(t, u.ace && u.state != sWaiting && u.dataReady <= f.Cycle)
+			pl.injResolveOccupant(t, u.ace && u.state != sWaiting && u.dataReady <= f.Cycle, u)
 			return
 		}
 	case uarch.SQTag, uarch.SQData:
 		// Store address and data are captured at completion and consumed
 		// by the architectural write at retire.
 		if u := pl.nthOccupant(int(f.Bit/uint64(core.LSQEntryBits/2)), occSQ); u != nil {
-			pl.injResolve(t, u.ace && u.state == sDone)
+			pl.injResolveOccupant(t, u.ace && u.state == sDone, u)
 			return
 		}
 	}
@@ -307,7 +402,50 @@ func (pl *Pipeline) finishTrials() error {
 		// The flipped bit held no live state at the injection cycle.
 		pl.injResolve(t, false)
 	}
+	if pl.digestOn {
+		// A corrupting trial whose consuming instruction never committed
+		// (the run budget ended with it in flight) still folds its marker
+		// exactly once, preserving digest≠golden ⟺ corrupted.
+		for i := range inj.trials {
+			t := &inj.trials[i]
+			if t.corrupted && !t.marked {
+				t.marked = true
+				pl.digest = mix64(pl.digest, injMark)
+			}
+		}
+	}
 	return nil
+}
+
+// staticPC maps a static-instruction pointer back to its program
+// counter. Linear in program size; called once per corrupted trial at
+// the end of a replay, never on a stage hot path.
+func (pl *Pipeline) staticPC(in *isa.Instr) uint64 {
+	p := pl.p
+	for i := range p.Init {
+		if in == &p.Init[i] {
+			return prog.InitBase + uint64(i)*isa.InstrBytes
+		}
+	}
+	for i := range p.Body {
+		if in == &p.Body[i] {
+			return prog.PCOf(i)
+		}
+	}
+	return 0
+}
+
+// trialDiverge extracts the first-divergent-commit record of one trial.
+func (pl *Pipeline) trialDiverge(t *injTrial) Diverge {
+	if !t.corrupted || t.consStatic == nil {
+		return Diverge{Seq: -1, SrcSlot: -1}
+	}
+	return Diverge{
+		Seq:     t.consSeq,
+		PC:      pl.staticPC(t.consStatic),
+		Op:      t.consStatic.Op,
+		SrcSlot: t.consSlot,
+	}
 }
 
 // armTrials validates the fault targets, builds the cycle-sorted trial
@@ -329,7 +467,7 @@ func (pl *Pipeline) armTrials(faults []Fault, full bool) (*injState, error) {
 		if f.Cycle < 0 {
 			return nil, fmt.Errorf("pipe: negative fault cycle %d", f.Cycle)
 		}
-		inj.trials[i] = injTrial{fault: f, idx: i, watchReg: noReg}
+		inj.trials[i] = injTrial{fault: f, idx: i, watchReg: noReg, consSeq: -1, consSlot: -1}
 	}
 	sort.SliceStable(inj.trials, func(a, b int) bool {
 		return inj.trials[a].fault.Cycle < inj.trials[b].fault.Cycle
@@ -395,7 +533,8 @@ func (pl *Pipeline) RunFault(rc RunConfig, f Fault, full bool) (FaultTrial, erro
 	if err := pl.finishTrials(); err != nil {
 		return FaultTrial{}, err
 	}
-	return FaultTrial{Corrupted: inj.trials[0].corrupted, Digest: pl.digest}, nil
+	t := &inj.trials[0]
+	return FaultTrial{Corrupted: t.corrupted, Digest: pl.digest, Diverge: pl.trialDiverge(t)}, nil
 }
 
 // RunFaults replays the program under rc once with every fault in
@@ -407,10 +546,18 @@ func (pl *Pipeline) RunFault(rc RunConfig, f Fault, full bool) (FaultTrial, erro
 // every lifetime transition that can resolve a watch happens after the
 // fork point. Call once per New, Reset or Restore.
 func (pl *Pipeline) RunFaults(rc RunConfig, faults []Fault) ([]bool, error) {
-	return pl.runFaults(rc, faults, false)
+	trials, err := pl.runFaults(rc, faults, false)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]bool, len(trials))
+	for i := range trials {
+		out[i] = trials[i].Corrupted
+	}
+	return out, nil
 }
 
-func (pl *Pipeline) runFaults(rc RunConfig, faults []Fault, resume bool) ([]bool, error) {
+func (pl *Pipeline) runFaults(rc RunConfig, faults []Fault, resume bool) ([]FaultTrial, error) {
 	if len(faults) == 0 {
 		return nil, nil
 	}
@@ -431,9 +578,10 @@ func (pl *Pipeline) runFaults(rc RunConfig, faults []Fault, resume bool) ([]bool
 	if err := pl.finishTrials(); err != nil {
 		return nil, err
 	}
-	out := make([]bool, len(faults))
+	out := make([]FaultTrial, len(faults))
 	for i := range inj.trials {
-		out[inj.trials[i].idx] = inj.trials[i].corrupted
+		t := &inj.trials[i]
+		out[t.idx] = FaultTrial{Corrupted: t.corrupted, Diverge: pl.trialDiverge(t)}
 	}
 	return out, nil
 }
@@ -467,14 +615,27 @@ func (pp *Pool) SimulateGolden(p *prog.Program, rc RunConfig) (*avf.Result, Gold
 // fault f injected (early-resolution mode) and reports whether the fault
 // corrupts committed architectural state.
 func (pp *Pool) SimulateFault(p *prog.Program, rc RunConfig, f Fault) (bool, error) {
-	pl, err := pp.get(p)
-	if err != nil {
-		return false, err
-	}
-	trial, err := pl.RunFault(rc, f, false)
-	pp.pool.Put(pl)
+	trial, err := pp.SimulateFaultDetail(p, rc, f)
 	if err != nil {
 		return false, err
 	}
 	return trial.Corrupted, nil
+}
+
+// SimulateFaultDetail is SimulateFault returning the full trial record,
+// including the first-divergent-commit identity of a corrupting fault
+// (internal/rootcause attributes from it). Early-resolution mode: the
+// consuming instruction is identified at or before resolution, so the
+// replay still stops as soon as the fate is known.
+func (pp *Pool) SimulateFaultDetail(p *prog.Program, rc RunConfig, f Fault) (FaultTrial, error) {
+	pl, err := pp.get(p)
+	if err != nil {
+		return FaultTrial{}, err
+	}
+	trial, err := pl.RunFault(rc, f, false)
+	pp.pool.Put(pl)
+	if err != nil {
+		return FaultTrial{}, err
+	}
+	return trial, nil
 }

@@ -74,6 +74,11 @@ type uop struct {
 	static *isa.Instr
 	addr   uint64 // effective address (memory ops)
 
+	// dynSeq is the dynamic stream sequence number (prog.Dyn.Seq; -1
+	// for synthetic wrong-path fetches). Injection replays report it as
+	// the identity of a corrupted trial's first divergent commit.
+	dynSeq int64
+
 	dispatchCycle int64
 	issueCycle    int64
 	doneCycle     int64

@@ -468,6 +468,23 @@ func (pp *Pool) SimulateGoldenCheckpointed(p *prog.Program, rc RunConfig, interv
 // per-fault SimulateFault replays from cycle zero provided every fault
 // cycle respects ck's validity margin (CheckpointSet.Nearest).
 func (pp *Pool) SimulateFaultsFrom(p *prog.Program, rc RunConfig, ck *Checkpoint, faults []Fault) ([]bool, error) {
+	trials, err := pp.SimulateFaultsDetailFrom(p, rc, ck, faults)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]bool, len(trials))
+	for i := range trials {
+		out[i] = trials[i].Corrupted
+	}
+	return out, nil
+}
+
+// SimulateFaultsDetailFrom is SimulateFaultsFrom returning the full
+// per-fault trial records, including each corrupting fault's
+// first-divergent-commit identity. Consumer capture is resolved from
+// pipeline state alone, so records are bit-identical across fork points
+// exactly like the corruption outcomes.
+func (pp *Pool) SimulateFaultsDetailFrom(p *prog.Program, rc RunConfig, ck *Checkpoint, faults []Fault) ([]FaultTrial, error) {
 	if ck == nil {
 		pl, err := pp.get(p)
 		if err != nil {

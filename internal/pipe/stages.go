@@ -39,6 +39,9 @@ func (pl *Pipeline) commit() int {
 		pl.acct.onCommit(pl, u)
 		if pl.digestOn {
 			pl.digestCommit(u)
+			if pl.inj != nil {
+				pl.injMarkCommit(u)
+			}
 		}
 		if u.inLQ {
 			pl.lqUsed--
@@ -290,9 +293,12 @@ func (pl *Pipeline) issue() int {
 			pl.compW.push(event{cycle: u.doneCycle, seq: seq, gen: u.gen})
 			// Operand reads extend the producers' ACE intervals.
 			if u.ace {
-				for _, s := range u.src {
+				for si, s := range u.src {
 					if s != noReg && pl.regs[s].lastRead < pl.now {
 						pl.regs[s].lastRead = pl.now
+						if pl.inj != nil && pl.inj.rfOpen > 0 {
+							pl.injNoteRead(s, u, int8(si))
+						}
 					}
 				}
 			}
@@ -397,6 +403,7 @@ func (pl *Pipeline) dispatch() int {
 		// the literal compiles to a temp plus a bulk copy.
 		u.static = u0.Static
 		u.addr = u0.Addr
+		u.dynSeq = u0.Seq
 		u.wrongPath = it.wrongPath
 		u.opc = op
 		u.ace = !it.wrongPath && !u0.Static.UnACE && op != isa.OpNop

@@ -193,6 +193,35 @@ func InjectionTable(title string, rows []InjectionRow) string {
 	return t.String()
 }
 
+// RootCauseRow is one line of a root-cause vulnerability ranking: a
+// program instruction (or instruction class) with the SDC/DUE trials
+// attributed to it, its bit-cycle-normalised share of the campaign's
+// corruption mass, and the Wilson 95% interval on its raw attributed
+// fraction.
+type RootCauseRow struct {
+	Name     string // "0x10004 addq r7 <- r6, r2" or a class mnemonic
+	SDC      int
+	DUE      int
+	Share    float64 // bit-cycle-normalised corruption share
+	Lo, Hi   float64 // Wilson 95% CI on attributed fraction of corrupted trials
+	Demanded int     // trials whose flipped bit lies in the consumer's demand mask
+}
+
+// RootCauseTable renders a root-cause ranking in the repo's table
+// style. Rows arrive pre-sorted (most vulnerable first) — rendering
+// never reorders, so callers own the determinism of the ranking.
+func RootCauseTable(title string, rows []RootCauseRow) string {
+	t := &Table{Title: title, Headers: []string{
+		"cause", "sdc", "due", "share", "95% CI", "demanded"}}
+	for _, r := range rows {
+		t.AddRow(r.Name, r.SDC, r.DUE,
+			fmt.Sprintf("%.4f", r.Share),
+			fmt.Sprintf("[%.4f, %.4f]", r.Lo, r.Hi),
+			r.Demanded)
+	}
+	return t.String()
+}
+
 // Sparkline renders a sequence of values as a one-line unicode spark
 // chart, used for the GA convergence trace (Figure 5b).
 func Sparkline(values []float64) string {

@@ -1,0 +1,45 @@
+package report
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRootCauseTableGolden locks the rendered root-cause ranking against
+// testdata/rootcause_golden.txt, the same contract as the injection
+// table: the attribution tables are part of the campaign report's
+// byte-determinism, so their rendering must not drift silently.
+// Regenerate deliberately with: go test -run RootCause -update.
+func TestRootCauseTableGolden(t *testing.T) {
+	rows := []RootCauseRow{
+		{Name: "10004  mulq r6, r2, r7", SDC: 41, DUE: 0, Share: 0.3122,
+			Lo: 0.2401, Hi: 0.3943, Demanded: 38},
+		{Name: "10000  addq r2, #3, r6", SDC: 23, DUE: 5, Share: 0.2210,
+			Lo: 0.1581, Hi: 0.3002, Demanded: 28},
+		{Name: "10008  ldq r8, (r6)[ag0]", SDC: 9, DUE: 0, Share: 0.0712,
+			Lo: 0.0375, Hi: 0.1312, Demanded: 9},
+		{Name: "01000  addq zero, #2, r2", SDC: 2, DUE: 0, Share: 0.0148,
+			Lo: 0.0041, Hi: 0.0524, Demanded: 1},
+	}
+	got := RootCauseTable("Root-cause instructions — Baseline/s32 on 403.gcc (seed 1)", rows)
+
+	path := filepath.Join("testdata", "rootcause_golden.txt")
+	if *updateInjectionGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden file (regenerate with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("root-cause table drifted from golden:\n got:\n%s\n want:\n%s", got, want)
+	}
+}

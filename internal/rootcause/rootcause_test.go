@@ -1,0 +1,187 @@
+package rootcause
+
+import (
+	"strings"
+	"testing"
+
+	"avfstress/internal/isa"
+	"avfstress/internal/pipe"
+	"avfstress/internal/prog"
+	"avfstress/internal/uarch"
+)
+
+// testProgram builds a program with a fully known def-use structure:
+//
+//	init0: addq r1 <- zero, #1
+//	body0: addq r2 <- r1, #1
+//	body1: mulq r3 <- r2, r1
+//	body2: stq  r3, (r2)
+//	body3: ldq  r4, (r2)
+//	body4: br   r4
+func testProgram() *prog.Program {
+	return &prog.Program{
+		Init: []isa.Instr{
+			{Op: isa.OpAdd, Dest: 1, Src1: isa.RZero, Imm: 1},
+		},
+		Body: []isa.Instr{
+			{Op: isa.OpAdd, Dest: 2, Src1: 1, Imm: 1},
+			{Op: isa.OpMul, Dest: 3, Src1: 2, Src2: 1, RegReg: true},
+			{Op: isa.OpStore, Dest: isa.RZero, Src1: 2, Src2: 3, AddrGen: 0},
+			{Op: isa.OpLoad, Dest: 4, Src1: 2, AddrGen: 0},
+			{Op: isa.OpBranch, Dest: isa.RZero, Src1: 4, BrGen: 0},
+		},
+	}
+}
+
+func div(p *prog.Program, bodyIdx int, slot int8) pipe.Diverge {
+	in := &p.Body[bodyIdx]
+	return pipe.Diverge{Seq: int64(bodyIdx), PC: prog.PCOf(bodyIdx), Op: in.Op, SrcSlot: slot}
+}
+
+func TestAttributeStructureMapping(t *testing.T) {
+	p := testProgram()
+	cases := []struct {
+		name   string
+		fault  pipe.Fault
+		d      pipe.Diverge
+		ok     bool
+		wantPC uint64
+		wantOp isa.Op
+	}{
+		// RF slot 0 of mul (reads r2) -> producer body0 add.
+		{"rf-slot0", pipe.Fault{Structure: uarch.RF, Bit: 3}, div(p, 1, 0), true, prog.PCOf(0), isa.OpAdd},
+		// RF slot 1 of mul (reads r1): no body writer after wrap -> init0.
+		{"rf-slot1-init", pipe.Fault{Structure: uarch.RF, Bit: 3}, div(p, 1, 1), true, prog.InitBase, isa.OpAdd},
+		// Queue structures attribute the occupant itself.
+		{"iq-self", pipe.Fault{Structure: uarch.IQ}, div(p, 1, -1), true, prog.PCOf(1), isa.OpMul},
+		{"rob-self", pipe.Fault{Structure: uarch.ROB}, div(p, 3, -1), true, prog.PCOf(3), isa.OpLoad},
+		{"fu-self", pipe.Fault{Structure: uarch.FU}, div(p, 1, -1), true, prog.PCOf(1), isa.OpMul},
+		{"lqdata-self", pipe.Fault{Structure: uarch.LQData}, div(p, 3, -1), true, prog.PCOf(3), isa.OpLoad},
+		// LSQ tag/data halves walk the address/data operand producers.
+		{"lqtag-base", pipe.Fault{Structure: uarch.LQTag}, div(p, 3, -1), true, prog.PCOf(0), isa.OpAdd},
+		{"sqtag-base", pipe.Fault{Structure: uarch.SQTag}, div(p, 2, -1), true, prog.PCOf(0), isa.OpAdd},
+		{"sqdata-data", pipe.Fault{Structure: uarch.SQData}, div(p, 2, -1), true, prog.PCOf(1), isa.OpMul},
+		// Memory hierarchy and missing consumers are unattributable.
+		{"dl1-none", pipe.Fault{Structure: uarch.DL1}, pipe.Diverge{Seq: -1, SrcSlot: -1}, false, 0, 0},
+		{"l2-none", pipe.Fault{Structure: uarch.L2}, div(p, 1, -1), false, 0, 0},
+		{"rf-no-slot", pipe.Fault{Structure: uarch.RF}, div(p, 1, -1), false, 0, 0},
+	}
+	for _, tc := range cases {
+		c, ok := Attribute(p, tc.fault, tc.d)
+		if ok != tc.ok {
+			t.Errorf("%s: ok = %v, want %v", tc.name, ok, tc.ok)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if c.PC != tc.wantPC || c.Op != tc.wantOp {
+			t.Errorf("%s: attributed %05x %v, want %05x %v", tc.name, c.PC, c.Op, tc.wantPC, tc.wantOp)
+		}
+		if c.Instr == nil {
+			t.Errorf("%s: nil Instr", tc.name)
+		}
+	}
+}
+
+func TestAttributeDemandMask(t *testing.T) {
+	p := testProgram()
+	// body4 branch consumes r4 with full demand: every bit demanded.
+	c, ok := Attribute(p, pipe.Fault{Structure: uarch.RF, Bit: 63}, div(p, 4, 0))
+	if !ok || !c.Demanded {
+		t.Errorf("branch source bit 63: ok=%v demanded=%v, want attributed+demanded", ok, c.Demanded)
+	}
+	// Queue-structure self-attribution is always demanded.
+	c, ok = Attribute(p, pipe.Fault{Structure: uarch.ROB, Bit: 5}, div(p, 1, -1))
+	if !ok || !c.Demanded {
+		t.Errorf("ROB self-attribution: ok=%v demanded=%v", ok, c.Demanded)
+	}
+}
+
+func TestAggregateTables(t *testing.T) {
+	p := testProgram()
+	cfg := uarch.Baseline()
+	trials := []Trial{
+		{Fault: pipe.Fault{Structure: uarch.RF, Bit: 1}, Diverge: div(p, 1, 0)},                        // -> body0 add
+		{Fault: pipe.Fault{Structure: uarch.RF, Bit: 2}, Diverge: div(p, 1, 0)},                        // -> body0 add
+		{Fault: pipe.Fault{Structure: uarch.IQ, Bit: 9}, Diverge: div(p, 1, -1)},                       // -> body1 mul
+		{Fault: pipe.Fault{Structure: uarch.SQData, Bit: 0}, Diverge: div(p, 2, -1)},                   // -> body1 mul
+		{Fault: pipe.Fault{Structure: uarch.DL1, Bit: 7}, Diverge: pipe.Diverge{Seq: -1, SrcSlot: -1}}, // unattributed
+		{Fault: pipe.Fault{Structure: uarch.ROB, Bit: 4}, Diverge: div(p, 3, -1), DUE: true},           // -> body3 load, DUE
+	}
+	sampled := map[uarch.Structure]int{
+		uarch.RF: 10, uarch.IQ: 10, uarch.SQData: 10, uarch.DL1: 10, uarch.ROB: 10,
+	}
+	r := Aggregate(p, cfg, trials, sampled)
+	if r.Corrupted != 6 || r.Attributed != 5 || r.Unattributed != 1 {
+		t.Fatalf("counts: corrupted=%d attributed=%d unattributed=%d", r.Corrupted, r.Attributed, r.Unattributed)
+	}
+	if len(r.Instrs) != 3 {
+		t.Fatalf("instr rows = %d, want 3:\n%s", len(r.Instrs), r.String())
+	}
+	// Ranked by attributed count desc, PC asc on ties: add(2) first, then
+	// mul(2) — same count, higher PC — then load(1).
+	if r.Instrs[0].PC != prog.PCOf(0) || r.Instrs[0].SDC != 2 {
+		t.Errorf("row 0: pc=%05x sdc=%d, want body0 sdc=2", r.Instrs[0].PC, r.Instrs[0].SDC)
+	}
+	if r.Instrs[1].PC != prog.PCOf(1) || r.Instrs[1].SDC != 2 {
+		t.Errorf("row 1: pc=%05x sdc=%d, want body1 sdc=2", r.Instrs[1].PC, r.Instrs[1].SDC)
+	}
+	if r.Instrs[2].PC != prog.PCOf(3) || r.Instrs[2].DUE != 1 || r.Instrs[2].SDC != 0 {
+		t.Errorf("row 2: pc=%05x sdc=%d due=%d, want body3 due=1", r.Instrs[2].PC, r.Instrs[2].SDC, r.Instrs[2].DUE)
+	}
+	// Shares are normalised over the corrupted mass, so rows sum to the
+	// attributed fraction of the mass (strictly below 1: one DL1 trial is
+	// unattributed).
+	var sum float64
+	for _, row := range r.Instrs {
+		sum += row.Share
+		if row.Lo < 0 || row.Hi > 1 || row.Lo > row.Hi {
+			t.Errorf("pc %05x: bad interval [%v, %v]", row.PC, row.Lo, row.Hi)
+		}
+	}
+	if sum <= 0 || sum >= 1 {
+		t.Errorf("attributed share sum = %v, want in (0, 1)", sum)
+	}
+	// SDCDensity counts attributed SDC rows over all corrupted trials.
+	if got, want := r.SDCDensity(), 4.0/6.0; got != want {
+		t.Errorf("SDCDensity = %v, want %v", got, want)
+	}
+	out := r.String()
+	for _, frag := range []string{"Root-cause instructions", "Root-cause instruction classes",
+		"6 corrupted, 5 attributed, 1 unattributed", "mulq"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("String() missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+// TestAggregateDeterministic: identical inputs must render byte-identical
+// tables regardless of map iteration order.
+func TestAggregateDeterministic(t *testing.T) {
+	p := testProgram()
+	cfg := uarch.Baseline()
+	var trials []Trial
+	for i := 0; i < 40; i++ {
+		s := uarch.CoreStructures[i%len(uarch.CoreStructures)]
+		slot := int8(-1)
+		if s == uarch.RF {
+			slot = int8(i % 2)
+		}
+		trials = append(trials, Trial{
+			Fault:   pipe.Fault{Structure: s, Bit: uint64(i)},
+			Diverge: div(p, i%len(p.Body), slot),
+			DUE:     i%5 == 0,
+		})
+	}
+	sampled := map[uarch.Structure]int{}
+	for _, s := range uarch.CoreStructures {
+		sampled[s] = 8
+	}
+	want := Aggregate(p, cfg, trials, sampled).String()
+	for i := 0; i < 10; i++ {
+		if got := Aggregate(p, cfg, trials, sampled).String(); got != want {
+			t.Fatalf("aggregation nondeterministic on round %d:\n--- want\n%s\n--- got\n%s", i, want, got)
+		}
+	}
+}

@@ -14,14 +14,18 @@ import (
 type Spec struct {
 	// Scenarios lists the scenario names to run, in order. Empty means
 	// the full registered suite in paper order. Besides registered names
-	// ("fig3", "table1", ...), three parametric forms are accepted:
+	// ("fig3", "table1", ...), four parametric forms are accepted:
 	//
 	//	stressmark[:<config>:<rates>]            — one stressmark study
 	//	workloads[:<config>:<suite>]             — one workload-suite evaluation
 	//	faultinject[:<config>:<rates>:<trials>]  — one fault-injection validation
+	//	rootcause[:<config>:<rates>:<trials>]    — the same study's root-cause
+	//	                                           instruction attribution view
 	//
 	// The short forms take <config>/<rates>/<suite>/<trials> from the
-	// fields below.
+	// fields below. faultinject and rootcause with equal parameters share
+	// one memoised campaign study, so requesting both costs one set of
+	// replays.
 	Scenarios []string `json:"scenarios,omitempty"`
 
 	// Config selects the microarchitecture for parametric scenarios:
@@ -48,7 +52,7 @@ type Spec struct {
 	WorkloadInstr  int64 `json:"workload_instr,omitempty"`
 	WorkloadWarmup int64 `json:"workload_warmup,omitempty"`
 	// InjectTrials sizes each Monte Carlo fault-injection campaign of
-	// the parametric faultinject scenario (0 = 1000).
+	// the parametric faultinject and rootcause scenarios (0 = 1000).
 	InjectTrials int `json:"inject_trials,omitempty"`
 	// CheckpointInterval tunes golden-run checkpoint capture for
 	// fault-injection fork-replay: 0 = automatic, >0 = checkpoint every

@@ -29,8 +29,11 @@ func specOf(t *testing.T, s string) scenario.Spec {
 
 // clusterSpec is a small fault-injection campaign: the only scenario
 // family with leased (shardable) jobs, kept cheap with reference knobs
-// and tiny windows. Identical on every node by construction.
-const clusterSpec = `{"scenarios":["faultinject:baseline:uniform:120","faultinject:baseline:rhc:120"],"mode":"reference","scale":32,"seed":1,"workload_instr":30000,"workload_warmup":8000,"checkpoint_interval":-1}`
+// and tiny windows. Identical on every node by construction. The
+// rootcause view rides along sharing the uniform campaign's memoised
+// study — zero extra replays — which puts the attribution tables under
+// the fabric's byte-identity contract too.
+const clusterSpec = `{"scenarios":["faultinject:baseline:uniform:120","faultinject:baseline:rhc:120","rootcause:baseline:uniform:120"],"mode":"reference","scale":32,"seed":1,"workload_instr":30000,"workload_warmup":8000,"checkpoint_interval":-1}`
 
 // clusterProcs widens GOMAXPROCS for the duration of a test. The
 // in-process cluster tests run coordinator compute, runner compute and
@@ -135,6 +138,11 @@ func TestClusterByteIdentity(t *testing.T) {
 	// Single-node baseline: a plain daemon with no runners joined.
 	_, solo := testServer(t)
 	want := runJob(t, solo, clusterSpec)
+	for _, s := range []string{"Root-cause instruction analysis", "Root-cause instructions", "Root-cause instruction classes"} {
+		if !strings.Contains(want, s) {
+			t.Fatalf("solo report missing %q — the rootcause scenario did not render", s)
+		}
+	}
 
 	srv, hs := coordinator(t)
 	startRunner(t, hs.URL, "r1", nil)

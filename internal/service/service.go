@@ -26,11 +26,13 @@
 // GET /v1/healthz reports journal/queue/cache health.
 //
 // Besides the registered paper experiments, specs may request the
-// parametric scenarios — stressmark, workloads and faultinject (the
+// parametric scenarios — stressmark, workloads, faultinject (the
 // Monte Carlo fault-injection validation, sized by the spec's
-// inject_trials field; DESIGN.md §9). Fault-injection trials memoise
-// in the shared store like every other result, so repeated campaigns
-// across jobs replay only the marginal trials.
+// inject_trials field; DESIGN.md §9) and rootcause (the same study's
+// per-instruction attribution view; DESIGN.md §14). Fault-injection
+// trials memoise in the shared store like every other result, so
+// repeated campaigns across jobs replay only the marginal trials, and
+// faultinject/rootcause with equal parameters share one study.
 package service
 
 import (
